@@ -1,0 +1,26 @@
+//! Regenerates the [`DurationModel`] constants from real GRAPE duration
+//! searches on the simulated device (the numbers baked into
+//! `DurationModel::default()`).
+//!
+//! ```sh
+//! cargo run -p epoc-bench --bin calibrate --release
+//! ```
+
+use epoc_qoc::DurationModel;
+use std::time::Instant;
+
+fn main() {
+    println!("running GRAPE duration searches for calibration…");
+    let t0 = Instant::now();
+    let model = DurationModel::calibrate();
+    println!("calibration finished in {:.2?}\n", t0.elapsed());
+    println!("qoc_factor     = {:.4}", model.qoc_factor);
+    println!("min_pulse      = {:.2} ns", model.min_pulse);
+    println!("overhead       = {:.2} ns", model.overhead);
+    println!("absorption     = {:.4}", model.absorption);
+    println!("pulse_fidelity = {:.6}", model.pulse_fidelity);
+    let d = DurationModel::default();
+    println!("\ndefaults in code: qoc_factor {:.4}, min_pulse {:.2}, fidelity {:.6}",
+        d.qoc_factor, d.min_pulse, d.pulse_fidelity);
+    println!("update `DurationModel::default()` if these drift.");
+}

@@ -1,0 +1,47 @@
+//! **Figure 8**: pulse latency with vs without the regrouping step across
+//! the 17-benchmark suite (paper: grouping shorter on *all* benchmarks,
+//! average 51.11% latency reduction).
+//!
+//! ```sh
+//! cargo run -p epoc-bench --bin fig8_latency_grouping --release
+//! ```
+
+use epoc::{EpocCompiler, EpocConfig};
+use epoc_bench::{header, mean, row};
+use epoc_circuit::generators;
+
+fn main() {
+    let grouped = EpocCompiler::new(EpocConfig::default());
+    let ungrouped = EpocCompiler::new(EpocConfig::default().without_regrouping());
+    let widths = [12, 14, 14, 10];
+    header(
+        &["benchmark", "no-group (ns)", "grouped (ns)", "reduction"],
+        &widths,
+    );
+    let mut reductions = Vec::new();
+    let mut all_shorter = true;
+    for b in generators::benchmark_suite() {
+        let g = grouped.compile(&b.circuit);
+        let u = ungrouped.compile(&b.circuit);
+        let red = 1.0 - g.latency() / u.latency().max(1e-9);
+        reductions.push(red);
+        all_shorter &= g.latency() <= u.latency() + 1e-9;
+        row(
+            &[
+                b.name.to_string(),
+                format!("{:.1}", u.latency()),
+                format!("{:.1}", g.latency()),
+                format!("{:.1}%", 100.0 * red),
+            ],
+            &widths,
+        );
+    }
+    println!(
+        "\nmean latency reduction from grouping: {:.2}% (paper: 51.11%)",
+        100.0 * mean(&reductions)
+    );
+    println!(
+        "grouping shorter on all benchmarks: {} (paper: yes)",
+        if all_shorter { "yes" } else { "NO" }
+    );
+}

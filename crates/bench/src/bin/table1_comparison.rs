@@ -1,0 +1,58 @@
+//! **Table 1**: latency (ns) and fidelity for the three flows —
+//! gate-based, PAQOC-like, EPOC — on simon, bb84, bv, qaoa, decod24,
+//! dnn, ham7 (paper: EPOC −31.74% latency vs PAQOC, −76.80% vs
+//! gate-based).
+//!
+//! ```sh
+//! cargo run -p epoc-bench --bin table1_comparison --release
+//! ```
+
+use epoc::baselines::{gate_based, PaqocCompiler};
+use epoc::{EpocCompiler, EpocConfig};
+use epoc_bench::{header, mean, row};
+use epoc_circuit::generators;
+
+fn main() {
+    let epoc = EpocCompiler::new(EpocConfig::default());
+    let paqoc = PaqocCompiler::default();
+    let widths = [9, 12, 12, 12, 9, 9];
+    header(
+        &[
+            "circuit",
+            "gate (ns)",
+            "paqoc (ns)",
+            "epoc (ns)",
+            "f(paqoc)",
+            "f(epoc)",
+        ],
+        &widths,
+    );
+    let mut vs_paqoc = Vec::new();
+    let mut vs_gate = Vec::new();
+    for b in generators::table1_suite() {
+        let g = gate_based(&b.circuit);
+        let p = paqoc.compile(&b.circuit);
+        let e = epoc.compile(&b.circuit);
+        vs_paqoc.push(1.0 - e.latency() / p.latency().max(1e-9));
+        vs_gate.push(1.0 - e.latency() / g.latency().max(1e-9));
+        row(
+            &[
+                b.name.to_string(),
+                format!("{:.1}", g.latency()),
+                format!("{:.1}", p.latency()),
+                format!("{:.1}", e.latency()),
+                format!("{:.4}", p.esp()),
+                format!("{:.4}", e.esp()),
+            ],
+            &widths,
+        );
+    }
+    println!(
+        "\naverage latency reduction: EPOC vs PAQOC {:.2}% (paper: 31.74%)",
+        100.0 * mean(&vs_paqoc)
+    );
+    println!(
+        "average latency reduction: EPOC vs gate-based {:.2}% (paper: 76.80%)",
+        100.0 * mean(&vs_gate)
+    );
+}

@@ -1,0 +1,74 @@
+//! # epoc-bench — the benchmark harness reproducing the paper's evaluation
+//!
+//! One binary per table/figure (see DESIGN.md's per-experiment index):
+//!
+//! | target | reproduces |
+//! |---|---|
+//! | `fig5_zx_depth` | Figure 5 — ZX depth reduction over 34 random circuits |
+//! | `fig8_latency_grouping` | Figure 8 — latency with vs without regrouping |
+//! | `fig9_compile_time` | Figure 9 — compilation time with vs without regrouping |
+//! | `fig10_fidelity` | Figure 10 — ESP fidelity with vs without regrouping |
+//! | `table1_comparison` | Table 1 — gate-based vs PAQOC-like vs EPOC |
+//! | `scale160` | §4 — 160-qubit feasibility run |
+//! | `cache_phase_ablation` | §3.4 — phase-aware vs phase-sensitive cache |
+//! | `grape_gradient_ablation` | design choice — exact vs first-order GRAPE gradients |
+//! | `calibrate` | regenerates the DurationModel constants |
+//!
+//! Criterion micro-benchmarks for the pipeline stages live under
+//! `benches/`.
+
+use std::fmt::Display;
+
+/// Prints a markdown-style table row.
+pub fn row<D: Display>(cells: &[D], widths: &[usize]) {
+    let mut line = String::from("|");
+    for (c, w) in cells.iter().zip(widths) {
+        line.push_str(&format!(" {:>w$} |", c.to_string(), w = w));
+    }
+    println!("{line}");
+}
+
+/// Prints a markdown-style table header with separator.
+pub fn header(cells: &[&str], widths: &[usize]) {
+    row(cells, widths);
+    let mut line = String::from("|");
+    for w in widths {
+        line.push_str(&format!("{:-<w$}|", "", w = w + 2));
+    }
+    println!("{line}");
+}
+
+/// Geometric mean of a slice (ignores non-positive entries).
+pub fn geomean(xs: &[f64]) -> f64 {
+    let logs: Vec<f64> = xs.iter().filter(|&&x| x > 0.0).map(|x| x.ln()).collect();
+    if logs.is_empty() {
+        return 0.0;
+    }
+    (logs.iter().sum::<f64>() / logs.len() as f64).exp()
+}
+
+/// Arithmetic mean.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_constants() {
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn mean_basic() {
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+    }
+}

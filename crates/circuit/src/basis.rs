@@ -1,0 +1,206 @@
+//! Lowering to the hardware basis.
+//!
+//! Real transmons calibrate pulses for single-qubit gates plus CX/CZ (and
+//! effectively SWAP as three CX). Every other multi-qubit gate — RZZ,
+//! controlled rotations, Toffolis — is decomposed by the vendor
+//! transpiler before pulses exist. [`lower_to_basis`] is that pass: it
+//! keeps all single-qubit gates and `{CX, CZ, Swap}` untouched and
+//! decomposes everything else, so all compilation flows (gate-based,
+//! PAQOC-like, EPOC) price the same physical gate stream.
+
+use crate::circuit::Circuit;
+use crate::euler::append_controlled_unitary;
+use crate::gate::Gate;
+use std::f64::consts::FRAC_PI_4;
+
+/// `true` when the gate is directly calibrated on the target hardware.
+pub fn is_basis_gate(gate: &Gate) -> bool {
+    match gate {
+        Gate::CX | Gate::CZ | Gate::Swap => true,
+        Gate::Unitary { matrix, .. } => matrix.rows() == 2,
+        g => g.arity() == 1,
+    }
+}
+
+/// Lowers a circuit to the hardware basis (single-qubit gates +
+/// `{CX, CZ, Swap}`), preserving semantics up to global phase.
+///
+/// # Panics
+///
+/// Panics if the circuit contains opaque unitary blocks wider than one
+/// qubit (those only exist *after* pulse-level compilation).
+pub fn lower_to_basis(circuit: &Circuit) -> Circuit {
+    let mut out = Circuit::new(circuit.n_qubits());
+    for op in circuit.ops() {
+        lower_op(&op.gate, &op.qubits, &mut out);
+    }
+    out
+}
+
+fn lower_op(gate: &Gate, q: &[usize], out: &mut Circuit) {
+    use Gate::*;
+    match gate {
+        g if is_basis_gate(g) => {
+            out.push(g.clone(), q);
+        }
+        CY => {
+            out.push(Sdg, &[q[1]]);
+            out.push(CX, &[q[0], q[1]]);
+            out.push(S, &[q[1]]);
+        }
+        CRZ(t) => {
+            out.push(RZ(t / 2.0), &[q[1]]);
+            out.push(CX, &[q[0], q[1]]);
+            out.push(RZ(-t / 2.0), &[q[1]]);
+            out.push(CX, &[q[0], q[1]]);
+        }
+        CPhase(t) => {
+            out.push(RZ(t / 2.0), &[q[0]]);
+            out.push(RZ(t / 2.0), &[q[1]]);
+            out.push(CX, &[q[0], q[1]]);
+            out.push(RZ(-t / 2.0), &[q[1]]);
+            out.push(CX, &[q[0], q[1]]);
+        }
+        RZZ(t) => {
+            out.push(CX, &[q[0], q[1]]);
+            out.push(RZ(*t), &[q[1]]);
+            out.push(CX, &[q[0], q[1]]);
+        }
+        RXX(t) => {
+            out.push(H, &[q[0]]);
+            out.push(H, &[q[1]]);
+            out.push(CX, &[q[0], q[1]]);
+            out.push(RZ(*t), &[q[1]]);
+            out.push(CX, &[q[0], q[1]]);
+            out.push(H, &[q[0]]);
+            out.push(H, &[q[1]]);
+        }
+        CH | CRX(_) | CRY(_) => {
+            let u = match gate {
+                CH => H.unitary_matrix(),
+                CRX(t) => RX(*t).unitary_matrix(),
+                CRY(t) => RY(*t).unitary_matrix(),
+                _ => unreachable!(),
+            };
+            append_controlled_unitary(out, &u, q[0], q[1]);
+        }
+        CCX => {
+            let (a, b, c) = (q[0], q[1], q[2]);
+            out.push(H, &[c]);
+            out.push(CX, &[b, c]);
+            out.push(RZ(-FRAC_PI_4), &[c]);
+            out.push(CX, &[a, c]);
+            out.push(RZ(FRAC_PI_4), &[c]);
+            out.push(CX, &[b, c]);
+            out.push(RZ(-FRAC_PI_4), &[c]);
+            out.push(CX, &[a, c]);
+            out.push(RZ(FRAC_PI_4), &[b]);
+            out.push(RZ(FRAC_PI_4), &[c]);
+            out.push(CX, &[a, b]);
+            out.push(RZ(FRAC_PI_4), &[a]);
+            out.push(RZ(-FRAC_PI_4), &[b]);
+            out.push(CX, &[a, b]);
+            out.push(H, &[c]);
+        }
+        CCZ => {
+            out.push(H, &[q[2]]);
+            lower_op(&CCX, q, out);
+            out.push(H, &[q[2]]);
+        }
+        CSwap => {
+            out.push(CX, &[q[2], q[1]]);
+            lower_op(&CCX, &[q[0], q[1], q[2]], out);
+            out.push(CX, &[q[2], q[1]]);
+        }
+        Unitary { .. } => panic!("multi-qubit opaque blocks cannot be lowered to the basis"),
+        other => unreachable!("gate {other} unhandled in lower_to_basis"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::circuits_equivalent;
+
+    fn check(gate: Gate, qubits: &[usize], n: usize) {
+        let mut c = Circuit::new(n);
+        c.push(gate.clone(), qubits);
+        let lowered = lower_to_basis(&c);
+        assert!(
+            circuits_equivalent(&c, &lowered, 1e-7),
+            "lowering changed {gate}"
+        );
+        for op in lowered.ops() {
+            assert!(is_basis_gate(&op.gate), "{} not basis", op.gate);
+        }
+    }
+
+    #[test]
+    fn basis_gates_pass_through() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::H, &[0])
+            .push(Gate::RZ(0.4), &[1])
+            .push(Gate::CX, &[0, 1])
+            .push(Gate::CZ, &[1, 0])
+            .push(Gate::Swap, &[0, 1]);
+        let lowered = lower_to_basis(&c);
+        assert_eq!(lowered.len(), c.len());
+        assert_eq!(lowered.ops(), c.ops());
+    }
+
+    #[test]
+    fn exotic_two_qubit_gates_lower() {
+        for gate in [
+            Gate::CY,
+            Gate::CH,
+            Gate::CRX(0.7),
+            Gate::CRY(-0.9),
+            Gate::CRZ(1.3),
+            Gate::CPhase(0.5),
+            Gate::RZZ(0.8),
+            Gate::RXX(-0.4),
+        ] {
+            check(gate.clone(), &[0, 1], 2);
+            check(gate, &[1, 0], 2);
+        }
+    }
+
+    #[test]
+    fn three_qubit_gates_lower() {
+        for gate in [Gate::CCX, Gate::CCZ, Gate::CSwap] {
+            check(gate.clone(), &[0, 1, 2], 3);
+            check(gate, &[2, 0, 1], 3);
+        }
+    }
+
+    #[test]
+    fn one_qubit_vug_passes_through() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::unitary("vug", Gate::H.unitary_matrix()), &[0]);
+        let lowered = lower_to_basis(&c);
+        assert_eq!(lowered.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be lowered")]
+    fn wide_opaque_blocks_rejected() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::unitary("blk", Gate::CX.unitary_matrix()), &[0, 1]);
+        lower_to_basis(&c);
+    }
+
+    #[test]
+    fn benchmark_suite_lowers_cleanly() {
+        for b in crate::generators::benchmark_suite() {
+            let lowered = lower_to_basis(&b.circuit);
+            assert!(lowered.len() >= b.circuit.len() || lowered.len() > 0);
+            if b.circuit.n_qubits() <= 6 {
+                assert!(
+                    circuits_equivalent(&b.circuit, &lowered, 1e-7),
+                    "{} broken",
+                    b.name
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Euler-angle decompositions of single-qubit unitaries and the generic
+//! controlled-U construction built on them.
+//!
+//! Used by the ZX converter (to lower arbitrary controlled gates to
+//! `{CX, RZ, RY, Phase}`) and by the synthesis crate (to turn optimized
+//! VUG parameters back into elementary gates when needed).
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+use epoc_linalg::{Complex64, Matrix};
+
+/// ZYZ Euler angles of a 2×2 unitary: `U = e^{iα} · RZ(β) · RY(γ) · RZ(δ)`
+/// (matrix product order — `RZ(δ)` acts first).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZyzAngles {
+    /// Global phase α.
+    pub alpha: f64,
+    /// Last z-rotation β.
+    pub beta: f64,
+    /// Middle y-rotation γ.
+    pub gamma: f64,
+    /// First z-rotation δ.
+    pub delta: f64,
+}
+
+impl ZyzAngles {
+    /// Reconstructs the unitary `e^{iα} RZ(β) RY(γ) RZ(δ)`.
+    pub fn to_matrix(self) -> Matrix {
+        let rz_b = Gate::RZ(self.beta).unitary_matrix();
+        let ry_g = Gate::RY(self.gamma).unitary_matrix();
+        let rz_d = Gate::RZ(self.delta).unitary_matrix();
+        rz_b.matmul(&ry_g)
+            .matmul(&rz_d)
+            .scale(Complex64::cis(self.alpha))
+    }
+}
+
+/// Computes the ZYZ decomposition of a single-qubit unitary.
+///
+/// # Panics
+///
+/// Panics if `u` is not 2×2 or not unitary within `1e-8`.
+pub fn zyz_decompose(u: &Matrix) -> ZyzAngles {
+    assert_eq!(u.rows(), 2, "zyz needs a 2x2 matrix");
+    assert!(u.is_unitary(1e-8), "zyz needs a unitary matrix");
+    // Normalize to SU(2): det = ad - bc, divide by sqrt(det).
+    let det = u[(0, 0)] * u[(1, 1)] - u[(0, 1)] * u[(1, 0)];
+    let sqrt_det = det.sqrt();
+    let alpha0 = sqrt_det.arg();
+    let a = u[(0, 0)] / sqrt_det;
+    let c = u[(1, 0)] / sqrt_det;
+    let d = u[(1, 1)] / sqrt_det;
+    // SU(2): a = cos(γ/2) e^{-i(β+δ)/2}, c = sin(γ/2) e^{i(β-δ)/2}.
+    let gamma = 2.0 * c.abs().atan2(a.abs());
+    let (sum, diff) = if a.abs() > 1e-9 && c.abs() > 1e-9 {
+        (2.0 * d.arg(), 2.0 * c.arg())
+    } else if a.abs() > 1e-9 {
+        // γ ≈ 0: only β+δ matters.
+        (2.0 * d.arg(), 0.0)
+    } else {
+        // γ ≈ π: only β−δ matters.
+        (0.0, 2.0 * c.arg())
+    };
+    let beta = (sum + diff) / 2.0;
+    let delta = (sum - diff) / 2.0;
+    ZyzAngles {
+        alpha: alpha0,
+        beta,
+        gamma,
+        delta,
+    }
+}
+
+/// Appends gates implementing `U` (2×2) on `qubit` using `{RZ, RY}`,
+/// dropping the global phase.
+pub fn append_single_qubit_unitary(c: &mut Circuit, u: &Matrix, qubit: usize) {
+    let z = zyz_decompose(u);
+    if z.delta.abs() > 1e-12 {
+        c.push(Gate::RZ(z.delta), &[qubit]);
+    }
+    if z.gamma.abs() > 1e-12 {
+        c.push(Gate::RY(z.gamma), &[qubit]);
+    }
+    if z.beta.abs() > 1e-12 {
+        c.push(Gate::RZ(z.beta), &[qubit]);
+    }
+}
+
+/// Appends a controlled-`U` (2×2 `U`) on `(control, target)` decomposed
+/// into `{CX, RZ, RY, Phase}` via the standard ABC construction:
+/// `CU = (Phase(α) ⊗ I) · A · CX · B · CX · C` with `A·X·B·X·C = U` and
+/// `A·B·C = I`.
+pub fn append_controlled_unitary(c: &mut Circuit, u: &Matrix, control: usize, target: usize) {
+    let z = zyz_decompose(u);
+    // C = RZ((δ−β)/2), B = RY(−γ/2)·RZ(−(δ+β)/2), A = RZ(β)·RY(γ/2)
+    let c_angle = (z.delta - z.beta) / 2.0;
+    if c_angle.abs() > 1e-12 {
+        c.push(Gate::RZ(c_angle), &[target]);
+    }
+    c.push(Gate::CX, &[control, target]);
+    let b1 = -(z.delta + z.beta) / 2.0;
+    if b1.abs() > 1e-12 {
+        c.push(Gate::RZ(b1), &[target]);
+    }
+    if z.gamma.abs() > 1e-12 {
+        c.push(Gate::RY(-z.gamma / 2.0), &[target]);
+    }
+    c.push(Gate::CX, &[control, target]);
+    if z.gamma.abs() > 1e-12 {
+        c.push(Gate::RY(z.gamma / 2.0), &[target]);
+    }
+    if z.beta.abs() > 1e-12 {
+        c.push(Gate::RZ(z.beta), &[target]);
+    }
+    if z.alpha.abs() > 1e-12 {
+        c.push(Gate::Phase(z.alpha), &[control]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epoc_linalg::{approx_eq_up_to_phase, random_unitary};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn zyz_reconstructs_standard_gates() {
+        for g in [
+            Gate::I,
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::H,
+            Gate::S,
+            Gate::T,
+            Gate::Sx,
+            Gate::RX(0.3),
+            Gate::RY(-0.7),
+            Gate::RZ(1.9),
+            Gate::U3(0.5, 1.0, -0.5),
+        ] {
+            let u = g.unitary_matrix();
+            let z = zyz_decompose(&u);
+            assert!(
+                z.to_matrix().approx_eq(&u, 1e-9),
+                "zyz failed for {g}: {z:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn zyz_reconstructs_random_unitaries() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..50 {
+            let u = random_unitary(2, &mut rng);
+            let z = zyz_decompose(&u);
+            assert!(z.to_matrix().approx_eq(&u, 1e-8));
+        }
+    }
+
+    #[test]
+    fn known_angles_for_hadamard() {
+        // H = e^{iπ/2} RZ(π) RY(π/2)   (δ = 0)
+        let z = zyz_decompose(&Gate::H.unitary_matrix());
+        assert!((z.gamma - FRAC_PI_2).abs() < 1e-9);
+        let total = (z.beta + z.delta).rem_euclid(2.0 * PI);
+        assert!((total - PI).abs() < 1e-9, "β+δ = {total}");
+    }
+
+    #[test]
+    fn single_qubit_append_matches() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let u = random_unitary(2, &mut rng);
+            let mut c = Circuit::new(1);
+            append_single_qubit_unitary(&mut c, &u, 0);
+            assert!(approx_eq_up_to_phase(&c.unitary(), &u, 1e-7));
+        }
+    }
+
+    #[test]
+    fn controlled_u_matches_direct_construction() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let u = random_unitary(2, &mut rng);
+            let mut c = Circuit::new(2);
+            append_controlled_unitary(&mut c, &u, 0, 1);
+            let direct = crate::gate::controlled(&u);
+            assert!(
+                approx_eq_up_to_phase(&c.unitary(), &direct, 1e-7),
+                "controlled-U mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn controlled_known_gates() {
+        for (g, cg) in [
+            (Gate::X, Gate::CX),
+            (Gate::Y, Gate::CY),
+            (Gate::Z, Gate::CZ),
+            (Gate::H, Gate::CH),
+            (Gate::RZ(0.7), Gate::CRZ(0.7)),
+            (Gate::RY(1.1), Gate::CRY(1.1)),
+            (Gate::Phase(0.9), Gate::CPhase(0.9)),
+        ] {
+            let mut c = Circuit::new(2);
+            append_controlled_unitary(&mut c, &g.unitary_matrix(), 0, 1);
+            assert!(
+                approx_eq_up_to_phase(&c.unitary(), &cg.unitary_matrix(), 1e-7),
+                "mismatch for controlled {g}"
+            );
+        }
+    }
+
+    #[test]
+    fn controlled_reversed_qubits() {
+        let u = Gate::H.unitary_matrix();
+        let mut c = Circuit::new(2);
+        append_controlled_unitary(&mut c, &u, 1, 0);
+        let expect = Gate::CH.unitary_matrix().embed(&[1, 0], 2);
+        assert!(approx_eq_up_to_phase(&c.unitary(), &expect, 1e-7));
+    }
+
+    #[test]
+    fn identity_decomposes_to_nothing() {
+        let mut c = Circuit::new(1);
+        append_single_qubit_unitary(&mut c, &Matrix::identity(2), 0);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn diag_phase_global() {
+        // diag(e^{iφ}, e^{iφ}) is pure global phase.
+        let phi = 0.6;
+        let m = Matrix::from_diag(&[Complex64::cis(phi), Complex64::cis(phi)]);
+        let z = zyz_decompose(&m);
+        assert!((z.gamma).abs() < 1e-9);
+        assert!(z.to_matrix().approx_eq(&m, 1e-9));
+    }
+}

@@ -1,0 +1,375 @@
+//! Statevector simulator.
+//!
+//! Used for verification: the dense-unitary path ([`crate::Circuit::unitary`])
+//! caps out around 12 qubits, while the statevector path handles ~20+ and is
+//! how integration tests check that optimized circuits act identically on
+//! states.
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+use epoc_linalg::{c64, Complex64, Matrix};
+
+/// A pure quantum state on `n` qubits (big-endian index convention,
+/// matching the rest of the crate).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateVector {
+    n_qubits: usize,
+    amps: Vec<Complex64>,
+}
+
+impl StateVector {
+    /// The all-zeros computational basis state `|0…0⟩`.
+    pub fn zero(n_qubits: usize) -> Self {
+        assert!(n_qubits <= 24, "statevector limited to 24 qubits");
+        let mut amps = vec![Complex64::ZERO; 1 << n_qubits];
+        amps[0] = Complex64::ONE;
+        Self { n_qubits, amps }
+    }
+
+    /// A computational basis state `|index⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 2^n`.
+    pub fn basis(n_qubits: usize, index: usize) -> Self {
+        let mut s = Self::zero(n_qubits);
+        assert!(index < s.amps.len(), "basis index out of range");
+        s.amps[0] = Complex64::ZERO;
+        s.amps[index] = Complex64::ONE;
+        s
+    }
+
+    /// Builds a state from raw amplitudes (must have length `2^n` and unit
+    /// norm within `1e-6`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on length/norm violations.
+    pub fn from_amplitudes(amps: Vec<Complex64>) -> Self {
+        let len = amps.len();
+        assert!(len.is_power_of_two() && len >= 2, "length must be 2^n");
+        let n_qubits = len.trailing_zeros() as usize;
+        let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum();
+        assert!((norm - 1.0).abs() < 1e-6, "state not normalized: {norm}");
+        Self { n_qubits, amps }
+    }
+
+    /// Number of qubits.
+    #[inline]
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// The amplitudes in basis order.
+    #[inline]
+    pub fn amplitudes(&self) -> &[Complex64] {
+        &self.amps
+    }
+
+    /// Probability of measuring basis state `index`.
+    pub fn probability(&self, index: usize) -> f64 {
+        self.amps[index].norm_sqr()
+    }
+
+    /// Inner product `⟨self|other⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if qubit counts differ.
+    pub fn inner(&self, other: &StateVector) -> Complex64 {
+        assert_eq!(self.n_qubits, other.n_qubits, "qubit count mismatch");
+        self.amps
+            .iter()
+            .zip(&other.amps)
+            .map(|(a, b)| a.conj() * *b)
+            .sum()
+    }
+
+    /// State fidelity `|⟨self|other⟩|²`.
+    pub fn fidelity(&self, other: &StateVector) -> f64 {
+        self.inner(other).norm_sqr()
+    }
+
+    /// Applies a gate to the listed qubits in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if qubit indices are out of range, repeated, or don't match
+    /// the gate arity.
+    pub fn apply(&mut self, gate: &Gate, qubits: &[usize]) {
+        let k = gate.arity();
+        assert_eq!(qubits.len(), k, "qubit list does not match arity");
+        for (i, &q) in qubits.iter().enumerate() {
+            assert!(q < self.n_qubits, "qubit {q} out of range");
+            assert!(!qubits[..i].contains(&q), "duplicate qubit {q}");
+        }
+        let m = gate.unitary_matrix();
+        self.apply_matrix(&m, qubits);
+    }
+
+    /// Applies an arbitrary `2^k`-dimensional matrix to `k` qubits in place.
+    pub fn apply_matrix(&mut self, m: &Matrix, qubits: &[usize]) {
+        let k = qubits.len();
+        let dk = 1usize << k;
+        assert_eq!(m.rows(), dk, "matrix dim mismatch");
+        let n = self.n_qubits;
+        let shifts: Vec<usize> = qubits.iter().map(|&q| n - 1 - q).collect();
+        let full_mask = (1usize << n) - 1;
+        let mut sel_mask = 0usize;
+        for &s in &shifts {
+            sel_mask |= 1 << s;
+        }
+        let rest_mask = full_mask & !sel_mask;
+
+        let mut local = vec![Complex64::ZERO; dk];
+        // Iterate over all assignments of the untouched qubits.
+        let mut rest = 0usize;
+        loop {
+            // Gather the 2^k amplitudes for this "rest" assignment.
+            for a in 0..dk {
+                let mut idx = rest;
+                for (bit, &s) in shifts.iter().enumerate() {
+                    if (a >> (k - 1 - bit)) & 1 == 1 {
+                        idx |= 1 << s;
+                    }
+                }
+                local[a] = self.amps[idx];
+            }
+            // Multiply by the gate matrix and scatter back.
+            for (r, row_out) in (0..dk).map(|r| (r, m.row(r))).map(|(r, row)| {
+                let mut acc = Complex64::ZERO;
+                for (c, &amp) in local.iter().enumerate() {
+                    acc += row[c] * amp;
+                }
+                (r, acc)
+            }) {
+                let mut idx = rest;
+                for (bit, &s) in shifts.iter().enumerate() {
+                    if (r >> (k - 1 - bit)) & 1 == 1 {
+                        idx |= 1 << s;
+                    }
+                }
+                self.amps[idx] = row_out;
+            }
+            // Next subset of rest_mask (standard bit trick).
+            if rest == rest_mask {
+                break;
+            }
+            rest = (rest.wrapping_sub(rest_mask)) & rest_mask;
+        }
+    }
+
+    /// Runs a whole circuit on the state in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit register is larger than the state.
+    pub fn run(&mut self, circuit: &Circuit) {
+        assert!(
+            circuit.n_qubits() <= self.n_qubits,
+            "circuit register exceeds state size"
+        );
+        for op in circuit.ops() {
+            self.apply(&op.gate, &op.qubits);
+        }
+    }
+
+    /// L2 norm of the state (should always be ~1).
+    pub fn norm(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt()
+    }
+}
+
+/// Convenience: runs `circuit` on `|0…0⟩` and returns the final state.
+pub fn simulate(circuit: &Circuit) -> StateVector {
+    let mut s = StateVector::zero(circuit.n_qubits());
+    s.run(circuit);
+    s
+}
+
+/// `true` when two circuits act identically (up to global phase) on a set of
+/// probe states: all computational basis states plus superposition probes.
+///
+/// A cheap but strong semantic-equality check used heavily by the test
+/// suites of the ZX and synthesis crates.
+pub fn circuits_equivalent(a: &Circuit, b: &Circuit, tol: f64) -> bool {
+    if a.n_qubits() != b.n_qubits() {
+        return false;
+    }
+    let n = a.n_qubits();
+    let dim = 1usize << n;
+    // Basis probes (phases must agree pairwise, so compare via fidelity of
+    // a fixed superposition as well to catch relative-phase errors).
+    let mut reference_phase: Option<Complex64> = None;
+    for idx in 0..dim.min(8) {
+        let mut sa = StateVector::basis(n, idx);
+        let mut sb = StateVector::basis(n, idx);
+        sa.run(a);
+        sb.run(b);
+        let ip = sa.inner(&sb);
+        if (ip.abs() - 1.0).abs() > tol {
+            return false;
+        }
+        match reference_phase {
+            None => reference_phase = Some(ip),
+            Some(p) => {
+                if (ip - p).abs() > 10.0 * tol {
+                    return false;
+                }
+            }
+        }
+    }
+    // Uniform superposition probe: sensitive to all relative phases at once.
+    let amp = c64(1.0 / (dim as f64).sqrt(), 0.0);
+    let mut sa = StateVector::from_amplitudes(vec![amp; dim]);
+    let mut sb = sa.clone();
+    sa.run(a);
+    sb.run(b);
+    (sa.inner(&sb).abs() - 1.0).abs() <= tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Gate;
+
+    #[test]
+    fn zero_state_probabilities() {
+        let s = StateVector::zero(3);
+        assert_eq!(s.probability(0), 1.0);
+        assert_eq!(s.probability(5), 0.0);
+        assert!((s.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn x_flips_qubit() {
+        let mut s = StateVector::zero(2);
+        s.apply(&Gate::X, &[0]);
+        // Big-endian: flipping qubit 0 gives |10> = index 2.
+        assert!((s.probability(2) - 1.0).abs() < 1e-12);
+        s.apply(&Gate::X, &[1]);
+        assert!((s.probability(3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bell_state_from_circuit() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::H, &[0]).push(Gate::CX, &[0, 1]);
+        let s = simulate(&c);
+        assert!((s.probability(0) - 0.5).abs() < 1e-12);
+        assert!((s.probability(3) - 0.5).abs() < 1e-12);
+        assert!(s.probability(1) < 1e-12);
+        assert!(s.probability(2) < 1e-12);
+    }
+
+    #[test]
+    fn ghz_three_qubits() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::H, &[0])
+            .push(Gate::CX, &[0, 1])
+            .push(Gate::CX, &[1, 2]);
+        let s = simulate(&c);
+        assert!((s.probability(0) - 0.5).abs() < 1e-12);
+        assert!((s.probability(7) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn statevector_matches_dense_unitary() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::H, &[0])
+            .push(Gate::T, &[1])
+            .push(Gate::CX, &[0, 2])
+            .push(Gate::RY(0.7), &[1])
+            .push(Gate::CCX, &[0, 1, 2])
+            .push(Gate::Sx, &[2]);
+        let u = c.unitary();
+        for idx in 0..8 {
+            let mut s = StateVector::basis(3, idx);
+            s.run(&c);
+            for row in 0..8 {
+                assert!(
+                    s.amplitudes()[row].approx_eq(u[(row, idx)], 1e-10),
+                    "mismatch at col {idx} row {row}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn apply_matrix_on_nonadjacent_qubits() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::CX, &[0, 2]);
+        let mut s = StateVector::basis(3, 0b100);
+        s.run(&c);
+        // control q0=1 -> target q2 flips: |101>
+        assert!((s.probability(0b101) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inner_product_and_fidelity() {
+        let a = StateVector::basis(2, 1);
+        let b = StateVector::basis(2, 1);
+        assert!((a.fidelity(&b) - 1.0).abs() < 1e-12);
+        let c = StateVector::basis(2, 2);
+        assert!(a.fidelity(&c) < 1e-12);
+    }
+
+    #[test]
+    fn circuits_equivalent_detects_equality() {
+        let mut a = Circuit::new(2);
+        a.push(Gate::H, &[0]).push(Gate::CX, &[0, 1]);
+        // Same circuit with redundant Z·Z inserted.
+        let mut b = Circuit::new(2);
+        b.push(Gate::H, &[0])
+            .push(Gate::Z, &[1])
+            .push(Gate::Z, &[1])
+            .push(Gate::CX, &[0, 1]);
+        assert!(circuits_equivalent(&a, &b, 1e-9));
+    }
+
+    #[test]
+    fn circuits_equivalent_detects_difference() {
+        let mut a = Circuit::new(2);
+        a.push(Gate::H, &[0]);
+        let mut b = Circuit::new(2);
+        b.push(Gate::H, &[1]);
+        assert!(!circuits_equivalent(&a, &b, 1e-9));
+        // Relative-phase difference: S vs Z on a superposed qubit.
+        let mut p = Circuit::new(1);
+        p.push(Gate::H, &[0]).push(Gate::S, &[0]);
+        let mut q = Circuit::new(1);
+        q.push(Gate::H, &[0]).push(Gate::Z, &[0]);
+        assert!(!circuits_equivalent(&p, &q, 1e-9));
+    }
+
+    #[test]
+    fn global_phase_is_ignored() {
+        // RZ(θ) and Phase(θ) differ by a global phase only.
+        let mut a = Circuit::new(1);
+        a.push(Gate::RZ(0.9), &[0]);
+        let mut b = Circuit::new(1);
+        b.push(Gate::Phase(0.9), &[0]);
+        assert!(circuits_equivalent(&a, &b, 1e-9));
+    }
+
+    #[test]
+    fn norm_preserved_by_long_random_circuit() {
+        let mut c = Circuit::new(4);
+        for i in 0..40 {
+            match i % 4 {
+                0 => c.push(Gate::H, &[i % 4]),
+                1 => c.push(Gate::RX(0.3 * i as f64), &[(i + 1) % 4]),
+                2 => c.push(Gate::CX, &[i % 4, (i + 1) % 4]),
+                _ => c.push(Gate::T, &[(i + 2) % 4]),
+            };
+        }
+        let s = simulate(&c);
+        assert!((s.norm() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "not normalized")]
+    fn from_amplitudes_checks_norm() {
+        StateVector::from_amplitudes(vec![Complex64::ONE, Complex64::ONE]);
+    }
+}

@@ -1,0 +1,154 @@
+//! `epocc` — the EPOC command-line compiler.
+//!
+//! Compiles an OpenQASM 2.0 file (or a named builtin benchmark) down to a
+//! pulse schedule and prints the report.
+//!
+//! ```sh
+//! epocc circuit.qasm                # EPOC pipeline (default config)
+//! epocc --flow gate-based bench:ghz_n8
+//! epocc --flow paqoc --no-zx bench:qaoa_n6
+//! epocc --no-regroup circuit.qasm   # the Figures-8/10 "no grouping" arm
+//! epocc --schedule circuit.qasm     # dump the pulse timeline
+//! ```
+
+use epoc::baselines::{gate_based, PaqocCompiler};
+use epoc::{CompilationReport, EpocCompiler, EpocConfig};
+use epoc_circuit::{generators, parse_qasm, Circuit};
+use std::process::ExitCode;
+
+struct Args {
+    input: String,
+    flow: String,
+    zx: bool,
+    regroup: bool,
+    show_schedule: bool,
+    json: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: epocc [--flow epoc|gate-based|paqoc] [--no-zx] [--no-regroup] \
+         [--schedule] [--json] <file.qasm | bench:NAME>\n\
+         builtin benchmarks: {}",
+        generators::benchmark_suite()
+            .iter()
+            .map(|b| b.name)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        input: String::new(),
+        flow: "epoc".into(),
+        zx: true,
+        regroup: true,
+        show_schedule: false,
+        json: false,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--flow" => args.flow = iter.next().unwrap_or_else(|| usage()),
+            "--no-zx" => args.zx = false,
+            "--no-regroup" => args.regroup = false,
+            "--schedule" => args.show_schedule = true,
+            "--json" => args.json = true,
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => usage(),
+            other => args.input = other.to_string(),
+        }
+    }
+    if args.input.is_empty() {
+        usage();
+    }
+    args
+}
+
+fn load_circuit(input: &str) -> Result<Circuit, String> {
+    if let Some(name) = input.strip_prefix("bench:") {
+        return generators::benchmark_suite()
+            .into_iter()
+            .find(|b| b.name == name)
+            .map(|b| b.circuit)
+            .ok_or_else(|| format!("unknown builtin benchmark '{name}'"));
+    }
+    let source =
+        std::fs::read_to_string(input).map_err(|e| format!("cannot read {input}: {e}"))?;
+    parse_qasm(&source).map_err(|e| e.to_string())
+}
+
+fn print_schedule(report: &CompilationReport) {
+    println!("\npulse timeline ({} pulses):", report.schedule.len());
+    for p in report.schedule.pulses() {
+        println!(
+            "  t={:>9.1}..{:>9.1} ns  q{:?}  {} (f={:.4})",
+            p.start,
+            p.end(),
+            p.qubits,
+            p.label,
+            p.fidelity
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    // Validate the flow before doing any work, so a typo'd --flow fails
+    // fast with no partial output.
+    if !matches!(args.flow.as_str(), "epoc" | "gate-based" | "paqoc") {
+        eprintln!("error: unknown flow '{}'", args.flow);
+        return ExitCode::FAILURE;
+    }
+    let circuit = match load_circuit(&args.input) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !args.json {
+        println!(
+            "input: {} qubits, {} gates, depth {}",
+            circuit.n_qubits(),
+            circuit.len(),
+            circuit.depth()
+        );
+    }
+    let report = match args.flow.as_str() {
+        "epoc" => {
+            let mut config = EpocConfig::default();
+            config.zx = args.zx;
+            if !args.regroup {
+                config = config.without_regrouping();
+            }
+            EpocCompiler::new(config).compile(&circuit)
+        }
+        "gate-based" => gate_based(&circuit),
+        "paqoc" => PaqocCompiler::default().compile(&circuit),
+        _ => unreachable!("flow validated at startup"),
+    };
+    if args.json {
+        println!("{}", report.to_json());
+        return if report.verified || report.verify_skipped {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+    println!("{}", report.summary());
+    if report.verify_skipped {
+        println!("verification: skipped (register too wide)");
+    } else if report.verified {
+        println!("verification: PASSED");
+    } else {
+        println!("verification: FAILED");
+        return ExitCode::FAILURE;
+    }
+    if args.show_schedule {
+        print_schedule(&report);
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,131 @@
+//! EPOC pipeline configuration.
+
+use epoc_partition::{PartitionConfig, RegroupConfig};
+use epoc_qoc::{DurationModel, KeyPolicy};
+use epoc_synth::SynthConfig;
+
+/// Which pulse backend the pipeline uses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Backend {
+    /// Real GRAPE for blocks up to the given width, calibrated model
+    /// beyond (slow but fully simulated).
+    Hybrid {
+        /// GRAPE width limit (1–4 practical).
+        grape_limit: usize,
+    },
+    /// Calibrated duration model only (fast; used by the figure benches).
+    Modeled,
+}
+
+/// Full EPOC pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct EpocConfig {
+    /// Run the ZX graph-based depth optimization (§3.1).
+    pub zx: bool,
+    /// Skip the (whole-circuit) ZX pass beyond this gate count — graph
+    /// rewriting on very large diagrams costs seconds and, on wide
+    /// hardware-native programs, usually falls back anyway.
+    pub zx_gate_limit: usize,
+    /// Partitioning limits for the synthesis stage (§3.2).
+    pub partition: PartitionConfig,
+    /// Synthesis settings (§3.3); blocks wider than
+    /// `synth_qubit_limit` are lowered structurally instead of searched.
+    pub synth: SynthConfig,
+    /// Width cap for numerical synthesis (2 keeps QSearch fast).
+    pub synth_qubit_limit: usize,
+    /// Regrouping (§3.3); `None` reproduces the "no grouping" arm of
+    /// Figures 8–10.
+    pub regroup: Option<RegroupConfig>,
+    /// Pulse backend.
+    pub backend: Backend,
+    /// Pulse-cache key policy (§3.4 — EPOC uses phase-aware).
+    pub key_policy: KeyPolicy,
+    /// Calibrated duration model for the modeled/hybrid backend.
+    pub duration_model: DurationModel,
+    /// Verify the optimized circuit against the input by statevector
+    /// probing when the register is small enough.
+    pub verify: bool,
+}
+
+impl Default for EpocConfig {
+    fn default() -> Self {
+        Self {
+            zx: true,
+            zx_gate_limit: 4000,
+            partition: PartitionConfig {
+                max_qubits: 3,
+                max_gates: 24,
+            },
+            synth: SynthConfig::default(),
+            synth_qubit_limit: 2,
+            // Two-qubit regrouped blocks: wide blocks occupy all their
+            // qubit lines for the whole pulse, losing cross-block
+            // parallelism under the (sub)linear duration model, so 2
+            // qubits with a moderate gate budget is the sweet spot.
+            regroup: Some(RegroupConfig {
+                max_qubits: 2,
+                max_gates: 8,
+            }),
+            backend: Backend::Modeled,
+            key_policy: KeyPolicy::PhaseAware,
+            duration_model: DurationModel::default(),
+            verify: true,
+        }
+    }
+}
+
+impl EpocConfig {
+    /// A fast configuration for tests and interactive use: modeled
+    /// backend, small search budgets.
+    pub fn fast() -> Self {
+        Self {
+            synth: SynthConfig {
+                max_nodes: 40,
+                max_cnots: 6,
+                ..SynthConfig::default()
+            },
+            ..Self::default()
+        }
+    }
+
+    /// The paper-faithful configuration with real GRAPE on narrow blocks.
+    pub fn with_grape(grape_limit: usize) -> Self {
+        Self {
+            backend: Backend::Hybrid { grape_limit },
+            ..Self::default()
+        }
+    }
+
+    /// Disables regrouping (the "without grouping" arm of Figures 8–10).
+    pub fn without_regrouping(mut self) -> Self {
+        self.regroup = None;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_has_regrouping_and_zx() {
+        let c = EpocConfig::default();
+        assert!(c.zx);
+        assert!(c.regroup.is_some());
+        assert_eq!(c.key_policy, KeyPolicy::PhaseAware);
+    }
+
+    #[test]
+    fn without_regrouping_clears_it() {
+        let c = EpocConfig::default().without_regrouping();
+        assert!(c.regroup.is_none());
+    }
+
+    #[test]
+    fn with_grape_selects_hybrid() {
+        match EpocConfig::with_grape(2).backend {
+            Backend::Hybrid { grape_limit } => assert_eq!(grape_limit, 2),
+            b => panic!("unexpected backend {b:?}"),
+        }
+    }
+}

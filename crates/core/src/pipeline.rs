@@ -1,0 +1,372 @@
+//! The EPOC compilation pipeline (Figure 3, right column).
+//!
+//! ```text
+//! circuit ──ZX──▶ optimized ──partition──▶ blocks ──synthesize──▶ VUG
+//! stream ──regroup──▶ QOC-sized blocks ──pulse backend──▶ schedule
+//! ```
+//!
+//! Synthesis fans blocks out over a fixed worker pool (the paper's "local
+//! entanglement and unitary calculations … executed in parallel").
+
+use crate::config::{Backend, EpocConfig};
+use crate::report::{CompilationReport, StageStats};
+use epoc_circuit::{circuits_equivalent, Circuit, Gate};
+use epoc_linalg::Matrix;
+use epoc_partition::{greedy_partition, regroup, Partition, PartitionConfig};
+use epoc_pulse::{PulseSchedule, ScheduledPulse};
+use epoc_qoc::{
+    HybridSynthesizer, ModeledSynthesizer, PulseRequest, PulseSynthesizer,
+};
+use epoc_synth::{lower_to_vug_form, synthesize_or_fallback};
+use epoc_zx::zx_optimize;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Register width above which semantic verification is skipped.
+const VERIFY_LIMIT: usize = 10;
+/// Block width above which the dense unitary is not materialized.
+const DENSE_LIMIT: usize = 8;
+
+pub(crate) enum BackendImpl {
+    Hybrid(HybridSynthesizer),
+    Modeled(ModeledSynthesizer),
+}
+
+impl BackendImpl {
+    pub(crate) fn new(config: &EpocConfig) -> Self {
+        match config.backend {
+            Backend::Hybrid { grape_limit } => BackendImpl::Hybrid(HybridSynthesizer::new(
+                config.key_policy,
+                grape_limit,
+                config.duration_model,
+            )),
+            Backend::Modeled => BackendImpl::Modeled(ModeledSynthesizer::new(
+                config.duration_model,
+                config.key_policy,
+            )),
+        }
+    }
+
+    pub(crate) fn pulse(&self, req: &PulseRequest<'_>) -> epoc_qoc::PulseEntry {
+        match self {
+            BackendImpl::Hybrid(h) => h.pulse(req),
+            BackendImpl::Modeled(m) => m.pulse(req),
+        }
+    }
+
+    pub(crate) fn cache_counts(&self) -> (usize, usize) {
+        match self {
+            BackendImpl::Hybrid(h) => (h.cache_hits(), h.cache_misses()),
+            BackendImpl::Modeled(m) => (m.library().hits(), m.library().misses()),
+        }
+    }
+}
+
+/// Generates the ASAP pulse schedule for a partition, one pulse per block.
+pub(crate) fn schedule_partition(
+    partition: &Partition,
+    backend: &BackendImpl,
+) -> PulseSchedule {
+    let mut schedule = PulseSchedule::new(partition.n_qubits());
+    let mut line_free = vec![0.0f64; partition.n_qubits()];
+    for (i, block) in partition.blocks().iter().enumerate() {
+        if block.is_empty() {
+            continue;
+        }
+        let unitary: Option<Matrix> = (block.n_qubits() <= DENSE_LIMIT).then(|| block.unitary());
+        let entry = backend.pulse(&PulseRequest {
+            n_qubits: block.n_qubits(),
+            unitary: unitary.as_ref(),
+            local_circuit: Some(block.circuit()),
+        });
+        if entry.duration <= 0.0 {
+            continue; // purely virtual block: no physical pulse
+        }
+        let start = block
+            .qubits()
+            .iter()
+            .map(|&q| line_free[q])
+            .fold(0.0f64, f64::max);
+        for &q in block.qubits() {
+            line_free[q] = start + entry.duration;
+        }
+        schedule.push(ScheduledPulse {
+            qubits: block.qubits().to_vec(),
+            start,
+            duration: entry.duration,
+            fidelity: entry.fidelity,
+            label: format!("blk{i}"),
+        });
+    }
+    schedule
+}
+
+/// The EPOC compiler: holds the configuration and the (cache-bearing)
+/// pulse backend, which persists across [`EpocCompiler::compile`] calls —
+/// the paper's pulse library grows over a workload.
+pub struct EpocCompiler {
+    config: EpocConfig,
+    backend: BackendImpl,
+    /// Synthesis memo: identical block unitaries (up to global phase)
+    /// reuse the previously synthesized local circuit.
+    synth_cache: Mutex<HashMap<epoc_linalg::UnitaryKey, (Circuit, bool)>>,
+}
+
+impl EpocCompiler {
+    /// Creates a compiler from a configuration.
+    pub fn new(config: EpocConfig) -> Self {
+        let backend = BackendImpl::new(&config);
+        Self {
+            config,
+            backend,
+            synth_cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &EpocConfig {
+        &self.config
+    }
+
+    /// Compiles a circuit to a pulse schedule, returning the full report.
+    pub fn compile(&self, circuit: &Circuit) -> CompilationReport {
+        let t0 = Instant::now();
+        let mut stages = StageStats::default();
+        let (hits0, misses0) = self.backend.cache_counts();
+
+        // Transpile to the hardware basis first — every flow prices the
+        // same physical gate stream (see `epoc_circuit::lower_to_basis`).
+        let basis = epoc_circuit::lower_to_basis(circuit);
+
+        // §3.1 — graph-based depth optimization.
+        stages.zx_depth_before = basis.depth();
+        let optimized = if self.config.zx && basis.len() <= self.config.zx_gate_limit {
+            let r = zx_optimize(&basis);
+            stages.zx_depth_after = r.depth_after;
+            r.circuit
+        } else {
+            stages.zx_depth_after = stages.zx_depth_before;
+            basis.clone()
+        };
+        stages.gates_after_zx = optimized.len();
+
+        // §3.2 — greedy partitioning for synthesis.
+        let partition = greedy_partition(&optimized, self.config.partition);
+        stages.synth_blocks = partition.len();
+
+        // §3.3 — VUG-based synthesis across the worker pool.
+        let synth_cfg = &self.config.synth;
+        let limit = self.config.synth_qubit_limit;
+        let blocks = partition.blocks();
+        let gate_table = self.config.duration_model.gate_table;
+        let cache = &self.synth_cache;
+        let synthesize_block = |block: &epoc_partition::Block| -> (Circuit, bool) {
+            if block.n_qubits() > limit {
+                return (lower_to_vug_form(block.circuit()), false);
+            }
+            let unitary = block.unitary();
+            let key = epoc_linalg::UnitaryKey::new(&unitary);
+            // Bind the lookup before the branch: an inline `cache.lock()`
+            // in the `if let` scrutinee would hold the guard through the
+            // `else` and self-deadlock.
+            let cached = cache.lock().get(&key).cloned();
+            if let Some(hit) = cached {
+                return hit;
+            }
+            let r = synthesize_or_fallback(&unitary, block.circuit(), synth_cfg);
+            // Synthesis is only worth keeping when its VUG/CNOT structure
+            // is actually cheaper in pulse time than the block's own gates
+            // (QSearch minimizes CNOTs, not the physical single-qubit
+            // pulses it sprinkles around).
+            let original = lower_to_vug_form(block.circuit());
+            let entry = if r.converged
+                && gate_table.critical_path(&r.circuit) <= gate_table.critical_path(&original)
+            {
+                (r.circuit, true)
+            } else {
+                (original, false)
+            };
+            cache.lock().insert(key, entry.clone());
+            entry
+        };
+        // A fixed worker pool over an atomic index -- not a thread per
+        // block, which would spawn thousands of OS threads on large
+        // circuits.
+        let n_workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(blocks.len().max(1));
+        let results: Vec<Mutex<Option<(Circuit, bool)>>> =
+            (0..blocks.len()).map(|_| Mutex::new(None)).collect();
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..n_workers {
+                let next = &next;
+                let results = &results;
+                let synthesize_block = &synthesize_block;
+                scope.spawn(move |_| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= blocks.len() {
+                        break;
+                    }
+                    *results[i].lock() = Some(synthesize_block(&blocks[i]));
+                });
+            }
+        })
+        .expect("synthesis worker panicked");
+        let results: Vec<Option<(Circuit, bool)>> =
+            results.into_iter().map(|m| m.into_inner()).collect();
+        let mut vug_stream = Circuit::new(optimized.n_qubits());
+        for (block, result) in blocks.iter().zip(results) {
+            let (local, converged) = result.expect("every block synthesized");
+            if converged {
+                stages.synth_converged += 1;
+            }
+            vug_stream.extend_mapped(&local, block.qubits());
+        }
+        stages.vug_stream_gates = vug_stream.len();
+
+        // §3.3 — regrouping (or per-gate pulses when disabled).
+        let final_partition = match self.config.regroup {
+            Some(cfg) => regroup(&vug_stream, cfg),
+            None => greedy_partition(
+                &vug_stream,
+                PartitionConfig {
+                    max_qubits: 2,
+                    max_gates: 1,
+                },
+            ),
+        };
+
+        // §3.4 — pulse generation through the backend + cache.
+        let schedule = schedule_partition(&final_partition, &self.backend);
+        stages.pulses = schedule.len();
+        let (hits1, misses1) = self.backend.cache_counts();
+        stages.cache_hits = hits1.saturating_sub(hits0);
+        stages.cache_misses = misses1.saturating_sub(misses0);
+
+        // Verification: the synthesized stream must implement the input.
+        let (verified, verify_skipped) = if !self.config.verify {
+            (false, true)
+        } else if circuit.n_qubits() <= VERIFY_LIMIT {
+            (circuits_equivalent(circuit, &vug_stream, 1e-3), false)
+        } else {
+            (false, true)
+        };
+
+        CompilationReport {
+            flow: "epoc".into(),
+            n_qubits: circuit.n_qubits(),
+            gates_in: circuit.len(),
+            schedule,
+            compile_time: t0.elapsed(),
+            stages,
+            verified,
+            verify_skipped,
+        }
+    }
+
+    /// Combined pulse-cache hit count since construction.
+    pub fn cache_hits(&self) -> usize {
+        self.backend.cache_counts().0
+    }
+
+    /// Combined pulse-cache miss count since construction.
+    pub fn cache_misses(&self) -> usize {
+        self.backend.cache_counts().1
+    }
+}
+
+/// Convenience: compile with the default (modeled-backend) configuration.
+pub fn compile_default(circuit: &Circuit) -> CompilationReport {
+    EpocCompiler::new(EpocConfig::default()).compile(circuit)
+}
+
+/// Returns `true` when a circuit contains only gates the pipeline accepts
+/// (anything except opaque blocks, which must come out of synthesis, not
+/// go into it).
+pub fn is_compilable(circuit: &Circuit) -> bool {
+    circuit
+        .ops()
+        .iter()
+        .all(|op| !matches!(op.gate, Gate::Unitary { .. }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epoc_circuit::generators;
+
+    #[test]
+    fn compile_ghz_verified() {
+        let r = compile_default(&generators::ghz(3));
+        assert!(r.verified, "pipeline output not equivalent");
+        assert!(r.latency() > 0.0);
+        assert!(r.esp() > 0.9);
+        assert!(r.schedule.is_valid());
+    }
+
+    #[test]
+    fn compile_bell_prep() {
+        let r = compile_default(&generators::bell_pair_prep());
+        assert!(r.verified);
+        assert!(r.stages.zx_depth_after <= r.stages.zx_depth_before);
+    }
+
+    #[test]
+    fn compile_random_circuits_verified() {
+        let compiler = EpocCompiler::new(EpocConfig::fast());
+        for seed in 0..4u64 {
+            let c = generators::random_circuit(3, 12, seed);
+            let r = compiler.compile(&c);
+            assert!(r.verified, "seed {seed} failed verification");
+            assert!(r.schedule.is_valid());
+        }
+    }
+
+    #[test]
+    fn regrouping_reduces_latency() {
+        let c = generators::qaoa(4, 2, 5);
+        let grouped = EpocCompiler::new(EpocConfig::fast()).compile(&c);
+        let ungrouped =
+            EpocCompiler::new(EpocConfig::fast().without_regrouping()).compile(&c);
+        assert!(grouped.verified && ungrouped.verified);
+        assert!(
+            grouped.latency() <= ungrouped.latency(),
+            "grouping did not help: {} vs {}",
+            grouped.latency(),
+            ungrouped.latency()
+        );
+        // Grouping also raises ESP (fewer pulses).
+        assert!(grouped.esp() >= ungrouped.esp());
+    }
+
+    #[test]
+    fn cache_reuse_across_compiles() {
+        let compiler = EpocCompiler::new(EpocConfig::fast());
+        let c = generators::ghz(3);
+        let r1 = compiler.compile(&c);
+        let r2 = compiler.compile(&c);
+        assert!(r2.stages.cache_hits >= r1.stages.cache_hits);
+        assert!(r2.stages.cache_misses == 0, "second compile should fully hit");
+    }
+
+    #[test]
+    fn is_compilable_rejects_opaque() {
+        let mut c = Circuit::new(1);
+        assert!(is_compilable(&c));
+        c.push(Gate::unitary("v", Gate::H.unitary_matrix()), &[0]);
+        assert!(!is_compilable(&c));
+    }
+
+    #[test]
+    fn stage_stats_populated() {
+        let r = compile_default(&generators::ghz(4));
+        assert!(r.stages.synth_blocks > 0);
+        assert!(r.stages.vug_stream_gates > 0);
+        assert!(r.stages.pulses > 0);
+        assert_eq!(r.gates_in, 4);
+        assert_eq!(r.n_qubits, 4);
+    }
+}

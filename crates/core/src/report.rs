@@ -1,0 +1,107 @@
+//! Compilation reports: everything the evaluation section measures.
+
+use epoc_pulse::PulseSchedule;
+use serde::Serialize;
+use std::time::Duration;
+
+/// Per-stage statistics of one EPOC compilation.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct StageStats {
+    /// Circuit depth before / after the ZX pass.
+    pub zx_depth_before: usize,
+    /// Depth after ZX (equals before when the pass is disabled/fell back).
+    pub zx_depth_after: usize,
+    /// Gate count entering partitioning.
+    pub gates_after_zx: usize,
+    /// Synthesis blocks processed.
+    pub synth_blocks: usize,
+    /// Blocks where QSearch converged (vs structural fallback).
+    pub synth_converged: usize,
+    /// Gates in the synthesized VUG/CNOT stream.
+    pub vug_stream_gates: usize,
+    /// Pulses in the final schedule.
+    pub pulses: usize,
+    /// Pulse-cache hits during pulse generation.
+    pub cache_hits: usize,
+    /// Pulse-cache misses.
+    pub cache_misses: usize,
+}
+
+/// The result of compiling one circuit down to pulses.
+#[derive(Debug, Clone, Serialize)]
+pub struct CompilationReport {
+    /// Which flow produced it (`"epoc"`, `"gate-based"`, `"paqoc"`, …).
+    pub flow: String,
+    /// Register size.
+    pub n_qubits: usize,
+    /// Input gate count.
+    pub gates_in: usize,
+    /// The pulse schedule.
+    pub schedule: PulseSchedule,
+    /// Wall-clock compilation time.
+    pub compile_time: Duration,
+    /// Stage statistics.
+    pub stages: StageStats,
+    /// `true` when semantic verification ran and passed (or was skipped
+    /// because the register is too large — see `verified_skipped`).
+    pub verified: bool,
+    /// `true` when verification was skipped (register too wide).
+    pub verify_skipped: bool,
+}
+
+impl CompilationReport {
+    /// Total pulse latency (ns).
+    pub fn latency(&self) -> f64 {
+        self.schedule.latency()
+    }
+
+    /// Estimated success probability (the paper's Eq. 3).
+    pub fn esp(&self) -> f64 {
+        self.schedule.esp()
+    }
+
+    /// The report as pretty-printed JSON (schedule included), for tooling.
+    ///
+    /// # Panics
+    ///
+    /// Never panics in practice: all fields are plain data.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<12} latency {:>9.1} ns  esp {:.4}  pulses {:>4}  compile {:>8.2?}",
+            self.flow,
+            self.latency(),
+            self.esp(),
+            self.schedule.len(),
+            self.compile_time,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_contains_key_fields() {
+        let r = CompilationReport {
+            flow: "epoc".into(),
+            n_qubits: 2,
+            gates_in: 5,
+            schedule: PulseSchedule::new(2),
+            compile_time: Duration::from_millis(12),
+            stages: StageStats::default(),
+            verified: true,
+            verify_skipped: false,
+        };
+        let s = r.summary();
+        assert!(s.contains("epoc"));
+        assert!(s.contains("latency"));
+        assert_eq!(r.latency(), 0.0);
+        assert_eq!(r.esp(), 1.0);
+    }
+}

@@ -1,0 +1,307 @@
+//! Hermitian eigendecomposition via the cyclic complex Jacobi method.
+//!
+//! GRAPE needs `exp(-i·dt·H)` for Hermitian `H` at every time slot, and exact
+//! gradients are cheapest in `H`'s eigenbasis. The cyclic Jacobi method is a
+//! simple, numerically robust way to diagonalize a complex Hermitian matrix:
+//! repeatedly zero out the largest off-diagonal entries with 2×2 complex
+//! rotations until the matrix is diagonal to machine precision.
+
+use crate::complex::{c64, Complex64};
+use crate::matrix::Matrix;
+
+/// Eigendecomposition `H = V · diag(λ) · V†` of a Hermitian matrix.
+///
+/// Eigenvalues are real and sorted ascending; `vectors` holds the
+/// corresponding eigenvectors as columns.
+#[derive(Debug, Clone)]
+pub struct HermitianEig {
+    /// Real eigenvalues, ascending.
+    pub values: Vec<f64>,
+    /// Unitary matrix of eigenvectors (column `k` pairs with `values[k]`).
+    pub vectors: Matrix,
+}
+
+impl HermitianEig {
+    /// Reconstructs the original matrix `V · diag(λ) · V†`.
+    pub fn reconstruct(&self) -> Matrix {
+        let d = Matrix::from_diag(
+            &self
+                .values
+                .iter()
+                .map(|&l| c64(l, 0.0))
+                .collect::<Vec<_>>(),
+        );
+        self.vectors.matmul(&d).matmul(&self.vectors.dagger())
+    }
+
+    /// Applies a scalar function to the eigenvalues: `f(H) = V·diag(f(λ))·V†`.
+    pub fn map(&self, f: impl Fn(f64) -> Complex64) -> Matrix {
+        let d = Matrix::from_diag(&self.values.iter().map(|&l| f(l)).collect::<Vec<_>>());
+        self.vectors.matmul(&d).matmul(&self.vectors.dagger())
+    }
+}
+
+/// Error produced when [`eigh`] is given an unsuitable matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EigError {
+    /// The input was not square.
+    NotSquare,
+    /// The input was not Hermitian within the built-in tolerance.
+    NotHermitian,
+    /// Jacobi sweeps failed to converge (pathological input).
+    NoConvergence,
+}
+
+impl std::fmt::Display for EigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EigError::NotSquare => write!(f, "matrix is not square"),
+            EigError::NotHermitian => write!(f, "matrix is not hermitian"),
+            EigError::NoConvergence => write!(f, "jacobi iteration did not converge"),
+        }
+    }
+}
+
+impl std::error::Error for EigError {}
+
+const HERMITIAN_TOL: f64 = 1e-9;
+const CONVERGE_TOL: f64 = 1e-13;
+const MAX_SWEEPS: usize = 100;
+
+/// Computes the eigendecomposition of a complex Hermitian matrix.
+///
+/// # Errors
+///
+/// Returns [`EigError::NotSquare`] / [`EigError::NotHermitian`] for invalid
+/// input and [`EigError::NoConvergence`] if the Jacobi sweeps fail (which
+/// does not happen for finite Hermitian input).
+///
+/// # Examples
+///
+/// ```
+/// use epoc_linalg::{eigh, Matrix, c64};
+///
+/// let h = Matrix::from_rows(&[
+///     &[c64(1.0, 0.0), c64(0.0, -1.0)],
+///     &[c64(0.0, 1.0), c64(1.0, 0.0)],
+/// ]);
+/// let e = eigh(&h)?;
+/// assert!((e.values[0] - 0.0).abs() < 1e-10);
+/// assert!((e.values[1] - 2.0).abs() < 1e-10);
+/// # Ok::<(), epoc_linalg::EigError>(())
+/// ```
+pub fn eigh(h: &Matrix) -> Result<HermitianEig, EigError> {
+    if !h.is_square() {
+        return Err(EigError::NotSquare);
+    }
+    let scale = h.max_norm().max(1.0);
+    if !h.is_hermitian(HERMITIAN_TOL * scale) {
+        return Err(EigError::NotHermitian);
+    }
+    let n = h.rows();
+    let mut a = h.clone();
+    // Force exact Hermitian symmetry so rounding never accumulates skew.
+    for i in 0..n {
+        for j in 0..i {
+            let avg = (a[(i, j)] + a[(j, i)].conj()).scale(0.5);
+            a[(i, j)] = avg;
+            a[(j, i)] = avg.conj();
+        }
+        a[(i, i)] = c64(a[(i, i)].re, 0.0);
+    }
+    let mut v = Matrix::identity(n);
+
+    for _sweep in 0..MAX_SWEEPS {
+        let off: f64 = off_diag_norm(&a);
+        if off <= CONVERGE_TOL * scale {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = a[(p, q)];
+                if apq.abs() <= CONVERGE_TOL * scale * 1e-3 {
+                    continue;
+                }
+                jacobi_rotate(&mut a, &mut v, p, q);
+            }
+        }
+    }
+    if off_diag_norm(&a) > 1e-8 * scale.max(1.0) {
+        return Err(EigError::NoConvergence);
+    }
+
+    let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (a[(i, i)].re, i)).collect();
+    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite eigenvalues"));
+    let values: Vec<f64> = pairs.iter().map(|&(l, _)| l).collect();
+    let vectors = Matrix::from_fn(n, n, |i, k| v[(i, pairs[k].1)]);
+    Ok(HermitianEig { values, vectors })
+}
+
+fn off_diag_norm(a: &Matrix) -> f64 {
+    let n = a.rows();
+    let mut s = 0.0;
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                s += a[(i, j)].norm_sqr();
+            }
+        }
+    }
+    s.sqrt()
+}
+
+/// One complex Jacobi rotation zeroing `a[(p, q)]`, accumulating into `v`.
+fn jacobi_rotate(a: &mut Matrix, v: &mut Matrix, p: usize, q: usize) {
+    let n = a.rows();
+    let app = a[(p, p)].re;
+    let aqq = a[(q, q)].re;
+    let apq = a[(p, q)];
+    let abs_apq = apq.abs();
+    if abs_apq == 0.0 {
+        return;
+    }
+    // Phase that makes the off-diagonal real: apq = |apq|·e^{iφ}.
+    let phase = apq / c64(abs_apq, 0.0);
+    // Real Jacobi angle for the symmetrized 2×2 block.
+    let tau = (aqq - app) / (2.0 * abs_apq);
+    let t = if tau >= 0.0 {
+        1.0 / (tau + (1.0 + tau * tau).sqrt())
+    } else {
+        -1.0 / (-tau + (1.0 + tau * tau).sqrt())
+    };
+    let c = 1.0 / (1.0 + t * t).sqrt();
+    let s = t * c;
+    // Complex rotation: column p gets c, column q gets s·phase factors.
+    let s_ph = phase.scale(s);
+    // Update A = G† A G where G affects columns/rows p and q.
+    for i in 0..n {
+        let aip = a[(i, p)];
+        let aiq = a[(i, q)];
+        a[(i, p)] = aip.scale(c) - aiq * s_ph.conj();
+        a[(i, q)] = aip * s_ph + aiq.scale(c);
+    }
+    for j in 0..n {
+        let apj = a[(p, j)];
+        let aqj = a[(q, j)];
+        a[(p, j)] = apj.scale(c) - aqj * s_ph;
+        a[(q, j)] = apj * s_ph.conj() + aqj.scale(c);
+    }
+    // Clean the rotated entries.
+    a[(p, q)] = Complex64::ZERO;
+    a[(q, p)] = Complex64::ZERO;
+    a[(p, p)] = c64(a[(p, p)].re, 0.0);
+    a[(q, q)] = c64(a[(q, q)].re, 0.0);
+    for i in 0..n {
+        let vip = v[(i, p)];
+        let viq = v[(i, q)];
+        v[(i, p)] = vip.scale(c) - viq * s_ph.conj();
+        v[(i, q)] = vip * s_ph + viq.scale(c);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_hermitian(n: usize, seed: u64) -> Matrix {
+        // Simple deterministic pseudo-random Hermitian matrix.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state as f64 / u64::MAX as f64) * 2.0 - 1.0
+        };
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = c64(next(), 0.0);
+            for j in (i + 1)..n {
+                let z = c64(next(), next());
+                m[(i, j)] = z;
+                m[(j, i)] = z.conj();
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn diagonal_matrix_is_its_own_decomposition() {
+        let h = Matrix::from_diag(&[c64(3.0, 0.0), c64(-1.0, 0.0), c64(0.5, 0.0)]);
+        let e = eigh(&h).unwrap();
+        assert!((e.values[0] + 1.0).abs() < 1e-12);
+        assert!((e.values[1] - 0.5).abs() < 1e-12);
+        assert!((e.values[2] - 3.0).abs() < 1e-12);
+        assert!(e.reconstruct().approx_eq(&h, 1e-10));
+    }
+
+    #[test]
+    fn pauli_y_eigenvalues() {
+        let y = Matrix::from_rows(&[
+            &[Complex64::ZERO, c64(0.0, -1.0)],
+            &[c64(0.0, 1.0), Complex64::ZERO],
+        ]);
+        let e = eigh(&y).unwrap();
+        assert!((e.values[0] + 1.0).abs() < 1e-10);
+        assert!((e.values[1] - 1.0).abs() < 1e-10);
+        assert!(e.vectors.is_unitary(1e-9));
+        assert!(e.reconstruct().approx_eq(&y, 1e-9));
+    }
+
+    #[test]
+    fn random_matrices_reconstruct() {
+        for n in [2, 3, 5, 8] {
+            for seed in 1..4u64 {
+                let h = random_hermitian(n, seed * 31 + n as u64);
+                let e = eigh(&h).unwrap_or_else(|err| panic!("eigh failed n={n}: {err}"));
+                assert!(e.vectors.is_unitary(1e-8), "V not unitary for n={n}");
+                assert!(
+                    e.reconstruct().approx_eq(&h, 1e-8),
+                    "reconstruction failed for n={n} seed={seed}"
+                );
+                // Sorted ascending.
+                for w in e.values.windows(2) {
+                    assert!(w[0] <= w[1] + 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn map_identity_function_reconstructs() {
+        let h = random_hermitian(4, 7);
+        let e = eigh(&h).unwrap();
+        let same = e.map(|l| c64(l, 0.0));
+        assert!(same.approx_eq(&h, 1e-8));
+    }
+
+    #[test]
+    fn map_exp_is_positive_definite() {
+        let h = random_hermitian(3, 11);
+        let e = eigh(&h).unwrap();
+        let exph = e.map(|l| c64(l.exp(), 0.0));
+        // exp(H) is Hermitian positive definite: check Hermitian + positive trace.
+        assert!(exph.is_hermitian(1e-8));
+        assert!(exph.trace().re > 0.0);
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let m = Matrix::zeros(2, 3);
+        assert_eq!(eigh(&m).unwrap_err(), EigError::NotSquare);
+    }
+
+    #[test]
+    fn rejects_non_hermitian() {
+        let mut m = Matrix::identity(2);
+        m[(0, 1)] = c64(5.0, 0.0);
+        assert_eq!(eigh(&m).unwrap_err(), EigError::NotHermitian);
+    }
+
+    #[test]
+    fn trace_equals_eigenvalue_sum() {
+        let h = random_hermitian(6, 5);
+        let e = eigh(&h).unwrap();
+        let sum: f64 = e.values.iter().sum();
+        assert!((sum - h.trace().re).abs() < 1e-8);
+    }
+}

@@ -1,0 +1,294 @@
+//! Matrix exponentials.
+//!
+//! Two paths are provided:
+//!
+//! * [`expm_hermitian_propagator`] — the GRAPE hot path: `exp(-i·t·H)` for
+//!   Hermitian `H`, computed exactly through the eigendecomposition
+//!   (`V·diag(e^{-i t λ})·V†`). This also hands back the eigensystem so
+//!   exact control gradients can reuse it.
+//! * [`expm`] — general matrices, scaling-and-squaring with a Padé(6,6)
+//!   approximant; used for verification and for non-Hermitian effective
+//!   generators.
+
+use crate::complex::Complex64;
+use crate::eig::{eigh, EigError, HermitianEig};
+use crate::matrix::Matrix;
+
+/// Computes `exp(-i·t·H)` for Hermitian `H` via eigendecomposition.
+///
+/// Returns the unitary propagator together with the eigensystem of `H`
+/// (which callers like GRAPE reuse for exact gradients).
+///
+/// # Errors
+///
+/// Propagates [`EigError`] when `H` is not square/Hermitian.
+///
+/// # Examples
+///
+/// ```
+/// use epoc_linalg::{expm_hermitian_propagator, Matrix, c64};
+/// use std::f64::consts::PI;
+///
+/// // exp(-i·π·Z/2) = diag(e^{-iπ/2}, e^{iπ/2}) = -i·Z
+/// let z = Matrix::from_diag(&[c64(1.0, 0.0), c64(-1.0, 0.0)]);
+/// let (u, _) = expm_hermitian_propagator(&z, PI / 2.0)?;
+/// assert!(u[(0, 0)].approx_eq(c64(0.0, -1.0), 1e-12));
+/// assert!(u[(1, 1)].approx_eq(c64(0.0, 1.0), 1e-12));
+/// # Ok::<(), epoc_linalg::EigError>(())
+/// ```
+pub fn expm_hermitian_propagator(h: &Matrix, t: f64) -> Result<(Matrix, HermitianEig), EigError> {
+    let e = eigh(h)?;
+    let u = e.map(|l| Complex64::cis(-l * t));
+    Ok((u, e))
+}
+
+/// Computes `exp(-i·t·H)` for Hermitian `H`, discarding the eigensystem.
+///
+/// # Errors
+///
+/// Propagates [`EigError`] when `H` is not square/Hermitian.
+pub fn expm_ih(h: &Matrix, t: f64) -> Result<Matrix, EigError> {
+    Ok(expm_hermitian_propagator(h, t)?.0)
+}
+
+/// General matrix exponential `exp(A)` via Padé(6,6) scaling and squaring.
+///
+/// Accurate to ~1e-12 for well-conditioned inputs of the sizes EPOC uses
+/// (≤ 256×256).
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+pub fn expm(a: &Matrix) -> Matrix {
+    assert!(a.is_square(), "expm requires a square matrix");
+    let n = a.rows();
+    let norm = a.one_norm();
+    // Scale so the scaled norm is below 0.5 for the Padé approximant.
+    let s = if norm > 0.5 {
+        (norm / 0.5).log2().ceil() as u32
+    } else {
+        0
+    };
+    let a_scaled = a.scale_re(1.0 / f64::powi(2.0, s as i32));
+
+    // Padé(6,6): N(A)/D(A) with N = Σ c_k A^k, D = Σ c_k (-A)^k.
+    const C: [f64; 7] = [
+        1.0,
+        0.5,
+        5.0 / 44.0,
+        1.0 / 66.0,
+        1.0 / 792.0,
+        1.0 / 15840.0,
+        1.0 / 665280.0,
+    ];
+    let mut num = Matrix::identity(n);
+    let mut den = Matrix::identity(n);
+    let mut pow = Matrix::identity(n);
+    for (k, &ck) in C.iter().enumerate().skip(1) {
+        pow = pow.matmul(&a_scaled);
+        let term = pow.scale_re(ck);
+        num += &term;
+        if k % 2 == 0 {
+            den += &term;
+        } else {
+            den += &term.scale_re(-1.0);
+        }
+    }
+    let mut r = solve(&den, &num);
+    for _ in 0..s {
+        r = r.matmul(&r);
+    }
+    r
+}
+
+/// Solves `A·X = B` by Gaussian elimination with partial pivoting.
+///
+/// # Panics
+///
+/// Panics if `a` is not square, shapes are incompatible, or `a` is singular
+/// to working precision.
+pub fn solve(a: &Matrix, b: &Matrix) -> Matrix {
+    assert!(a.is_square(), "solve requires square A");
+    assert_eq!(a.rows(), b.rows(), "shape mismatch in solve");
+    let n = a.rows();
+    let m = b.cols();
+    let mut lu = a.clone();
+    let mut x = b.clone();
+    for col in 0..n {
+        // Partial pivot.
+        let mut piv = col;
+        let mut best = lu[(col, col)].abs();
+        for r in (col + 1)..n {
+            let v = lu[(r, col)].abs();
+            if v > best {
+                best = v;
+                piv = r;
+            }
+        }
+        assert!(best > 1e-300, "singular matrix in solve");
+        if piv != col {
+            for j in 0..n {
+                let tmp = lu[(col, j)];
+                lu[(col, j)] = lu[(piv, j)];
+                lu[(piv, j)] = tmp;
+            }
+            for j in 0..m {
+                let tmp = x[(col, j)];
+                x[(col, j)] = x[(piv, j)];
+                x[(piv, j)] = tmp;
+            }
+        }
+        let inv = lu[(col, col)].inv();
+        for r in (col + 1)..n {
+            let f = lu[(r, col)] * inv;
+            if f == Complex64::ZERO {
+                continue;
+            }
+            for j in col..n {
+                let v = lu[(col, j)];
+                lu[(r, j)] = lu[(r, j)] - f * v;
+            }
+            for j in 0..m {
+                let v = x[(col, j)];
+                x[(r, j)] = x[(r, j)] - f * v;
+            }
+        }
+    }
+    // Back substitution.
+    for col in (0..n).rev() {
+        let inv = lu[(col, col)].inv();
+        for j in 0..m {
+            let mut acc = x[(col, j)];
+            for k in (col + 1)..n {
+                acc = acc - lu[(col, k)] * x[(k, j)];
+            }
+            x[(col, j)] = acc * inv;
+        }
+    }
+    x
+}
+
+/// Inverse of a square matrix via [`solve`] against the identity.
+///
+/// # Panics
+///
+/// Panics if the matrix is singular or not square.
+pub fn inverse(a: &Matrix) -> Matrix {
+    solve(a, &Matrix::identity(a.rows()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+    use std::f64::consts::PI;
+
+    fn pauli_x() -> Matrix {
+        Matrix::from_rows(&[
+            &[Complex64::ZERO, Complex64::ONE],
+            &[Complex64::ONE, Complex64::ZERO],
+        ])
+    }
+
+    #[test]
+    fn expm_of_zero_is_identity() {
+        let z = Matrix::zeros(3, 3);
+        assert!(expm(&z).approx_eq(&Matrix::identity(3), 1e-14));
+    }
+
+    #[test]
+    fn expm_diagonal() {
+        let d = Matrix::from_diag(&[c64(1.0, 0.0), c64(0.0, PI)]);
+        let e = expm(&d);
+        assert!(e[(0, 0)].approx_eq(c64(1f64.exp(), 0.0), 1e-12));
+        assert!(e[(1, 1)].approx_eq(c64(-1.0, 0.0), 1e-12));
+    }
+
+    #[test]
+    fn expm_rotation_about_x() {
+        // exp(-i θ/2 X) = cos(θ/2) I - i sin(θ/2) X
+        let theta: f64 = 0.7;
+        let gen = pauli_x().scale(c64(0.0, -theta / 2.0));
+        let u = expm(&gen);
+        let expect = Matrix::from_rows(&[
+            &[c64((theta / 2.0).cos(), 0.0), c64(0.0, -(theta / 2.0).sin())],
+            &[c64(0.0, -(theta / 2.0).sin()), c64((theta / 2.0).cos(), 0.0)],
+        ]);
+        assert!(u.approx_eq(&expect, 1e-12));
+    }
+
+    #[test]
+    fn hermitian_propagator_matches_pade() {
+        let h = Matrix::from_rows(&[
+            &[c64(0.3, 0.0), c64(0.1, -0.2)],
+            &[c64(0.1, 0.2), c64(-0.5, 0.0)],
+        ]);
+        let t = 1.7;
+        let (u, _) = expm_hermitian_propagator(&h, t).unwrap();
+        let pade = expm(&h.scale(c64(0.0, -t)));
+        assert!(u.approx_eq(&pade, 1e-10));
+        assert!(u.is_unitary(1e-10));
+    }
+
+    #[test]
+    fn propagator_composition() {
+        // exp(-i(t1+t2)H) = exp(-i t2 H) exp(-i t1 H)
+        let h = pauli_x();
+        let u1 = expm_ih(&h, 0.4).unwrap();
+        let u2 = expm_ih(&h, 0.9).unwrap();
+        let u12 = expm_ih(&h, 1.3).unwrap();
+        assert!(u2.matmul(&u1).approx_eq(&u12, 1e-10));
+    }
+
+    #[test]
+    fn expm_inverse_property() {
+        let a = Matrix::from_rows(&[
+            &[c64(0.1, 0.3), c64(-0.2, 0.0)],
+            &[c64(0.0, 0.5), c64(0.2, -0.1)],
+        ]);
+        let e = expm(&a);
+        let einv = expm(&a.scale_re(-1.0));
+        assert!(e.matmul(&einv).approx_eq(&Matrix::identity(2), 1e-11));
+    }
+
+    #[test]
+    fn expm_large_norm_scaling_path() {
+        // Norm >> 0.5 exercises the squaring steps.
+        let h = pauli_x().scale_re(20.0);
+        let u = expm(&h.scale(c64(0.0, -1.0)));
+        assert!(u.is_unitary(1e-8));
+        let exact = expm_ih(&pauli_x(), 20.0).unwrap();
+        assert!(u.approx_eq(&exact, 1e-7));
+    }
+
+    #[test]
+    fn solve_simple_system() {
+        let a = Matrix::from_rows(&[
+            &[c64(2.0, 0.0), c64(1.0, 0.0)],
+            &[c64(1.0, 0.0), c64(3.0, 0.0)],
+        ]);
+        let b = Matrix::from_vec(2, 1, vec![c64(5.0, 0.0), c64(10.0, 0.0)]);
+        let x = solve(&a, &b);
+        assert!(x[(0, 0)].approx_eq(c64(1.0, 0.0), 1e-12));
+        assert!(x[(1, 0)].approx_eq(c64(3.0, 0.0), 1e-12));
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let a = Matrix::from_rows(&[
+            &[c64(1.0, 1.0), c64(2.0, 0.0)],
+            &[c64(0.0, -1.0), c64(1.0, 0.5)],
+        ]);
+        let inv = inverse(&a);
+        assert!(a.matmul(&inv).approx_eq(&Matrix::identity(2), 1e-12));
+        assert!(inv.matmul(&a).approx_eq(&Matrix::identity(2), 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn solve_rejects_singular() {
+        let a = Matrix::zeros(2, 2);
+        let b = Matrix::identity(2);
+        solve(&a, &b);
+    }
+}

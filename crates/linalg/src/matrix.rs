@@ -1,0 +1,685 @@
+//! Dense complex matrices.
+//!
+//! [`Matrix`] is a row-major dense matrix of [`Complex64`] sized for the
+//! unitaries a pulse compiler manipulates (2×2 up to a few hundred square —
+//! circuit blocks of up to ~8 qubits). All the linear algebra EPOC needs is
+//! provided here: products, Kronecker products, adjoints, traces and norms.
+
+use crate::complex::{c64, Complex64};
+use std::fmt;
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub};
+
+/// A dense, row-major complex matrix.
+///
+/// # Examples
+///
+/// ```
+/// use epoc_linalg::{Matrix, c64};
+///
+/// let x = Matrix::from_rows(&[
+///     &[c64(0.0, 0.0), c64(1.0, 0.0)],
+///     &[c64(1.0, 0.0), c64(0.0, 0.0)],
+/// ]);
+/// assert!(x.is_unitary(1e-12));
+/// assert_eq!(&x * &x, Matrix::identity(2));
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Complex64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![Complex64::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = Complex64::ONE;
+        }
+        m
+    }
+
+    /// Creates a matrix from a slice of row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have differing lengths or `rows` is empty.
+    pub fn from_rows(rows: &[&[Complex64]]) -> Self {
+        assert!(!rows.is_empty(), "matrix needs at least one row");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "all rows must have equal length");
+            data.extend_from_slice(r);
+        }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Creates a matrix from a flat row-major vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<Complex64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Creates a matrix whose entries are produced by `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> Complex64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Creates a diagonal matrix from the given diagonal entries.
+    pub fn from_diag(diag: &[Complex64]) -> Self {
+        let n = diag.len();
+        let mut m = Self::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m[(i, i)] = d;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `true` for a square matrix.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Flat row-major view of the entries.
+    #[inline]
+    pub fn as_slice(&self) -> &[Complex64] {
+        &self.data
+    }
+
+    /// Mutable flat row-major view of the entries.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [Complex64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning the flat row-major entries.
+    #[inline]
+    pub fn into_vec(self) -> Vec<Complex64> {
+        self.data
+    }
+
+    /// Borrowed entry access without panicking.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> Option<&Complex64> {
+        if row < self.rows && col < self.cols {
+            Some(&self.data[row * self.cols + col])
+        } else {
+            None
+        }
+    }
+
+    /// Returns a row as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    #[inline]
+    pub fn row(&self, row: usize) -> &[Complex64] {
+        assert!(row < self.rows, "row index out of bounds");
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Conjugate transpose (dagger, †).
+    pub fn dagger(&self) -> Self {
+        Self::from_fn(self.cols, self.rows, |i, j| self[(j, i)].conj())
+    }
+
+    /// Plain transpose (no conjugation).
+    pub fn transpose(&self) -> Self {
+        Self::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Element-wise complex conjugate.
+    pub fn conj(&self) -> Self {
+        let data = self.data.iter().map(|z| z.conj()).collect();
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Multiplies every entry by a complex scalar.
+    pub fn scale(&self, k: Complex64) -> Self {
+        let data = self.data.iter().map(|&z| z * k).collect();
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Multiplies every entry by a real scalar.
+    pub fn scale_re(&self, k: f64) -> Self {
+        self.scale(c64(k, 0.0))
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn matmul(&self, rhs: &Self) -> Self {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "dimension mismatch: ({}, {}) x ({}, {})",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Self::zeros(self.rows, rhs.cols);
+        // ikj loop order keeps the inner accesses contiguous in both
+        // `rhs` and `out` for the row-major layout.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == Complex64::ZERO {
+                    continue;
+                }
+                let rrow = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &r) in orow.iter_mut().zip(rrow) {
+                    *o += a * r;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product `self · v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != v.len()`.
+    pub fn matvec(&self, v: &[Complex64]) -> Vec<Complex64> {
+        assert_eq!(self.cols, v.len(), "matvec dimension mismatch");
+        let mut out = vec![Complex64::ZERO; self.rows];
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let mut acc = Complex64::ZERO;
+            for (&m, &x) in row.iter().zip(v) {
+                acc += m * x;
+            }
+            out[i] = acc;
+        }
+        out
+    }
+
+    /// Kronecker (tensor) product `self ⊗ rhs`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use epoc_linalg::Matrix;
+    /// let i2 = Matrix::identity(2);
+    /// assert_eq!(i2.kron(&i2), Matrix::identity(4));
+    /// ```
+    pub fn kron(&self, rhs: &Self) -> Self {
+        let mut out = Self::zeros(self.rows * rhs.rows, self.cols * rhs.cols);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let a = self[(i, j)];
+                if a == Complex64::ZERO {
+                    continue;
+                }
+                for p in 0..rhs.rows {
+                    for q in 0..rhs.cols {
+                        out[(i * rhs.rows + p, j * rhs.cols + q)] = a * rhs[(p, q)];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Trace `Σᵢ Mᵢᵢ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-square matrix.
+    pub fn trace(&self) -> Complex64 {
+        assert!(self.is_square(), "trace of non-square matrix");
+        (0..self.rows).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Hilbert–Schmidt inner product `Tr(self† · rhs)`, computed without
+    /// materializing the product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn hs_inner(&self, rhs: &Self) -> Complex64 {
+        assert_eq!(self.rows, rhs.rows, "shape mismatch");
+        assert_eq!(self.cols, rhs.cols, "shape mismatch");
+        self.data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a.conj() * *b)
+            .sum()
+    }
+
+    /// Frobenius norm `√Σ|Mᵢⱼ|²`.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// Largest entry modulus (max norm).
+    pub fn max_norm(&self) -> f64 {
+        self.data.iter().map(|z| z.abs()).fold(0.0, f64::max)
+    }
+
+    /// Induced 1-norm (maximum absolute column sum).
+    pub fn one_norm(&self) -> f64 {
+        (0..self.cols)
+            .map(|j| (0..self.rows).map(|i| self[(i, j)].abs()).sum::<f64>())
+            .fold(0.0, f64::max)
+    }
+
+    /// `true` when every entry of `self - rhs` has modulus ≤ `tol`.
+    pub fn approx_eq(&self, rhs: &Self, tol: f64) -> bool {
+        self.rows == rhs.rows
+            && self.cols == rhs.cols
+            && self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .all(|(a, b)| (*a - *b).abs() <= tol)
+    }
+
+    /// `true` when `self† · self ≈ I` within `tol` (entrywise).
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        self.dagger()
+            .matmul(self)
+            .approx_eq(&Self::identity(self.rows), tol)
+    }
+
+    /// `true` when `self ≈ self†` within `tol` (entrywise).
+    pub fn is_hermitian(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in 0..=i {
+                if !(self[(i, j)] - self[(j, i)].conj()).abs().le(&tol) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// `true` when all entries are finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|z| z.is_finite())
+    }
+
+    /// Embeds a `2^k`-dim operator acting on the listed qubit positions into
+    /// an `n`-qubit operator (big-endian qubit order: qubit 0 is the most
+    /// significant bit of the index).
+    ///
+    /// This is the workhorse for turning per-gate matrices into full-block
+    /// unitaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not `2^k × 2^k` for `k = qubits.len()`, if any
+    /// qubit index is `>= n`, or if the qubit list contains duplicates.
+    pub fn embed(&self, qubits: &[usize], n: usize) -> Self {
+        let k = qubits.len();
+        let dim_k = 1usize << k;
+        assert_eq!(self.rows, dim_k, "operator dim does not match qubit count");
+        assert_eq!(self.cols, dim_k, "operator must be square");
+        for (idx, &q) in qubits.iter().enumerate() {
+            assert!(q < n, "qubit index {q} out of range for {n} qubits");
+            assert!(
+                !qubits[..idx].contains(&q),
+                "duplicate qubit index {q} in embed"
+            );
+        }
+        let dim = 1usize << n;
+        let mut out = Self::zeros(dim, dim);
+        // Positions of the addressed qubits as bit shifts (big-endian).
+        let shifts: Vec<usize> = qubits.iter().map(|&q| n - 1 - q).collect();
+        let rest_mask: u64 = {
+            let mut m = (1u64 << n) - 1;
+            for &s in &shifts {
+                m &= !(1u64 << s);
+            }
+            m
+        };
+        // Enumerate basis states of the untouched qubits.
+        let mut rest_states = Vec::with_capacity(dim >> k);
+        for s in 0..dim as u64 {
+            if s & !rest_mask == 0 {
+                rest_states.push(s);
+            }
+        }
+        for &rest in &rest_states {
+            for a in 0..dim_k as u64 {
+                for b in 0..dim_k as u64 {
+                    let v = self[(a as usize, b as usize)];
+                    if v == Complex64::ZERO {
+                        continue;
+                    }
+                    let mut row = rest;
+                    let mut col = rest;
+                    for (bit, &s) in shifts.iter().enumerate() {
+                        if (a >> (k - 1 - bit)) & 1 == 1 {
+                            row |= 1 << s;
+                        }
+                        if (b >> (k - 1 - bit)) & 1 == 1 {
+                            col |= 1 << s;
+                        }
+                    }
+                    out[(row as usize, col as usize)] = v;
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = Complex64;
+    #[inline]
+    fn index(&self, (row, col): (usize, usize)) -> &Complex64 {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        &self.data[row * self.cols + col]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (row, col): (usize, usize)) -> &mut Complex64 {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        &mut self.data[row * self.cols + col]
+    }
+}
+
+impl Add for &Matrix {
+    type Output = Matrix;
+    fn add(self, rhs: Self) -> Matrix {
+        assert_eq!(self.rows, rhs.rows, "shape mismatch");
+        assert_eq!(self.cols, rhs.cols, "shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| *a + *b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+}
+
+impl Sub for &Matrix {
+    type Output = Matrix;
+    fn sub(self, rhs: Self) -> Matrix {
+        assert_eq!(self.rows, rhs.rows, "shape mismatch");
+        assert_eq!(self.cols, rhs.cols, "shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| *a - *b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+}
+
+impl Mul for &Matrix {
+    type Output = Matrix;
+    fn mul(self, rhs: Self) -> Matrix {
+        self.matmul(rhs)
+    }
+}
+
+impl Neg for &Matrix {
+    type Output = Matrix;
+    fn neg(self) -> Matrix {
+        self.scale_re(-1.0)
+    }
+}
+
+impl AddAssign<&Matrix> for Matrix {
+    fn add_assign(&mut self, rhs: &Matrix) {
+        assert_eq!(self.rows, rhs.rows, "shape mismatch");
+        assert_eq!(self.cols, rhs.cols, "shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += *b;
+        }
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            write!(f, "  ")?;
+            for j in 0..self.cols {
+                let z = self[(i, j)];
+                write!(f, "{:>7.3}{:+.3}i ", z.re, z.im)?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cx() -> Matrix {
+        let o = Complex64::ONE;
+        let z = Complex64::ZERO;
+        Matrix::from_rows(&[
+            &[o, z, z, z],
+            &[z, o, z, z],
+            &[z, z, z, o],
+            &[z, z, o, z],
+        ])
+    }
+
+    fn pauli_x() -> Matrix {
+        let o = Complex64::ONE;
+        let z = Complex64::ZERO;
+        Matrix::from_rows(&[&[z, o], &[o, z]])
+    }
+
+    #[test]
+    fn identity_is_multiplicative_identity() {
+        let m = Matrix::from_fn(3, 3, |i, j| c64(i as f64, j as f64));
+        let i3 = Matrix::identity(3);
+        assert_eq!(m.matmul(&i3), m);
+        assert_eq!(i3.matmul(&m), m);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[
+            &[c64(1.0, 0.0), c64(2.0, 0.0)],
+            &[c64(3.0, 0.0), c64(4.0, 0.0)],
+        ]);
+        let b = Matrix::from_rows(&[
+            &[c64(0.0, 1.0), c64(1.0, 0.0)],
+            &[c64(1.0, 0.0), c64(0.0, -1.0)],
+        ]);
+        let p = a.matmul(&b);
+        assert!(p[(0, 0)].approx_eq(c64(2.0, 1.0), 1e-12));
+        assert!(p[(0, 1)].approx_eq(c64(1.0, -2.0), 1e-12));
+        assert!(p[(1, 0)].approx_eq(c64(4.0, 3.0), 1e-12));
+        assert!(p[(1, 1)].approx_eq(c64(3.0, -4.0), 1e-12));
+    }
+
+    #[test]
+    fn dagger_reverses_products() {
+        let a = Matrix::from_fn(2, 2, |i, j| c64((i + j) as f64, (i * j) as f64));
+        let b = Matrix::from_fn(2, 2, |i, j| c64(j as f64, i as f64 - 1.0));
+        let lhs = a.matmul(&b).dagger();
+        let rhs = b.dagger().matmul(&a.dagger());
+        assert!(lhs.approx_eq(&rhs, 1e-12));
+    }
+
+    #[test]
+    fn kron_dimensions_and_values() {
+        let x = pauli_x();
+        let i2 = Matrix::identity(2);
+        let xi = x.kron(&i2);
+        assert_eq!(xi.rows(), 4);
+        // X ⊗ I flips the high qubit: |00> -> |10>.
+        assert_eq!(xi[(2, 0)], Complex64::ONE);
+        assert_eq!(xi[(0, 0)], Complex64::ZERO);
+    }
+
+    #[test]
+    fn kron_mixed_product_property() {
+        // (A⊗B)(C⊗D) = (AC)⊗(BD)
+        let a = Matrix::from_fn(2, 2, |i, j| c64(i as f64 + 1.0, j as f64));
+        let b = Matrix::from_fn(2, 2, |i, j| c64(j as f64 - 1.0, i as f64));
+        let c = Matrix::from_fn(2, 2, |i, j| c64((i * j) as f64, 1.0));
+        let d = Matrix::from_fn(2, 2, |i, j| c64(1.0, (i + j) as f64));
+        let lhs = a.kron(&b).matmul(&c.kron(&d));
+        let rhs = a.matmul(&c).kron(&b.matmul(&d));
+        assert!(lhs.approx_eq(&rhs, 1e-9));
+    }
+
+    #[test]
+    fn trace_and_hs_inner() {
+        let m = Matrix::from_diag(&[c64(1.0, 0.0), c64(0.0, 2.0)]);
+        assert!(m.trace().approx_eq(c64(1.0, 2.0), 1e-12));
+        // hs_inner(A, A) = ||A||_F^2
+        let hs = m.hs_inner(&m);
+        assert!(hs.approx_eq(c64(5.0, 0.0), 1e-12));
+        assert!((m.frobenius_norm() - 5f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unitary_and_hermitian_checks() {
+        assert!(pauli_x().is_unitary(1e-12));
+        assert!(pauli_x().is_hermitian(1e-12));
+        assert!(cx().is_unitary(1e-12));
+        let not_unitary = Matrix::from_diag(&[c64(2.0, 0.0), c64(1.0, 0.0)]);
+        assert!(!not_unitary.is_unitary(1e-9));
+        assert!(not_unitary.is_hermitian(1e-12));
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let m = Matrix::from_fn(3, 3, |i, j| c64(i as f64, -(j as f64)));
+        let v = vec![c64(1.0, 0.0), c64(0.0, 1.0), c64(-1.0, 2.0)];
+        let as_col = Matrix::from_vec(3, 1, v.clone());
+        let expect = m.matmul(&as_col);
+        let got = m.matvec(&v);
+        for i in 0..3 {
+            assert!(got[i].approx_eq(expect[(i, 0)], 1e-12));
+        }
+    }
+
+    #[test]
+    fn embed_single_qubit_on_two_qubit_space() {
+        let x = pauli_x();
+        // X on qubit 0 of 2 (big-endian): X ⊗ I
+        let e0 = x.embed(&[0], 2);
+        assert!(e0.approx_eq(&x.kron(&Matrix::identity(2)), 1e-12));
+        // X on qubit 1 of 2: I ⊗ X
+        let e1 = x.embed(&[1], 2);
+        assert!(e1.approx_eq(&Matrix::identity(2).kron(&x), 1e-12));
+    }
+
+    #[test]
+    fn embed_cx_reversed_qubits() {
+        // CX with control=1, target=0 on 2 qubits should equal the
+        // permuted CX (swap ⊗ conjugation).
+        let c = cx();
+        let e = c.embed(&[1, 0], 2);
+        // |01> -> |11>, |11> -> |01>  (big-endian: q0 high bit, q1 low bit)
+        assert_eq!(e[(3, 1)], Complex64::ONE);
+        assert_eq!(e[(1, 3)], Complex64::ONE);
+        assert_eq!(e[(0, 0)], Complex64::ONE);
+        assert_eq!(e[(2, 2)], Complex64::ONE);
+        assert!(e.is_unitary(1e-12));
+    }
+
+    #[test]
+    fn embed_identity_everywhere() {
+        let i2 = Matrix::identity(2);
+        for n in 1..=4 {
+            for q in 0..n {
+                assert!(i2.embed(&[q], n).approx_eq(&Matrix::identity(1 << n), 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate qubit")]
+    fn embed_rejects_duplicates() {
+        cx().embed(&[0, 0], 2);
+    }
+
+    #[test]
+    fn one_norm_max_column_sum() {
+        let m = Matrix::from_rows(&[
+            &[c64(1.0, 0.0), c64(0.0, -3.0)],
+            &[c64(0.0, 0.0), c64(4.0, 0.0)],
+        ]);
+        assert!((m.one_norm() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_sub_neg_ops() {
+        let a = Matrix::from_fn(2, 2, |i, j| c64(i as f64, j as f64));
+        let b = Matrix::identity(2);
+        let s = &a + &b;
+        let d = &s - &b;
+        assert!(d.approx_eq(&a, 1e-12));
+        let n = -&a;
+        assert!((&a + &n).approx_eq(&Matrix::zeros(2, 2), 1e-12));
+    }
+}

@@ -1,0 +1,141 @@
+//! Random matrices for tests, benchmarks and synthesis restarts.
+
+use crate::complex::{c64, Complex64};
+use crate::matrix::Matrix;
+use rand::Rng;
+
+/// Samples a complex matrix with i.i.d. standard-normal entries
+/// (real and imaginary parts independent).
+pub fn random_gaussian_matrix(n: usize, rng: &mut impl Rng) -> Matrix {
+    Matrix::from_fn(n, n, |_, _| c64(sample_normal(rng), sample_normal(rng)))
+}
+
+/// Samples a Haar-distributed `n × n` unitary.
+///
+/// Uses the standard Ginibre + QR construction: draw a complex Gaussian
+/// matrix, orthonormalize with modified Gram–Schmidt, and fix the phase of
+/// each `R` diagonal so the distribution is exactly Haar.
+///
+/// # Examples
+///
+/// ```
+/// use epoc_linalg::random_unitary;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let u = random_unitary(4, &mut rng);
+/// assert!(u.is_unitary(1e-10));
+/// ```
+pub fn random_unitary(n: usize, rng: &mut impl Rng) -> Matrix {
+    let g = random_gaussian_matrix(n, rng);
+    // Modified Gram–Schmidt on the columns, recording the R diagonal phases.
+    let mut cols: Vec<Vec<Complex64>> = (0..n)
+        .map(|j| (0..n).map(|i| g[(i, j)]).collect())
+        .collect();
+    for j in 0..n {
+        for k in 0..j {
+            // proj = <cols[k], cols[j]>
+            let proj: Complex64 = cols[k]
+                .iter()
+                .zip(&cols[j])
+                .map(|(a, b)| a.conj() * *b)
+                .sum();
+            for i in 0..n {
+                let ck = cols[k][i];
+                cols[j][i] = cols[j][i] - proj * ck;
+            }
+        }
+        let norm: f64 = cols[j].iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+        // The leading coefficient before normalization carries the R-diagonal
+        // phase; divide it out so the result is Haar rather than QR-biased.
+        let lead = cols[j]
+            .iter()
+            .find(|z| z.abs() > 1e-12)
+            .copied()
+            .unwrap_or(Complex64::ONE);
+        let phase = lead / c64(lead.abs(), 0.0);
+        let scale = phase.conj() / norm;
+        for z in cols[j].iter_mut() {
+            *z = *z * scale;
+        }
+    }
+    Matrix::from_fn(n, n, |i, j| cols[j][i])
+}
+
+/// Samples a random Hermitian matrix with Gaussian entries (GUE-like).
+pub fn random_hermitian(n: usize, rng: &mut impl Rng) -> Matrix {
+    let mut m = Matrix::zeros(n, n);
+    for i in 0..n {
+        m[(i, i)] = c64(sample_normal(rng), 0.0);
+        for j in (i + 1)..n {
+            let z = c64(sample_normal(rng) * 0.5f64.sqrt(), sample_normal(rng) * 0.5f64.sqrt());
+            m[(i, j)] = z;
+            m[(j, i)] = z.conj();
+        }
+    }
+    m
+}
+
+/// Standard normal sample via Box–Muller (avoids a rand_distr dependency).
+fn sample_normal(rng: &mut impl Rng) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen::<f64>();
+        return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_unitary_is_unitary() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for n in [1, 2, 3, 4, 8] {
+            let u = random_unitary(n, &mut rng);
+            assert!(u.is_unitary(1e-9), "n={n} not unitary");
+        }
+    }
+
+    #[test]
+    fn random_hermitian_is_hermitian() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [2, 5, 7] {
+            let h = random_hermitian(n, &mut rng);
+            assert!(h.is_hermitian(1e-12));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let ua = random_unitary(3, &mut a);
+        let ub = random_unitary(3, &mut b);
+        assert!(!ua.approx_eq(&ub, 1e-3));
+    }
+
+    #[test]
+    fn same_seed_reproduces() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        assert!(random_unitary(4, &mut a).approx_eq(&random_unitary(4, &mut b), 1e-15));
+    }
+
+    #[test]
+    fn normal_sampler_moments() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+}

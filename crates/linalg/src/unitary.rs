@@ -1,0 +1,268 @@
+//! Unitary-specific metrics and utilities.
+//!
+//! Pulse generation constantly asks three questions about unitaries:
+//!
+//! 1. *How close are `A` and `B` as quantum operations?* — answered up to
+//!    global phase by [`phase_invariant_fidelity`] / [`phase_invariant_distance`].
+//! 2. *Are `A` and `B` the same operation?* — [`approx_eq_up_to_phase`].
+//! 3. *Can I use `A` as a cache key that ignores global phase?* —
+//!    [`UnitaryKey`], the fingerprint EPOC's pulse library is indexed by
+//!    (the paper's "detection of unitary similarity with global phase").
+
+use crate::complex::c64;
+use crate::matrix::Matrix;
+
+/// Normalized Hilbert–Schmidt overlap `|Tr(A†·B)| / d` in `[0, 1]`.
+///
+/// Equal to 1 exactly when `A = e^{iφ}·B`; this is the standard
+/// phase-invariant gate fidelity proxy used by QSearch-style synthesis and
+/// by GRAPE cost functions.
+///
+/// # Panics
+///
+/// Panics if the shapes differ or are not square.
+pub fn phase_invariant_fidelity(a: &Matrix, b: &Matrix) -> f64 {
+    assert!(a.is_square() && b.is_square(), "fidelity needs square matrices");
+    assert_eq!(a.rows(), b.rows(), "dimension mismatch");
+    let d = a.rows() as f64;
+    a.hs_inner(b).abs() / d
+}
+
+/// Phase-invariant distance `√(1 − |Tr(A†B)|/d)` in `[0, 1]`.
+///
+/// This is the cost function of the paper's Algorithm 2 (synthesis) and the
+/// per-pulse distance in the ESP fidelity estimate (Eq. 3).
+pub fn phase_invariant_distance(a: &Matrix, b: &Matrix) -> f64 {
+    (1.0 - phase_invariant_fidelity(a, b)).max(0.0).sqrt()
+}
+
+/// `true` when `A ≈ e^{iφ}·B` for some global phase `φ`, to tolerance `tol`
+/// on the phase-invariant distance.
+pub fn approx_eq_up_to_phase(a: &Matrix, b: &Matrix, tol: f64) -> bool {
+    a.rows() == b.rows() && a.cols() == b.cols() && phase_invariant_distance(a, b) <= tol
+}
+
+/// Removes the global phase from a unitary, fixing a canonical representative.
+///
+/// The phase is chosen so that the entry of largest modulus becomes real
+/// and positive; ties are broken by the first such entry in row-major order.
+/// Any two unitaries equal up to global phase canonicalize to (numerically)
+/// the same matrix.
+pub fn canonicalize_phase(u: &Matrix) -> Matrix {
+    let mut best = 0usize;
+    let mut best_abs = -1.0f64;
+    for (idx, z) in u.as_slice().iter().enumerate() {
+        let a = z.abs();
+        // Strictly-greater with a tolerance keeps the choice stable for
+        // matrices that differ only by phase and float noise.
+        if a > best_abs + 1e-9 {
+            best_abs = a;
+            best = idx;
+        }
+    }
+    if best_abs <= 0.0 {
+        return u.clone();
+    }
+    let z = u.as_slice()[best];
+    let phase = z / c64(z.abs(), 0.0);
+    u.scale(phase.conj())
+}
+
+/// The global phase `φ` (in radians) such that `a ≈ e^{iφ}·b`, estimated from
+/// the Hilbert–Schmidt inner product. Only meaningful when the two are in
+/// fact phase-equivalent.
+pub fn relative_phase(a: &Matrix, b: &Matrix) -> f64 {
+    b.hs_inner(a).arg()
+}
+
+/// A hashable, global-phase-invariant fingerprint of a unitary.
+///
+/// Entries of the phase-canonicalized matrix are quantized to a grid of
+/// width [`UnitaryKey::QUANTUM`]; two unitaries produce the same key when
+/// they are equal up to global phase and well inside the quantization grid.
+/// EPOC uses this as the index of the pulse library, which raises cache hit
+/// rates versus the phase-sensitive keys of AccQOC/PAQOC.
+///
+/// # Examples
+///
+/// ```
+/// use epoc_linalg::{Matrix, UnitaryKey, c64, Complex64};
+///
+/// let x = Matrix::from_rows(&[
+///     &[Complex64::ZERO, Complex64::ONE],
+///     &[Complex64::ONE, Complex64::ZERO],
+/// ]);
+/// let gx = x.scale(Complex64::cis(1.234)); // same gate, different phase
+/// assert_eq!(UnitaryKey::new(&x), UnitaryKey::new(&gx));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct UnitaryKey {
+    dim: u32,
+    cells: Vec<(i32, i32)>,
+}
+
+impl UnitaryKey {
+    /// Quantization grid width for key construction.
+    pub const QUANTUM: f64 = 1e-6;
+
+    /// Builds the phase-invariant key of a unitary.
+    pub fn new(u: &Matrix) -> Self {
+        let canon = canonicalize_phase(u);
+        let q = Self::QUANTUM;
+        let cells = canon
+            .as_slice()
+            .iter()
+            .map(|z| {
+                let re = (z.re / q).round();
+                let im = (z.im / q).round();
+                // Avoid -0.0 style signed-zero mismatches.
+                (re as i32, im as i32)
+            })
+            .collect();
+        Self {
+            dim: u.rows() as u32,
+            cells,
+        }
+    }
+
+    /// Dimension of the keyed unitary.
+    pub fn dim(&self) -> usize {
+        self.dim as usize
+    }
+}
+
+/// A phase-*sensitive* key, as used by the AccQOC/PAQOC baselines.
+///
+/// Identical construction to [`UnitaryKey`] but without phase
+/// canonicalization — provided so the cache-hit-rate ablation can compare
+/// the two policies.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PhaseSensitiveKey {
+    dim: u32,
+    cells: Vec<(i32, i32)>,
+}
+
+impl PhaseSensitiveKey {
+    /// Builds the phase-sensitive key of a unitary.
+    pub fn new(u: &Matrix) -> Self {
+        let q = UnitaryKey::QUANTUM;
+        let cells = u
+            .as_slice()
+            .iter()
+            .map(|z| ((z.re / q).round() as i32, (z.im / q).round() as i32))
+            .collect();
+        Self {
+            dim: u.rows() as u32,
+            cells,
+        }
+    }
+}
+
+/// Average gate fidelity of a noisy implementation `V` of target `U` for
+/// `n`-qubit gates: `(|Tr(U†V)|² + d) / (d² + d)`.
+///
+/// A standard figure of merit relating the HS overlap to state-averaged
+/// fidelity.
+pub fn average_gate_fidelity(u: &Matrix, v: &Matrix) -> f64 {
+    let d = u.rows() as f64;
+    let tr = u.hs_inner(v).abs();
+    (tr * tr + d) / (d * d + d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::Complex64;
+    use std::f64::consts::PI;
+
+    fn pauli_x() -> Matrix {
+        Matrix::from_rows(&[
+            &[Complex64::ZERO, Complex64::ONE],
+            &[Complex64::ONE, Complex64::ZERO],
+        ])
+    }
+
+    fn hadamard() -> Matrix {
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        Matrix::from_rows(&[
+            &[c64(s, 0.0), c64(s, 0.0)],
+            &[c64(s, 0.0), c64(-s, 0.0)],
+        ])
+    }
+
+    #[test]
+    fn fidelity_of_identical_is_one() {
+        let h = hadamard();
+        assert!((phase_invariant_fidelity(&h, &h) - 1.0).abs() < 1e-12);
+        assert!(phase_invariant_distance(&h, &h) < 1e-7);
+    }
+
+    #[test]
+    fn fidelity_is_phase_invariant() {
+        let h = hadamard();
+        let g = h.scale(Complex64::cis(0.77));
+        assert!((phase_invariant_fidelity(&h, &g) - 1.0).abs() < 1e-12);
+        assert!(approx_eq_up_to_phase(&h, &g, 1e-9));
+    }
+
+    #[test]
+    fn distance_of_orthogonal_gates() {
+        // Tr(X†Z) = 0 so fidelity 0, distance 1.
+        let x = pauli_x();
+        let z = Matrix::from_diag(&[Complex64::ONE, c64(-1.0, 0.0)]);
+        assert!(phase_invariant_fidelity(&x, &z).abs() < 1e-12);
+        assert!((phase_invariant_distance(&x, &z) - 1.0).abs() < 1e-12);
+        assert!(!approx_eq_up_to_phase(&x, &z, 0.5));
+    }
+
+    #[test]
+    fn canonicalize_removes_phase() {
+        let h = hadamard();
+        for phi in [0.1, 1.0, -2.3, PI] {
+            let g = h.scale(Complex64::cis(phi));
+            assert!(canonicalize_phase(&g).approx_eq(&canonicalize_phase(&h), 1e-9));
+        }
+    }
+
+    #[test]
+    fn relative_phase_recovered() {
+        let h = hadamard();
+        let phi = 0.9;
+        let g = h.scale(Complex64::cis(phi));
+        assert!((relative_phase(&g, &h) - phi).abs() < 1e-9);
+    }
+
+    #[test]
+    fn keys_collide_only_up_to_phase() {
+        let x = pauli_x();
+        let xp = x.scale(Complex64::cis(2.0));
+        let h = hadamard();
+        assert_eq!(UnitaryKey::new(&x), UnitaryKey::new(&xp));
+        assert_ne!(UnitaryKey::new(&x), UnitaryKey::new(&h));
+        // Phase-sensitive keys separate the two phases.
+        assert_ne!(PhaseSensitiveKey::new(&x), PhaseSensitiveKey::new(&xp));
+        assert_eq!(PhaseSensitiveKey::new(&x), PhaseSensitiveKey::new(&x.clone()));
+    }
+
+    #[test]
+    fn key_stable_under_noise() {
+        let h = hadamard();
+        let noisy = Matrix::from_fn(2, 2, |i, j| h[(i, j)] + c64(1e-10, -1e-10));
+        assert_eq!(UnitaryKey::new(&h), UnitaryKey::new(&noisy));
+    }
+
+    #[test]
+    fn average_gate_fidelity_bounds() {
+        let h = hadamard();
+        assert!((average_gate_fidelity(&h, &h) - 1.0).abs() < 1e-12);
+        let x = pauli_x();
+        let f = average_gate_fidelity(&h, &x);
+        assert!((0.0..1.0).contains(&f));
+    }
+
+    #[test]
+    fn key_dim_reported() {
+        let k = UnitaryKey::new(&Matrix::identity(4));
+        assert_eq!(k.dim(), 4);
+    }
+}

@@ -1,0 +1,232 @@
+//! Circuit blocks: contiguous chunks of a circuit restricted to a qubit
+//! subset, the unit of work handed to synthesis and to QOC.
+
+use epoc_circuit::{Circuit, Gate, Operation};
+use epoc_linalg::Matrix;
+
+/// A circuit block: a local sub-circuit plus the global qubits it lives on.
+///
+/// The local circuit uses wire indices `0..qubits.len()`; wire `i`
+/// corresponds to global qubit `qubits[i]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    qubits: Vec<usize>,
+    circuit: Circuit,
+}
+
+impl Block {
+    /// Creates a block from sorted global qubits and a local circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubits` is unsorted/duplicated or the circuit register
+    /// size does not match.
+    pub fn new(qubits: Vec<usize>, circuit: Circuit) -> Self {
+        assert_eq!(
+            circuit.n_qubits(),
+            qubits.len(),
+            "local circuit register must match qubit list"
+        );
+        for w in qubits.windows(2) {
+            assert!(w[0] < w[1], "block qubits must be sorted and unique");
+        }
+        Self { qubits, circuit }
+    }
+
+    /// The global qubit indices (sorted).
+    pub fn qubits(&self) -> &[usize] {
+        &self.qubits
+    }
+
+    /// The local circuit.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// Number of qubits the block spans.
+    pub fn n_qubits(&self) -> usize {
+        self.qubits.len()
+    }
+
+    /// Number of gates in the block.
+    pub fn len(&self) -> usize {
+        self.circuit.len()
+    }
+
+    /// `true` when the block holds no gates.
+    pub fn is_empty(&self) -> bool {
+        self.circuit.is_empty()
+    }
+
+    /// The block's unitary matrix (dimension `2^n_qubits`).
+    ///
+    /// # Panics
+    ///
+    /// Panics for blocks larger than 12 qubits.
+    pub fn unitary(&self) -> Matrix {
+        self.circuit.unitary()
+    }
+
+    /// Converts the block to a single opaque gate application on the
+    /// global register.
+    ///
+    /// # Panics
+    ///
+    /// Panics for blocks larger than 12 qubits (dense unitary limit).
+    pub fn to_operation(&self, label: &str) -> Operation {
+        Operation::new(Gate::unitary(label, self.unitary()), self.qubits.clone())
+    }
+
+    /// Maps a local operation to global qubit indices.
+    pub fn globalize(&self, op: &Operation) -> Operation {
+        Operation::new(
+            op.gate.clone(),
+            op.qubits.iter().map(|&q| self.qubits[q]).collect(),
+        )
+    }
+}
+
+/// An ordered partition of a circuit into blocks.
+///
+/// Flattening the blocks in order reproduces the original circuit's
+/// semantics (validated by [`Partition::to_circuit`] + the test suites).
+#[derive(Debug, Clone)]
+pub struct Partition {
+    n_qubits: usize,
+    blocks: Vec<Block>,
+}
+
+impl Partition {
+    /// Creates a partition over an `n_qubits` register.
+    pub fn new(n_qubits: usize, blocks: Vec<Block>) -> Self {
+        for b in &blocks {
+            if let Some(&max) = b.qubits().iter().max() {
+                assert!(max < n_qubits, "block qubit out of range");
+            }
+        }
+        Self { n_qubits, blocks }
+    }
+
+    /// The blocks in execution order.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Register size.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// `true` when there are no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Total gate count across blocks.
+    pub fn total_gates(&self) -> usize {
+        self.blocks.iter().map(Block::len).sum()
+    }
+
+    /// Flattens the partition back into a plain circuit (for validation).
+    pub fn to_circuit(&self) -> Circuit {
+        let mut c = Circuit::new(self.n_qubits);
+        for b in &self.blocks {
+            for op in b.circuit().ops() {
+                let g = b.globalize(op);
+                c.push_op(g);
+            }
+        }
+        c
+    }
+
+    /// Converts every block into one opaque unitary gate, yielding the
+    /// "block circuit" QOC consumes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any block exceeds the 12-qubit dense-unitary limit.
+    pub fn to_block_circuit(&self) -> Circuit {
+        let mut c = Circuit::new(self.n_qubits);
+        for (i, b) in self.blocks.iter().enumerate() {
+            if b.is_empty() {
+                continue;
+            }
+            c.push_op(b.to_operation(&format!("blk{i}")));
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epoc_circuit::{circuits_equivalent, Gate};
+
+    fn sample_block() -> Block {
+        let mut c = Circuit::new(2);
+        c.push(Gate::H, &[0]).push(Gate::CX, &[0, 1]);
+        Block::new(vec![1, 3], c)
+    }
+
+    #[test]
+    fn block_accessors() {
+        let b = sample_block();
+        assert_eq!(b.n_qubits(), 2);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.qubits(), &[1, 3]);
+        assert!(b.unitary().is_unitary(1e-10));
+    }
+
+    #[test]
+    fn globalize_maps_qubits() {
+        let b = sample_block();
+        let op = b.globalize(&b.circuit().ops()[1]);
+        assert_eq!(op.qubits, vec![1, 3]);
+    }
+
+    #[test]
+    fn to_operation_is_opaque() {
+        let b = sample_block();
+        let op = b.to_operation("blk");
+        assert!(matches!(op.gate, Gate::Unitary { .. }));
+        assert_eq!(op.qubits, vec![1, 3]);
+    }
+
+    #[test]
+    fn partition_round_trip_semantics() {
+        // Build a 4-qubit circuit, split by hand into two blocks, flatten.
+        let mut full = Circuit::new(4);
+        full.push(Gate::H, &[0])
+            .push(Gate::CX, &[0, 1])
+            .push(Gate::T, &[2])
+            .push(Gate::CX, &[2, 3]);
+        let mut c1 = Circuit::new(2);
+        c1.push(Gate::H, &[0]).push(Gate::CX, &[0, 1]);
+        let mut c2 = Circuit::new(2);
+        c2.push(Gate::T, &[0]).push(Gate::CX, &[0, 1]);
+        let p = Partition::new(4, vec![Block::new(vec![0, 1], c1), Block::new(vec![2, 3], c2)]);
+        assert_eq!(p.total_gates(), 4);
+        assert!(circuits_equivalent(&full, &p.to_circuit(), 1e-9));
+        // Block circuit also equivalent.
+        assert!(circuits_equivalent(&full, &p.to_block_circuit(), 1e-7));
+        assert_eq!(p.to_block_circuit().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn block_rejects_unsorted_qubits() {
+        Block::new(vec![3, 1], Circuit::new(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn partition_rejects_out_of_range() {
+        let b = Block::new(vec![5], Circuit::new(1));
+        Partition::new(2, vec![b]);
+    }
+}

@@ -1,0 +1,76 @@
+//! Incremental per-qubit frontier tracking.
+//!
+//! Both partitioners repeatedly ask "what is the earliest unconsumed
+//! operation on qubit q?". Recomputing that by scanning the whole op list
+//! per query is O(n²) over a partition run; this tracker answers it in
+//! amortized O(1) with per-qubit cursors over precomputed op lists.
+
+use epoc_circuit::Operation;
+
+/// Amortized-O(1) "earliest unconsumed op on qubit q" queries.
+pub(crate) struct FrontierTracker {
+    by_qubit: Vec<Vec<usize>>,
+    cursor: Vec<usize>,
+}
+
+impl FrontierTracker {
+    /// Indexes the operations of a circuit by qubit.
+    pub(crate) fn new(n_qubits: usize, ops: &[Operation]) -> Self {
+        let mut by_qubit = vec![Vec::new(); n_qubits];
+        for (i, op) in ops.iter().enumerate() {
+            for &q in &op.qubits {
+                by_qubit[q].push(i);
+            }
+        }
+        Self {
+            cursor: vec![0; n_qubits],
+            by_qubit,
+        }
+    }
+
+    /// The earliest unconsumed op index touching `q`, advancing the cursor
+    /// past consumed entries.
+    pub(crate) fn frontier(&mut self, q: usize, consumed: &[bool]) -> Option<usize> {
+        let list = &self.by_qubit[q];
+        let cur = &mut self.cursor[q];
+        while *cur < list.len() && consumed[list[*cur]] {
+            *cur += 1;
+        }
+        list.get(*cur).copied()
+    }
+
+    /// `true` when op `i` is *ready*: it is the frontier of every qubit it
+    /// touches.
+    pub(crate) fn is_ready(&mut self, i: usize, op: &Operation, consumed: &[bool]) -> bool {
+        op.qubits
+            .iter()
+            .all(|&q| self.frontier(q, consumed) == Some(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epoc_circuit::{Circuit, Gate};
+
+    #[test]
+    fn frontier_advances_past_consumed() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::H, &[0])
+            .push(Gate::CX, &[0, 1])
+            .push(Gate::H, &[1]);
+        let ops = c.ops().to_vec();
+        let mut t = FrontierTracker::new(2, &ops);
+        let mut consumed = vec![false; 3];
+        assert_eq!(t.frontier(0, &consumed), Some(0));
+        assert_eq!(t.frontier(1, &consumed), Some(1));
+        assert!(t.is_ready(0, &ops[0], &consumed));
+        assert!(!t.is_ready(1, &ops[1], &consumed)); // waits on H(q0)
+        consumed[0] = true;
+        assert_eq!(t.frontier(0, &consumed), Some(1));
+        assert!(t.is_ready(1, &ops[1], &consumed));
+        consumed[1] = true;
+        assert_eq!(t.frontier(0, &consumed), None);
+        assert_eq!(t.frontier(1, &consumed), Some(2));
+    }
+}

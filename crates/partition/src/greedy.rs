@@ -1,0 +1,290 @@
+//! The paper's Algorithm 1: greedy circuit partitioning.
+//!
+//! Horizontal cutting groups qubits by interaction (a qubit plus its
+//! circuit-graph neighbors, capped at the qubit limit); vertical cutting
+//! fills each group's block with ready gates until the gate limit. The
+//! consumption order respects per-qubit program order, so concatenating
+//! blocks in creation order reproduces the circuit exactly.
+
+use crate::block::{Block, Partition};
+use epoc_circuit::{Circuit, Operation};
+use std::collections::BTreeSet;
+
+/// Configuration for the greedy partitioner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionConfig {
+    /// Maximum number of qubits per block (the paper uses up to 8; QOC
+    /// cost grows exponentially with this).
+    pub max_qubits: usize,
+    /// Maximum number of gates per block (the `limit` of Algorithm 1's
+    /// vertical cut).
+    pub max_gates: usize,
+}
+
+impl Default for PartitionConfig {
+    fn default() -> Self {
+        Self {
+            max_qubits: 4,
+            max_gates: 24,
+        }
+    }
+}
+
+/// Partitions a circuit into blocks with the greedy algorithm.
+///
+/// Every gate lands in exactly one block; blocks concatenated in order
+/// reproduce the input circuit gate-for-gate.
+///
+/// # Panics
+///
+/// Panics if `config.max_qubits == 0` or `config.max_gates == 0`, or if
+/// the circuit contains a gate wider than `max_qubits`.
+pub fn greedy_partition(circuit: &Circuit, config: PartitionConfig) -> Partition {
+    assert!(config.max_qubits >= 1, "max_qubits must be positive");
+    assert!(config.max_gates >= 1, "max_gates must be positive");
+    let n = circuit.n_qubits();
+    let ops = circuit.ops();
+    for op in ops {
+        assert!(
+            op.qubits.len() <= config.max_qubits,
+            "gate {} spans {} qubits > max_qubits {}",
+            op.gate,
+            op.qubits.len(),
+            config.max_qubits
+        );
+    }
+    let mut consumed = vec![false; ops.len()];
+    let mut n_consumed = 0usize;
+    let mut blocks: Vec<Block> = Vec::new();
+    let mut tracker = crate::frontier::FrontierTracker::new(n, ops);
+
+    while n_consumed < ops.len() {
+        let groups = group_qubits(circuit, &consumed, config.max_qubits);
+        let mut progressed = false;
+        for group in groups {
+            let group_set: BTreeSet<usize> = group.iter().copied().collect();
+            let mut taken: Vec<usize> = Vec::new();
+            // Fill the block: repeatedly take the earliest ready op whose
+            // qubits all lie in the group. A ready op is the frontier of
+            // every qubit it touches, so the group's qubit frontiers are
+            // the only candidates.
+            loop {
+                if taken.len() >= config.max_gates {
+                    break;
+                }
+                let mut pick: Option<usize> = None;
+                for &q in &group {
+                    let Some(i) = tracker.frontier(q, &consumed) else {
+                        continue;
+                    };
+                    if !ops[i].qubits.iter().all(|qq| group_set.contains(qq)) {
+                        continue;
+                    }
+                    if !tracker.is_ready(i, &ops[i], &consumed) {
+                        continue;
+                    }
+                    pick = Some(pick.map_or(i, |p: usize| p.min(i)));
+                }
+                match pick {
+                    Some(i) => {
+                        consumed[i] = true;
+                        n_consumed += 1;
+                        taken.push(i);
+                        progressed = true;
+                    }
+                    None => break,
+                }
+            }
+            if !taken.is_empty() {
+                blocks.push(make_block(ops, &taken));
+            }
+        }
+        if !progressed {
+            // Safety net: the globally earliest unconsumed op is always
+            // ready; emit it as a singleton block.
+            let i = consumed
+                .iter()
+                .position(|&c| !c)
+                .expect("gates remain but none found");
+            consumed[i] = true;
+            n_consumed += 1;
+            blocks.push(make_block(ops, &[i]));
+        }
+    }
+    Partition::new(n, blocks)
+}
+
+/// Horizontal cut (Algorithm 1's `GroupQubits`): repeatedly pop a qubit
+/// with pending gates and group it with its most-interacting circuit
+/// neighbors, capped at `limit`.
+fn group_qubits(circuit: &Circuit, consumed: &[bool], limit: usize) -> Vec<Vec<usize>> {
+    let n = circuit.n_qubits();
+    // Interaction counts over unconsumed multi-qubit gates.
+    let mut weight = vec![vec![0usize; n]; n];
+    let mut pending = vec![false; n];
+    for (i, op) in circuit.ops().iter().enumerate() {
+        if consumed[i] {
+            continue;
+        }
+        for &q in &op.qubits {
+            pending[q] = true;
+        }
+        for (a_idx, &a) in op.qubits.iter().enumerate() {
+            for &b in &op.qubits[a_idx + 1..] {
+                weight[a][b] += 1;
+                weight[b][a] += 1;
+            }
+        }
+    }
+    let mut unassigned: BTreeSet<usize> =
+        (0..n).filter(|&q| pending[q]).collect();
+    let mut groups = Vec::new();
+    while let Some(&q) = unassigned.iter().next() {
+        unassigned.remove(&q);
+        let mut group = vec![q];
+        // Sort remaining candidates by interaction weight with the group.
+        loop {
+            if group.len() >= limit {
+                break;
+            }
+            let best = unassigned
+                .iter()
+                .map(|&cand| {
+                    let w: usize = group.iter().map(|&g| weight[g][cand]).sum();
+                    (w, cand)
+                })
+                .filter(|&(w, _)| w > 0)
+                .max_by_key(|&(w, cand)| (w, std::cmp::Reverse(cand)));
+            match best {
+                Some((_, cand)) => {
+                    unassigned.remove(&cand);
+                    group.push(cand);
+                }
+                None => break,
+            }
+        }
+        group.sort_unstable();
+        groups.push(group);
+    }
+    groups
+}
+
+/// Builds a block from the taken op indices (in consumption order).
+fn make_block(ops: &[Operation], taken: &[usize]) -> Block {
+    let mut qubits: Vec<usize> = taken
+        .iter()
+        .flat_map(|&i| ops[i].qubits.iter().copied())
+        .collect();
+    qubits.sort_unstable();
+    qubits.dedup();
+    let mut local = Circuit::new(qubits.len());
+    for &i in taken {
+        let mapped: Vec<usize> = ops[i]
+            .qubits
+            .iter()
+            .map(|q| qubits.binary_search(q).expect("qubit in block"))
+            .collect();
+        local.push(ops[i].gate.clone(), &mapped);
+    }
+    Block::new(qubits, local)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epoc_circuit::{circuits_equivalent, generators, Gate};
+
+    fn check_partition(c: &Circuit, config: PartitionConfig) -> Partition {
+        let p = greedy_partition(c, config);
+        // Every gate exactly once.
+        assert_eq!(p.total_gates(), c.len());
+        // Respect limits.
+        for b in p.blocks() {
+            assert!(b.n_qubits() <= config.max_qubits, "qubit limit violated");
+            assert!(b.len() <= config.max_gates, "gate limit violated");
+            assert!(!b.is_empty());
+        }
+        // Semantics preserved.
+        if c.n_qubits() <= 8 {
+            assert!(
+                circuits_equivalent(c, &p.to_circuit(), 1e-8),
+                "partition broke semantics"
+            );
+        }
+        p
+    }
+
+    #[test]
+    fn partitions_ghz() {
+        let c = generators::ghz(4);
+        let p = check_partition(&c, PartitionConfig { max_qubits: 2, max_gates: 8 });
+        assert!(p.len() >= 2);
+    }
+
+    #[test]
+    fn partitions_random_circuits() {
+        for seed in 0..10u64 {
+            let c = generators::random_circuit(5, 30, seed);
+            check_partition(&c, PartitionConfig { max_qubits: 3, max_gates: 10 });
+        }
+    }
+
+    #[test]
+    fn partitions_qft() {
+        let c = generators::qft(5);
+        check_partition(&c, PartitionConfig { max_qubits: 4, max_gates: 12 });
+    }
+
+    #[test]
+    fn partitions_with_tight_gate_limit() {
+        let c = generators::random_circuit(4, 24, 3);
+        let p = check_partition(&c, PartitionConfig { max_qubits: 4, max_gates: 2 });
+        assert!(p.len() >= 12);
+    }
+
+    #[test]
+    fn partitions_with_wide_limits_single_block_possible() {
+        let c = generators::ghz(3);
+        let p = check_partition(&c, PartitionConfig { max_qubits: 8, max_gates: 100 });
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn block_circuit_equivalent() {
+        let c = generators::random_circuit(4, 20, 7);
+        let p = greedy_partition(&c, PartitionConfig { max_qubits: 3, max_gates: 8 });
+        assert!(circuits_equivalent(&c, &p.to_block_circuit(), 1e-7));
+    }
+
+    #[test]
+    fn empty_circuit_gives_empty_partition() {
+        let p = greedy_partition(&Circuit::new(3), PartitionConfig::default());
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn three_qubit_gates_fit() {
+        let mut c = Circuit::new(4);
+        c.push(Gate::CCX, &[0, 1, 2]).push(Gate::CX, &[2, 3]);
+        check_partition(&c, PartitionConfig { max_qubits: 3, max_gates: 5 });
+    }
+
+    #[test]
+    #[should_panic(expected = "spans")]
+    fn rejects_gates_wider_than_limit() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::CCX, &[0, 1, 2]);
+        greedy_partition(&c, PartitionConfig { max_qubits: 2, max_gates: 4 });
+    }
+
+    #[test]
+    fn deep_narrow_blocks() {
+        // A long single-qubit chain fills one block up to the gate limit.
+        let mut c = Circuit::new(1);
+        for i in 0..25 {
+            c.push(Gate::RZ(0.1 * i as f64), &[0]);
+        }
+        let p = check_partition(&c, PartitionConfig { max_qubits: 1, max_gates: 10 });
+        assert_eq!(p.len(), 3); // 10 + 10 + 5
+    }
+}

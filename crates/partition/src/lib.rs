@@ -1,0 +1,35 @@
+//! # epoc-partition — circuit partitioning for the EPOC pipeline
+//!
+//! Implements the paper's Algorithm 1 ([`greedy_partition`]: horizontal
+//! qubit grouping + vertical gate filling), the §3.3 regrouping pass
+//! ([`regroup`], [`regroup_to_blocks`]) that aggregates synthesized VUG
+//! streams into QOC-sized unitaries, and the PAQOC-style coarse-grained
+//! baseline partitioner ([`paqoc_partition`]) the evaluation compares
+//! against.
+//!
+//! ## Example
+//!
+//! ```
+//! use epoc_circuit::generators;
+//! use epoc_partition::{greedy_partition, PartitionConfig};
+//!
+//! let c = generators::ghz(6);
+//! let p = greedy_partition(&c, PartitionConfig { max_qubits: 3, max_gates: 8 });
+//! assert_eq!(p.total_gates(), c.len());
+//! for block in p.blocks() {
+//!     assert!(block.n_qubits() <= 3);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+mod block;
+mod frontier;
+mod greedy;
+mod paqoc;
+mod regroup;
+
+pub use block::{Block, Partition};
+pub use greedy::{greedy_partition, PartitionConfig};
+pub use paqoc::{mine_patterns, paqoc_partition, PaqocConfig, PatternKey};
+pub use regroup::{regroup, regroup_to_blocks, RegroupConfig, RegroupStats};

@@ -1,0 +1,131 @@
+//! The paper's §3.3 regrouping pass.
+//!
+//! Synthesis emits fine-grained VUGs (1–2 qubit unitaries) and CNOTs —
+//! too small for QOC to beat calibrated per-gate pulses. Regrouping
+//! aggregates the synthesized stream back into blocks of a few qubits so
+//! each QOC invocation optimizes a unitary large enough to profit, while
+//! staying small enough to keep GRAPE tractable.
+
+use crate::block::Partition;
+use crate::paqoc::{paqoc_partition, PaqocConfig};
+use epoc_circuit::Circuit;
+
+/// Configuration for regrouping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegroupConfig {
+    /// Maximum qubits per regrouped unitary (paper: up to 8; default 3 to
+    /// keep GRAPE runs fast on a laptop).
+    pub max_qubits: usize,
+    /// Maximum gates absorbed per regrouped unitary.
+    pub max_gates: usize,
+}
+
+impl Default for RegroupConfig {
+    fn default() -> Self {
+        Self {
+            max_qubits: 2,
+            max_gates: 8,
+        }
+    }
+}
+
+/// Statistics of a regrouping pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegroupStats {
+    /// Gates in the input stream.
+    pub gates_in: usize,
+    /// Opaque blocks in the output.
+    pub blocks_out: usize,
+    /// Mean gates absorbed per block.
+    pub mean_gates_per_block: f64,
+    /// Mean qubits per block.
+    pub mean_qubits_per_block: f64,
+}
+
+/// Regroups a (typically synthesized) circuit into a partition of blocks
+/// sized for QOC.
+///
+/// Uses the sequential seed-and-absorb scan rather than the
+/// interaction-graph grouping of [`crate::greedy_partition`]: for the
+/// small block widths QOC wants (2–3 qubits), program-order scanning
+/// produces far fewer, fuller blocks, which directly translates into
+/// fewer pulses.
+pub fn regroup(circuit: &Circuit, config: RegroupConfig) -> Partition {
+    paqoc_partition(
+        circuit,
+        PaqocConfig {
+            max_qubits: config.max_qubits,
+            max_gates: config.max_gates,
+        },
+    )
+}
+
+/// Regroups and converts to a circuit of opaque unitary blocks, returning
+/// the block circuit plus statistics.
+pub fn regroup_to_blocks(circuit: &Circuit, config: RegroupConfig) -> (Circuit, RegroupStats) {
+    let p = regroup(circuit, config);
+    let blocks_out = p.len();
+    let stats = RegroupStats {
+        gates_in: circuit.len(),
+        blocks_out,
+        mean_gates_per_block: if blocks_out == 0 {
+            0.0
+        } else {
+            circuit.len() as f64 / blocks_out as f64
+        },
+        mean_qubits_per_block: if blocks_out == 0 {
+            0.0
+        } else {
+            p.blocks().iter().map(|b| b.n_qubits()).sum::<usize>() as f64 / blocks_out as f64
+        },
+    };
+    (p.to_block_circuit(), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epoc_circuit::{circuits_equivalent, generators, Gate};
+
+    #[test]
+    fn regroup_preserves_semantics() {
+        let c = generators::random_circuit(4, 24, 2);
+        let (blocks, stats) = regroup_to_blocks(&c, RegroupConfig::default());
+        assert!(circuits_equivalent(&c, &blocks, 1e-7));
+        assert_eq!(stats.gates_in, 24);
+        assert!(stats.blocks_out < 24, "no aggregation happened");
+        assert!(stats.mean_gates_per_block > 1.0);
+    }
+
+    #[test]
+    fn regroup_block_structure() {
+        let c = generators::ghz(6);
+        let p = regroup(&c, RegroupConfig { max_qubits: 2, max_gates: 8 });
+        for b in p.blocks() {
+            assert!(b.n_qubits() <= 2);
+            assert!(b.len() <= 8);
+        }
+        assert!(circuits_equivalent(&c, &p.to_circuit(), 1e-8));
+    }
+
+    #[test]
+    fn regroup_handles_opaque_gates() {
+        // Regrouping runs on synthesized streams containing opaque VUGs.
+        let mut c = epoc_circuit::Circuit::new(3);
+        c.push(Gate::unitary("vug", Gate::H.unitary_matrix()), &[0]);
+        c.push(Gate::CX, &[0, 1]);
+        c.push(Gate::unitary("vug", Gate::T.unitary_matrix()), &[1]);
+        c.push(Gate::CX, &[1, 2]);
+        let (blocks, stats) = regroup_to_blocks(&c, RegroupConfig { max_qubits: 3, max_gates: 10 });
+        assert_eq!(stats.blocks_out, 1);
+        assert!(circuits_equivalent(&c, &blocks, 1e-7));
+    }
+
+    #[test]
+    fn empty_input() {
+        let (blocks, stats) = regroup_to_blocks(&epoc_circuit::Circuit::new(2), RegroupConfig::default());
+        assert!(blocks.is_empty());
+        assert_eq!(stats.blocks_out, 0);
+        assert_eq!(stats.mean_gates_per_block, 0.0);
+    }
+}

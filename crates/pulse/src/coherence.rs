@@ -1,0 +1,153 @@
+//! Decoherence-aware fidelity estimation.
+//!
+//! The paper's introduction frames latency reduction through coherence
+//! time: a circuit only succeeds if its pulse schedule fits well inside
+//! T1/T2. This module extends the bare ESP product (Eq. 3) with the
+//! exponential decay each qubit accumulates over the schedule's makespan,
+//! quantifying how EPOC's latency reductions translate into fidelity.
+
+use crate::schedule::PulseSchedule;
+
+/// Per-qubit coherence parameters (ns).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoherenceModel {
+    /// Amplitude-damping time constant T1.
+    pub t1: f64,
+    /// Dephasing time constant T2 (≤ 2·T1 physically).
+    pub t2: f64,
+}
+
+impl Default for CoherenceModel {
+    /// IBM-like transmon numbers: T1 = 100 µs, T2 = 80 µs.
+    fn default() -> Self {
+        Self {
+            t1: 100_000.0,
+            t2: 80_000.0,
+        }
+    }
+}
+
+impl CoherenceModel {
+    /// Creates a model, validating positivity and `t2 ≤ 2·t1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive times or unphysical `t2 > 2·t1`.
+    pub fn new(t1: f64, t2: f64) -> Self {
+        assert!(t1 > 0.0 && t2 > 0.0, "coherence times must be positive");
+        assert!(t2 <= 2.0 * t1 + 1e-9, "T2 cannot exceed 2·T1");
+        Self { t1, t2 }
+    }
+
+    /// Single-qubit survival factor over a time `t`:
+    /// `(1/3)·(e^{-t/T1} + 2·e^{-t/T2})` — the average-fidelity decay of
+    /// the combined amplitude-damping + dephasing channel.
+    pub fn survival(&self, t: f64) -> f64 {
+        ((-t / self.t1).exp() + 2.0 * (-t / self.t2).exp()) / 3.0
+    }
+
+    /// Decoherence factor of a whole schedule: the product of each
+    /// qubit's survival over the schedule makespan. Idle time decoheres
+    /// exactly like busy time — which is why latency matters.
+    pub fn schedule_decay(&self, schedule: &PulseSchedule) -> f64 {
+        let latency = schedule.latency();
+        if latency <= 0.0 {
+            return 1.0;
+        }
+        // Only qubits that actually participate decohere *relevantly*
+        // (idle spectators carry no circuit state).
+        let mut active = vec![false; schedule.n_qubits()];
+        for p in schedule.pulses() {
+            for &q in &p.qubits {
+                active[q] = true;
+            }
+        }
+        let n_active = active.iter().filter(|&&a| a).count();
+        self.survival(latency).powi(n_active as i32)
+    }
+
+    /// ESP including decoherence: `Eq. 3 product × schedule decay`.
+    pub fn esp_with_decoherence(&self, schedule: &PulseSchedule) -> f64 {
+        schedule.esp() * self.schedule_decay(schedule)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::ScheduledPulse;
+
+    fn schedule_with(latency: f64, qubits: usize) -> PulseSchedule {
+        let mut s = PulseSchedule::new(qubits);
+        for q in 0..qubits {
+            s.push(ScheduledPulse {
+                qubits: vec![q],
+                start: 0.0,
+                duration: latency,
+                fidelity: 0.999,
+                label: "p".into(),
+            });
+        }
+        s
+    }
+
+    #[test]
+    fn survival_monotone_decreasing() {
+        let m = CoherenceModel::default();
+        assert!((m.survival(0.0) - 1.0).abs() < 1e-12);
+        assert!(m.survival(1000.0) > m.survival(10_000.0));
+        assert!(m.survival(10_000.0) > m.survival(100_000.0));
+    }
+
+    #[test]
+    fn empty_schedule_no_decay() {
+        let m = CoherenceModel::default();
+        assert_eq!(m.schedule_decay(&PulseSchedule::new(3)), 1.0);
+    }
+
+    #[test]
+    fn longer_schedules_decay_more() {
+        let m = CoherenceModel::default();
+        let short = schedule_with(100.0, 2);
+        let long = schedule_with(10_000.0, 2);
+        assert!(m.schedule_decay(&short) > m.schedule_decay(&long));
+    }
+
+    #[test]
+    fn more_active_qubits_decay_more() {
+        let m = CoherenceModel::default();
+        let narrow = schedule_with(1000.0, 2);
+        let wide = schedule_with(1000.0, 6);
+        assert!(m.schedule_decay(&narrow) > m.schedule_decay(&wide));
+    }
+
+    #[test]
+    fn esp_with_decoherence_below_bare_esp() {
+        let m = CoherenceModel::default();
+        let s = schedule_with(5000.0, 3);
+        assert!(m.esp_with_decoherence(&s) < s.esp());
+        assert!(m.esp_with_decoherence(&s) > 0.0);
+    }
+
+    #[test]
+    fn idle_spectators_do_not_count() {
+        let m = CoherenceModel::default();
+        let mut s = PulseSchedule::new(10);
+        s.push(ScheduledPulse {
+            qubits: vec![0],
+            start: 0.0,
+            duration: 1000.0,
+            fidelity: 1.0,
+            label: "x".into(),
+        });
+        // One active qubit despite the 10-qubit register.
+        let expect = m.survival(1000.0);
+        assert!((m.schedule_decay(&s) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "T2 cannot exceed")]
+    fn rejects_unphysical_t2() {
+        CoherenceModel::new(100.0, 300.0);
+    }
+}

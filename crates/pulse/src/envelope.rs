@@ -1,0 +1,224 @@
+//! Pulse envelope shapes.
+//!
+//! The physical signal sent to a qubit is a carrier modulated by an
+//! envelope. Calibrated gates use analytic envelopes (Gaussian, DRAG,
+//! flat-top); GRAPE emits piecewise-constant envelopes. All shapes share
+//! the [`Envelope`] interface so schedules can mix them.
+
+/// An envelope shape: amplitude as a function of time over `[0, duration]`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Envelope {
+    /// Constant amplitude.
+    Square {
+        /// Amplitude (rad/ns).
+        amplitude: f64,
+        /// Duration (ns).
+        duration: f64,
+    },
+    /// Gaussian centered at `duration/2` with the given standard deviation.
+    Gaussian {
+        /// Peak amplitude (rad/ns).
+        amplitude: f64,
+        /// Duration (ns).
+        duration: f64,
+        /// Standard deviation (ns).
+        sigma: f64,
+    },
+    /// Derivative-removal-by-adiabatic-gate: Gaussian with a scaled
+    /// derivative on the quadrature channel (the in-phase part is returned
+    /// by [`Envelope::sample`]; the quadrature by
+    /// [`Envelope::sample_quadrature`]).
+    Drag {
+        /// Peak amplitude (rad/ns).
+        amplitude: f64,
+        /// Duration (ns).
+        duration: f64,
+        /// Standard deviation (ns).
+        sigma: f64,
+        /// DRAG coefficient β.
+        beta: f64,
+    },
+    /// Piecewise-constant samples of fixed slot width (GRAPE output).
+    PiecewiseConstant {
+        /// Amplitudes per slot (rad/ns).
+        samples: Vec<f64>,
+        /// Slot width (ns).
+        dt: f64,
+    },
+}
+
+impl Envelope {
+    /// Total duration (ns).
+    pub fn duration(&self) -> f64 {
+        match self {
+            Envelope::Square { duration, .. }
+            | Envelope::Gaussian { duration, .. }
+            | Envelope::Drag { duration, .. } => *duration,
+            Envelope::PiecewiseConstant { samples, dt } => samples.len() as f64 * dt,
+        }
+    }
+
+    /// In-phase amplitude at time `t` (0 outside `[0, duration]`).
+    pub fn sample(&self, t: f64) -> f64 {
+        if t < 0.0 || t > self.duration() {
+            return 0.0;
+        }
+        match self {
+            Envelope::Square { amplitude, .. } => *amplitude,
+            Envelope::Gaussian {
+                amplitude,
+                duration,
+                sigma,
+            }
+            | Envelope::Drag {
+                amplitude,
+                duration,
+                sigma,
+                ..
+            } => {
+                let x = (t - duration / 2.0) / sigma;
+                amplitude * (-0.5 * x * x).exp()
+            }
+            Envelope::PiecewiseConstant { samples, dt } => {
+                let idx = ((t / dt) as usize).min(samples.len().saturating_sub(1));
+                samples.get(idx).copied().unwrap_or(0.0)
+            }
+        }
+    }
+
+    /// Quadrature amplitude at `t` (non-zero only for DRAG).
+    pub fn sample_quadrature(&self, t: f64) -> f64 {
+        match self {
+            Envelope::Drag {
+                amplitude,
+                duration,
+                sigma,
+                beta,
+            } => {
+                if t < 0.0 || t > self.duration() {
+                    return 0.0;
+                }
+                let x = (t - duration / 2.0) / sigma;
+                // β · d/dt Gaussian
+                -beta * amplitude * x / sigma * (-0.5 * x * x).exp()
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// Integrated rotation angle `∫ A(t) dt` (numerically, 0.1 ns steps;
+    /// exact for square and piecewise-constant).
+    pub fn area(&self) -> f64 {
+        match self {
+            Envelope::Square {
+                amplitude,
+                duration,
+            } => amplitude * duration,
+            Envelope::PiecewiseConstant { samples, dt } => {
+                samples.iter().sum::<f64>() * dt
+            }
+            _ => {
+                let d = self.duration();
+                let steps = (d / 0.1).ceil() as usize;
+                let h = d / steps as f64;
+                (0..steps)
+                    .map(|i| self.sample((i as f64 + 0.5) * h) * h)
+                    .sum()
+            }
+        }
+    }
+
+    /// Maximum absolute amplitude.
+    pub fn peak(&self) -> f64 {
+        match self {
+            Envelope::Square { amplitude, .. }
+            | Envelope::Gaussian { amplitude, .. }
+            | Envelope::Drag { amplitude, .. } => amplitude.abs(),
+            Envelope::PiecewiseConstant { samples, .. } => {
+                samples.iter().fold(0.0f64, |m, &s| m.max(s.abs()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn square_area_is_exact() {
+        let e = Envelope::Square {
+            amplitude: 0.1,
+            duration: 31.4,
+        };
+        assert!((e.area() - PI.min(3.14)).abs() < 0.01);
+        assert_eq!(e.sample(10.0), 0.1);
+        assert_eq!(e.sample(-1.0), 0.0);
+        assert_eq!(e.sample(32.0), 0.0);
+    }
+
+    #[test]
+    fn gaussian_peaks_at_center() {
+        let e = Envelope::Gaussian {
+            amplitude: 0.2,
+            duration: 40.0,
+            sigma: 10.0,
+        };
+        assert!((e.sample(20.0) - 0.2).abs() < 1e-12);
+        assert!(e.sample(0.0) < e.sample(20.0));
+        assert!((e.sample(10.0) - e.sample(30.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gaussian_area_close_to_analytic() {
+        let (a, d, s) = (0.2, 60.0, 8.0);
+        let e = Envelope::Gaussian {
+            amplitude: a,
+            duration: d,
+            sigma: s,
+        };
+        // ≈ a·σ·√(2π) when tails fit inside the window.
+        let analytic = a * s * (2.0 * PI).sqrt();
+        assert!((e.area() - analytic).abs() < 1e-2 * analytic);
+    }
+
+    #[test]
+    fn drag_quadrature_antisymmetric() {
+        let e = Envelope::Drag {
+            amplitude: 0.2,
+            duration: 40.0,
+            sigma: 10.0,
+            beta: 0.5,
+        };
+        let q1 = e.sample_quadrature(15.0);
+        let q2 = e.sample_quadrature(25.0);
+        assert!((q1 + q2).abs() < 1e-12, "not antisymmetric: {q1} {q2}");
+        assert_eq!(e.sample_quadrature(20.0), 0.0);
+        // In-phase equals plain Gaussian.
+        assert!((e.sample(20.0) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pwc_samples_and_area() {
+        let e = Envelope::PiecewiseConstant {
+            samples: vec![0.1, -0.2, 0.3],
+            dt: 2.0,
+        };
+        assert_eq!(e.duration(), 6.0);
+        assert_eq!(e.sample(1.0), 0.1);
+        assert_eq!(e.sample(3.0), -0.2);
+        assert_eq!(e.sample(5.9), 0.3);
+        assert!((e.area() - 0.4).abs() < 1e-12);
+        assert!((e.peak() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_drag_quadrature_is_zero() {
+        let e = Envelope::Square {
+            amplitude: 1.0,
+            duration: 1.0,
+        };
+        assert_eq!(e.sample_quadrature(0.5), 0.0);
+    }
+}

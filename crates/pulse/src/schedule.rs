@@ -1,0 +1,269 @@
+//! Pulse schedules: pulses placed on qubit lines in time.
+//!
+//! The compiler's final artifact. Latency is the makespan of the ASAP
+//! schedule; ESP fidelity is the product of per-pulse fidelities (the
+//! paper's Eq. 3).
+
+use epoc_circuit::{Circuit, Operation};
+use serde::Serialize;
+
+/// One pulse placed in the schedule.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ScheduledPulse {
+    /// Global qubits the pulse drives.
+    pub qubits: Vec<usize>,
+    /// Start time (ns).
+    pub start: f64,
+    /// Duration (ns).
+    pub duration: f64,
+    /// Pulse fidelity used in the ESP estimate.
+    pub fidelity: f64,
+    /// Display label (gate/block name).
+    pub label: String,
+}
+
+impl ScheduledPulse {
+    /// End time (ns).
+    pub fn end(&self) -> f64 {
+        self.start + self.duration
+    }
+}
+
+/// A pulse schedule over an `n`-qubit device.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct PulseSchedule {
+    n_qubits: usize,
+    pulses: Vec<ScheduledPulse>,
+}
+
+impl PulseSchedule {
+    /// Creates an empty schedule.
+    pub fn new(n_qubits: usize) -> Self {
+        Self {
+            n_qubits,
+            pulses: Vec::new(),
+        }
+    }
+
+    /// Register size.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// The scheduled pulses in insertion order.
+    pub fn pulses(&self) -> &[ScheduledPulse] {
+        &self.pulses
+    }
+
+    /// Number of pulses.
+    pub fn len(&self) -> usize {
+        self.pulses.len()
+    }
+
+    /// `true` when no pulses are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.pulses.is_empty()
+    }
+
+    /// Appends a pulse (caller is responsible for overlap discipline —
+    /// use [`schedule_circuit`] for ASAP placement).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a qubit is out of range or the duration is negative.
+    pub fn push(&mut self, pulse: ScheduledPulse) {
+        assert!(
+            pulse.qubits.iter().all(|&q| q < self.n_qubits),
+            "pulse qubit out of range"
+        );
+        assert!(pulse.duration >= 0.0, "negative duration");
+        self.pulses.push(pulse);
+    }
+
+    /// Total latency: the latest pulse end time (0 for an empty schedule).
+    pub fn latency(&self) -> f64 {
+        self.pulses.iter().map(ScheduledPulse::end).fold(0.0, f64::max)
+    }
+
+    /// Estimated success probability: `Π (fidelity_i)` — the paper's Eq. 3
+    /// with per-pulse fidelities.
+    pub fn esp(&self) -> f64 {
+        self.pulses.iter().map(|p| p.fidelity).product()
+    }
+
+    /// Fraction of qubit-line time occupied by pulses (the "utilization
+    /// rate of the qubit lines" the paper optimizes).
+    pub fn utilization(&self) -> f64 {
+        let total = self.latency() * self.n_qubits as f64;
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let busy: f64 = self
+            .pulses
+            .iter()
+            .map(|p| p.duration * p.qubits.len() as f64)
+            .sum();
+        busy / total
+    }
+
+    /// `true` when no two pulses overlap on any qubit line.
+    pub fn is_valid(&self) -> bool {
+        for (i, a) in self.pulses.iter().enumerate() {
+            for b in &self.pulses[i + 1..] {
+                if a.qubits.iter().any(|q| b.qubits.contains(q)) {
+                    let disjoint = a.end() <= b.start + 1e-9 || b.end() <= a.start + 1e-9;
+                    if !disjoint {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Duration and fidelity assigned to one operation by a cost model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PulseCost {
+    /// Pulse duration (ns).
+    pub duration: f64,
+    /// Pulse fidelity.
+    pub fidelity: f64,
+}
+
+/// ASAP-schedules a circuit: each operation starts as soon as all its
+/// qubit lines are free. `cost` maps each operation to its pulse duration
+/// and fidelity (zero-duration ops — virtual RZs — are skipped entirely).
+pub fn schedule_circuit(circuit: &Circuit, mut cost: impl FnMut(&Operation) -> PulseCost) -> PulseSchedule {
+    let mut schedule = PulseSchedule::new(circuit.n_qubits());
+    let mut line_free = vec![0.0f64; circuit.n_qubits()];
+    for op in circuit.ops() {
+        let c = cost(op);
+        if c.duration <= 0.0 {
+            continue; // virtual gate: no pulse, no time
+        }
+        let start = op
+            .qubits
+            .iter()
+            .map(|&q| line_free[q])
+            .fold(0.0f64, f64::max);
+        for &q in &op.qubits {
+            line_free[q] = start + c.duration;
+        }
+        schedule.push(ScheduledPulse {
+            qubits: op.qubits.clone(),
+            start,
+            duration: c.duration,
+            fidelity: c.fidelity,
+            label: op.gate.name().to_string(),
+        });
+    }
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epoc_circuit::Gate;
+
+    fn unit_cost(_: &Operation) -> PulseCost {
+        PulseCost {
+            duration: 10.0,
+            fidelity: 0.99,
+        }
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let s = PulseSchedule::new(2);
+        assert_eq!(s.latency(), 0.0);
+        assert_eq!(s.esp(), 1.0);
+        assert_eq!(s.utilization(), 0.0);
+        assert!(s.is_valid());
+    }
+
+    #[test]
+    fn parallel_gates_share_time() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::H, &[0]).push(Gate::H, &[1]);
+        let s = schedule_circuit(&c, unit_cost);
+        assert_eq!(s.latency(), 10.0);
+        assert!(s.is_valid());
+        assert!((s.utilization() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dependent_gates_serialize() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::H, &[0]).push(Gate::CX, &[0, 1]).push(Gate::H, &[1]);
+        let s = schedule_circuit(&c, unit_cost);
+        assert_eq!(s.latency(), 30.0);
+        assert!(s.is_valid());
+        assert_eq!(s.pulses()[1].start, 10.0);
+        assert_eq!(s.pulses()[2].start, 20.0);
+    }
+
+    #[test]
+    fn zero_duration_ops_skipped() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::RZ(0.3), &[0]).push(Gate::X, &[0]);
+        let s = schedule_circuit(&c, |op| PulseCost {
+            duration: if matches!(op.gate, Gate::RZ(_)) { 0.0 } else { 20.0 },
+            fidelity: 1.0,
+        });
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.latency(), 20.0);
+    }
+
+    #[test]
+    fn esp_multiplies_fidelities() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::X, &[0]).push(Gate::X, &[0]);
+        let s = schedule_circuit(&c, |_| PulseCost {
+            duration: 5.0,
+            fidelity: 0.9,
+        });
+        assert!((s.esp() - 0.81).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validity_detects_overlap() {
+        let mut s = PulseSchedule::new(1);
+        s.push(ScheduledPulse {
+            qubits: vec![0],
+            start: 0.0,
+            duration: 10.0,
+            fidelity: 1.0,
+            label: "a".into(),
+        });
+        s.push(ScheduledPulse {
+            qubits: vec![0],
+            start: 5.0,
+            duration: 10.0,
+            fidelity: 1.0,
+            label: "b".into(),
+        });
+        assert!(!s.is_valid());
+    }
+
+    #[test]
+    fn utilization_counts_multi_qubit_pulses() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::CX, &[0, 1]);
+        let s = schedule_circuit(&c, unit_cost);
+        assert!((s.utilization() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn push_validates_range() {
+        let mut s = PulseSchedule::new(1);
+        s.push(ScheduledPulse {
+            qubits: vec![3],
+            start: 0.0,
+            duration: 1.0,
+            fidelity: 1.0,
+            label: "x".into(),
+        });
+    }
+}

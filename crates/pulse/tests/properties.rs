@@ -1,0 +1,86 @@
+//! Property-based tests for pulse schedules and envelopes.
+
+use epoc_circuit::generators;
+use epoc_pulse::{
+    gate_based_schedule, schedule_circuit, CoherenceModel, Envelope, GatePulseTables, PulseCost,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn asap_schedules_are_always_valid(
+        n in 2usize..6,
+        gates in 0usize..40,
+        seed in 0u64..10_000,
+    ) {
+        let c = generators::random_circuit(n.max(2), gates.max(1), seed);
+        let s = gate_based_schedule(&c, &GatePulseTables::default());
+        prop_assert!(s.is_valid(), "overlapping pulses");
+        prop_assert!(s.latency() >= 0.0);
+        prop_assert!((0.0..=1.0).contains(&s.esp()));
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&s.utilization()));
+    }
+
+    #[test]
+    fn latency_bounded_by_serial_sum(
+        seed in 0u64..5_000,
+        dur in 1.0..100.0f64,
+    ) {
+        let c = generators::random_circuit(3, 12, seed);
+        let s = schedule_circuit(&c, |_| PulseCost { duration: dur, fidelity: 1.0 });
+        // Latency is at most fully-serial execution, at least one pulse.
+        prop_assert!(s.latency() <= dur * c.len() as f64 + 1e-9);
+        prop_assert!(s.latency() >= dur - 1e-9);
+    }
+
+    #[test]
+    fn latency_at_least_critical_path_lower_bound(seed in 0u64..5_000) {
+        // With unit durations, latency ≥ depth of the circuit.
+        let c = generators::random_circuit(3, 15, seed);
+        let s = schedule_circuit(&c, |_| PulseCost { duration: 1.0, fidelity: 1.0 });
+        prop_assert!(s.latency() + 1e-9 >= c.depth() as f64);
+    }
+
+    #[test]
+    fn coherence_decay_monotone(t1a in 1_000.0..50_000.0f64, factor in 1.1..5.0f64) {
+        let c = generators::ghz(4);
+        let s = gate_based_schedule(&c, &GatePulseTables::default());
+        let short = CoherenceModel::new(t1a, 0.8 * t1a);
+        let long = CoherenceModel::new(t1a * factor, 0.8 * t1a * factor);
+        // Longer coherence → less decay.
+        prop_assert!(long.schedule_decay(&s) >= short.schedule_decay(&s));
+    }
+
+    #[test]
+    fn gaussian_envelope_bounded_by_peak(
+        amp in 0.01..1.0f64,
+        dur in 10.0..100.0f64,
+        t in 0.0..100.0f64,
+    ) {
+        let e = Envelope::Gaussian { amplitude: amp, duration: dur, sigma: dur / 4.0 };
+        prop_assert!(e.sample(t).abs() <= e.peak() + 1e-12);
+    }
+
+    #[test]
+    fn pwc_round_trips_samples(samples in proptest::collection::vec(-0.5..0.5f64, 1..20)) {
+        let e = Envelope::PiecewiseConstant { samples: samples.clone(), dt: 2.0 };
+        for (i, &v) in samples.iter().enumerate() {
+            let t = (i as f64 + 0.5) * 2.0;
+            prop_assert!((e.sample(t) - v).abs() < 1e-12);
+        }
+        let total: f64 = samples.iter().sum::<f64>() * 2.0;
+        prop_assert!((e.area() - total).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn benchmark_suite_schedules_validate() {
+    for b in generators::benchmark_suite() {
+        let lowered = epoc_circuit::lower_to_basis(&b.circuit);
+        let s = gate_based_schedule(&lowered, &GatePulseTables::default());
+        assert!(s.is_valid(), "{} schedule overlaps", b.name);
+        assert!(s.latency() > 0.0, "{} empty schedule", b.name);
+    }
+}

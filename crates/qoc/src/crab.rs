@@ -1,0 +1,299 @@
+//! CRAB — chopped random-basis quantum optimization (Caneva et al. 2011).
+//!
+//! The second standard QOC algorithm the paper's §2.4 describes. Instead
+//! of optimizing every time slot independently (GRAPE), CRAB expands each
+//! control in a small randomized Fourier basis and optimizes the few
+//! coefficients with a derivative-free Nelder–Mead simplex — far fewer
+//! parameters, no gradients, and naturally smooth pulses.
+
+use crate::device::DeviceModel;
+use crate::grape::propagate;
+use epoc_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// CRAB configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrabConfig {
+    /// Fourier components per control channel.
+    pub n_components: usize,
+    /// Nelder–Mead iterations.
+    pub max_iters: usize,
+    /// Stop when infidelity drops below this.
+    pub infidelity_threshold: f64,
+    /// Random restarts (each re-draws the chopped frequencies).
+    pub restarts: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CrabConfig {
+    fn default() -> Self {
+        Self {
+            n_components: 4,
+            max_iters: 600,
+            infidelity_threshold: 1e-4,
+            restarts: 3,
+            seed: 0xC4AB,
+        }
+    }
+}
+
+/// Result of a CRAB run.
+#[derive(Debug, Clone)]
+pub struct CrabResult {
+    /// Optimized piecewise-constant controls (sampled from the Fourier
+    /// expansion), `controls[channel][slot]`.
+    pub controls: Vec<Vec<f64>>,
+    /// Achieved phase-invariant fidelity.
+    pub fidelity: f64,
+    /// Total pulse duration (ns).
+    pub duration: f64,
+    /// Cost-function evaluations used.
+    pub evaluations: usize,
+}
+
+/// Runs CRAB to implement `target` on `device` within `n_slots` slots.
+///
+/// # Panics
+///
+/// Panics if the target dimension mismatches the device or `n_slots == 0`.
+pub fn crab(
+    device: &DeviceModel,
+    target: &Matrix,
+    n_slots: usize,
+    config: &CrabConfig,
+) -> CrabResult {
+    assert!(n_slots > 0, "need at least one slot");
+    assert_eq!(target.rows(), device.dim(), "target dimension mismatch");
+    let n_ctrl = device.controls().len();
+    let nc = config.n_components;
+    let dim = device.dim() as f64;
+    let a_max = device.max_amplitude();
+    let duration = n_slots as f64 * device.dt();
+
+    let mut best_controls: Option<Vec<Vec<f64>>> = None;
+    let mut best_fid = -1.0;
+    let mut evaluations = 0usize;
+
+    for restart in 0..config.restarts.max(1) {
+        let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(restart as u64 * 7919));
+        // Chopped random frequencies: ω_k = 2π k (1 + r)/T, r ∈ (−½, ½).
+        let freqs: Vec<Vec<f64>> = (0..n_ctrl)
+            .map(|_| {
+                (1..=nc)
+                    .map(|k| {
+                        2.0 * std::f64::consts::PI * (k as f64 + rng.gen::<f64>() - 0.5)
+                            / duration
+                    })
+                    .collect()
+            })
+            .collect();
+        // Parameters: per channel, per component, (a_k, b_k) coefficients.
+        let n_params = n_ctrl * nc * 2;
+        let sample_controls = |params: &[f64]| -> Vec<Vec<f64>> {
+            let mut out = vec![vec![0.0f64; n_slots]; n_ctrl];
+            for j in 0..n_ctrl {
+                for s in 0..n_slots {
+                    let t = (s as f64 + 0.5) * device.dt();
+                    let mut v = 0.0;
+                    for k in 0..nc {
+                        let a = params[(j * nc + k) * 2];
+                        let b = params[(j * nc + k) * 2 + 1];
+                        let w = freqs[j][k];
+                        v += a * (w * t).sin() + b * (w * t).cos();
+                    }
+                    // Keep within drive bounds with a smooth squash.
+                    out[j][s] = a_max * (v / a_max).tanh();
+                }
+            }
+            out
+        };
+        let mut evals_here = 0usize;
+        let mut cost = |params: &[f64]| -> f64 {
+            evals_here += 1;
+            let controls = sample_controls(params);
+            let u = propagate(device, &controls);
+            let f = target.dagger().matmul(&u).trace().abs() / dim;
+            1.0 - f
+        };
+
+        // Nelder–Mead simplex.
+        let init: Vec<f64> = (0..n_params)
+            .map(|_| (rng.gen::<f64>() - 0.5) * a_max)
+            .collect();
+        let (params, c) = nelder_mead(
+            &mut cost,
+            &init,
+            0.3 * a_max,
+            config.max_iters,
+            config.infidelity_threshold,
+        );
+        evaluations += evals_here;
+        let fid = 1.0 - c;
+        if fid > best_fid {
+            best_fid = fid;
+            best_controls = Some(sample_controls(&params));
+            if c < config.infidelity_threshold {
+                break;
+            }
+        }
+    }
+    CrabResult {
+        controls: best_controls.expect("at least one restart"),
+        fidelity: best_fid,
+        duration,
+        evaluations,
+    }
+}
+
+/// Minimal Nelder–Mead implementation; returns (best point, best cost).
+fn nelder_mead(
+    cost: &mut impl FnMut(&[f64]) -> f64,
+    init: &[f64],
+    step: f64,
+    max_iters: usize,
+    target_cost: f64,
+) -> (Vec<f64>, f64) {
+    let n = init.len();
+    let (alpha, gamma, rho, sigma) = (1.0, 2.0, 0.5, 0.5);
+    // Initial simplex: init + per-axis offsets.
+    let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n + 1);
+    simplex.push((init.to_vec(), cost(init)));
+    for i in 0..n {
+        let mut p = init.to_vec();
+        p[i] += step;
+        let c = cost(&p);
+        simplex.push((p, c));
+    }
+    for _ in 0..max_iters {
+        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"));
+        if simplex[0].1 < target_cost {
+            break;
+        }
+        // Centroid of all but worst.
+        let mut centroid = vec![0.0f64; n];
+        for (p, _) in &simplex[..n] {
+            for (c, x) in centroid.iter_mut().zip(p) {
+                *c += x / n as f64;
+            }
+        }
+        let worst = simplex[n].clone();
+        let reflect: Vec<f64> = centroid
+            .iter()
+            .zip(&worst.0)
+            .map(|(c, w)| c + alpha * (c - w))
+            .collect();
+        let fr = cost(&reflect);
+        if fr < simplex[0].1 {
+            // Try expansion.
+            let expand: Vec<f64> = centroid
+                .iter()
+                .zip(&reflect)
+                .map(|(c, r)| c + gamma * (r - c))
+                .collect();
+            let fe = cost(&expand);
+            simplex[n] = if fe < fr { (expand, fe) } else { (reflect, fr) };
+        } else if fr < simplex[n - 1].1 {
+            simplex[n] = (reflect, fr);
+        } else {
+            // Contraction.
+            let contract: Vec<f64> = centroid
+                .iter()
+                .zip(&worst.0)
+                .map(|(c, w)| c + rho * (w - c))
+                .collect();
+            let fc = cost(&contract);
+            if fc < worst.1 {
+                simplex[n] = (contract, fc);
+            } else {
+                // Shrink toward best.
+                let best = simplex[0].0.clone();
+                for entry in simplex.iter_mut().skip(1) {
+                    let p: Vec<f64> = best
+                        .iter()
+                        .zip(&entry.0)
+                        .map(|(b, x)| b + sigma * (x - b))
+                        .collect();
+                    let c = cost(&p);
+                    *entry = (p, c);
+                }
+            }
+        }
+    }
+    simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"));
+    simplex[0].clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epoc_circuit::Gate;
+
+    #[test]
+    fn crab_reaches_single_qubit_gates() {
+        let d = DeviceModel::transmon_line(1);
+        for gate in [Gate::X, Gate::H] {
+            let r = crab(
+                &d,
+                &gate.unitary_matrix(),
+                30,
+                &CrabConfig {
+                    restarts: 4,
+                    max_iters: 800,
+                    ..Default::default()
+                },
+            );
+            assert!(
+                r.fidelity > 0.99,
+                "{gate}: CRAB fidelity {}",
+                r.fidelity
+            );
+        }
+    }
+
+    #[test]
+    fn crab_controls_respect_bounds() {
+        let d = DeviceModel::transmon_line(1);
+        let r = crab(&d, &Gate::Sx.unitary_matrix(), 20, &CrabConfig::default());
+        for ch in &r.controls {
+            for &a in ch {
+                assert!(a.abs() <= d.max_amplitude() + 1e-9);
+            }
+        }
+        assert_eq!(r.duration, 40.0);
+        assert!(r.evaluations > 0);
+    }
+
+    #[test]
+    fn crab_smoothness() {
+        // Fourier-basis pulses are smooth: adjacent-slot jumps stay small
+        // relative to the amplitude bound.
+        let d = DeviceModel::transmon_line(1);
+        let r = crab(&d, &Gate::X.unitary_matrix(), 40, &CrabConfig::default());
+        let max_jump = r.controls[0]
+            .windows(2)
+            .map(|w| (w[1] - w[0]).abs())
+            .fold(0.0f64, f64::max);
+        assert!(
+            max_jump < 0.8 * d.max_amplitude(),
+            "jump {max_jump} too large"
+        );
+    }
+
+    #[test]
+    fn nelder_mead_minimizes_quadratic() {
+        let mut cost = |p: &[f64]| (p[0] - 1.0).powi(2) + (p[1] + 2.0).powi(2);
+        let (p, c) = nelder_mead(&mut cost, &[0.0, 0.0], 0.5, 400, 1e-12);
+        assert!(c < 1e-6, "cost {c}");
+        assert!((p[0] - 1.0).abs() < 1e-3);
+        assert!((p[1] + 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn crab_too_short_fails_gracefully() {
+        let d = DeviceModel::transmon_line(1);
+        let r = crab(&d, &Gate::X.unitary_matrix(), 2, &CrabConfig::default());
+        assert!(r.fidelity < 0.9);
+    }
+}

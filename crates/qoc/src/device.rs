@@ -1,0 +1,225 @@
+//! Simulated superconducting device model.
+//!
+//! The paper runs GRAPE against transmon hardware Hamiltonians. Real
+//! hardware is unavailable here, so pulses are optimized against a
+//! qubit-level rotating-frame model (see DESIGN.md's substitution table):
+//!
+//! * **drift**: staggered qubit detunings `δ_q/2 · Z_q` plus always-on
+//!   exchange coupling `g (X_a X_b + Y_a Y_b)/2` along a line topology;
+//! * **controls**: per-qubit X and Y microwave drives with bounded
+//!   amplitude.
+//!
+//! Units: time in nanoseconds, angular frequencies in rad/ns.
+
+use epoc_circuit::Gate;
+use epoc_linalg::Matrix;
+use std::f64::consts::PI;
+
+/// A control Hamiltonian channel.
+#[derive(Debug, Clone)]
+pub struct ControlChannel {
+    /// Display label (`"X0"`, `"Y2"`, …).
+    pub label: String,
+    /// The Hamiltonian term this channel drives (full block dimension).
+    pub hamiltonian: Matrix,
+}
+
+/// The device model GRAPE optimizes against.
+#[derive(Debug, Clone)]
+pub struct DeviceModel {
+    n_qubits: usize,
+    drift: Matrix,
+    controls: Vec<ControlChannel>,
+    max_amplitude: f64,
+    dt: f64,
+}
+
+impl DeviceModel {
+    /// Standard transmon-like line-coupled model on `n` qubits.
+    ///
+    /// Parameters (rad/ns): detuning step `2π·0.01·q`, exchange coupling
+    /// `2π·0.002` between adjacent qubits, drive amplitude bound
+    /// `2π·0.02`, slot width 2 ns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > 6` (dense 64×64 is the practical GRAPE
+    /// ceiling here).
+    pub fn transmon_line(n: usize) -> Self {
+        assert!((1..=6).contains(&n), "transmon model supports 1..=6 qubits");
+        let dim = 1usize << n;
+        let z = Gate::Z.unitary_matrix();
+        let x = Gate::X.unitary_matrix();
+        let y = Gate::Y.unitary_matrix();
+
+        let mut drift = Matrix::zeros(dim, dim);
+        for q in 0..n {
+            let delta = 2.0 * PI * 0.01 * q as f64;
+            if delta != 0.0 {
+                drift += &z.embed(&[q], n).scale_re(delta / 2.0);
+            }
+        }
+        let g = 2.0 * PI * 0.002;
+        for q in 0..n.saturating_sub(1) {
+            let xx = x.embed(&[q], n).matmul(&x.embed(&[q + 1], n));
+            let yy = y.embed(&[q], n).matmul(&y.embed(&[q + 1], n));
+            drift += &(&xx + &yy).scale_re(g / 2.0);
+        }
+
+        let mut controls = Vec::with_capacity(2 * n);
+        for q in 0..n {
+            controls.push(ControlChannel {
+                label: format!("X{q}"),
+                hamiltonian: x.embed(&[q], n).scale_re(0.5),
+            });
+            controls.push(ControlChannel {
+                label: format!("Y{q}"),
+                hamiltonian: y.embed(&[q], n).scale_re(0.5),
+            });
+        }
+        Self {
+            n_qubits: n,
+            drift,
+            controls,
+            max_amplitude: 2.0 * PI * 0.02,
+            dt: 2.0,
+        }
+    }
+
+    /// Builds a custom model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the drift is not Hermitian/square, a control is not
+    /// Hermitian, dimensions mismatch, or `dt`/`max_amplitude` are not
+    /// positive.
+    pub fn new(
+        n_qubits: usize,
+        drift: Matrix,
+        controls: Vec<ControlChannel>,
+        max_amplitude: f64,
+        dt: f64,
+    ) -> Self {
+        let dim = 1usize << n_qubits;
+        assert_eq!(drift.rows(), dim, "drift dimension mismatch");
+        assert!(drift.is_hermitian(1e-9), "drift must be Hermitian");
+        for c in &controls {
+            assert_eq!(c.hamiltonian.rows(), dim, "control dimension mismatch");
+            assert!(c.hamiltonian.is_hermitian(1e-9), "controls must be Hermitian");
+        }
+        assert!(max_amplitude > 0.0, "amplitude bound must be positive");
+        assert!(dt > 0.0, "dt must be positive");
+        Self {
+            n_qubits,
+            drift,
+            controls,
+            max_amplitude,
+            dt,
+        }
+    }
+
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Hilbert-space dimension.
+    pub fn dim(&self) -> usize {
+        1 << self.n_qubits
+    }
+
+    /// The drift Hamiltonian.
+    pub fn drift(&self) -> &Matrix {
+        &self.drift
+    }
+
+    /// The control channels.
+    pub fn controls(&self) -> &[ControlChannel] {
+        &self.controls
+    }
+
+    /// Drive amplitude bound (rad/ns).
+    pub fn max_amplitude(&self) -> f64 {
+        self.max_amplitude
+    }
+
+    /// GRAPE slot width (ns).
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// Total Hamiltonian at the given control amplitudes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amplitudes.len()` differs from the channel count.
+    pub fn hamiltonian(&self, amplitudes: &[f64]) -> Matrix {
+        assert_eq!(
+            amplitudes.len(),
+            self.controls.len(),
+            "amplitude count mismatch"
+        );
+        let mut h = self.drift.clone();
+        for (c, &a) in self.controls.iter().zip(amplitudes) {
+            if a != 0.0 {
+                h += &c.hamiltonian.scale_re(a);
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transmon_line_shapes() {
+        for n in 1..=3 {
+            let d = DeviceModel::transmon_line(n);
+            assert_eq!(d.n_qubits(), n);
+            assert_eq!(d.dim(), 1 << n);
+            assert_eq!(d.controls().len(), 2 * n);
+            assert!(d.drift().is_hermitian(1e-12));
+            for c in d.controls() {
+                assert!(c.hamiltonian.is_hermitian(1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn hamiltonian_combines_channels() {
+        let d = DeviceModel::transmon_line(1);
+        let h = d.hamiltonian(&[0.3, 0.0]);
+        // H = drift + 0.3·X/2: check the off-diagonal.
+        assert!((h[(0, 1)].re - 0.15).abs() < 1e-12);
+        assert!(h.is_hermitian(1e-12));
+    }
+
+    #[test]
+    fn single_qubit_drift_is_zero_detuning() {
+        // Qubit 0 has zero detuning by construction.
+        let d = DeviceModel::transmon_line(1);
+        assert!(d.drift().frobenius_norm() < 1e-12);
+    }
+
+    #[test]
+    fn coupling_present_for_two_qubits() {
+        let d = DeviceModel::transmon_line(2);
+        assert!(d.drift().frobenius_norm() > 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=6")]
+    fn rejects_large_models() {
+        DeviceModel::transmon_line(9);
+    }
+
+    #[test]
+    #[should_panic(expected = "Hermitian")]
+    fn custom_model_validates_drift() {
+        let mut bad = Matrix::zeros(2, 2);
+        bad[(0, 1)] = epoc_linalg::c64(1.0, 0.0);
+        DeviceModel::new(1, bad, vec![], 1.0, 1.0);
+    }
+}

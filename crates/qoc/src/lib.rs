@@ -1,0 +1,49 @@
+//! # epoc-qoc — quantum optimal control for the EPOC pulse compiler
+//!
+//! Everything between "unitary block" and "microwave pulse":
+//!
+//! * [`DeviceModel`] — the simulated transmon-line system (drift +
+//!   bounded X/Y drives) pulses are optimized against;
+//! * [`grape`] — GRAPE with exact propagator-derivative gradients (and a
+//!   first-order mode for the ablation);
+//! * [`minimize_duration`] — the AccQOC binary search for the shortest
+//!   pulse reaching a fidelity threshold;
+//! * [`PulseLibrary`] — the unitary→pulse cache, with EPOC's
+//!   global-phase-aware key policy and the phase-sensitive baseline;
+//! * [`DurationModel`] — the calibrated duration model substituting for
+//!   cluster-scale GRAPE on wide blocks;
+//! * [`PulseSynthesizer`] backends ([`GrapeSynthesizer`],
+//!   [`ModeledSynthesizer`], [`HybridSynthesizer`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use epoc_circuit::Gate;
+//! use epoc_qoc::{grape, DeviceModel, GrapeConfig};
+//!
+//! let device = DeviceModel::transmon_line(1);
+//! let result = grape(&device, &Gate::Sx.unitary_matrix(), 16, &GrapeConfig::default());
+//! assert!(result.fidelity > 0.99);
+//! ```
+
+#![warn(missing_docs)]
+
+mod crab;
+mod device;
+mod duration;
+mod grape;
+mod library;
+mod model;
+mod synthesizer;
+
+pub use crab::{crab, CrabConfig, CrabResult};
+pub use device::{ControlChannel, DeviceModel};
+pub use duration::{
+    minimize_duration, DurationSearchConfig, PulseSolution, SearchDurationError,
+};
+pub use grape::{grape, propagate, GradientMode, GrapeConfig, GrapeResult};
+pub use library::{KeyPolicy, PulseEntry, PulseLibrary};
+pub use model::{DurationModel, GateDurationTable};
+pub use synthesizer::{
+    GrapeSynthesizer, HybridSynthesizer, ModeledSynthesizer, PulseRequest, PulseSynthesizer,
+};

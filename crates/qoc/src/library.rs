@@ -1,0 +1,234 @@
+//! The pulse library: a concurrent unitary → pulse cache.
+//!
+//! AccQOC/PAQOC key their lookup tables on the raw unitary; EPOC's
+//! improvement (§3.4) is **global-phase-aware** matching — `U` and
+//! `e^{iφ}U` need the same pulse, so treating them as one entry raises the
+//! hit rate "similar to having a higher cache hit rate". Both policies are
+//! implemented so the ablation bench can compare them.
+
+use epoc_linalg::{Matrix, PhaseSensitiveKey, UnitaryKey};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Cache key policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyPolicy {
+    /// EPOC: unitaries matching up to global phase share an entry.
+    PhaseAware,
+    /// AccQOC/PAQOC baseline: exact-matrix matching only.
+    PhaseSensitive,
+}
+
+/// A cached pulse: its duration and realized fidelity.
+///
+/// The control waveforms themselves are deliberately not stored — latency
+/// and fidelity are what the compiler consumes downstream; storing
+/// `O(channels × slots)` floats per entry would bloat the library without
+/// being read.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PulseEntry {
+    /// Pulse duration in ns.
+    pub duration: f64,
+    /// Realized pulse fidelity.
+    pub fidelity: f64,
+    /// Slot count of the stored solution.
+    pub n_slots: usize,
+}
+
+/// A thread-safe pulse library.
+///
+/// # Examples
+///
+/// ```
+/// use epoc_qoc::{PulseLibrary, PulseEntry, KeyPolicy};
+/// use epoc_linalg::{Matrix, Complex64};
+///
+/// let lib = PulseLibrary::new(KeyPolicy::PhaseAware);
+/// let x = Matrix::from_rows(&[
+///     &[Complex64::ZERO, Complex64::ONE],
+///     &[Complex64::ONE, Complex64::ZERO],
+/// ]);
+/// lib.insert(&x, PulseEntry { duration: 26.0, fidelity: 0.9995, n_slots: 13 });
+/// // The same gate with a different global phase hits the cache:
+/// let gx = x.scale(Complex64::cis(1.0));
+/// assert!(lib.lookup(&gx).is_some());
+/// ```
+#[derive(Debug)]
+pub struct PulseLibrary {
+    policy: KeyPolicy,
+    phase_aware: RwLock<HashMap<UnitaryKey, PulseEntry>>,
+    phase_sensitive: RwLock<HashMap<PhaseSensitiveKey, PulseEntry>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl PulseLibrary {
+    /// Creates an empty library with the given key policy.
+    pub fn new(policy: KeyPolicy) -> Self {
+        Self {
+            policy,
+            phase_aware: RwLock::new(HashMap::new()),
+            phase_sensitive: RwLock::new(HashMap::new()),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// The key policy.
+    pub fn policy(&self) -> KeyPolicy {
+        self.policy
+    }
+
+    /// Looks up a pulse for `unitary`, counting a hit or miss.
+    pub fn lookup(&self, unitary: &Matrix) -> Option<PulseEntry> {
+        let found = match self.policy {
+            KeyPolicy::PhaseAware => self
+                .phase_aware
+                .read()
+                .get(&UnitaryKey::new(unitary))
+                .copied(),
+            KeyPolicy::PhaseSensitive => self
+                .phase_sensitive
+                .read()
+                .get(&PhaseSensitiveKey::new(unitary))
+                .copied(),
+        };
+        match found {
+            Some(e) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(e)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or replaces) the pulse for `unitary`.
+    pub fn insert(&self, unitary: &Matrix, entry: PulseEntry) {
+        match self.policy {
+            KeyPolicy::PhaseAware => {
+                self.phase_aware
+                    .write()
+                    .insert(UnitaryKey::new(unitary), entry);
+            }
+            KeyPolicy::PhaseSensitive => {
+                self.phase_sensitive
+                    .write()
+                    .insert(PhaseSensitiveKey::new(unitary), entry);
+            }
+        }
+    }
+
+    /// Number of stored pulses.
+    pub fn len(&self) -> usize {
+        match self.policy {
+            KeyPolicy::PhaseAware => self.phase_aware.read().len(),
+            KeyPolicy::PhaseSensitive => self.phase_sensitive.read().len(),
+        }
+    }
+
+    /// `true` when no pulses are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookup hits so far.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookup misses so far.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Hit rate in `[0, 1]` (0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let h = self.hits();
+        let m = self.misses();
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epoc_circuit::Gate;
+    use epoc_linalg::Complex64;
+
+    fn entry(d: f64) -> PulseEntry {
+        PulseEntry {
+            duration: d,
+            fidelity: 0.9995,
+            n_slots: (d / 2.0) as usize,
+        }
+    }
+
+    #[test]
+    fn phase_aware_hits_rotated_unitary() {
+        let lib = PulseLibrary::new(KeyPolicy::PhaseAware);
+        let h = Gate::H.unitary_matrix();
+        lib.insert(&h, entry(26.0));
+        let rotated = h.scale(Complex64::cis(2.2));
+        assert_eq!(lib.lookup(&rotated).map(|e| e.duration), Some(26.0));
+        assert_eq!(lib.hits(), 1);
+        assert_eq!(lib.misses(), 0);
+    }
+
+    #[test]
+    fn phase_sensitive_misses_rotated_unitary() {
+        let lib = PulseLibrary::new(KeyPolicy::PhaseSensitive);
+        let h = Gate::H.unitary_matrix();
+        lib.insert(&h, entry(26.0));
+        let rotated = h.scale(Complex64::cis(2.2));
+        assert!(lib.lookup(&rotated).is_none());
+        assert!(lib.lookup(&h).is_some());
+        assert!((lib.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_gates_do_not_collide() {
+        let lib = PulseLibrary::new(KeyPolicy::PhaseAware);
+        lib.insert(&Gate::H.unitary_matrix(), entry(26.0));
+        lib.insert(&Gate::X.unitary_matrix(), entry(30.0));
+        assert_eq!(lib.len(), 2);
+        assert_eq!(
+            lib.lookup(&Gate::X.unitary_matrix()).map(|e| e.duration),
+            Some(30.0)
+        );
+    }
+
+    #[test]
+    fn concurrent_access() {
+        use std::sync::Arc;
+        let lib = Arc::new(PulseLibrary::new(KeyPolicy::PhaseAware));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let lib = Arc::clone(&lib);
+            handles.push(std::thread::spawn(move || {
+                let g = Gate::RZ(t as f64).unitary_matrix();
+                lib.insert(&g, entry(10.0 + t as f64));
+                lib.lookup(&g).expect("just inserted");
+            }));
+        }
+        for h in handles {
+            h.join().expect("no panics");
+        }
+        assert_eq!(lib.len(), 4);
+        assert_eq!(lib.hits(), 4);
+    }
+
+    #[test]
+    fn empty_library_metrics() {
+        let lib = PulseLibrary::new(KeyPolicy::PhaseAware);
+        assert!(lib.is_empty());
+        assert_eq!(lib.hit_rate(), 0.0);
+    }
+}

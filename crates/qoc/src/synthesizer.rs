@@ -1,0 +1,324 @@
+//! Pulse synthesizer backends.
+//!
+//! A [`PulseSynthesizer`] turns a unitary block into a pulse (duration +
+//! fidelity). Three backends:
+//!
+//! * [`GrapeSynthesizer`] — real GRAPE + duration binary search against
+//!   the simulated device, with a [`PulseLibrary`] cache in front;
+//! * [`ModeledSynthesizer`] — the calibrated [`DurationModel`];
+//! * [`HybridSynthesizer`] — GRAPE up to a width limit, model beyond
+//!   (the default for the benchmark harness).
+
+use crate::device::DeviceModel;
+use crate::duration::{minimize_duration, DurationSearchConfig};
+use crate::library::{KeyPolicy, PulseEntry, PulseLibrary};
+use crate::model::DurationModel;
+use epoc_circuit::Circuit;
+use epoc_linalg::Matrix;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// What a pulse is requested for.
+#[derive(Debug, Clone, Copy)]
+pub struct PulseRequest<'a> {
+    /// Width of the block.
+    pub n_qubits: usize,
+    /// Dense unitary, when available (required by GRAPE).
+    pub unitary: Option<&'a Matrix>,
+    /// The block's local circuit, when available (used by the model).
+    pub local_circuit: Option<&'a Circuit>,
+}
+
+/// A backend that produces pulses for unitary blocks.
+pub trait PulseSynthesizer: Send + Sync {
+    /// Produces (or retrieves) the pulse for a block.
+    fn pulse(&self, request: &PulseRequest<'_>) -> PulseEntry;
+
+    /// Human-readable backend name.
+    fn name(&self) -> &str;
+}
+
+/// Real-GRAPE backend with pulse-library caching.
+pub struct GrapeSynthesizer {
+    library: PulseLibrary,
+    devices: Mutex<HashMap<usize, DeviceModel>>,
+    search: DurationSearchConfig,
+    /// Width cap — requests beyond it panic (route them to a hybrid).
+    max_qubits: usize,
+}
+
+impl GrapeSynthesizer {
+    /// Creates a GRAPE backend with the given cache policy.
+    pub fn new(policy: KeyPolicy, search: DurationSearchConfig, max_qubits: usize) -> Self {
+        Self {
+            library: PulseLibrary::new(policy),
+            devices: Mutex::new(HashMap::new()),
+            search,
+            max_qubits: max_qubits.clamp(1, 6),
+        }
+    }
+
+    /// The cache.
+    pub fn library(&self) -> &PulseLibrary {
+        &self.library
+    }
+
+    /// Width cap.
+    pub fn max_qubits(&self) -> usize {
+        self.max_qubits
+    }
+
+    fn device_for(&self, n: usize) -> DeviceModel {
+        self.devices
+            .lock()
+            .entry(n)
+            .or_insert_with(|| DeviceModel::transmon_line(n))
+            .clone()
+    }
+}
+
+impl Default for GrapeSynthesizer {
+    fn default() -> Self {
+        Self::new(KeyPolicy::PhaseAware, DurationSearchConfig::default(), 2)
+    }
+}
+
+impl PulseSynthesizer for GrapeSynthesizer {
+    fn pulse(&self, request: &PulseRequest<'_>) -> PulseEntry {
+        let unitary = request
+            .unitary
+            .expect("GrapeSynthesizer needs the block unitary");
+        assert!(
+            request.n_qubits <= self.max_qubits,
+            "block of {} qubits exceeds GRAPE limit {}",
+            request.n_qubits,
+            self.max_qubits
+        );
+        if let Some(entry) = self.library.lookup(unitary) {
+            return entry;
+        }
+        let device = self.device_for(request.n_qubits);
+        let entry = match minimize_duration(&device, unitary, &self.search) {
+            Ok(sol) => PulseEntry {
+                duration: sol.result.duration,
+                fidelity: sol.result.fidelity,
+                n_slots: sol.n_slots,
+            },
+            Err(err) => PulseEntry {
+                // Unreachable within the cap: report the capped pulse.
+                duration: self.search.max_slots as f64 * device.dt(),
+                fidelity: err.best_fidelity,
+                n_slots: self.search.max_slots,
+            },
+        };
+        self.library.insert(unitary, entry);
+        entry
+    }
+
+    fn name(&self) -> &str {
+        "grape"
+    }
+}
+
+/// Calibrated-model backend (no GRAPE at request time).
+pub struct ModeledSynthesizer {
+    model: DurationModel,
+    library: PulseLibrary,
+}
+
+impl ModeledSynthesizer {
+    /// Creates a model backend.
+    pub fn new(model: DurationModel, policy: KeyPolicy) -> Self {
+        Self {
+            model,
+            library: PulseLibrary::new(policy),
+        }
+    }
+
+    /// The model in use.
+    pub fn model(&self) -> &DurationModel {
+        &self.model
+    }
+
+    /// The cache.
+    pub fn library(&self) -> &PulseLibrary {
+        &self.library
+    }
+}
+
+impl Default for ModeledSynthesizer {
+    fn default() -> Self {
+        Self::new(DurationModel::default(), KeyPolicy::PhaseAware)
+    }
+}
+
+impl PulseSynthesizer for ModeledSynthesizer {
+    fn pulse(&self, request: &PulseRequest<'_>) -> PulseEntry {
+        if let Some(u) = request.unitary {
+            if let Some(entry) = self.library.lookup(u) {
+                return entry;
+            }
+        }
+        let duration = match request.local_circuit {
+            Some(c) => self.model.block_duration(c),
+            None => self.model.width_duration(request.n_qubits),
+        };
+        let entry = PulseEntry {
+            duration,
+            fidelity: self.model.pulse_fidelity,
+            n_slots: (duration / 2.0).ceil() as usize,
+        };
+        if let Some(u) = request.unitary {
+            self.library.insert(u, entry);
+        }
+        entry
+    }
+
+    fn name(&self) -> &str {
+        "modeled"
+    }
+}
+
+/// GRAPE for narrow blocks, calibrated model beyond.
+pub struct HybridSynthesizer {
+    grape: GrapeSynthesizer,
+    model: ModeledSynthesizer,
+}
+
+impl HybridSynthesizer {
+    /// Creates a hybrid backend: GRAPE up to `grape_limit` qubits.
+    pub fn new(policy: KeyPolicy, grape_limit: usize, model: DurationModel) -> Self {
+        Self {
+            grape: GrapeSynthesizer::new(policy, DurationSearchConfig::default(), grape_limit),
+            model: ModeledSynthesizer::new(model, policy),
+        }
+    }
+
+    /// The GRAPE sub-backend.
+    pub fn grape(&self) -> &GrapeSynthesizer {
+        &self.grape
+    }
+
+    /// The model sub-backend.
+    pub fn modeled(&self) -> &ModeledSynthesizer {
+        &self.model
+    }
+
+    /// Combined cache hit count.
+    pub fn cache_hits(&self) -> usize {
+        self.grape.library().hits() + self.model.library().hits()
+    }
+
+    /// Combined cache miss count.
+    pub fn cache_misses(&self) -> usize {
+        self.grape.library().misses() + self.model.library().misses()
+    }
+}
+
+impl Default for HybridSynthesizer {
+    fn default() -> Self {
+        Self::new(KeyPolicy::PhaseAware, 2, DurationModel::default())
+    }
+}
+
+impl PulseSynthesizer for HybridSynthesizer {
+    fn pulse(&self, request: &PulseRequest<'_>) -> PulseEntry {
+        if request.n_qubits <= self.grape.max_qubits() && request.unitary.is_some() {
+            self.grape.pulse(request)
+        } else {
+            self.model.pulse(request)
+        }
+    }
+
+    fn name(&self) -> &str {
+        "hybrid"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epoc_circuit::Gate;
+
+    #[test]
+    fn grape_backend_caches() {
+        let s = GrapeSynthesizer::new(
+            KeyPolicy::PhaseAware,
+            DurationSearchConfig {
+                initial_slots: 8,
+                max_slots: 64,
+                ..Default::default()
+            },
+            1,
+        );
+        let x = Gate::X.unitary_matrix();
+        let req = PulseRequest {
+            n_qubits: 1,
+            unitary: Some(&x),
+            local_circuit: None,
+        };
+        let a = s.pulse(&req);
+        assert!(a.fidelity > 0.999);
+        assert!(a.duration >= 24.0, "duration {}", a.duration);
+        let b = s.pulse(&req);
+        assert_eq!(a, b);
+        assert_eq!(s.library().hits(), 1);
+        assert_eq!(s.library().misses(), 1);
+    }
+
+    #[test]
+    fn modeled_backend_uses_circuit() {
+        let s = ModeledSynthesizer::default();
+        let mut c = Circuit::new(2);
+        c.push(Gate::H, &[0]).push(Gate::CX, &[0, 1]);
+        let u = c.unitary();
+        let req = PulseRequest {
+            n_qubits: 2,
+            unitary: Some(&u),
+            local_circuit: Some(&c),
+        };
+        let e = s.pulse(&req);
+        let gate_cp = s.model().gate_table.critical_path(&c);
+        assert!(e.duration < gate_cp);
+        // Second request hits cache.
+        let e2 = s.pulse(&req);
+        assert_eq!(e, e2);
+        assert_eq!(s.library().hits(), 1);
+    }
+
+    #[test]
+    fn modeled_backend_without_circuit_uses_width() {
+        let s = ModeledSynthesizer::default();
+        let req = PulseRequest {
+            n_qubits: 4,
+            unitary: None,
+            local_circuit: None,
+        };
+        let e = s.pulse(&req);
+        assert!(e.duration >= s.model().min_pulse);
+    }
+
+    #[test]
+    fn hybrid_routes_by_width() {
+        let s = HybridSynthesizer::default();
+        let x = Gate::X.unitary_matrix();
+        let narrow = PulseRequest {
+            n_qubits: 1,
+            unitary: Some(&x),
+            local_circuit: None,
+        };
+        let e1 = s.pulse(&narrow);
+        assert!(e1.fidelity > 0.999);
+        let mut c3 = Circuit::new(3);
+        c3.push(Gate::CCX, &[0, 1, 2]);
+        let wide = PulseRequest {
+            n_qubits: 3,
+            unitary: None,
+            local_circuit: Some(&c3),
+        };
+        let e2 = s.pulse(&wide);
+        assert!(e2.duration > 0.0);
+        assert_eq!(s.grape().library().misses(), 1);
+        assert_eq!(s.name(), "hybrid");
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests for the QOC crate.
+
+use epoc_circuit::{Circuit, Gate};
+use epoc_linalg::{random_unitary, Matrix};
+use epoc_qoc::{
+    grape, propagate, DeviceModel, DurationModel, GrapeConfig, KeyPolicy, PulseEntry,
+    PulseLibrary,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn propagation_is_always_unitary(seed in 0u64..1000, slots in 1usize..12) {
+        let device = DeviceModel::transmon_line(2);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = device.max_amplitude();
+        let controls: Vec<Vec<f64>> = (0..device.controls().len())
+            .map(|_| (0..slots).map(|_| (rng.gen::<f64>() - 0.5) * 2.0 * a).collect())
+            .collect();
+        let u = propagate(&device, &controls);
+        prop_assert!(u.is_unitary(1e-8));
+    }
+
+    #[test]
+    fn propagation_composes(seed in 0u64..500) {
+        // Propagating k slots then m slots equals propagating k+m at once.
+        let device = DeviceModel::transmon_line(1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = device.max_amplitude();
+        let mk = |rng: &mut StdRng, n: usize| -> Vec<Vec<f64>> {
+            (0..2).map(|_| (0..n).map(|_| (rng.gen::<f64>() - 0.5) * a).collect()).collect()
+        };
+        let first = mk(&mut rng, 3);
+        let second = mk(&mut rng, 4);
+        let combined: Vec<Vec<f64>> = (0..2)
+            .map(|j| {
+                let mut v = first[j].clone();
+                v.extend_from_slice(&second[j]);
+                v
+            })
+            .collect();
+        let u = propagate(&device, &second).matmul(&propagate(&device, &first));
+        let w = propagate(&device, &combined);
+        prop_assert!(u.approx_eq(&w, 1e-9));
+    }
+
+    #[test]
+    fn grape_fidelity_in_unit_interval(seed in 0u64..200) {
+        let device = DeviceModel::transmon_line(1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let target = random_unitary(2, &mut rng);
+        let r = grape(
+            &device,
+            &target,
+            10,
+            &GrapeConfig { max_iters: 30, restarts: 1, seed, ..Default::default() },
+        );
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&r.fidelity));
+        prop_assert!(r.unitary.is_unitary(1e-8));
+        // Controls respect the amplitude bound.
+        for ch in &r.controls {
+            for &v in ch {
+                prop_assert!(v.abs() <= device.max_amplitude() + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn duration_model_monotone_in_gates(extra in 1usize..6) {
+        // Appending physical gates never shortens the modeled duration.
+        let m = DurationModel::default();
+        let mut c = Circuit::new(2);
+        c.push(Gate::CX, &[0, 1]);
+        let base = m.block_duration(&c);
+        for i in 0..extra {
+            c.push(Gate::CX, &[i % 2, (i + 1) % 2]);
+        }
+        prop_assert!(m.block_duration(&c) >= base);
+    }
+
+    #[test]
+    fn library_lookup_returns_what_was_inserted(seed in 0u64..500, d in 1.0..500.0f64) {
+        let lib = PulseLibrary::new(KeyPolicy::PhaseAware);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let u = random_unitary(2, &mut rng);
+        let entry = PulseEntry { duration: d, fidelity: 0.999, n_slots: d as usize };
+        lib.insert(&u, entry);
+        prop_assert_eq!(lib.lookup(&u), Some(entry));
+    }
+
+    #[test]
+    fn library_phase_invariance(seed in 0u64..500, phi in -3.1..3.1f64) {
+        let lib = PulseLibrary::new(KeyPolicy::PhaseAware);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let u = random_unitary(2, &mut rng);
+        lib.insert(&u, PulseEntry { duration: 7.0, fidelity: 0.99, n_slots: 4 });
+        let rotated = u.scale(epoc_linalg::Complex64::cis(phi));
+        prop_assert!(lib.lookup(&rotated).is_some());
+    }
+}
+
+#[test]
+fn grape_is_deterministic() {
+    let device = DeviceModel::transmon_line(1);
+    let target = Gate::H.unitary_matrix();
+    let a = grape(&device, &target, 20, &GrapeConfig::default());
+    let b = grape(&device, &target, 20, &GrapeConfig::default());
+    assert_eq!(a.controls, b.controls);
+    assert_eq!(a.fidelity, b.fidelity);
+}
+
+#[test]
+fn longer_pulses_never_reduce_best_fidelity_much() {
+    // More slots = strictly more controllable; fidelity should not drop
+    // materially when duration grows (optimizer noise aside).
+    let device = DeviceModel::transmon_line(1);
+    let target = Gate::X.unitary_matrix();
+    let short = grape(&device, &target, 14, &GrapeConfig::default());
+    let long = grape(&device, &target, 28, &GrapeConfig::default());
+    assert!(long.fidelity >= short.fidelity - 0.01);
+}
+
+#[test]
+fn identity_block_models_to_zero_but_identity_grape_is_cheap() {
+    let m = DurationModel::default();
+    let c = Circuit::new(2);
+    assert_eq!(m.block_duration(&c), 0.0);
+    let device = DeviceModel::transmon_line(1);
+    let r = grape(&device, &Matrix::identity(2), 1, &GrapeConfig::default());
+    assert!(r.fidelity > 0.9999);
+}

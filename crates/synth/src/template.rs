@@ -1,0 +1,451 @@
+//! Parameterized circuit templates for numerical synthesis.
+//!
+//! A [`Template`] is QSearch's candidate structure: a layer of
+//! *variable unitary gates* (VUGs — general single-qubit unitaries
+//! parameterized as `RZ·RY·RZ`) on every wire, followed by repeated
+//! `CNOT + VUG·VUG` cells. Instantiation optimizes all rotation angles to
+//! minimize the phase-invariant distance to a target unitary, using
+//! analytic gradients (each parameter is a rotation angle, so
+//! `∂G/∂θ = (−i P/2)·G` for the generator `P`).
+
+use epoc_circuit::{Circuit, Gate};
+use epoc_linalg::{c64, Complex64, Matrix};
+use rand::Rng;
+
+/// Rotation axis of a template parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// Z rotation.
+    Z,
+    /// Y rotation.
+    Y,
+}
+
+impl Axis {
+    fn rotation(self, theta: f64) -> Matrix {
+        match self {
+            Axis::Z => Gate::RZ(theta).unitary_matrix(),
+            Axis::Y => Gate::RY(theta).unitary_matrix(),
+        }
+    }
+
+    /// Generator P with ∂R/∂θ = (−i P / 2) · R(θ).
+    fn generator(self) -> Matrix {
+        match self {
+            Axis::Z => Gate::Z.unitary_matrix(),
+            Axis::Y => Gate::Y.unitary_matrix(),
+        }
+    }
+}
+
+/// One structural element of a template.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Segment {
+    /// A VUG on `qubit`, consuming 3 parameters starting at `param`.
+    Vug {
+        /// Wire index.
+        qubit: usize,
+        /// Offset of the first of its three angles.
+        param: usize,
+    },
+    /// A fixed CNOT.
+    Cnot {
+        /// Control wire.
+        control: usize,
+        /// Target wire.
+        target: usize,
+    },
+}
+
+/// A QSearch-style parameterized template over `n` wires.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Template {
+    n_qubits: usize,
+    segments: Vec<Segment>,
+    n_params: usize,
+}
+
+/// Flattened elementary op used during evaluation.
+enum ElemOp {
+    Fixed(Matrix),
+    Rot { axis: Axis, qubit: usize, param: usize },
+}
+
+impl Template {
+    /// The root template: one VUG per wire, no CNOTs.
+    pub fn initial(n_qubits: usize) -> Self {
+        assert!(n_qubits >= 1, "template needs at least one wire");
+        let mut t = Self {
+            n_qubits,
+            segments: Vec::new(),
+            n_params: 0,
+        };
+        for q in 0..n_qubits {
+            t.push_vug(q);
+        }
+        t
+    }
+
+    /// Number of wires.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Number of free parameters.
+    pub fn n_params(&self) -> usize {
+        self.n_params
+    }
+
+    /// Number of CNOT cells.
+    pub fn cnot_count(&self) -> usize {
+        self.segments
+            .iter()
+            .filter(|s| matches!(s, Segment::Cnot { .. }))
+            .count()
+    }
+
+    /// The structural segments.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Appends a VUG on `qubit`.
+    pub fn push_vug(&mut self, qubit: usize) {
+        assert!(qubit < self.n_qubits, "qubit out of range");
+        self.segments.push(Segment::Vug {
+            qubit,
+            param: self.n_params,
+        });
+        self.n_params += 3;
+    }
+
+    /// Appends a QSearch cell: CNOT(control→target) followed by a VUG on
+    /// each of the two wires.
+    pub fn push_cell(&mut self, control: usize, target: usize) {
+        assert!(control < self.n_qubits && target < self.n_qubits && control != target);
+        self.segments.push(Segment::Cnot { control, target });
+        self.push_vug(control);
+        self.push_vug(target);
+    }
+
+    fn elem_ops(&self) -> Vec<ElemOp> {
+        let mut ops = Vec::new();
+        for seg in &self.segments {
+            match *seg {
+                Segment::Vug { qubit, param } => {
+                    // U = RZ(a)·RY(b)·RZ(c): RZ(c) acts first.
+                    ops.push(ElemOp::Rot { axis: Axis::Z, qubit, param: param + 2 });
+                    ops.push(ElemOp::Rot { axis: Axis::Y, qubit, param: param + 1 });
+                    ops.push(ElemOp::Rot { axis: Axis::Z, qubit, param });
+                }
+                Segment::Cnot { control, target } => {
+                    ops.push(ElemOp::Fixed(
+                        Gate::CX
+                            .unitary_matrix()
+                            .embed(&[control, target], self.n_qubits),
+                    ));
+                }
+            }
+        }
+        ops
+    }
+
+    /// Evaluates the template unitary at `params`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.len() != n_params`.
+    pub fn unitary(&self, params: &[f64]) -> Matrix {
+        assert_eq!(params.len(), self.n_params, "parameter count mismatch");
+        let dim = 1usize << self.n_qubits;
+        let mut u = Matrix::identity(dim);
+        for op in self.elem_ops() {
+            let g = match op {
+                ElemOp::Fixed(m) => m,
+                ElemOp::Rot { axis, qubit, param } => axis
+                    .rotation(params[param])
+                    .embed(&[qubit], self.n_qubits),
+            };
+            u = g.matmul(&u);
+        }
+        u
+    }
+
+    /// Phase-invariant cost `1 − |Tr(target†·U(θ))| / d` and its gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics on parameter count mismatch.
+    pub fn cost_and_grad(&self, target: &Matrix, params: &[f64]) -> (f64, Vec<f64>) {
+        assert_eq!(params.len(), self.n_params, "parameter count mismatch");
+        let dim = 1usize << self.n_qubits;
+        let a = target.dagger();
+        let ops = self.elem_ops();
+        let k = ops.len();
+        // Gate matrices.
+        let mats: Vec<Matrix> = ops
+            .iter()
+            .map(|op| match op {
+                ElemOp::Fixed(m) => m.clone(),
+                ElemOp::Rot { axis, qubit, param } => axis
+                    .rotation(params[*param])
+                    .embed(&[*qubit], self.n_qubits),
+            })
+            .collect();
+        // prefix[i] = G_{i-1}···G_1 (prefix[0] = I)
+        let mut prefix = Vec::with_capacity(k + 1);
+        prefix.push(Matrix::identity(dim));
+        for m in &mats {
+            let last = prefix.last().expect("non-empty");
+            prefix.push(m.matmul(last));
+        }
+        // suffix[i] = G_k···G_{i+1} (suffix[k] = I)
+        let mut suffix = vec![Matrix::identity(dim); k + 1];
+        for i in (0..k).rev() {
+            suffix[i] = suffix[i + 1].matmul(&mats[i]);
+        }
+        let u = &prefix[k];
+        // f = Tr(A·U)
+        let f = a.matmul(u).trace();
+        let fabs = f.abs().max(1e-300);
+        let cost = 1.0 - fabs / dim as f64;
+
+        let mut grad = vec![0.0f64; self.n_params];
+        for (i, op) in ops.iter().enumerate() {
+            if let ElemOp::Rot { axis, qubit, param } = op {
+                // dG_i = (−i P/2) embedded acting on G_i; embed is linear,
+                // so dG_i = embed((−i P/2)·R) = scale·embed(P)·G_i-embedded?
+                // embed(P·R) = embed(P)·embed(R) for same-qubit products.
+                let p_embed = axis.generator().embed(&[*qubit], self.n_qubits);
+                let dg = p_embed.matmul(&mats[i]).scale(c64(0.0, -0.5));
+                // df = Tr(A · suffix_{i+1} · dG · prefix_i)
+                let m = a
+                    .matmul(&suffix[i + 1])
+                    .matmul(&dg)
+                    .matmul(&prefix[i]);
+                let df = m.trace();
+                // d|f|/dθ = Re(conj(f)·df)/|f|
+                let dabs = (f.conj() * df).re / fabs;
+                grad[*param] -= dabs / dim as f64;
+            }
+        }
+        (cost, grad)
+    }
+
+    /// Phase-invariant distance `√max(cost, 0)` at `params`.
+    pub fn distance(&self, target: &Matrix, params: &[f64]) -> f64 {
+        let u = self.unitary(params);
+        epoc_linalg::phase_invariant_distance(target, &u)
+    }
+
+    /// Optimizes the parameters toward `target` with Adam from a random
+    /// start, returning `(params, distance)`.
+    pub fn instantiate(
+        &self,
+        target: &Matrix,
+        rng: &mut impl Rng,
+        opts: &InstantiateOptions,
+    ) -> (Vec<f64>, f64) {
+        let mut best_params: Vec<f64> = Vec::new();
+        let mut best_cost = f64::INFINITY;
+        for _restart in 0..opts.restarts.max(1) {
+            let mut params: Vec<f64> = (0..self.n_params)
+                .map(|_| rng.gen::<f64>() * std::f64::consts::TAU)
+                .collect();
+            let mut m = vec![0.0f64; self.n_params];
+            let mut v = vec![0.0f64; self.n_params];
+            let (b1, b2, eps) = (0.9, 0.999, 1e-8);
+            let mut cost = f64::INFINITY;
+            for step in 1..=opts.max_iters {
+                let (c, g) = self.cost_and_grad(target, &params);
+                cost = c;
+                if c < opts.cost_threshold {
+                    break;
+                }
+                let lr = opts.learning_rate / (1.0 + 0.002 * step as f64);
+                for j in 0..self.n_params {
+                    m[j] = b1 * m[j] + (1.0 - b1) * g[j];
+                    v[j] = b2 * v[j] + (1.0 - b2) * g[j] * g[j];
+                    let mh = m[j] / (1.0 - b1.powi(step as i32));
+                    let vh = v[j] / (1.0 - b2.powi(step as i32));
+                    params[j] -= lr * mh / (vh.sqrt() + eps);
+                }
+            }
+            if cost < best_cost {
+                best_cost = cost;
+                best_params = params;
+                if best_cost < opts.cost_threshold {
+                    break;
+                }
+            }
+        }
+        let dist = best_cost.max(0.0).sqrt();
+        (best_params, dist)
+    }
+
+    /// Converts the instantiated template to a circuit of opaque 1-qubit
+    /// VUG gates and CNOTs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on parameter count mismatch.
+    pub fn to_circuit(&self, params: &[f64]) -> Circuit {
+        assert_eq!(params.len(), self.n_params, "parameter count mismatch");
+        let mut c = Circuit::new(self.n_qubits);
+        for seg in &self.segments {
+            match *seg {
+                Segment::Vug { qubit, param } => {
+                    let u = Gate::RZ(params[param])
+                        .unitary_matrix()
+                        .matmul(&Gate::RY(params[param + 1]).unitary_matrix())
+                        .matmul(&Gate::RZ(params[param + 2]).unitary_matrix());
+                    if let Some(gate) = crate::vug_gate(&u) {
+                        c.push(gate, &[qubit]);
+                    }
+                }
+                Segment::Cnot { control, target } => {
+                    c.push(Gate::CX, &[control, target]);
+                }
+            }
+        }
+        c
+    }
+}
+
+/// Options controlling numerical instantiation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstantiateOptions {
+    /// Adam iterations per restart.
+    pub max_iters: usize,
+    /// Random restarts.
+    pub restarts: usize,
+    /// Initial learning rate.
+    pub learning_rate: f64,
+    /// Stop when the cost (distance²) drops below this.
+    pub cost_threshold: f64,
+}
+
+impl Default for InstantiateOptions {
+    fn default() -> Self {
+        Self {
+            max_iters: 400,
+            restarts: 3,
+            learning_rate: 0.2,
+            cost_threshold: 1e-12,
+        }
+    }
+}
+
+/// Keep `Complex64` referenced for doc purposes.
+#[doc(hidden)]
+pub type _C = Complex64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epoc_linalg::random_unitary;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn initial_template_shape() {
+        let t = Template::initial(2);
+        assert_eq!(t.n_params(), 6);
+        assert_eq!(t.cnot_count(), 0);
+        let u = t.unitary(&vec![0.0; 6]);
+        assert!(u.approx_eq(&Matrix::identity(4), 1e-12));
+    }
+
+    #[test]
+    fn cell_adds_cnot_and_vugs() {
+        let mut t = Template::initial(2);
+        t.push_cell(0, 1);
+        assert_eq!(t.cnot_count(), 1);
+        assert_eq!(t.n_params(), 12);
+    }
+
+    #[test]
+    fn unitary_is_unitary() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut t = Template::initial(3);
+        t.push_cell(0, 1);
+        t.push_cell(1, 2);
+        let params: Vec<f64> = (0..t.n_params()).map(|_| rng.gen::<f64>() * 6.0).collect();
+        assert!(t.unitary(&params).is_unitary(1e-9));
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let target = random_unitary(4, &mut rng);
+        let mut t = Template::initial(2);
+        t.push_cell(0, 1);
+        let params: Vec<f64> = (0..t.n_params()).map(|_| rng.gen::<f64>() * 6.0).collect();
+        let (c0, grad) = t.cost_and_grad(&target, &params);
+        let h = 1e-6;
+        for j in 0..t.n_params() {
+            let mut p = params.clone();
+            p[j] += h;
+            let (c1, _) = t.cost_and_grad(&target, &p);
+            let fd = (c1 - c0) / h;
+            assert!(
+                (fd - grad[j]).abs() < 1e-4,
+                "param {j}: fd {fd} vs analytic {}",
+                grad[j]
+            );
+        }
+    }
+
+    #[test]
+    fn instantiate_single_qubit_target() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..5 {
+            let target = random_unitary(2, &mut rng);
+            let t = Template::initial(1);
+            let (params, dist) = t.instantiate(&target, &mut rng, &InstantiateOptions::default());
+            assert!(dist < 1e-5, "distance {dist}");
+            assert!(t.distance(&target, &params) < 1e-5);
+        }
+    }
+
+    #[test]
+    fn instantiate_cnot_target() {
+        // CX itself needs one cell.
+        let mut rng = StdRng::seed_from_u64(4);
+        let target = Gate::CX.unitary_matrix();
+        let mut t = Template::initial(2);
+        t.push_cell(0, 1);
+        let (_, dist) = t.instantiate(
+            &target,
+            &mut rng,
+            &InstantiateOptions {
+                restarts: 5,
+                ..Default::default()
+            },
+        );
+        assert!(dist < 1e-5, "distance {dist}");
+    }
+
+    #[test]
+    fn to_circuit_matches_template_unitary() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut t = Template::initial(2);
+        t.push_cell(0, 1);
+        t.push_cell(1, 0);
+        let params: Vec<f64> = (0..t.n_params()).map(|_| rng.gen::<f64>() * 6.0).collect();
+        let c = t.to_circuit(&params);
+        let d = epoc_linalg::phase_invariant_distance(&c.unitary(), &t.unitary(&params));
+        assert!(d < 1e-7, "distance {d}");
+        // Only VUGs and CNOTs appear.
+        for op in c.ops() {
+            assert!(matches!(op.gate, Gate::Unitary { .. } | Gate::CX | Gate::RZ(_)));
+        }
+    }
+
+    #[test]
+    fn to_circuit_skips_identity_vugs() {
+        let t = Template::initial(2);
+        let c = t.to_circuit(&vec![0.0; 6]);
+        assert!(c.is_empty());
+    }
+}

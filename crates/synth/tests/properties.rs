@@ -1,0 +1,122 @@
+//! Property-based tests for the synthesis crate.
+
+use epoc_circuit::{circuits_equivalent, generators, Gate};
+use epoc_linalg::{phase_invariant_distance, random_unitary};
+use epoc_synth::{
+    lower_to_vug_form, synthesize, synthesize_or_fallback, vug_gate, InstantiateOptions,
+    SynthConfig, Template,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn single_qubit_synthesis_always_converges(seed in 0u64..2000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let target = random_unitary(2, &mut rng);
+        let r = synthesize(&target, &SynthConfig { seed, ..Default::default() });
+        prop_assert!(r.converged, "distance {}", r.distance);
+        prop_assert!(phase_invariant_distance(&r.circuit.unitary(), &target) < 1e-4);
+    }
+
+    #[test]
+    fn lower_to_vug_form_preserves_random_circuits(
+        n in 2usize..4,
+        gates in 1usize..15,
+        seed in 0u64..2000,
+    ) {
+        let c = generators::random_circuit(n, gates, seed);
+        let lowered = lower_to_vug_form(&c);
+        prop_assert!(circuits_equivalent(&c, &lowered, 1e-6));
+        for op in lowered.ops() {
+            let in_vug_form = matches!(op.gate, Gate::Unitary { .. } | Gate::CX | Gate::RZ(_));
+            prop_assert!(in_vug_form, "unexpected gate {}", op.gate);
+        }
+    }
+
+    #[test]
+    fn fallback_is_always_sound(
+        gates in 1usize..10,
+        seed in 0u64..1000,
+    ) {
+        // Even with a zero search budget, synthesize_or_fallback returns a
+        // faithful circuit.
+        let c = generators::random_circuit(2, gates, seed);
+        let target = c.unitary();
+        let cfg = SynthConfig { max_nodes: 1, max_cnots: 0, seed, ..Default::default() };
+        let r = synthesize_or_fallback(&target, &c, &cfg);
+        prop_assert!(r.converged);
+        prop_assert!(circuits_equivalent(&c, &r.circuit, 1e-5));
+    }
+
+    #[test]
+    fn template_gradient_matches_fd_random_structure(seed in 0u64..300) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let target = random_unitary(4, &mut rng);
+        let mut t = Template::initial(2);
+        t.push_cell(seed as usize % 2, (seed as usize + 1) % 2);
+        let params: Vec<f64> = (0..t.n_params())
+            .map(|i| ((seed as f64) * 0.37 + i as f64 * 0.91) % 6.28)
+            .collect();
+        let (c0, grad) = t.cost_and_grad(&target, &params);
+        let h = 1e-6;
+        for j in 0..t.n_params() {
+            let mut p = params.clone();
+            p[j] += h;
+            let (c1, _) = t.cost_and_grad(&target, &p);
+            let fd = (c1 - c0) / h;
+            prop_assert!((fd - grad[j]).abs() < 1e-4, "param {j}: {fd} vs {}", grad[j]);
+        }
+    }
+
+    #[test]
+    fn vug_gate_classification(seed in 0u64..1000, theta in -3.0..3.0f64) {
+        // Diagonal unitaries become virtual RZ; identity becomes nothing.
+        let rz = Gate::RZ(theta).unitary_matrix();
+        match vug_gate(&rz) {
+            None => prop_assert!(theta.abs() < 1e-6),
+            Some(Gate::RZ(t)) => {
+                let d = Gate::RZ(t).unitary_matrix();
+                prop_assert!(phase_invariant_distance(&d, &rz) < 1e-7);
+            }
+            Some(g) => prop_assert!(false, "diagonal became {g}"),
+        }
+        // Generic unitaries become opaque VUGs.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let u = random_unitary(2, &mut rng);
+        if u[(0, 1)].abs() > 1e-4 {
+            let is_opaque = matches!(vug_gate(&u), Some(Gate::Unitary { .. }));
+            prop_assert!(is_opaque);
+        }
+    }
+}
+
+#[test]
+fn instantiate_respects_cost_threshold_shortcut() {
+    // A loose threshold must not loop to max_iters on an easy target.
+    let mut rng = StdRng::seed_from_u64(7);
+    let target = Gate::T.unitary_matrix();
+    let t = Template::initial(1);
+    let (_, dist) = t.instantiate(
+        &target,
+        &mut rng,
+        &InstantiateOptions {
+            cost_threshold: 1e-6,
+            ..Default::default()
+        },
+    );
+    assert!(dist < 2e-3, "distance {dist}");
+}
+
+#[test]
+fn synthesis_reduces_cnots_on_compressible_blocks() {
+    // CX·CX = I: QSearch should find a 0-CNOT implementation.
+    let mut c = epoc_circuit::Circuit::new(2);
+    c.push(Gate::CX, &[0, 1]).push(Gate::CX, &[0, 1]);
+    let r = synthesize(&c.unitary(), &SynthConfig::default());
+    assert!(r.converged);
+    assert_eq!(r.cnots, 0, "identity synthesized with {} CNOTs", r.cnots);
+}

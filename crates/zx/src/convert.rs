@@ -1,0 +1,443 @@
+//! Circuit ↔ ZX conversion.
+//!
+//! [`circuit_to_graph`] first lowers the circuit to the ZX-native gate set
+//! `{RZ, H, CX, CZ}` (every gate in `epoc-circuit` has a verified lowering)
+//! and then builds a **graph-like** diagram directly: Z spiders, Hadamard
+//! edges, and boundary vertices — Hadamard gates become pending edge-kind
+//! toggles rather than vertices.
+
+use crate::graph::{EdgeKind, Vertex, VertexKind, ZxGraph};
+use crate::phase::Phase;
+use epoc_circuit::{append_controlled_unitary, Circuit, Gate};
+use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, PI};
+
+/// Error produced when a circuit cannot be converted to ZX form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConvertError {
+    /// The circuit contains an opaque unitary block (synthesize first).
+    OpaqueBlock,
+}
+
+impl std::fmt::Display for ConvertError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConvertError::OpaqueBlock => {
+                write!(f, "opaque unitary blocks cannot be converted to ZX diagrams")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConvertError {}
+
+/// Lowers a circuit to the ZX-native gate set `{RZ, H, CX, CZ}` (plus
+/// `Phase`, which is `RZ` up to global phase and is emitted as `RZ`).
+///
+/// The output is semantically equal to the input up to global phase.
+///
+/// # Errors
+///
+/// Returns [`ConvertError::OpaqueBlock`] for circuits containing opaque
+/// unitary blocks.
+pub fn lower_for_zx(circuit: &Circuit) -> Result<Circuit, ConvertError> {
+    let mut out = Circuit::new(circuit.n_qubits());
+    for op in circuit.ops() {
+        lower_gate(&op.gate, &op.qubits, &mut out)?;
+    }
+    Ok(out)
+}
+
+fn rz(c: &mut Circuit, q: usize, theta: f64) {
+    if Phase::from_radians(theta).is_zero() {
+        return;
+    }
+    c.push(Gate::RZ(theta), &[q]);
+}
+
+fn rx(c: &mut Circuit, q: usize, theta: f64) {
+    if Phase::from_radians(theta).is_zero() {
+        return;
+    }
+    c.push(Gate::H, &[q]);
+    c.push(Gate::RZ(theta), &[q]);
+    c.push(Gate::H, &[q]);
+}
+
+fn ry(c: &mut Circuit, q: usize, theta: f64) {
+    // RY(θ) = RZ(π/2) · RX(θ) · RZ(−π/2)  (apply RZ(−π/2) first)
+    if Phase::from_radians(theta).is_zero() {
+        return;
+    }
+    rz(c, q, -FRAC_PI_2);
+    rx(c, q, theta);
+    rz(c, q, FRAC_PI_2);
+}
+
+fn lower_gate(gate: &Gate, qubits: &[usize], out: &mut Circuit) -> Result<(), ConvertError> {
+    use Gate::*;
+    let q = |i: usize| qubits[i];
+    match gate {
+        I => {}
+        X => rx(out, q(0), PI),
+        Y => {
+            rz(out, q(0), PI);
+            rx(out, q(0), PI);
+        }
+        Z => rz(out, q(0), PI),
+        H => {
+            out.push(H.clone(), &[q(0)]);
+        }
+        S => rz(out, q(0), FRAC_PI_2),
+        Sdg => rz(out, q(0), -FRAC_PI_2),
+        T => rz(out, q(0), FRAC_PI_4),
+        Tdg => rz(out, q(0), -FRAC_PI_4),
+        Sx => rx(out, q(0), FRAC_PI_2),
+        Sxdg => rx(out, q(0), -FRAC_PI_2),
+        RX(t) => rx(out, q(0), *t),
+        RY(t) => ry(out, q(0), *t),
+        RZ(t) => rz(out, q(0), *t),
+        Phase(t) => rz(out, q(0), *t),
+        U2(phi, lam) => {
+            // U3(π/2, φ, λ)
+            lower_gate(&U3(FRAC_PI_2, *phi, *lam), qubits, out)?;
+        }
+        U3(t, phi, lam) => {
+            // U3 = RZ(φ) RY(θ) RZ(λ) up to phase; RZ(λ) first.
+            rz(out, q(0), *lam);
+            ry(out, q(0), *t);
+            rz(out, q(0), *phi);
+        }
+        CX => {
+            out.push(CX.clone(), &[q(0), q(1)]);
+        }
+        CZ => {
+            out.push(CZ.clone(), &[q(0), q(1)]);
+        }
+        CY => {
+            rz(out, q(1), -FRAC_PI_2);
+            out.push(CX.clone(), &[q(0), q(1)]);
+            rz(out, q(1), FRAC_PI_2);
+        }
+        CH | CRX(_) | CRY(_) => {
+            let u = match gate {
+                CH => Gate::H.unitary_matrix(),
+                CRX(t) => Gate::RX(*t).unitary_matrix(),
+                CRY(t) => Gate::RY(*t).unitary_matrix(),
+                _ => unreachable!(),
+            };
+            let mut tmp = Circuit::new(out.n_qubits());
+            append_controlled_unitary(&mut tmp, &u, q(0), q(1));
+            for op in tmp.ops() {
+                lower_gate(&op.gate, &op.qubits, out)?;
+            }
+        }
+        CRZ(t) => {
+            rz(out, q(1), t / 2.0);
+            out.push(CX.clone(), &[q(0), q(1)]);
+            rz(out, q(1), -t / 2.0);
+            out.push(CX.clone(), &[q(0), q(1)]);
+        }
+        CPhase(t) => {
+            // cp(λ) = rz(λ/2) ⊗ rz(λ/2) with a crz-style correction.
+            rz(out, q(0), t / 2.0);
+            rz(out, q(1), t / 2.0);
+            out.push(CX.clone(), &[q(0), q(1)]);
+            rz(out, q(1), -t / 2.0);
+            out.push(CX.clone(), &[q(0), q(1)]);
+        }
+        RZZ(t) => {
+            out.push(CX.clone(), &[q(0), q(1)]);
+            rz(out, q(1), *t);
+            out.push(CX.clone(), &[q(0), q(1)]);
+        }
+        RXX(t) => {
+            out.push(H.clone(), &[q(0)]);
+            out.push(H.clone(), &[q(1)]);
+            out.push(CX.clone(), &[q(0), q(1)]);
+            rz(out, q(1), *t);
+            out.push(CX.clone(), &[q(0), q(1)]);
+            out.push(H.clone(), &[q(0)]);
+            out.push(H.clone(), &[q(1)]);
+        }
+        Swap => {
+            out.push(CX.clone(), &[q(0), q(1)]);
+            out.push(CX.clone(), &[q(1), q(0)]);
+            out.push(CX.clone(), &[q(0), q(1)]);
+        }
+        CCX => {
+            // Standard 6-CX Toffoli.
+            let (a, b, c) = (q(0), q(1), q(2));
+            out.push(H.clone(), &[c]);
+            out.push(CX.clone(), &[b, c]);
+            rz(out, c, -FRAC_PI_4);
+            out.push(CX.clone(), &[a, c]);
+            rz(out, c, FRAC_PI_4);
+            out.push(CX.clone(), &[b, c]);
+            rz(out, c, -FRAC_PI_4);
+            out.push(CX.clone(), &[a, c]);
+            rz(out, b, FRAC_PI_4);
+            rz(out, c, FRAC_PI_4);
+            out.push(CX.clone(), &[a, b]);
+            rz(out, a, FRAC_PI_4);
+            rz(out, b, -FRAC_PI_4);
+            out.push(CX.clone(), &[a, b]);
+            out.push(H.clone(), &[c]);
+        }
+        CCZ => {
+            out.push(H.clone(), &[q(2)]);
+            lower_gate(&CCX, qubits, out)?;
+            out.push(H.clone(), &[q(2)]);
+        }
+        CSwap => {
+            out.push(CX.clone(), &[q(2), q(1)]);
+            lower_gate(&CCX, &[q(0), q(1), q(2)], out)?;
+            out.push(CX.clone(), &[q(2), q(1)]);
+        }
+        Unitary { .. } => return Err(ConvertError::OpaqueBlock),
+    }
+    Ok(())
+}
+
+/// Converts a circuit to a graph-like ZX diagram.
+///
+/// # Errors
+///
+/// Returns [`ConvertError::OpaqueBlock`] for circuits containing opaque
+/// unitary blocks.
+///
+/// # Examples
+///
+/// ```
+/// use epoc_circuit::{Circuit, Gate};
+/// use epoc_zx::circuit_to_graph;
+///
+/// let mut c = Circuit::new(2);
+/// c.push(Gate::H, &[0]).push(Gate::CX, &[0, 1]);
+/// let g = circuit_to_graph(&c)?;
+/// assert_eq!(g.inputs().len(), 2);
+/// assert_eq!(g.outputs().len(), 2);
+/// # Ok::<(), epoc_zx::ConvertError>(())
+/// ```
+pub fn circuit_to_graph(circuit: &Circuit) -> Result<ZxGraph, ConvertError> {
+    let lowered = lower_for_zx(circuit)?;
+    let n = lowered.n_qubits();
+    let mut g = ZxGraph::new();
+    // Per-qubit: last attached vertex and the pending edge kind (toggled by
+    // H gates) to use for the next attachment.
+    let mut last: Vec<Vertex> = Vec::with_capacity(n);
+    let mut pending: Vec<EdgeKind> = vec![EdgeKind::Simple; n];
+    for _ in 0..n {
+        let b = g.add_vertex(VertexKind::Boundary);
+        g.set_input(b);
+        last.push(b);
+    }
+
+    // Attaches a fresh phase-0 Z spider to wire `q`, consuming the pending
+    // edge kind, and returns it.
+    fn attach(g: &mut ZxGraph, last: &mut [Vertex], pending: &mut [EdgeKind], q: usize) -> Vertex {
+        let s = g.add_vertex(VertexKind::Z(Phase::ZERO));
+        g.add_edge(last[q], s, pending[q]);
+        last[q] = s;
+        pending[q] = EdgeKind::Simple;
+        s
+    }
+
+    for op in lowered.ops() {
+        match &op.gate {
+            Gate::H => {
+                let q = op.qubits[0];
+                pending[q] = pending[q].compose(EdgeKind::Hadamard);
+            }
+            Gate::RZ(t) => {
+                let q = op.qubits[0];
+                let s = attach(&mut g, &mut last, &mut pending, q);
+                g.add_phase(s, Phase::from_radians(*t));
+            }
+            Gate::CZ => {
+                let a = op.qubits[0];
+                let b = op.qubits[1];
+                let sa = attach(&mut g, &mut last, &mut pending, a);
+                let sb = attach(&mut g, &mut last, &mut pending, b);
+                g.add_edge_smart(sa, sb, EdgeKind::Hadamard);
+            }
+            Gate::CX => {
+                // CX = (I⊗H)·CZ·(I⊗H): toggle target wire around a CZ.
+                let c = op.qubits[0];
+                let t = op.qubits[1];
+                let sc = attach(&mut g, &mut last, &mut pending, c);
+                pending[t] = pending[t].compose(EdgeKind::Hadamard);
+                let st = attach(&mut g, &mut last, &mut pending, t);
+                pending[t] = EdgeKind::Hadamard;
+                g.add_edge_smart(sc, st, EdgeKind::Hadamard);
+            }
+            other => unreachable!("lowering produced unexpected gate {other}"),
+        }
+    }
+
+    for q in 0..n {
+        let b = g.add_vertex(VertexKind::Boundary);
+        g.add_edge(last[q], b, pending[q]);
+        g.set_output(b);
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::{graph_to_matrix, proportional};
+    use epoc_circuit::{circuits_equivalent, generators, Circuit, Gate};
+
+    fn check_lowering(gate: Gate, qubits: &[usize], n: usize) {
+        let mut c = Circuit::new(n);
+        c.push(gate.clone(), qubits);
+        let lowered = lower_for_zx(&c).unwrap();
+        assert!(
+            circuits_equivalent(&c, &lowered, 1e-7),
+            "lowering changed semantics of {gate}"
+        );
+        for op in lowered.ops() {
+            assert!(
+                matches!(op.gate, Gate::H | Gate::RZ(_) | Gate::CX | Gate::CZ),
+                "lowering left gate {}",
+                op.gate
+            );
+        }
+    }
+
+    #[test]
+    fn all_single_qubit_gates_lower() {
+        for gate in [
+            Gate::I,
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::H,
+            Gate::S,
+            Gate::Sdg,
+            Gate::T,
+            Gate::Tdg,
+            Gate::Sx,
+            Gate::Sxdg,
+            Gate::RX(0.7),
+            Gate::RY(-1.2),
+            Gate::RZ(2.5),
+            Gate::Phase(0.4),
+            Gate::U2(0.3, -0.8),
+            Gate::U3(1.1, 0.2, -0.9),
+        ] {
+            check_lowering(gate, &[0], 1);
+        }
+    }
+
+    #[test]
+    fn all_two_qubit_gates_lower() {
+        for gate in [
+            Gate::CX,
+            Gate::CY,
+            Gate::CZ,
+            Gate::CH,
+            Gate::CRX(0.6),
+            Gate::CRY(-0.6),
+            Gate::CRZ(1.4),
+            Gate::CPhase(0.9),
+            Gate::RZZ(0.5),
+            Gate::RXX(-0.5),
+            Gate::Swap,
+        ] {
+            check_lowering(gate.clone(), &[0, 1], 2);
+            check_lowering(gate, &[1, 0], 2);
+        }
+    }
+
+    #[test]
+    fn three_qubit_gates_lower() {
+        for gate in [Gate::CCX, Gate::CCZ, Gate::CSwap] {
+            check_lowering(gate.clone(), &[0, 1, 2], 3);
+            check_lowering(gate, &[2, 0, 1], 3);
+        }
+    }
+
+    #[test]
+    fn opaque_block_is_error() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::unitary("blk", Gate::CX.unitary_matrix()), &[0, 1]);
+        assert_eq!(lower_for_zx(&c).unwrap_err(), ConvertError::OpaqueBlock);
+        assert_eq!(circuit_to_graph(&c).unwrap_err(), ConvertError::OpaqueBlock);
+    }
+
+    fn check_graph_semantics(c: &Circuit) {
+        let g = circuit_to_graph(c).unwrap();
+        let m = graph_to_matrix(&g).unwrap();
+        let u = c.unitary();
+        assert!(
+            proportional(&m, &u, 1e-8),
+            "graph semantics mismatch for circuit:\n{c}\ngraph: {g:?}"
+        );
+    }
+
+    #[test]
+    fn graph_semantics_single_gates() {
+        for gate in [Gate::H, Gate::S, Gate::T, Gate::X, Gate::Z, Gate::RZ(0.7)] {
+            let mut c = Circuit::new(1);
+            c.push(gate, &[0]);
+            check_graph_semantics(&c);
+        }
+    }
+
+    #[test]
+    fn graph_semantics_two_qubit() {
+        for gate in [Gate::CX, Gate::CZ, Gate::Swap, Gate::RZZ(0.8)] {
+            let mut c = Circuit::new(2);
+            c.push(gate.clone(), &[0, 1]);
+            check_graph_semantics(&c);
+            let mut c = Circuit::new(2);
+            c.push(gate, &[1, 0]);
+            check_graph_semantics(&c);
+        }
+    }
+
+    #[test]
+    fn graph_semantics_bell_and_ghz() {
+        check_graph_semantics(&generators::ghz(2));
+        check_graph_semantics(&generators::ghz(3));
+    }
+
+    #[test]
+    fn graph_semantics_mixed_program() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::H, &[0])
+            .push(Gate::T, &[1])
+            .push(Gate::CX, &[0, 1])
+            .push(Gate::S, &[0])
+            .push(Gate::CZ, &[1, 0])
+            .push(Gate::H, &[1]);
+        check_graph_semantics(&c);
+    }
+
+    #[test]
+    fn graph_semantics_hadamard_only() {
+        // Pure-H circuits exercise the boundary-to-boundary wire path.
+        let mut c = Circuit::new(2);
+        c.push(Gate::H, &[0]).push(Gate::H, &[1]).push(Gate::H, &[0]);
+        check_graph_semantics(&c);
+    }
+
+    #[test]
+    fn empty_circuit_graph() {
+        let c = Circuit::new(2);
+        let g = circuit_to_graph(&c).unwrap();
+        let m = graph_to_matrix(&g).unwrap();
+        assert!(proportional(&m, &epoc_linalg::Matrix::identity(4), 1e-10));
+    }
+
+    #[test]
+    fn spider_counts_reasonable() {
+        let c = generators::ghz(3);
+        let g = circuit_to_graph(&c).unwrap();
+        // 1 H + 2 CX → each CX contributes 2 spiders.
+        assert_eq!(g.spider_count(), 4);
+        assert_eq!(g.inputs().len(), 3);
+        assert_eq!(g.outputs().len(), 3);
+    }
+}

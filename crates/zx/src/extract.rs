@@ -1,0 +1,489 @@
+//! Circuit extraction from graph-like ZX diagrams.
+//!
+//! Implements the frontier-based extraction of Duncan–Kissinger–Perdrix–
+//! van de Wetering: peel gates off the output side (RZ phases, CZ for
+//! frontier–frontier Hadamard edges, H to advance the frontier) and use
+//! GF(2) Gaussian elimination over the frontier biadjacency — each row
+//! operation emitted as a CNOT — to expose frontier vertices with a unique
+//! neighbor. Diagrams produced by [`crate::simplify::interior_clifford_simp`]
+//! on circuit-derived graphs have gflow, so extraction always succeeds on
+//! them; a defensive [`ExtractError`] covers malformed input.
+
+use crate::graph::{EdgeKind, Vertex, ZxGraph};
+use crate::simplify::fuse_all;
+use epoc_circuit::{Circuit, Gate};
+
+/// Error from [`extract_circuit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExtractError {
+    /// Input/output boundary counts differ.
+    BoundaryMismatch,
+    /// Extraction got stuck — the diagram has no gflow from the outputs.
+    NoGflow,
+    /// Structural problem (message describes it).
+    Malformed(String),
+}
+
+impl std::fmt::Display for ExtractError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExtractError::BoundaryMismatch => write!(f, "input/output counts differ"),
+            ExtractError::NoGflow => write!(f, "diagram has no gflow; extraction stuck"),
+            ExtractError::Malformed(m) => write!(f, "malformed diagram: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExtractError {}
+
+/// Extracts an equivalent circuit (up to global phase) from a graph-like
+/// diagram.
+///
+/// The diagram is consumed conceptually (a clone is mutated). Gates in the
+/// result are drawn from `{RZ, H, CZ, CX, Swap}`.
+///
+/// # Errors
+///
+/// Returns [`ExtractError`] when the diagram is not a unitary circuit
+/// diagram or lacks gflow.
+pub fn extract_circuit(graph: &ZxGraph) -> Result<Circuit, ExtractError> {
+    let mut g = graph.clone();
+    // Make sure no simple Z-Z edges remain (extraction assumes graph-like).
+    fuse_all(&mut g);
+
+    let n = g.outputs().len();
+    if g.inputs().len() != n {
+        return Err(ExtractError::BoundaryMismatch);
+    }
+    // Normalize input wires: the GF(2) row operations below treat every
+    // column edge as a Hadamard edge, so a *simple* spider–input wire in a
+    // column would be silently mis-handled. Split each spider–input edge
+    // with a phase-0 spider (identity insertion) so the spider-facing edge
+    // is always Hadamard; the leftover wire kind moves next to the input
+    // and is emitted as an H gate during final wiring.
+    for b in g.inputs().to_vec() {
+        let nbrs: Vec<(Vertex, EdgeKind)> = g.neighbors(b).collect();
+        if nbrs.len() != 1 {
+            return Err(ExtractError::Malformed("input has degree != 1".into()));
+        }
+        let (v, kind) = nbrs[0];
+        if g.kind(v).is_boundary() {
+            continue; // bare input-output wire
+        }
+        g.remove_edge(b, v);
+        let w = g.add_vertex(crate::graph::VertexKind::Z(crate::phase::Phase::ZERO));
+        g.add_edge(v, w, EdgeKind::Hadamard);
+        g.add_edge(w, b, kind.compose(EdgeKind::Hadamard));
+    }
+    let inputs: Vec<Vertex> = g.inputs().to_vec();
+    let outputs: Vec<Vertex> = g.outputs().to_vec();
+    let input_index = |v: Vertex| inputs.iter().position(|&x| x == v);
+
+    // Gates emitted output-side-first.
+    let mut rev_ops: Vec<(Gate, Vec<usize>)> = Vec::new();
+
+    // frontier[q] = the vertex currently adjacent to output q (spider, or
+    // input boundary when the wire is fully extracted).
+    let mut frontier: Vec<Vertex> = Vec::with_capacity(n);
+    for (q, &o) in outputs.iter().enumerate() {
+        let nbrs: Vec<(Vertex, EdgeKind)> = g.neighbors(o).collect();
+        if nbrs.len() != 1 {
+            return Err(ExtractError::Malformed(format!(
+                "output {q} has degree {}",
+                nbrs.len()
+            )));
+        }
+        let (v, kind) = nbrs[0];
+        if kind == EdgeKind::Hadamard {
+            rev_ops.push((Gate::H, vec![q]));
+            g.remove_edge(o, v);
+            g.add_edge(o, v, EdgeKind::Simple);
+        }
+        frontier.push(v);
+    }
+
+    let is_output = |v: Vertex| outputs.contains(&v);
+    let max_steps = 16 * (g.vertex_count() + g.edge_count() + 4) * (n + 1);
+    let mut steps = 0usize;
+
+    loop {
+        steps += 1;
+        if steps > max_steps {
+            return Err(ExtractError::NoGflow);
+        }
+        // Step 1: clear frontier phases.
+        for q in 0..n {
+            let v = frontier[q];
+            if input_index(v).is_some() {
+                continue;
+            }
+            let phase = g.kind(v).phase();
+            if !phase.is_zero() {
+                rev_ops.push((Gate::RZ(phase.radians()), vec![q]));
+                let kind = g.kind(v);
+                g.set_kind(
+                    v,
+                    match kind {
+                        crate::graph::VertexKind::Z(_) => {
+                            crate::graph::VertexKind::Z(crate::phase::Phase::ZERO)
+                        }
+                        other => other,
+                    },
+                );
+            }
+        }
+        // Step 2: frontier-frontier Hadamard edges become CZ gates.
+        for qa in 0..n {
+            for qb in (qa + 1)..n {
+                let (va, vb) = (frontier[qa], frontier[qb]);
+                if input_index(va).is_some() || input_index(vb).is_some() {
+                    continue;
+                }
+                if g.edge_kind(va, vb) == Some(EdgeKind::Hadamard) {
+                    rev_ops.push((Gate::CZ, vec![qa, qb]));
+                    g.remove_edge(va, vb);
+                }
+            }
+        }
+        // Step 3: done check — every frontier entry is an input boundary or
+        // a spider connected only to its output and one input.
+        let finished = |g: &ZxGraph, v: Vertex| -> bool {
+            if input_index(v).is_some() {
+                return true;
+            }
+            let mut saw_input = false;
+            for (w, _) in g.neighbors(v) {
+                if is_output(w) {
+                    continue;
+                }
+                if input_index(w).is_some() && !saw_input {
+                    saw_input = true;
+                } else {
+                    return false;
+                }
+            }
+            true
+        };
+        if (0..n).all(|q| finished(&g, frontier[q])) {
+            break;
+        }
+        // Step 4: advance the frontier where a spider has exactly one
+        // non-output neighbor that is an interior spider.
+        let mut advanced = false;
+        for q in 0..n {
+            let v = frontier[q];
+            if input_index(v).is_some() {
+                continue;
+            }
+            if !g.kind(v).phase().is_zero() {
+                continue; // phase appeared via row ops? (cannot, but be safe)
+            }
+            let non_out: Vec<(Vertex, EdgeKind)> =
+                g.neighbors(v).filter(|&(w, _)| !is_output(w)).collect();
+            if non_out.len() != 1 {
+                continue;
+            }
+            let (w, kind) = non_out[0];
+            if input_index(w).is_some() {
+                continue; // finished wire; handled at the end
+            }
+            if frontier.contains(&w) {
+                continue; // another wire already owns w
+            }
+            if kind != EdgeKind::Hadamard {
+                return Err(ExtractError::Malformed(
+                    "simple spider-spider edge survived fusion".into(),
+                ));
+            }
+            // v acts as a Hadamard wire: emit H, splice w to the output.
+            rev_ops.push((Gate::H, vec![q]));
+            let o = outputs[q];
+            g.remove_vertex(v);
+            g.add_edge(o, w, EdgeKind::Simple);
+            frontier[q] = w;
+            advanced = true;
+            break; // re-run phase/CZ clearing for the new frontier vertex
+        }
+        if advanced {
+            continue;
+        }
+        // Step 5: GF(2) Gaussian elimination on the frontier biadjacency.
+        let rows: Vec<usize> = (0..n)
+            .filter(|&q| input_index(frontier[q]).is_none())
+            .collect();
+        let mut cols: Vec<Vertex> = Vec::new();
+        for &q in &rows {
+            for (w, _) in g.neighbors(frontier[q]) {
+                if !is_output(w) && !frontier.contains(&w) && !cols.contains(&w) {
+                    cols.push(w);
+                }
+            }
+        }
+        if cols.is_empty() {
+            return Err(ExtractError::NoGflow);
+        }
+        let mut m: Vec<Vec<bool>> = rows
+            .iter()
+            .map(|&q| {
+                cols.iter()
+                    .map(|&w| g.connected(frontier[q], w))
+                    .collect()
+            })
+            .collect();
+        // Full Gauss–Jordan over GF(2), recording row ops.
+        let mut row_ops: Vec<(usize, usize)> = Vec::new(); // (target, source)
+        let mut pivot_row = 0usize;
+        for col in 0..cols.len() {
+            if pivot_row >= rows.len() {
+                break;
+            }
+            let Some(p) = (pivot_row..rows.len()).find(|&r| m[r][col]) else {
+                continue;
+            };
+            if p != pivot_row {
+                // Swap via three additions to keep everything as row ops.
+                for &(t, s) in &[(pivot_row, p), (p, pivot_row), (pivot_row, p)] {
+                    for c in 0..cols.len() {
+                        m[t][c] ^= m[s][c];
+                    }
+                    row_ops.push((t, s));
+                }
+            }
+            for r in 0..rows.len() {
+                if r != pivot_row && m[r][col] {
+                    for c in 0..cols.len() {
+                        m[r][c] ^= m[pivot_row][c];
+                    }
+                    row_ops.push((r, pivot_row));
+                }
+            }
+            pivot_row += 1;
+        }
+        if row_ops.is_empty() {
+            // Matrix already reduced but no advance was possible: stuck.
+            return Err(ExtractError::NoGflow);
+        }
+        // Apply the row ops to the graph and emit CNOTs.
+        for (t, s) in row_ops {
+            let (qt, qs) = (rows[t], rows[s]);
+            let (vt, vs) = (frontier[qt], frontier[qs]);
+            // Row op: N(vt) ^= N(vs) over the column set.
+            let svn: Vec<Vertex> = g
+                .neighbors(vs)
+                .filter(|&(w, _)| !is_output(w) && cols.contains(&w))
+                .map(|(w, _)| w)
+                .collect();
+            for w in svn {
+                if g.edge_kind(vt, w) == Some(EdgeKind::Hadamard) {
+                    g.remove_edge(vt, w);
+                } else {
+                    g.add_edge(vt, w, EdgeKind::Hadamard);
+                }
+            }
+            rev_ops.push((Gate::CX, vec![qt, qs]));
+        }
+    }
+
+    // Final wiring: compute which input feeds each output, emitting H for
+    // Hadamard wire kinds, then realize the permutation with swaps.
+    let mut perm: Vec<usize> = vec![usize::MAX; n];
+    for q in 0..n {
+        let v = frontier[q];
+        if let Some(i) = input_index(v) {
+            // Direct output-input wire; the o–v edge kind was normalized to
+            // simple at the start (H emitted), so nothing more to do.
+            perm[q] = i;
+            continue;
+        }
+        // Finished spider: phase 0, edges = output (simple) + input (kind).
+        let mut input_edge: Option<(Vertex, EdgeKind)> = None;
+        for (w, k) in g.neighbors(v) {
+            if is_output(w) {
+                continue;
+            }
+            match input_index(w) {
+                Some(_) => input_edge = Some((w, k)),
+                None => {
+                    return Err(ExtractError::Malformed(
+                        "finished spider has interior neighbor".into(),
+                    ))
+                }
+            }
+        }
+        let (w, k) = input_edge.ok_or(ExtractError::NoGflow)?;
+        if k == EdgeKind::Hadamard {
+            rev_ops.push((Gate::H, vec![q]));
+        }
+        if !g.kind(v).phase().is_zero() {
+            rev_ops.push((Gate::RZ(g.kind(v).phase().radians()), vec![q]));
+        }
+        perm[q] = input_index(w).expect("checked above");
+    }
+    if perm.iter().any(|&p| p == usize::MAX) {
+        return Err(ExtractError::Malformed("unassigned output wire".into()));
+    }
+    {
+        let mut sorted = perm.clone();
+        sorted.sort_unstable();
+        if sorted != (0..n).collect::<Vec<_>>() {
+            return Err(ExtractError::Malformed("boundary wiring is not a permutation".into()));
+        }
+    }
+
+    // Assemble: permutation first (acts on inputs), then reversed rev_ops.
+    let mut circuit = Circuit::new(n);
+    let mut pos: Vec<usize> = (0..n).collect(); // pos[q] = input currently at wire q
+    for q in 0..n {
+        if pos[q] == perm[q] {
+            continue;
+        }
+        let src = pos
+            .iter()
+            .position(|&x| x == perm[q])
+            .expect("permutation is a bijection");
+        circuit.push(Gate::Swap, &[q, src]);
+        pos.swap(q, src);
+    }
+    for (gate, qubits) in rev_ops.into_iter().rev() {
+        circuit.push(gate, &qubits);
+    }
+    Ok(circuit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::circuit_to_graph;
+    use crate::simplify::full_reduce;
+    use epoc_circuit::{circuits_equivalent, generators, Circuit, Gate};
+
+    /// Round-trip: circuit → ZX → simplify → extract must preserve
+    /// semantics (up to global phase).
+    fn check_round_trip(c: &Circuit) -> Circuit {
+        let mut g = circuit_to_graph(c).expect("convertible");
+        full_reduce(&mut g);
+        let out = extract_circuit(&g)
+            .unwrap_or_else(|e| panic!("extraction failed: {e}\ncircuit:\n{c}\ngraph: {g:?}"));
+        assert!(
+            circuits_equivalent(c, &out, 1e-7),
+            "round trip changed semantics\noriginal:\n{c}\nextracted:\n{out}"
+        );
+        out
+    }
+
+    #[test]
+    fn extract_empty() {
+        let c = Circuit::new(2);
+        check_round_trip(&c);
+    }
+
+    #[test]
+    fn extract_single_gates() {
+        for gate in [Gate::H, Gate::S, Gate::T, Gate::Z, Gate::X, Gate::RZ(0.7), Gate::RX(0.4)] {
+            let mut c = Circuit::new(1);
+            c.push(gate, &[0]);
+            check_round_trip(&c);
+        }
+    }
+
+    #[test]
+    fn extract_cx_and_cz() {
+        for gate in [Gate::CX, Gate::CZ] {
+            let mut c = Circuit::new(2);
+            c.push(gate.clone(), &[0, 1]);
+            check_round_trip(&c);
+            let mut c = Circuit::new(2);
+            c.push(gate, &[1, 0]);
+            check_round_trip(&c);
+        }
+    }
+
+    #[test]
+    fn extract_swap() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Swap, &[0, 1]);
+        check_round_trip(&c);
+    }
+
+    #[test]
+    fn extract_bell_and_ghz() {
+        check_round_trip(&generators::ghz(2));
+        check_round_trip(&generators::ghz(3));
+        check_round_trip(&generators::ghz(4));
+    }
+
+    #[test]
+    fn extract_bell_prep_fig4() {
+        check_round_trip(&generators::bell_pair_prep());
+    }
+
+    #[test]
+    fn extract_t_ladder() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::T, &[0])
+            .push(Gate::CX, &[0, 1])
+            .push(Gate::T, &[1])
+            .push(Gate::CX, &[0, 1])
+            .push(Gate::Tdg, &[0])
+            .push(Gate::H, &[1]);
+        check_round_trip(&c);
+    }
+
+    #[test]
+    fn extract_random_2q() {
+        for seed in 0..30u64 {
+            let c = generators::random_circuit(2, 12, seed);
+            check_round_trip(&c);
+        }
+    }
+
+    #[test]
+    fn extract_random_3q() {
+        for seed in 0..20u64 {
+            let c = generators::random_circuit(3, 16, seed + 100);
+            check_round_trip(&c);
+        }
+    }
+
+    #[test]
+    fn extract_random_clifford_t_4q() {
+        for seed in 0..10u64 {
+            let c = generators::random_clifford_t(4, 24, 0.25, seed + 7);
+            check_round_trip(&c);
+        }
+    }
+
+    #[test]
+    fn extract_qft3() {
+        check_round_trip(&generators::qft(3));
+    }
+
+    #[test]
+    fn extract_after_simplify_reduces_gates() {
+        // A circuit with heavy redundancy should extract smaller.
+        let mut c = Circuit::new(2);
+        for _ in 0..6 {
+            c.push(Gate::H, &[0]).push(Gate::H, &[0]);
+            c.push(Gate::CX, &[0, 1]).push(Gate::CX, &[0, 1]);
+            c.push(Gate::S, &[1]).push(Gate::Sdg, &[1]);
+        }
+        let out = check_round_trip(&c);
+        assert!(
+            out.len() < c.len() / 2,
+            "no reduction: {} -> {}",
+            c.len(),
+            out.len()
+        );
+    }
+
+    #[test]
+    fn boundary_mismatch_detected() {
+        let mut g = ZxGraph::new();
+        let i = g.add_vertex(crate::graph::VertexKind::Boundary);
+        g.set_input(i);
+        assert_eq!(
+            extract_circuit(&g).unwrap_err(),
+            ExtractError::BoundaryMismatch
+        );
+    }
+}

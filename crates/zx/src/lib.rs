@@ -1,0 +1,46 @@
+//! # epoc-zx — ZX-calculus engine for the EPOC pulse compiler
+//!
+//! A from-scratch reimplementation of the PyZX functionality the paper's
+//! §3.1 depends on:
+//!
+//! * [`ZxGraph`] — graph-like ZX diagrams (Z spiders + Hadamard edges);
+//! * [`circuit_to_graph`] / [`lower_for_zx`] — conversion from the circuit
+//!   IR, with verified gate lowerings;
+//! * [`rules`] — sound rewrite rules (spider fusion, identity removal,
+//!   local complementation, pivoting), each checked against the tensor
+//!   semantics in [`tensor`];
+//! * [`simplify`] — `interior_clifford_simp` / `full_reduce` strategies;
+//! * [`extract_circuit`] — frontier-based circuit extraction with GF(2)
+//!   Gaussian elimination;
+//! * [`zx_optimize`] — the end-to-end graph-based depth-optimization pass
+//!   with verification and graceful fallback.
+//!
+//! ## Example
+//!
+//! ```
+//! use epoc_circuit::{Circuit, Gate};
+//! use epoc_zx::zx_optimize;
+//!
+//! let mut c = Circuit::new(2);
+//! c.push(Gate::H, &[0]).push(Gate::H, &[0]).push(Gate::CX, &[0, 1]);
+//! let r = zx_optimize(&c);
+//! assert!(r.depth_after <= r.depth_before);
+//! ```
+
+#![warn(missing_docs)]
+
+mod convert;
+mod extract;
+mod graph;
+mod optimize;
+mod phase;
+pub mod rules;
+pub mod simplify;
+pub mod tensor;
+
+pub use convert::{circuit_to_graph, lower_for_zx, ConvertError};
+pub use extract::{extract_circuit, ExtractError};
+pub use graph::{EdgeKind, Vertex, VertexKind, ZxGraph};
+pub use optimize::{latency_cost, peephole_cleanup, zx_optimize, ZxOptResult};
+pub use phase::{Phase, PHASE_TOL};
+pub use simplify::{full_reduce, interior_clifford_simp, pivot_boundary_simp, SimplifyStats};

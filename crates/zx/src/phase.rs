@@ -1,0 +1,201 @@
+//! Spider phases.
+//!
+//! Phases are angles mod 2π. Circuits carry arbitrary real rotation angles,
+//! so [`Phase`] wraps an `f64` (radians, normalized to `[0, 2π)`) and
+//! provides the tolerance-based classifications the rewrite rules need:
+//! Pauli phases (0 or π) and proper Clifford phases (±π/2).
+
+use std::f64::consts::{FRAC_PI_2, PI};
+use std::fmt;
+use std::ops::{Add, Neg, Sub};
+
+/// Numerical tolerance for classifying phases.
+pub const PHASE_TOL: f64 = 1e-9;
+
+const TWO_PI: f64 = 2.0 * PI;
+
+/// An angle mod 2π, stored in radians within `[0, 2π)`.
+///
+/// # Examples
+///
+/// ```
+/// use epoc_zx::Phase;
+/// use std::f64::consts::PI;
+///
+/// let p = Phase::from_radians(3.0 * PI);
+/// assert!(p.is_pi());
+/// assert!((Phase::from_radians(-PI / 2.0) + Phase::from_radians(PI / 2.0)).is_zero());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Phase(f64);
+
+impl Phase {
+    /// The zero phase.
+    pub const ZERO: Phase = Phase(0.0);
+    /// The π phase.
+    pub const PI: Phase = Phase(PI);
+
+    /// Creates a phase from radians (normalized mod 2π).
+    pub fn from_radians(r: f64) -> Self {
+        let mut v = r.rem_euclid(TWO_PI);
+        // Snap values within tolerance of 2π down to 0.
+        if (TWO_PI - v).abs() < PHASE_TOL {
+            v = 0.0;
+        }
+        Phase(v)
+    }
+
+    /// The phase in radians, in `[0, 2π)`.
+    pub fn radians(self) -> f64 {
+        self.0
+    }
+
+    /// π/2 phase.
+    pub fn half_pi() -> Self {
+        Phase(FRAC_PI_2)
+    }
+
+    /// 3π/2 phase (i.e. −π/2).
+    pub fn neg_half_pi() -> Self {
+        Phase(3.0 * FRAC_PI_2)
+    }
+
+    /// `true` when the phase is 0 (mod 2π) within tolerance.
+    pub fn is_zero(self) -> bool {
+        self.0 < PHASE_TOL || (TWO_PI - self.0) < PHASE_TOL
+    }
+
+    /// `true` when the phase is π within tolerance.
+    pub fn is_pi(self) -> bool {
+        (self.0 - PI).abs() < PHASE_TOL
+    }
+
+    /// `true` for a Pauli phase: 0 or π.
+    pub fn is_pauli(self) -> bool {
+        self.is_zero() || self.is_pi()
+    }
+
+    /// `true` for ±π/2 (a *proper* Clifford phase).
+    pub fn is_proper_clifford(self) -> bool {
+        (self.0 - FRAC_PI_2).abs() < PHASE_TOL || (self.0 - 3.0 * FRAC_PI_2).abs() < PHASE_TOL
+    }
+
+    /// `true` for any multiple of π/2 (Clifford phase).
+    pub fn is_clifford(self) -> bool {
+        self.is_pauli() || self.is_proper_clifford()
+    }
+
+    /// `true` when within tolerance of `other`.
+    pub fn approx_eq(self, other: Phase) -> bool {
+        let d = (self.0 - other.0).abs();
+        d < PHASE_TOL || (TWO_PI - d) < PHASE_TOL
+    }
+}
+
+impl Default for Phase {
+    fn default() -> Self {
+        Phase::ZERO
+    }
+}
+
+impl Add for Phase {
+    type Output = Phase;
+    fn add(self, rhs: Phase) -> Phase {
+        Phase::from_radians(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Phase {
+    type Output = Phase;
+    fn sub(self, rhs: Phase) -> Phase {
+        Phase::from_radians(self.0 - rhs.0)
+    }
+}
+
+impl Neg for Phase {
+    type Output = Phase;
+    fn neg(self) -> Phase {
+        Phase::from_radians(-self.0)
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Pretty-print common multiples of π/4.
+        let quarters = self.0 / (PI / 4.0);
+        let q = quarters.round();
+        if (quarters - q).abs() < 1e-6 {
+            match q as i64 {
+                0 => write!(f, "0"),
+                1 => write!(f, "π/4"),
+                2 => write!(f, "π/2"),
+                3 => write!(f, "3π/4"),
+                4 => write!(f, "π"),
+                5 => write!(f, "5π/4"),
+                6 => write!(f, "3π/2"),
+                7 => write!(f, "7π/4"),
+                _ => write!(f, "{:.4}", self.0),
+            }
+        } else {
+            write!(f, "{:.4}", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_wraps() {
+        assert!(Phase::from_radians(TWO_PI).is_zero());
+        assert!(Phase::from_radians(-PI).is_pi());
+        assert!(Phase::from_radians(5.0 * PI).is_pi());
+        assert!((Phase::from_radians(-FRAC_PI_2).radians() - 3.0 * FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Phase::ZERO.is_pauli());
+        assert!(Phase::PI.is_pauli());
+        assert!(Phase::half_pi().is_proper_clifford());
+        assert!(Phase::neg_half_pi().is_proper_clifford());
+        assert!(!Phase::half_pi().is_pauli());
+        assert!(Phase::half_pi().is_clifford());
+        assert!(!Phase::from_radians(PI / 4.0).is_clifford());
+        assert!(Phase::from_radians(0.123).radians() > 0.0);
+        assert!(!Phase::from_radians(0.123).is_clifford());
+    }
+
+    #[test]
+    fn arithmetic_mod_two_pi() {
+        let a = Phase::from_radians(1.5 * PI);
+        let b = Phase::from_radians(PI);
+        assert!(((a + b).radians() - 0.5 * PI).abs() < 1e-12);
+        assert!((a - a).is_zero());
+        assert!((-Phase::half_pi()).approx_eq(Phase::neg_half_pi()));
+    }
+
+    #[test]
+    fn tolerance_snapping() {
+        assert!(Phase::from_radians(TWO_PI - 1e-12).is_zero());
+        assert!(Phase::from_radians(1e-12).is_zero());
+        assert!(Phase::from_radians(PI + 1e-12).is_pi());
+    }
+
+    #[test]
+    fn display_pretty_prints() {
+        assert_eq!(Phase::ZERO.to_string(), "0");
+        assert_eq!(Phase::PI.to_string(), "π");
+        assert_eq!(Phase::half_pi().to_string(), "π/2");
+        assert_eq!(Phase::from_radians(PI / 4.0).to_string(), "π/4");
+        assert_eq!(Phase::from_radians(0.1).to_string(), "0.1000");
+    }
+
+    #[test]
+    fn approx_eq_across_wrap() {
+        let a = Phase::from_radians(1e-10);
+        let b = Phase::from_radians(TWO_PI - 1e-10);
+        assert!(a.approx_eq(b));
+    }
+}

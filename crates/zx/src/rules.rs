@@ -1,0 +1,661 @@
+//! ZX rewrite rules on graph-like diagrams.
+//!
+//! Every rule is sound: it preserves the diagram's linear map up to a
+//! global scalar. The test module verifies each rule against the tensor
+//! evaluator on randomized diagrams.
+//!
+//! Implemented rules (names follow Duncan–Kissinger–Perdrix–van de
+//! Wetering, "Graph-theoretic Simplification of Quantum Circuits with the
+//! ZX-calculus"):
+//!
+//! * **spider fusion** — merge two Z spiders joined by a simple edge;
+//! * **identity removal** — remove a phase-0, degree-2 Z spider;
+//! * **local complementation** — remove an interior ±π/2 spider,
+//!   complementing its neighborhood;
+//! * **pivot** — remove an interior pair of Pauli spiders joined by a
+//!   Hadamard edge, complementing between their neighbor classes;
+//! * **boundary pivot** — the pivot variant for a Pauli spider touching a
+//!   boundary, enabled by an identity-insertion split of the boundary wire.
+
+use crate::graph::{EdgeKind, Vertex, VertexKind, ZxGraph};
+use crate::phase::Phase;
+
+/// Merges spider `b` into spider `a`.
+///
+/// Requires both to be Z spiders joined by a **simple** edge. `b`'s phase
+/// is added to `a`, `b`'s other edges re-attach to `a` with Hopf/self-loop
+/// resolution, and `b` is removed.
+///
+/// Returns `false` (no change) when the precondition fails.
+pub fn fuse(g: &mut ZxGraph, a: Vertex, b: Vertex) -> bool {
+    if a == b || !g.exists(a) || !g.exists(b) {
+        return false;
+    }
+    if !(g.kind(a).is_z() && g.kind(b).is_z()) {
+        return false;
+    }
+    if g.edge_kind(a, b) != Some(EdgeKind::Simple) {
+        return false;
+    }
+    let phase_b = g.kind(b).phase();
+    g.add_phase(a, phase_b);
+    let others: Vec<(Vertex, EdgeKind)> = g
+        .neighbors(b)
+        .filter(|&(w, _)| w != a)
+        .collect();
+    g.remove_vertex(b);
+    for (w, kind) in others {
+        if w == a {
+            continue;
+        }
+        g.add_edge_smart(a, w, kind);
+    }
+    true
+}
+
+/// Removes a phase-0, degree-2 Z spider, splicing its two edges together
+/// (edge kinds compose; a Hadamard pair cancels to a simple wire).
+///
+/// Returns `false` when the precondition fails.
+pub fn remove_identity(g: &mut ZxGraph, v: Vertex) -> bool {
+    if !g.exists(v) {
+        return false;
+    }
+    match g.kind(v) {
+        VertexKind::Z(p) if p.is_zero() => {}
+        _ => return false,
+    }
+    if g.degree(v) != 2 {
+        return false;
+    }
+    let nbrs: Vec<(Vertex, EdgeKind)> = g.neighbors(v).collect();
+    let (w1, k1) = nbrs[0];
+    let (w2, k2) = nbrs[1];
+    let combined = k1.compose(k2);
+    // Splicing must not create an unresolvable mixed parallel edge between
+    // spiders, nor a parallel edge on a boundary.
+    if let Some(existing) = g.edge_kind(w1, w2) {
+        let both_spiders = !g.kind(w1).is_boundary() && !g.kind(w2).is_boundary();
+        if !both_spiders || existing != combined {
+            return false;
+        }
+    }
+    g.remove_vertex(v);
+    g.add_edge_smart(w1, w2, combined);
+    true
+}
+
+/// `true` when `v` is an *interior* spider: a Z spider all of whose edges
+/// are Hadamard edges to other (non-boundary) spiders.
+pub fn is_interior(g: &ZxGraph, v: Vertex) -> bool {
+    if !g.exists(v) || !g.kind(v).is_z() {
+        return false;
+    }
+    g.neighbors(v)
+        .all(|(w, k)| k == EdgeKind::Hadamard && !g.kind(w).is_boundary())
+}
+
+/// Local complementation at an interior ±π/2 spider `v`: removes `v`,
+/// toggles every edge among its neighborhood, and subtracts `v`'s phase
+/// from each neighbor.
+///
+/// Returns `false` when the precondition fails.
+pub fn local_complement(g: &mut ZxGraph, v: Vertex) -> bool {
+    if !is_interior(g, v) {
+        return false;
+    }
+    let phase = g.kind(v).phase();
+    if !phase.is_proper_clifford() {
+        return false;
+    }
+    let nbrs: Vec<Vertex> = g.neighbors(v).map(|(w, _)| w).collect();
+    // The rule is only defined on graph-like neighborhoods: a *simple*
+    // edge between two neighbors (as identity-removal can create) must be
+    // fused away first — toggling it would corrupt the diagram.
+    for (i, &a) in nbrs.iter().enumerate() {
+        for &b in &nbrs[i + 1..] {
+            if g.edge_kind(a, b) == Some(EdgeKind::Simple) {
+                return false;
+            }
+        }
+    }
+    // Toggle all pairs.
+    for i in 0..nbrs.len() {
+        for j in (i + 1)..nbrs.len() {
+            let (a, b) = (nbrs[i], nbrs[j]);
+            if g.edge_kind(a, b) == Some(EdgeKind::Hadamard) {
+                g.remove_edge(a, b);
+            } else {
+                g.add_edge(a, b, EdgeKind::Hadamard);
+            }
+        }
+    }
+    for &w in &nbrs {
+        g.add_phase(w, -phase);
+    }
+    g.remove_vertex(v);
+    true
+}
+
+/// Pivot about an interior Hadamard-connected pair of Pauli spiders
+/// `(u, v)`: complements edges between the three neighbor classes
+/// (exclusive-u, exclusive-v, common), adds π to common neighbors, adds
+/// `v`'s phase to exclusive-u neighbors and `u`'s to exclusive-v, then
+/// removes both.
+///
+/// Returns `false` when the precondition fails.
+pub fn pivot(g: &mut ZxGraph, u: Vertex, v: Vertex) -> bool {
+    if u == v || !is_interior(g, u) || !is_interior(g, v) {
+        return false;
+    }
+    let pu = g.kind(u).phase();
+    let pv = g.kind(v).phase();
+    if !pu.is_pauli() || !pv.is_pauli() {
+        return false;
+    }
+    if g.edge_kind(u, v) != Some(EdgeKind::Hadamard) {
+        return false;
+    }
+    let nu: Vec<Vertex> = g.neighbors(u).map(|(w, _)| w).filter(|&w| w != v).collect();
+    let nv: Vec<Vertex> = g.neighbors(v).map(|(w, _)| w).filter(|&w| w != u).collect();
+    let common: Vec<Vertex> = nu.iter().copied().filter(|w| nv.contains(w)).collect();
+    let only_u: Vec<Vertex> = nu.iter().copied().filter(|w| !common.contains(w)).collect();
+    let only_v: Vec<Vertex> = nv.iter().copied().filter(|w| !common.contains(w)).collect();
+    // Like local complementation, pivoting toggles edges between the
+    // neighbor classes and is only defined when those pairs carry
+    // Hadamard (or no) edges — refuse on simple edges.
+    let mut all: Vec<Vertex> = Vec::new();
+    all.extend_from_slice(&only_u);
+    all.extend_from_slice(&only_v);
+    all.extend_from_slice(&common);
+    for (i, &a) in all.iter().enumerate() {
+        for &b in &all[i + 1..] {
+            if g.edge_kind(a, b) == Some(EdgeKind::Simple) {
+                return false;
+            }
+        }
+    }
+
+    let mut toggle = |a: Vertex, b: Vertex| {
+        if a == b {
+            return;
+        }
+        if g.edge_kind(a, b) == Some(EdgeKind::Hadamard) {
+            g.remove_edge(a, b);
+        } else {
+            g.add_edge(a, b, EdgeKind::Hadamard);
+        }
+    };
+    for &a in &only_u {
+        for &b in &only_v {
+            toggle(a, b);
+        }
+    }
+    for &a in &only_u {
+        for &b in &common {
+            toggle(a, b);
+        }
+    }
+    for &a in &only_v {
+        for &b in &common {
+            toggle(a, b);
+        }
+    }
+    for &w in &common {
+        g.add_phase(w, Phase::PI);
+    }
+    for &w in &only_u {
+        g.add_phase(w, pv);
+    }
+    for &w in &only_v {
+        g.add_phase(w, pu);
+    }
+    for &w in &common {
+        g.add_phase(w, pu + pv);
+    }
+    g.remove_vertex(u);
+    g.remove_vertex(v);
+    true
+}
+
+/// Boundary pivot: pivots an interior Pauli spider `u` against a Pauli
+/// neighbor `v` that touches exactly one boundary, by first splitting
+/// `v`'s boundary wire with a phase-0 spider (identity insertion) so the
+/// ordinary [`pivot`] applies.
+///
+/// Each application removes one net spider, so repeated use terminates.
+/// Returns `false` when the preconditions fail.
+pub fn pivot_boundary(g: &mut ZxGraph, u: Vertex, v: Vertex) -> bool {
+    if u == v || !is_interior(g, u) || !g.exists(v) || !g.kind(v).is_z() {
+        return false;
+    }
+    if !g.kind(u).phase().is_pauli() || !g.kind(v).phase().is_pauli() {
+        return false;
+    }
+    if g.edge_kind(u, v) != Some(EdgeKind::Hadamard) {
+        return false;
+    }
+    // v: exactly one boundary neighbor; all other edges Hadamard to spiders.
+    let mut boundary: Option<(Vertex, EdgeKind)> = None;
+    for (w, k) in g.neighbors(v) {
+        if g.kind(w).is_boundary() {
+            if boundary.is_some() {
+                return false;
+            }
+            boundary = Some((w, k));
+        } else if k != EdgeKind::Hadamard {
+            return false;
+        }
+    }
+    let Some((b, kind)) = boundary else {
+        return false;
+    };
+    // Split the boundary wire: v —H— w —(kind∘H)— b. The inserted w is a
+    // phase-0 degree-2 spider, i.e. an identity (inverse of
+    // remove_identity), so semantics are untouched.
+    g.remove_edge(v, b);
+    let w = g.add_vertex(VertexKind::Z(Phase::ZERO));
+    g.add_edge(v, w, EdgeKind::Hadamard);
+    g.add_edge(w, b, kind.compose(EdgeKind::Hadamard));
+    if pivot(g, u, v) {
+        true
+    } else {
+        // Undo the split so a refused pivot leaves the diagram unchanged.
+        g.remove_vertex(w);
+        g.add_edge(v, b, kind);
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::{graph_to_matrix, proportional};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Applies `rule` and checks the semantics is unchanged (up to scalar).
+    fn check_preserves(g: &ZxGraph, rule: impl FnOnce(&mut ZxGraph) -> bool) -> bool {
+        let before = graph_to_matrix(g).expect("evaluable before");
+        let mut g2 = g.clone();
+        let applied = rule(&mut g2);
+        if !applied {
+            return false;
+        }
+        let after = graph_to_matrix(&g2).expect("evaluable after");
+        assert!(
+            proportional(&before, &after, 1e-8),
+            "rule changed semantics\nbefore {before:?}\nafter {after:?}\ngraph {g2:?}"
+        );
+        true
+    }
+
+    /// Random small graph-like diagram on `n` wires with interior structure.
+    fn random_diagram(n: usize, interior: usize, seed: u64) -> ZxGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = ZxGraph::new();
+        let mut spiders = Vec::new();
+        // Wire scaffold.
+        for _ in 0..n {
+            let i = g.add_vertex(VertexKind::Boundary);
+            let s = g.add_vertex(VertexKind::Z(Phase::from_radians(
+                rng.gen::<f64>() * std::f64::consts::TAU,
+            )));
+            let o = g.add_vertex(VertexKind::Boundary);
+            g.add_edge(i, s, EdgeKind::Simple);
+            g.add_edge(s, o, EdgeKind::Simple);
+            g.set_input(i);
+            g.set_output(o);
+            spiders.push(s);
+        }
+        // Interior spiders with random Hadamard wiring.
+        for _ in 0..interior {
+            let v = g.add_vertex(VertexKind::Z(Phase::from_radians(
+                rng.gen::<f64>() * std::f64::consts::TAU,
+            )));
+            // Connect to 1-3 existing spiders.
+            let k = rng.gen_range(1..=3usize.min(spiders.len()));
+            for _ in 0..k {
+                let w = spiders[rng.gen_range(0..spiders.len())];
+                if w != v && !g.connected(v, w) {
+                    g.add_edge(v, w, EdgeKind::Hadamard);
+                }
+            }
+            spiders.push(v);
+        }
+        g
+    }
+
+    #[test]
+    fn fusion_preserves_semantics() {
+        // Chain i - a(0.3) - b(0.5) - o with simple edges.
+        let mut g = ZxGraph::new();
+        let i = g.add_vertex(VertexKind::Boundary);
+        let a = g.add_vertex(VertexKind::Z(Phase::from_radians(0.3)));
+        let b = g.add_vertex(VertexKind::Z(Phase::from_radians(0.5)));
+        let o = g.add_vertex(VertexKind::Boundary);
+        g.add_edge(i, a, EdgeKind::Simple);
+        g.add_edge(a, b, EdgeKind::Simple);
+        g.add_edge(b, o, EdgeKind::Simple);
+        g.set_input(i);
+        g.set_output(o);
+        assert!(check_preserves(&g, |g| fuse(g, a, b)));
+    }
+
+    #[test]
+    fn fusion_with_shared_neighbor_hopf() {
+        // a and b both H-connected to c; fusing a,b turns the pair into a
+        // double H-edge that must Hopf-cancel.
+        let mut g = ZxGraph::new();
+        let i = g.add_vertex(VertexKind::Boundary);
+        let a = g.add_vertex(VertexKind::Z(Phase::ZERO));
+        let b = g.add_vertex(VertexKind::Z(Phase::from_radians(0.7)));
+        let c = g.add_vertex(VertexKind::Z(Phase::from_radians(1.1)));
+        let o = g.add_vertex(VertexKind::Boundary);
+        let oc = g.add_vertex(VertexKind::Boundary);
+        g.add_edge(i, a, EdgeKind::Simple);
+        g.add_edge(a, b, EdgeKind::Simple);
+        g.add_edge(b, o, EdgeKind::Simple);
+        g.add_edge(a, c, EdgeKind::Hadamard);
+        g.add_edge(b, c, EdgeKind::Hadamard);
+        g.add_edge(c, oc, EdgeKind::Simple);
+        g.set_input(i);
+        g.set_output(o);
+        g.set_output(oc);
+        assert!(check_preserves(&g, |g| fuse(g, a, b)));
+    }
+
+    #[test]
+    fn fusion_rejects_hadamard_edge() {
+        let mut g = ZxGraph::new();
+        let a = g.add_vertex(VertexKind::Z(Phase::ZERO));
+        let b = g.add_vertex(VertexKind::Z(Phase::ZERO));
+        g.add_edge(a, b, EdgeKind::Hadamard);
+        assert!(!fuse(&mut g, a, b));
+    }
+
+    #[test]
+    fn identity_removal_simple() {
+        let mut g = ZxGraph::new();
+        let i = g.add_vertex(VertexKind::Boundary);
+        let v = g.add_vertex(VertexKind::Z(Phase::ZERO));
+        let w = g.add_vertex(VertexKind::Z(Phase::from_radians(0.9)));
+        let o = g.add_vertex(VertexKind::Boundary);
+        g.add_edge(i, v, EdgeKind::Simple);
+        g.add_edge(v, w, EdgeKind::Hadamard);
+        g.add_edge(w, o, EdgeKind::Simple);
+        g.set_input(i);
+        g.set_output(o);
+        assert!(check_preserves(&g, |g| remove_identity(g, v)));
+    }
+
+    #[test]
+    fn identity_removal_cancels_hadamard_pair() {
+        // i -H- v -H- o: removing v leaves a simple wire.
+        let mut g = ZxGraph::new();
+        let i = g.add_vertex(VertexKind::Boundary);
+        let v = g.add_vertex(VertexKind::Z(Phase::ZERO));
+        let o = g.add_vertex(VertexKind::Boundary);
+        g.add_edge(i, v, EdgeKind::Hadamard);
+        g.add_edge(v, o, EdgeKind::Hadamard);
+        g.set_input(i);
+        g.set_output(o);
+        assert!(check_preserves(&g, |g| remove_identity(g, v)));
+        let mut g2 = g.clone();
+        remove_identity(&mut g2, v);
+        assert_eq!(g2.edge_kind(i, o), Some(EdgeKind::Simple));
+    }
+
+    #[test]
+    fn identity_removal_rejects_phase() {
+        let mut g = ZxGraph::new();
+        let i = g.add_vertex(VertexKind::Boundary);
+        let v = g.add_vertex(VertexKind::Z(Phase::PI));
+        let o = g.add_vertex(VertexKind::Boundary);
+        g.add_edge(i, v, EdgeKind::Simple);
+        g.add_edge(v, o, EdgeKind::Simple);
+        assert!(!remove_identity(&mut g, v));
+    }
+
+    #[test]
+    fn local_complement_triangle() {
+        // Interior ±π/2 spider v H-connected to two wire spiders that are
+        // themselves H-connected: LC removes v and disconnects them.
+        for phase in [Phase::half_pi(), Phase::neg_half_pi()] {
+            let mut g = ZxGraph::new();
+            let mut wire = Vec::new();
+            for _ in 0..2 {
+                let i = g.add_vertex(VertexKind::Boundary);
+                let s = g.add_vertex(VertexKind::Z(Phase::from_radians(0.4)));
+                let o = g.add_vertex(VertexKind::Boundary);
+                g.add_edge(i, s, EdgeKind::Simple);
+                g.add_edge(s, o, EdgeKind::Simple);
+                g.set_input(i);
+                g.set_output(o);
+                wire.push(s);
+            }
+            let v = g.add_vertex(VertexKind::Z(phase));
+            g.add_edge(v, wire[0], EdgeKind::Hadamard);
+            g.add_edge(v, wire[1], EdgeKind::Hadamard);
+            g.add_edge(wire[0], wire[1], EdgeKind::Hadamard);
+            assert!(check_preserves(&g, |g| local_complement(g, v)));
+        }
+    }
+
+    #[test]
+    fn local_complement_star() {
+        // v H-connected to three wire spiders, no edges among them.
+        let mut g = ZxGraph::new();
+        let mut wire = Vec::new();
+        for _ in 0..3 {
+            let i = g.add_vertex(VertexKind::Boundary);
+            let s = g.add_vertex(VertexKind::Z(Phase::from_radians(0.2)));
+            let o = g.add_vertex(VertexKind::Boundary);
+            g.add_edge(i, s, EdgeKind::Simple);
+            g.add_edge(s, o, EdgeKind::Simple);
+            g.set_input(i);
+            g.set_output(o);
+            wire.push(s);
+        }
+        let v = g.add_vertex(VertexKind::Z(Phase::half_pi()));
+        for &w in &wire {
+            g.add_edge(v, w, EdgeKind::Hadamard);
+        }
+        assert!(check_preserves(&g, |g| local_complement(g, v)));
+    }
+
+    #[test]
+    fn local_complement_rejects_non_clifford() {
+        let mut g = random_diagram(2, 1, 3);
+        let interior: Vec<Vertex> = g
+            .vertices()
+            .filter(|&v| is_interior(&g, v))
+            .collect();
+        for v in interior {
+            g.set_kind(v, VertexKind::Z(Phase::from_radians(0.3)));
+            assert!(!local_complement(&mut g, v));
+        }
+    }
+
+    #[test]
+    fn pivot_pair() {
+        // Two interior Pauli spiders u,v H-connected; u sees wire spider a,
+        // v sees wire spider b.
+        for (pu, pv) in [
+            (Phase::ZERO, Phase::ZERO),
+            (Phase::PI, Phase::ZERO),
+            (Phase::PI, Phase::PI),
+        ] {
+            let mut g = ZxGraph::new();
+            let mut wire = Vec::new();
+            for _ in 0..2 {
+                let i = g.add_vertex(VertexKind::Boundary);
+                let s = g.add_vertex(VertexKind::Z(Phase::from_radians(0.6)));
+                let o = g.add_vertex(VertexKind::Boundary);
+                g.add_edge(i, s, EdgeKind::Simple);
+                g.add_edge(s, o, EdgeKind::Simple);
+                g.set_input(i);
+                g.set_output(o);
+                wire.push(s);
+            }
+            let u = g.add_vertex(VertexKind::Z(pu));
+            let v = g.add_vertex(VertexKind::Z(pv));
+            g.add_edge(u, v, EdgeKind::Hadamard);
+            g.add_edge(u, wire[0], EdgeKind::Hadamard);
+            g.add_edge(v, wire[1], EdgeKind::Hadamard);
+            assert!(
+                check_preserves(&g, |g| pivot(g, u, v)),
+                "pivot failed for {pu:?},{pv:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn pivot_with_common_neighbor() {
+        let mut g = ZxGraph::new();
+        let mut wire = Vec::new();
+        for _ in 0..3 {
+            let i = g.add_vertex(VertexKind::Boundary);
+            let s = g.add_vertex(VertexKind::Z(Phase::from_radians(0.25)));
+            let o = g.add_vertex(VertexKind::Boundary);
+            g.add_edge(i, s, EdgeKind::Simple);
+            g.add_edge(s, o, EdgeKind::Simple);
+            g.set_input(i);
+            g.set_output(o);
+            wire.push(s);
+        }
+        let u = g.add_vertex(VertexKind::Z(Phase::PI));
+        let v = g.add_vertex(VertexKind::Z(Phase::ZERO));
+        g.add_edge(u, v, EdgeKind::Hadamard);
+        g.add_edge(u, wire[0], EdgeKind::Hadamard);
+        g.add_edge(v, wire[1], EdgeKind::Hadamard);
+        // Common neighbor:
+        g.add_edge(u, wire[2], EdgeKind::Hadamard);
+        g.add_edge(v, wire[2], EdgeKind::Hadamard);
+        assert!(check_preserves(&g, |g| pivot(g, u, v)));
+    }
+
+    #[test]
+    fn pivot_rejects_non_pauli() {
+        let mut g = ZxGraph::new();
+        let u = g.add_vertex(VertexKind::Z(Phase::half_pi()));
+        let v = g.add_vertex(VertexKind::Z(Phase::ZERO));
+        let w = g.add_vertex(VertexKind::Z(Phase::ZERO)); // keep interiors interior
+        g.add_edge(u, v, EdgeKind::Hadamard);
+        g.add_edge(u, w, EdgeKind::Hadamard);
+        g.add_edge(v, w, EdgeKind::Hadamard);
+        assert!(!pivot(&mut g, u, v));
+    }
+
+    #[test]
+    fn randomized_rule_soundness() {
+        // Sweep random diagrams and apply whatever rules fire.
+        let mut applied = 0;
+        for seed in 0..60u64 {
+            let g = random_diagram(2, 2, seed);
+            // Try local complementation on a random interior spider forced
+            // to ±π/2.
+            let interior: Vec<Vertex> =
+                g.vertices().filter(|&v| is_interior(&g, v)).collect();
+            if let Some(&v) = interior.first() {
+                let mut g2 = g.clone();
+                g2.set_kind(
+                    v,
+                    VertexKind::Z(if seed % 2 == 0 {
+                        Phase::half_pi()
+                    } else {
+                        Phase::neg_half_pi()
+                    }),
+                );
+                if check_preserves(&g2, |g| local_complement(g, v)) {
+                    applied += 1;
+                }
+            }
+        }
+        assert!(applied > 10, "too few rule applications exercised: {applied}");
+    }
+}
+
+#[cfg(test)]
+mod boundary_pivot_tests {
+    use super::*;
+    use crate::tensor::{graph_to_matrix, proportional};
+
+    /// Wire scaffold with an interior Pauli spider u hooked to a
+    /// boundary-adjacent Pauli spider v.
+    fn setup(pu: Phase, pv: Phase, boundary_kind: EdgeKind) -> (ZxGraph, Vertex, Vertex) {
+        let mut g = ZxGraph::new();
+        // Wire 0: i0 - v - o0 where v also connects to u (H).
+        let i0 = g.add_vertex(VertexKind::Boundary);
+        let v = g.add_vertex(VertexKind::Z(pv));
+        g.add_edge(i0, v, boundary_kind);
+        g.set_input(i0);
+        // Wire 1 gives u another interior anchor s1 so the pivot has work.
+        let i1 = g.add_vertex(VertexKind::Boundary);
+        let s1 = g.add_vertex(VertexKind::Z(Phase::from_radians(0.3)));
+        let o1 = g.add_vertex(VertexKind::Boundary);
+        g.add_edge(i1, s1, EdgeKind::Simple);
+        g.add_edge(s1, o1, EdgeKind::Simple);
+        g.set_input(i1);
+        g.set_output(o1);
+        let u = g.add_vertex(VertexKind::Z(pu));
+        g.add_edge(u, v, EdgeKind::Hadamard);
+        g.add_edge(u, s1, EdgeKind::Hadamard);
+        // v's output side: H-edge to a wire spider s0 then out.
+        let s0 = g.add_vertex(VertexKind::Z(Phase::from_radians(0.7)));
+        let o0 = g.add_vertex(VertexKind::Boundary);
+        g.add_edge(v, s0, EdgeKind::Hadamard);
+        g.add_edge(s0, o0, EdgeKind::Simple);
+        g.set_output(o0);
+        (g, u, v)
+    }
+
+    #[test]
+    fn boundary_pivot_preserves_semantics() {
+        for (pu, pv) in [
+            (Phase::ZERO, Phase::ZERO),
+            (Phase::PI, Phase::ZERO),
+            (Phase::ZERO, Phase::PI),
+            (Phase::PI, Phase::PI),
+        ] {
+            for kind in [EdgeKind::Simple, EdgeKind::Hadamard] {
+                let (g, u, v) = setup(pu, pv, kind);
+                let before = graph_to_matrix(&g).unwrap();
+                let mut g2 = g.clone();
+                assert!(pivot_boundary(&mut g2, u, v), "refused for {pu:?},{pv:?}");
+                let after = graph_to_matrix(&g2).unwrap();
+                assert!(
+                    proportional(&before, &after, 1e-8),
+                    "semantics broken for {pu:?},{pv:?},{kind:?}"
+                );
+                assert!(!g2.exists(u));
+                assert!(!g2.exists(v));
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_pivot_rejects_non_pauli() {
+        let (mut g, u, v) = setup(Phase::half_pi(), Phase::ZERO, EdgeKind::Simple);
+        assert!(!pivot_boundary(&mut g, u, v));
+    }
+
+    #[test]
+    fn boundary_pivot_rejects_two_boundaries() {
+        // v directly between input and output: two boundary neighbors.
+        let mut g = ZxGraph::new();
+        let i = g.add_vertex(VertexKind::Boundary);
+        let v = g.add_vertex(VertexKind::Z(Phase::ZERO));
+        let o = g.add_vertex(VertexKind::Boundary);
+        g.add_edge(i, v, EdgeKind::Simple);
+        g.add_edge(v, o, EdgeKind::Simple);
+        g.set_input(i);
+        g.set_output(o);
+        let u = g.add_vertex(VertexKind::Z(Phase::ZERO));
+        let anchor = g.add_vertex(VertexKind::Z(Phase::ZERO));
+        g.add_edge(u, v, EdgeKind::Hadamard);
+        g.add_edge(u, anchor, EdgeKind::Hadamard);
+        g.add_edge(anchor, v, EdgeKind::Hadamard);
+        assert!(!pivot_boundary(&mut g, u, v));
+    }
+}

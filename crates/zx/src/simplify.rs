@@ -1,0 +1,339 @@
+//! Simplification strategies: iterated rewrite passes in the style of
+//! PyZX's `interior_clifford_simp` / `full_reduce`.
+
+use crate::graph::{EdgeKind, Vertex, ZxGraph};
+use crate::rules::{
+    fuse, is_interior, local_complement, pivot, pivot_boundary, remove_identity,
+};
+
+/// Statistics from a simplification run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimplifyStats {
+    /// Spider fusions applied.
+    pub fusions: usize,
+    /// Identity spiders removed.
+    pub identities: usize,
+    /// Local complementations applied.
+    pub local_complements: usize,
+    /// Pivots applied.
+    pub pivots: usize,
+}
+
+impl SimplifyStats {
+    /// Total rewrites applied.
+    pub fn total(&self) -> usize {
+        self.fusions + self.identities + self.local_complements + self.pivots
+    }
+}
+
+/// Fuses every simple Z–Z edge until none remain. Returns fusions applied.
+///
+/// Single pass with a per-vertex inner fixpoint: fusing `b` into `v` only
+/// changes `v`'s neighborhood, so once `v` has no simple Z-neighbors left
+/// it never gains one from later fusions elsewhere — no global rescans.
+pub fn fuse_all(g: &mut ZxGraph) -> usize {
+    let mut count = 0;
+    for v in g.vertices().collect::<Vec<_>>() {
+        if !g.exists(v) || !g.kind(v).is_z() {
+            continue;
+        }
+        loop {
+            let target = g
+                .neighbors(v)
+                .find(|&(w, kind)| kind == EdgeKind::Simple && g.kind(w).is_z())
+                .map(|(w, _)| w);
+            match target {
+                Some(w) => {
+                    if !fuse(g, v, w) {
+                        break;
+                    }
+                    count += 1;
+                }
+                None => break,
+            }
+        }
+    }
+    count
+}
+
+/// Removes phase-0 degree-2 spiders until none can be removed.
+pub fn remove_identities(g: &mut ZxGraph) -> usize {
+    let mut count = 0;
+    loop {
+        let candidates: Vec<Vertex> = g.vertices().collect();
+        let mut any = false;
+        for v in candidates {
+            if g.exists(v) && remove_identity(g, v) {
+                count += 1;
+                any = true;
+            }
+        }
+        if !any {
+            break;
+        }
+    }
+    count
+}
+
+/// Applies local complementation at every interior ±π/2 spider until none
+/// remain.
+pub fn local_complement_simp(g: &mut ZxGraph) -> usize {
+    let mut count = 0;
+    loop {
+        let candidates: Vec<Vertex> = g
+            .vertices()
+            .filter(|&v| is_interior(g, v) && g.kind(v).phase().is_proper_clifford())
+            .collect();
+        let mut any = false;
+        for v in candidates {
+            if g.exists(v) && local_complement(g, v) {
+                count += 1;
+                any = true;
+            }
+        }
+        if !any {
+            break;
+        }
+    }
+    count
+}
+
+/// Applies pivots on interior Pauli–Pauli Hadamard-connected pairs until
+/// none remain.
+pub fn pivot_simp(g: &mut ZxGraph) -> usize {
+    let mut count = 0;
+    loop {
+        let mut any = false;
+        for v in g.vertices().collect::<Vec<_>>() {
+            if !g.exists(v) || !is_interior(g, v) || !g.kind(v).phase().is_pauli() {
+                continue;
+            }
+            for (w, kind) in g.neighbors(v).collect::<Vec<_>>() {
+                if kind == EdgeKind::Hadamard
+                    && is_interior(g, w)
+                    && g.kind(w).phase().is_pauli()
+                    && pivot(g, v, w)
+                {
+                    count += 1;
+                    any = true;
+                    break;
+                }
+            }
+        }
+        if !any {
+            break;
+        }
+    }
+    count
+}
+
+/// Applies boundary pivots (interior Pauli spider against a Pauli spider
+/// touching one boundary) until none remain.
+pub fn pivot_boundary_simp(g: &mut ZxGraph) -> usize {
+    let mut count = 0;
+    loop {
+        let mut any = false;
+        for v in g.vertices().collect::<Vec<_>>() {
+            if !g.exists(v) || !is_interior(g, v) || !g.kind(v).phase().is_pauli() {
+                continue;
+            }
+            for (w, kind) in g.neighbors(v).collect::<Vec<_>>() {
+                if kind == EdgeKind::Hadamard
+                    && g.exists(w)
+                    && g.kind(w).is_z()
+                    && g.kind(w).phase().is_pauli()
+                    && pivot_boundary(g, v, w)
+                {
+                    count += 1;
+                    any = true;
+                    break;
+                }
+            }
+        }
+        if !any {
+            break;
+        }
+    }
+    count
+}
+
+/// The main simplification loop: alternate fusion, identity removal,
+/// local complementation and pivoting to a fixpoint. This is the
+/// `interior_clifford_simp` strategy of Duncan et al., which preserves
+/// the gflow needed for circuit extraction.
+pub fn interior_clifford_simp(g: &mut ZxGraph) -> SimplifyStats {
+    let mut stats = SimplifyStats::default();
+    loop {
+        // Restore the graph-like invariant first: identity removal can
+        // splice two Hadamard edges into a simple spider-spider edge,
+        // which fusion must absorb before local complementation or
+        // pivoting may fire (both refuse non-graph-like neighborhoods).
+        let mut normalized = 0;
+        loop {
+            let f = fuse_all(g);
+            let i = remove_identities(g);
+            stats.fusions += f;
+            stats.identities += i;
+            normalized += f + i;
+            if f + i == 0 {
+                break;
+            }
+        }
+        let l = local_complement_simp(g);
+        stats.local_complements += l;
+        let p = pivot_simp(g);
+        stats.pivots += p;
+        let pb = pivot_boundary_simp(g);
+        stats.pivots += pb;
+        if normalized + l + p + pb == 0 {
+            break;
+        }
+    }
+    stats
+}
+
+/// Full reduction: currently the interior Clifford simplification (phase
+/// gadget extraction is future work; see DESIGN.md).
+pub fn full_reduce(g: &mut ZxGraph) -> SimplifyStats {
+    interior_clifford_simp(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::circuit_to_graph;
+    use crate::tensor::{graph_to_matrix, proportional};
+    use epoc_circuit::{generators, Circuit, Gate};
+
+    fn check_simplify_preserves(c: &Circuit) -> SimplifyStats {
+        let mut g = circuit_to_graph(c).unwrap();
+        let before = graph_to_matrix(&g).unwrap();
+        let stats = full_reduce(&mut g);
+        let after = graph_to_matrix(&g).unwrap();
+        assert!(
+            proportional(&before, &after, 1e-7),
+            "simplification changed semantics\n{c}\n{g:?}"
+        );
+        stats
+    }
+
+    #[test]
+    fn simplify_preserves_bell() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::H, &[0]).push(Gate::CX, &[0, 1]);
+        // The Bell diagram is already minimal — just require soundness.
+        check_simplify_preserves(&c);
+    }
+
+    #[test]
+    fn simplify_preserves_ghz3() {
+        check_simplify_preserves(&generators::ghz(3));
+    }
+
+    #[test]
+    fn simplify_cancels_double_cx() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::CX, &[0, 1]).push(Gate::CX, &[0, 1]);
+        let mut g = circuit_to_graph(&c).unwrap();
+        full_reduce(&mut g);
+        // Should reduce to bare wires (no spiders).
+        assert_eq!(g.spider_count(), 0, "{g:?}");
+    }
+
+    #[test]
+    fn simplify_cancels_hh() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::H, &[0]).push(Gate::H, &[0]);
+        let mut g = circuit_to_graph(&c).unwrap();
+        full_reduce(&mut g);
+        assert_eq!(g.spider_count(), 0);
+        let m = graph_to_matrix(&g).unwrap();
+        assert!(proportional(&m, &epoc_linalg::Matrix::identity(2), 1e-10));
+    }
+
+    #[test]
+    fn simplify_merges_rotations() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::RZ(0.3), &[0])
+            .push(Gate::RZ(0.4), &[0])
+            .push(Gate::T, &[0]);
+        let mut g = circuit_to_graph(&c).unwrap();
+        full_reduce(&mut g);
+        assert_eq!(g.spider_count(), 1);
+        check_simplify_preserves(&c);
+    }
+
+    #[test]
+    fn simplify_preserves_t_gate_program() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::T, &[0])
+            .push(Gate::CX, &[0, 1])
+            .push(Gate::T, &[1])
+            .push(Gate::CX, &[0, 1])
+            .push(Gate::Tdg, &[0]);
+        check_simplify_preserves(&c);
+    }
+
+    #[test]
+    fn simplify_preserves_random_circuits() {
+        for seed in 0..20u64 {
+            let c = generators::random_circuit(2, 8, seed);
+            check_simplify_preserves(&c);
+        }
+    }
+
+    #[test]
+    fn simplify_preserves_random_clifford_t() {
+        for seed in 0..20u64 {
+            let c = generators::random_clifford_t(2, 10, 0.3, seed);
+            check_simplify_preserves(&c);
+        }
+    }
+
+    #[test]
+    fn simplify_reduces_spider_count() {
+        let c = generators::random_clifford_t(3, 30, 0.2, 5);
+        let mut g = circuit_to_graph(&c).unwrap();
+        let before = g.spider_count();
+        full_reduce(&mut g);
+        let after = g.spider_count();
+        assert!(
+            after < before,
+            "no reduction: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let c = generators::random_clifford_t(3, 40, 0.1, 9);
+        let mut g = circuit_to_graph(&c).unwrap();
+        let stats = full_reduce(&mut g);
+        assert!(stats.fusions > 0);
+        assert!(stats.total() >= stats.fusions);
+    }
+}
+
+#[cfg(test)]
+mod regression_tests {
+    use super::*;
+    use crate::convert::circuit_to_graph;
+    use crate::extract::extract_circuit;
+    use crate::tensor::{graph_to_matrix, proportional};
+    use epoc_circuit::generators;
+
+    /// Regression: identity removal can splice a *simple* spider-spider
+    /// edge into a local-complementation neighborhood; the rule used to
+    /// toggle it into a Hadamard edge and corrupt the diagram
+    /// (random_circuit(2, 13, seed 2917) triggered it).
+    #[test]
+    fn lc_with_simple_edge_in_neighborhood_is_sound() {
+        let c = generators::random_circuit(2, 13, 2140u64.wrapping_add(777));
+        let mut g = circuit_to_graph(&c).unwrap();
+        let before = graph_to_matrix(&g).unwrap();
+        full_reduce(&mut g);
+        let after = graph_to_matrix(&g).unwrap();
+        assert!(proportional(&before, &after, 1e-8), "semantics broken");
+        let out = extract_circuit(&g).expect("extraction succeeds after fix");
+        assert!(epoc_circuit::circuits_equivalent(&c, &out, 1e-6));
+    }
+}

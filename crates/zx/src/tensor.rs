@@ -1,0 +1,407 @@
+//! Tensor semantics of ZX diagrams.
+//!
+//! Evaluates a graph-like diagram (Z spiders + boundaries only) to the
+//! linear map it denotes, by summing over binary assignments to the
+//! interior spiders:
+//!
+//! * Z spider with phase α and value `z` contributes `e^{iαz}`;
+//! * a simple edge forces equal values;
+//! * a Hadamard edge between values `a`, `b` contributes `(−1)^{ab}`
+//!   (`1/√2` scalars are dropped — evaluation is *up to global scalar*,
+//!   which is all rewrite-soundness checking needs).
+//!
+//! Exponential in the spider count — strictly a verification tool for the
+//! test suites; the compiler never evaluates diagrams this way.
+
+use crate::graph::{EdgeKind, Vertex, VertexKind, ZxGraph};
+use epoc_linalg::{Complex64, Matrix};
+
+/// Error from [`graph_to_matrix`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The diagram contains X spiders (color-change them first).
+    HasXSpiders,
+    /// A boundary vertex is not connected to exactly one edge.
+    BadBoundary(Vertex),
+    /// Too many interior spiders to evaluate (limit 20).
+    TooLarge(usize),
+}
+
+impl std::fmt::Display for TensorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TensorError::HasXSpiders => write!(f, "diagram contains X spiders"),
+            TensorError::BadBoundary(v) => write!(f, "boundary vertex {v} has degree != 1"),
+            TensorError::TooLarge(n) => write!(f, "too many spiders to evaluate: {n}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+/// Evaluates the diagram to its matrix (outputs × inputs), up to a global
+/// scalar.
+///
+/// Row index bits follow the output boundary order (first output = most
+/// significant bit), column index bits follow the input order — matching
+/// the big-endian convention of `epoc-circuit`.
+///
+/// # Errors
+///
+/// See [`TensorError`].
+pub fn graph_to_matrix(g: &ZxGraph) -> Result<Matrix, TensorError> {
+    // Collect interior spiders.
+    let mut spiders: Vec<Vertex> = Vec::new();
+    for v in g.vertices() {
+        match g.kind(v) {
+            VertexKind::X(_) => return Err(TensorError::HasXSpiders),
+            VertexKind::Z(_) => spiders.push(v),
+            VertexKind::Boundary => {
+                if g.degree(v) != 1 {
+                    return Err(TensorError::BadBoundary(v));
+                }
+            }
+        }
+    }
+    if spiders.len() > 20 {
+        return Err(TensorError::TooLarge(spiders.len()));
+    }
+    let spider_index: std::collections::HashMap<Vertex, usize> = spiders
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, i))
+        .collect();
+
+    let n_in = g.inputs().len();
+    let n_out = g.outputs().len();
+    let rows = 1usize << n_out;
+    let cols = 1usize << n_in;
+    let mut m = Matrix::zeros(rows, cols);
+
+    // Pre-extract structures.
+    let phases: Vec<f64> = spiders
+        .iter()
+        .map(|&v| g.kind(v).phase().radians())
+        .collect();
+    // Edges among spiders.
+    let mut spider_edges: Vec<(usize, usize, EdgeKind)> = Vec::new();
+    for (a, b, k) in g.edges() {
+        if let (Some(&ia), Some(&ib)) = (spider_index.get(&a), spider_index.get(&b)) {
+            spider_edges.push((ia, ib, k));
+        }
+    }
+    // Boundary attachments: (boundary value source, spider index or direct
+    // boundary-to-boundary wires).
+    struct BoundaryLink {
+        bit_source: BitSource,
+        kind: EdgeKind,
+        other: OtherEnd,
+    }
+    #[derive(Clone, Copy)]
+    enum BitSource {
+        Input(usize),
+        Output(usize),
+    }
+    #[derive(Clone, Copy)]
+    enum OtherEnd {
+        Spider(usize),
+        Boundary(BitSource),
+    }
+    let classify = |v: Vertex| -> Option<BitSource> {
+        if let Some(pos) = g.inputs().iter().position(|&x| x == v) {
+            return Some(BitSource::Input(pos));
+        }
+        g.outputs()
+            .iter()
+            .position(|&x| x == v)
+            .map(BitSource::Output)
+    };
+    let mut links: Vec<BoundaryLink> = Vec::new();
+    let mut seen_pairs: std::collections::HashSet<(Vertex, Vertex)> = Default::default();
+    for v in g.vertices() {
+        if !g.kind(v).is_boundary() {
+            continue;
+        }
+        let src = classify(v).ok_or(TensorError::BadBoundary(v))?;
+        let (w, kind) = g.neighbors(v).next().ok_or(TensorError::BadBoundary(v))?;
+        if g.kind(w).is_boundary() {
+            // Boundary-to-boundary wire: record once.
+            let key = (v.min(w), v.max(w));
+            if seen_pairs.insert(key) {
+                let other_src = classify(w).ok_or(TensorError::BadBoundary(w))?;
+                links.push(BoundaryLink {
+                    bit_source: src,
+                    kind,
+                    other: OtherEnd::Boundary(other_src),
+                });
+            }
+        } else {
+            links.push(BoundaryLink {
+                bit_source: src,
+                kind,
+                other: OtherEnd::Spider(spider_index[&w]),
+            });
+        }
+    }
+
+    let n_spiders = spiders.len();
+    for out_bits in 0..rows {
+        for in_bits in 0..cols {
+            let bit_of = |src: BitSource| -> usize {
+                match src {
+                    BitSource::Input(pos) => (in_bits >> (n_in - 1 - pos)) & 1,
+                    BitSource::Output(pos) => (out_bits >> (n_out - 1 - pos)) & 1,
+                }
+            };
+            let mut acc = Complex64::ZERO;
+            'assign: for z in 0..(1usize << n_spiders) {
+                let mut amp = Complex64::ONE;
+                // Spider phases.
+                for (s, &phi) in phases.iter().enumerate() {
+                    if (z >> s) & 1 == 1 && phi != 0.0 {
+                        amp *= Complex64::cis(phi);
+                    }
+                }
+                // Spider-spider edges.
+                for &(a, b, kind) in &spider_edges {
+                    let za = (z >> a) & 1;
+                    let zb = (z >> b) & 1;
+                    match kind {
+                        EdgeKind::Simple => {
+                            if za != zb {
+                                continue 'assign;
+                            }
+                        }
+                        EdgeKind::Hadamard => {
+                            if za & zb == 1 {
+                                amp = -amp;
+                            }
+                        }
+                    }
+                }
+                // Boundary links.
+                for link in &links {
+                    let bit = bit_of(link.bit_source);
+                    let other = match link.other {
+                        OtherEnd::Spider(s) => (z >> s) & 1,
+                        OtherEnd::Boundary(src) => bit_of(src),
+                    };
+                    match link.kind {
+                        EdgeKind::Simple => {
+                            if bit != other {
+                                continue 'assign;
+                            }
+                        }
+                        EdgeKind::Hadamard => {
+                            if bit & other == 1 {
+                                amp = -amp;
+                            }
+                        }
+                    }
+                }
+                acc += amp;
+            }
+            m[(out_bits, in_bits)] = acc;
+        }
+    }
+    Ok(m)
+}
+
+/// `true` when `a = λ·b` for some nonzero complex scalar λ, within `tol`
+/// relative tolerance. Both zero matrices also count as proportional.
+pub fn proportional(a: &Matrix, b: &Matrix, tol: f64) -> bool {
+    if a.rows() != b.rows() || a.cols() != b.cols() {
+        return false;
+    }
+    let na = a.frobenius_norm();
+    let nb = b.frobenius_norm();
+    if na < 1e-12 && nb < 1e-12 {
+        return true;
+    }
+    if na < 1e-12 || nb < 1e-12 {
+        return false;
+    }
+    // |<A,B>| = ||A||·||B|| exactly when proportional (Cauchy–Schwarz).
+    let ip = a.hs_inner(b).abs();
+    (ip - na * nb).abs() <= tol * na * nb
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase::Phase;
+    use epoc_linalg::{c64, Matrix};
+    use std::f64::consts::{FRAC_PI_2, FRAC_PI_4};
+
+    /// Builds an n-wire identity-ish scaffold: input boundary -> spider ->
+    /// output boundary per wire, returning (graph, spiders).
+    fn wire_graph(n: usize) -> (ZxGraph, Vec<Vertex>) {
+        let mut g = ZxGraph::new();
+        let mut spiders = Vec::new();
+        for _ in 0..n {
+            let i = g.add_vertex(VertexKind::Boundary);
+            let s = g.add_vertex(VertexKind::Z(Phase::ZERO));
+            let o = g.add_vertex(VertexKind::Boundary);
+            g.add_edge(i, s, EdgeKind::Simple);
+            g.add_edge(s, o, EdgeKind::Simple);
+            g.set_input(i);
+            g.set_output(o);
+            spiders.push(s);
+        }
+        (g, spiders)
+    }
+
+    #[test]
+    fn identity_wire() {
+        let (g, _) = wire_graph(1);
+        let m = graph_to_matrix(&g).unwrap();
+        assert!(proportional(&m, &Matrix::identity(2), 1e-10));
+    }
+
+    #[test]
+    fn direct_boundary_wire() {
+        let mut g = ZxGraph::new();
+        let i = g.add_vertex(VertexKind::Boundary);
+        let o = g.add_vertex(VertexKind::Boundary);
+        g.add_edge(i, o, EdgeKind::Simple);
+        g.set_input(i);
+        g.set_output(o);
+        let m = graph_to_matrix(&g).unwrap();
+        assert!(proportional(&m, &Matrix::identity(2), 1e-10));
+    }
+
+    #[test]
+    fn hadamard_edge_is_hadamard() {
+        let mut g = ZxGraph::new();
+        let i = g.add_vertex(VertexKind::Boundary);
+        let o = g.add_vertex(VertexKind::Boundary);
+        g.add_edge(i, o, EdgeKind::Hadamard);
+        g.set_input(i);
+        g.set_output(o);
+        let m = graph_to_matrix(&g).unwrap();
+        let h = Matrix::from_rows(&[
+            &[c64(1.0, 0.0), c64(1.0, 0.0)],
+            &[c64(1.0, 0.0), c64(-1.0, 0.0)],
+        ]);
+        assert!(proportional(&m, &h, 1e-10));
+    }
+
+    #[test]
+    fn phase_spider_is_rz() {
+        let (mut g, spiders) = wire_graph(1);
+        g.set_kind(spiders[0], VertexKind::Z(Phase::from_radians(FRAC_PI_4)));
+        let m = graph_to_matrix(&g).unwrap();
+        let t = Matrix::from_diag(&[Complex64::ONE, Complex64::cis(FRAC_PI_4)]);
+        assert!(proportional(&m, &t, 1e-10));
+    }
+
+    #[test]
+    fn cz_diagram() {
+        // Two wires with spiders connected by an H-edge = CZ.
+        let (mut g, s) = wire_graph(2);
+        g.add_edge(s[0], s[1], EdgeKind::Hadamard);
+        let m = graph_to_matrix(&g).unwrap();
+        let cz = Matrix::from_diag(&[
+            Complex64::ONE,
+            Complex64::ONE,
+            Complex64::ONE,
+            c64(-1.0, 0.0),
+        ]);
+        assert!(proportional(&m, &cz, 1e-10));
+    }
+
+    #[test]
+    fn cnot_diagram() {
+        // CX = (I⊗H) CZ (I⊗H): H edges on the target wire.
+        let mut g = ZxGraph::new();
+        let i0 = g.add_vertex(VertexKind::Boundary);
+        let s0 = g.add_vertex(VertexKind::Z(Phase::ZERO));
+        let o0 = g.add_vertex(VertexKind::Boundary);
+        let i1 = g.add_vertex(VertexKind::Boundary);
+        let s1 = g.add_vertex(VertexKind::Z(Phase::ZERO));
+        let o1 = g.add_vertex(VertexKind::Boundary);
+        g.add_edge(i0, s0, EdgeKind::Simple);
+        g.add_edge(s0, o0, EdgeKind::Simple);
+        g.add_edge(i1, s1, EdgeKind::Hadamard);
+        g.add_edge(s1, o1, EdgeKind::Hadamard);
+        g.add_edge(s0, s1, EdgeKind::Hadamard);
+        g.set_input(i0);
+        g.set_input(i1);
+        g.set_output(o0);
+        g.set_output(o1);
+        let m = graph_to_matrix(&g).unwrap();
+        let o = Complex64::ONE;
+        let z = Complex64::ZERO;
+        let cx = Matrix::from_rows(&[
+            &[o, z, z, z],
+            &[z, o, z, z],
+            &[z, z, z, o],
+            &[z, z, o, z],
+        ]);
+        assert!(proportional(&m, &cx, 1e-10));
+    }
+
+    #[test]
+    fn spider_fusion_semantics() {
+        // Two connected phase spiders on one wire = one spider with the sum.
+        let mut g = ZxGraph::new();
+        let i = g.add_vertex(VertexKind::Boundary);
+        let a = g.add_vertex(VertexKind::Z(Phase::from_radians(0.4)));
+        let b = g.add_vertex(VertexKind::Z(Phase::from_radians(0.8)));
+        let o = g.add_vertex(VertexKind::Boundary);
+        g.add_edge(i, a, EdgeKind::Simple);
+        g.add_edge(a, b, EdgeKind::Simple);
+        g.add_edge(b, o, EdgeKind::Simple);
+        g.set_input(i);
+        g.set_output(o);
+        let m = graph_to_matrix(&g).unwrap();
+        let rz = Matrix::from_diag(&[Complex64::ONE, Complex64::cis(1.2)]);
+        assert!(proportional(&m, &rz, 1e-10));
+    }
+
+    #[test]
+    fn copy_through_state() {
+        // A single Z spider with only two outputs = |00> + |11> (GHZ-2 up to scalar).
+        let mut g = ZxGraph::new();
+        let s = g.add_vertex(VertexKind::Z(Phase::ZERO));
+        let o0 = g.add_vertex(VertexKind::Boundary);
+        let o1 = g.add_vertex(VertexKind::Boundary);
+        g.add_edge(s, o0, EdgeKind::Simple);
+        g.add_edge(s, o1, EdgeKind::Simple);
+        g.set_output(o0);
+        g.set_output(o1);
+        let m = graph_to_matrix(&g).unwrap();
+        assert_eq!(m.rows(), 4);
+        assert_eq!(m.cols(), 1);
+        assert!(m[(0, 0)].abs() > 0.5);
+        assert!(m[(3, 0)].abs() > 0.5);
+        assert!(m[(1, 0)].abs() < 1e-10);
+        assert!(m[(2, 0)].abs() < 1e-10);
+    }
+
+    #[test]
+    fn proportional_detects_scalar_multiples() {
+        let a = Matrix::identity(2);
+        let b = a.scale(Complex64::cis(1.3)).scale_re(2.5);
+        assert!(proportional(&a, &b, 1e-10));
+        let c = Matrix::from_diag(&[Complex64::ONE, c64(-1.0, 0.0)]);
+        assert!(!proportional(&a, &c, 1e-6));
+    }
+
+    #[test]
+    fn rejects_x_spiders() {
+        let mut g = ZxGraph::new();
+        g.add_vertex(VertexKind::X(Phase::ZERO));
+        assert_eq!(graph_to_matrix(&g).unwrap_err(), TensorError::HasXSpiders);
+    }
+
+    #[test]
+    fn s_gate_squared_is_z() {
+        let (mut g, s) = wire_graph(1);
+        g.set_kind(s[0], VertexKind::Z(Phase::from_radians(FRAC_PI_2)));
+        let m = graph_to_matrix(&g).unwrap();
+        let m2 = m.matmul(&m);
+        let z = Matrix::from_diag(&[Complex64::ONE, c64(-1.0, 0.0)]);
+        assert!(proportional(&m2, &z, 1e-10));
+    }
+}

@@ -1,0 +1,46 @@
+//! Table-1-style comparison: gate-based vs PAQOC-like vs EPOC on the
+//! seven circuits the paper reports.
+//!
+//! ```sh
+//! cargo run -p epoc --example compare_baselines --release
+//! ```
+
+use epoc::baselines::{gate_based, PaqocCompiler};
+use epoc::{EpocCompiler, EpocConfig};
+use epoc_circuit::generators;
+
+fn main() {
+    let epoc = EpocCompiler::new(EpocConfig::default());
+    let paqoc = PaqocCompiler::default();
+
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} | {:>9} {:>9}",
+        "circuit", "gate (ns)", "paqoc (ns)", "epoc (ns)", "f(paqoc)", "f(epoc)"
+    );
+    let mut sums = (0.0, 0.0, 0.0);
+    for b in generators::table1_suite() {
+        let g = gate_based(&b.circuit);
+        let p = paqoc.compile(&b.circuit);
+        let e = epoc.compile(&b.circuit);
+        println!(
+            "{:<10} {:>12.1} {:>12.1} {:>12.1} | {:>9.4} {:>9.4}",
+            b.name,
+            g.latency(),
+            p.latency(),
+            e.latency(),
+            p.esp(),
+            e.esp()
+        );
+        sums.0 += g.latency();
+        sums.1 += p.latency();
+        sums.2 += e.latency();
+    }
+    println!(
+        "\naverage latency reduction: EPOC vs PAQOC {:.2}%, EPOC vs gate-based {:.2}%",
+        100.0 * (1.0 - sums.2 / sums.1),
+        100.0 * (1.0 - sums.2 / sums.0)
+    );
+    println!(
+        "(paper reports 31.74% vs PAQOC and 76.80% vs gate-based on its testbed)"
+    );
+}

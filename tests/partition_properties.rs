@@ -1,0 +1,103 @@
+//! Property-based tests for the partitioning and regrouping passes.
+
+use epoc_circuit::{circuits_equivalent, generators};
+use epoc_partition::{
+    greedy_partition, paqoc_partition, regroup_to_blocks, PaqocConfig, PartitionConfig,
+    RegroupConfig,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn greedy_partition_invariants(
+        n in 2usize..6,
+        gates in 1usize..40,
+        seed in 0u64..10_000,
+        max_qubits in 2usize..5,
+        max_gates in 1usize..20,
+    ) {
+        let c = generators::random_circuit(n, gates, seed);
+        let p = greedy_partition(&c, PartitionConfig { max_qubits, max_gates });
+        // Cover every gate exactly once.
+        prop_assert_eq!(p.total_gates(), c.len());
+        // Respect limits.
+        for b in p.blocks() {
+            prop_assert!(b.n_qubits() <= max_qubits);
+            prop_assert!(b.len() <= max_gates);
+            prop_assert!(!b.is_empty());
+        }
+        // Preserve semantics.
+        prop_assert!(circuits_equivalent(&c, &p.to_circuit(), 1e-7));
+    }
+
+    #[test]
+    fn paqoc_partition_invariants(
+        n in 2usize..6,
+        gates in 1usize..30,
+        seed in 0u64..10_000,
+    ) {
+        let c = generators::random_circuit(n, gates, seed);
+        let p = paqoc_partition(&c, PaqocConfig::default());
+        prop_assert_eq!(p.total_gates(), c.len());
+        prop_assert!(circuits_equivalent(&c, &p.to_circuit(), 1e-7));
+        for b in p.blocks() {
+            prop_assert!(b.n_qubits() <= 2);
+        }
+    }
+
+    #[test]
+    fn regroup_preserves_semantics(
+        n in 2usize..5,
+        gates in 1usize..30,
+        seed in 0u64..10_000,
+    ) {
+        let c = generators::random_circuit(n, gates, seed);
+        let (blocks, stats) = regroup_to_blocks(
+            &c,
+            RegroupConfig { max_qubits: 3, max_gates: 12 },
+        );
+        prop_assert!(circuits_equivalent(&c, &blocks, 1e-6));
+        prop_assert!(stats.blocks_out <= stats.gates_in.max(1));
+    }
+
+    #[test]
+    fn block_circuit_unitaries_compose(
+        seed in 0u64..5_000,
+    ) {
+        // to_block_circuit (opaque matrices) equals the flattened gates.
+        let c = generators::random_circuit(3, 15, seed);
+        let p = greedy_partition(&c, PartitionConfig { max_qubits: 2, max_gates: 6 });
+        prop_assert!(circuits_equivalent(&p.to_circuit(), &p.to_block_circuit(), 1e-6));
+    }
+}
+
+#[test]
+fn partition_benchmarks() {
+    for b in generators::benchmark_suite() {
+        let limit = b
+            .circuit
+            .ops()
+            .iter()
+            .map(|op| op.qubits.len())
+            .max()
+            .unwrap_or(1)
+            .max(3);
+        let p = greedy_partition(
+            &b.circuit,
+            PartitionConfig {
+                max_qubits: limit,
+                max_gates: 16,
+            },
+        );
+        assert_eq!(p.total_gates(), b.circuit.len(), "{} lost gates", b.name);
+        if b.circuit.n_qubits() <= 8 {
+            assert!(
+                circuits_equivalent(&b.circuit, &p.to_circuit(), 1e-7),
+                "{} broken",
+                b.name
+            );
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Cross-crate integration tests: the full EPOC pipeline against the
+//! baselines on the benchmark suite.
+
+use epoc::baselines::{gate_based, PaqocCompiler};
+use epoc::{EpocCompiler, EpocConfig};
+use epoc_circuit::{circuits_equivalent, generators, Circuit, Gate};
+
+fn fast_compiler() -> EpocCompiler {
+    EpocCompiler::new(EpocConfig::fast())
+}
+
+#[test]
+fn epoc_verifies_on_small_benchmarks() {
+    let compiler = fast_compiler();
+    for b in generators::benchmark_suite() {
+        if b.circuit.n_qubits() > 6 {
+            continue;
+        }
+        let r = compiler.compile(&b.circuit);
+        assert!(
+            r.verified || r.verify_skipped,
+            "{}: pipeline output not equivalent to input",
+            b.name
+        );
+        assert!(r.schedule.is_valid(), "{}: overlapping pulses", b.name);
+    }
+}
+
+#[test]
+fn latency_ordering_epoc_paqoc_gate_based() {
+    // The paper's headline: EPOC < PAQOC < gate-based, on total latency
+    // across the Table-1 suite (individual circuits may vary).
+    let epoc = fast_compiler();
+    let paqoc = PaqocCompiler::default();
+    let mut totals = (0.0, 0.0, 0.0);
+    for b in generators::table1_suite() {
+        let e = epoc.compile(&b.circuit);
+        let p = paqoc.compile(&b.circuit);
+        let g = gate_based(&b.circuit);
+        totals.0 += e.latency();
+        totals.1 += p.latency();
+        totals.2 += g.latency();
+    }
+    assert!(
+        totals.0 < totals.1,
+        "EPOC ({}) not faster than PAQOC ({})",
+        totals.0,
+        totals.1
+    );
+    assert!(
+        totals.1 < totals.2,
+        "PAQOC ({}) not faster than gate-based ({})",
+        totals.1,
+        totals.2
+    );
+}
+
+#[test]
+fn grouping_never_hurts_latency() {
+    // Figure 8's claim: "in all of our benchmarks, the grouping latency is
+    // shorter than the latency without grouping".
+    let grouped = fast_compiler();
+    let ungrouped = EpocCompiler::new(EpocConfig::fast().without_regrouping());
+    for b in generators::benchmark_suite() {
+        if b.circuit.n_qubits() > 6 {
+            continue;
+        }
+        let g = grouped.compile(&b.circuit);
+        let u = ungrouped.compile(&b.circuit);
+        assert!(
+            g.latency() <= u.latency() + 1e-9,
+            "{}: grouped {} > ungrouped {}",
+            b.name,
+            g.latency(),
+            u.latency()
+        );
+    }
+}
+
+#[test]
+fn grouping_improves_esp() {
+    // Figure 10: grouping raises the ESP fidelity.
+    let grouped = fast_compiler();
+    let ungrouped = EpocCompiler::new(EpocConfig::fast().without_regrouping());
+    let mut wins = 0usize;
+    let mut total = 0usize;
+    for b in generators::benchmark_suite() {
+        if b.circuit.n_qubits() > 6 {
+            continue;
+        }
+        let g = grouped.compile(&b.circuit);
+        let u = ungrouped.compile(&b.circuit);
+        total += 1;
+        if g.esp() >= u.esp() - 1e-12 {
+            wins += 1;
+        }
+    }
+    assert!(
+        wins == total,
+        "grouping lowered ESP on {}/{} benchmarks",
+        total - wins,
+        total
+    );
+}
+
+#[test]
+fn figure4_flow_bell_prep() {
+    // The worked example of the paper: bell prep gets shallower through
+    // ZX, survives partition+synthesis, and the whole flow verifies.
+    let circuit = generators::bell_pair_prep();
+    let r = fast_compiler().compile(&circuit);
+    assert!(r.verified);
+    assert!(
+        r.stages.zx_depth_after < r.stages.zx_depth_before,
+        "ZX did not reduce Figure-4 circuit depth ({} -> {})",
+        r.stages.zx_depth_before,
+        r.stages.zx_depth_after
+    );
+    assert!(r.latency() < gate_based(&circuit).latency());
+}
+
+#[test]
+fn qasm_import_through_pipeline() {
+    let src = r#"
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+h q[0];
+cx q[0],q[1];
+rz(pi/4) q[1];
+cx q[1],q[2];
+h q[2];
+"#;
+    let circuit = epoc_circuit::parse_qasm(src).expect("valid qasm");
+    let r = fast_compiler().compile(&circuit);
+    assert!(r.verified);
+    assert!(r.latency() > 0.0);
+}
+
+#[test]
+fn deep_single_qubit_chain_collapses() {
+    // 40 single-qubit rotations on one wire should fuse to very few
+    // pulses after ZX + synthesis + regrouping.
+    let mut c = Circuit::new(2);
+    for i in 0..40 {
+        c.push(Gate::RZ(0.1 + i as f64 * 0.05), &[0]);
+        c.push(Gate::RX(0.2), &[0]);
+    }
+    c.push(Gate::CX, &[0, 1]);
+    let r = fast_compiler().compile(&c);
+    assert!(r.verified);
+    assert!(
+        r.schedule.len() <= 6,
+        "expected heavy aggregation, got {} pulses",
+        r.schedule.len()
+    );
+}
+
+#[test]
+fn empty_and_trivial_circuits() {
+    let compiler = fast_compiler();
+    let empty = Circuit::new(3);
+    let r = compiler.compile(&empty);
+    assert_eq!(r.latency(), 0.0);
+    assert_eq!(r.esp(), 1.0);
+
+    let mut single = Circuit::new(1);
+    single.push(Gate::X, &[0]);
+    let r = compiler.compile(&single);
+    assert!(r.verified);
+    assert!(r.latency() > 0.0);
+}
+
+#[test]
+fn zx_pass_helps_redundant_circuits() {
+    // ZX should strip the redundancy so EPOC's latency on a padded
+    // circuit matches the clean one.
+    let clean = generators::ghz(3);
+    let mut padded = Circuit::new(3);
+    for op in clean.ops() {
+        padded.push_op(op.clone());
+        padded.push(Gate::Z, &[op.qubits[0]]);
+        padded.push(Gate::Z, &[op.qubits[0]]);
+    }
+    assert!(circuits_equivalent(&clean, &padded, 1e-9));
+    let compiler = fast_compiler();
+    let rc = compiler.compile(&clean);
+    let rp = compiler.compile(&padded);
+    assert!(
+        (rc.latency() - rp.latency()).abs() < 1e-6,
+        "padding leaked into latency: {} vs {}",
+        rc.latency(),
+        rp.latency()
+    );
+}
+
+#[test]
+fn phase_aware_cache_beats_phase_sensitive() {
+    // The §3.4 claim: global-phase-aware matching raises hit rate.
+    use epoc_qoc::{KeyPolicy, PulseEntry, PulseLibrary};
+    let aware = PulseLibrary::new(KeyPolicy::PhaseAware);
+    let sensitive = PulseLibrary::new(KeyPolicy::PhaseSensitive);
+    let entry = PulseEntry {
+        duration: 20.0,
+        fidelity: 0.999,
+        n_slots: 10,
+    };
+    // RZ(θ) and Phase(θ) differ by a global phase only — a realistic
+    // source of phase-twin unitaries in compiled streams.
+    for theta in [0.3, 0.7, 1.1] {
+        let rz = Gate::RZ(theta).unitary_matrix();
+        let ph = Gate::Phase(theta).unitary_matrix();
+        aware.insert(&rz, entry);
+        sensitive.insert(&rz, entry);
+        aware.lookup(&ph);
+        sensitive.lookup(&ph);
+    }
+    assert!(aware.hit_rate() > sensitive.hit_rate());
+    assert_eq!(aware.hits(), 3);
+    assert_eq!(sensitive.hits(), 0);
+}
