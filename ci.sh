@@ -1,0 +1,48 @@
+#!/usr/bin/env sh
+# Offline CI for the EPOC workspace.
+#
+# The workspace is hermetic: every dependency is a path dependency on a
+# sibling crate (see `epoc-rt`), so this script must succeed with no
+# network access and no crates-io registry. Run it before every push.
+#
+#   ./ci.sh            # build + test + (if installed) clippy
+#   ./ci.sh --quick    # skip the release build
+
+set -eu
+
+cd "$(dirname "$0")"
+
+quick=0
+for arg in "$@"; do
+    case "$arg" in
+    --quick) quick=1 ;;
+    *)
+        echo "usage: ./ci.sh [--quick]" >&2
+        exit 2
+        ;;
+    esac
+done
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+export CARGO_NET_OFFLINE=true
+
+if [ "$quick" -eq 0 ]; then
+    run cargo build --workspace --release
+fi
+
+run cargo test --workspace -q
+# The [[bench]] target is excluded from `cargo test`; make sure it still builds.
+run cargo test --workspace -q --benches --no-run
+
+# Clippy is optional tooling: warn-only if the component is missing.
+if cargo clippy --version >/dev/null 2>&1; then
+    run cargo clippy --workspace --all-targets -- -D warnings
+else
+    echo "==> cargo clippy not installed; skipping lint step" >&2
+fi
+
+echo "CI OK"

@@ -1,145 +1,114 @@
-//! Criterion micro-benchmarks for every pipeline stage.
+//! Micro-benchmarks for every pipeline stage, on the `epoc_rt::bench`
+//! wall-clock harness (median-of-N with warmup).
 //!
 //! ```sh
 //! cargo bench -p epoc-bench
 //! ```
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use epoc::baselines::PaqocCompiler;
 use epoc::{EpocCompiler, EpocConfig};
 use epoc_circuit::{generators, Gate};
 use epoc_linalg::{eigh, expm_ih, random_hermitian, random_unitary};
 use epoc_partition::{greedy_partition, paqoc_partition, PaqocConfig, PartitionConfig};
 use epoc_qoc::{grape, DeviceModel, GrapeConfig};
+use epoc_rt::bench::bench;
+use epoc_rt::rng::StdRng;
 use epoc_synth::{synthesize, SynthConfig};
 use epoc_zx::zx_optimize;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-fn bench_linalg(c: &mut Criterion) {
-    let mut g = c.benchmark_group("linalg");
+fn bench_linalg() {
     let mut rng = StdRng::seed_from_u64(1);
     let a = random_unitary(16, &mut rng);
     let b = random_unitary(16, &mut rng);
-    g.bench_function("matmul_16", |bench| bench.iter(|| a.matmul(&b)));
+    bench("linalg/matmul_16").run(|| a.matmul(&b));
     let h = random_hermitian(16, &mut rng);
-    g.bench_function("eigh_16", |bench| bench.iter(|| eigh(&h).unwrap()));
-    g.bench_function("expm_ih_16", |bench| bench.iter(|| expm_ih(&h, 0.5).unwrap()));
+    bench("linalg/eigh_16").run(|| eigh(&h).unwrap());
+    bench("linalg/expm_ih_16").run(|| expm_ih(&h, 0.5).unwrap());
     let u = random_unitary(8, &mut rng);
-    g.bench_function("unitary_key_8", |bench| {
-        bench.iter(|| epoc_linalg::UnitaryKey::new(&u))
-    });
-    g.finish();
+    bench("linalg/unitary_key_8").run(|| epoc_linalg::UnitaryKey::new(&u));
 }
 
-fn bench_zx(c: &mut Criterion) {
-    let mut g = c.benchmark_group("zx");
+fn bench_zx() {
     let clifford_t = generators::random_clifford_t(4, 60, 0.2, 11);
-    g.bench_function("optimize_cliffordt_4q60", |bench| {
-        bench.iter(|| zx_optimize(&clifford_t))
-    });
+    bench("zx/optimize_cliffordt_4q60").run(|| zx_optimize(&clifford_t));
     let qaoa = generators::qaoa(6, 2, 7);
-    g.bench_function("optimize_qaoa_6q", |bench| bench.iter(|| zx_optimize(&qaoa)));
-    g.finish();
+    bench("zx/optimize_qaoa_6q").run(|| zx_optimize(&qaoa));
 }
 
-fn bench_partition(c: &mut Criterion) {
-    let mut g = c.benchmark_group("partition");
+fn bench_partition() {
     let circuit = generators::random_circuit(6, 80, 3);
-    g.bench_function("greedy_6q80", |bench| {
-        bench.iter(|| {
-            greedy_partition(
-                &circuit,
-                PartitionConfig {
-                    max_qubits: 3,
-                    max_gates: 12,
-                },
-            )
-        })
+    bench("partition/greedy_6q80").run(|| {
+        greedy_partition(
+            &circuit,
+            PartitionConfig {
+                max_qubits: 3,
+                max_gates: 12,
+            },
+        )
     });
-    g.bench_function("paqoc_6q80", |bench| {
-        bench.iter(|| paqoc_partition(&circuit, PaqocConfig::default()))
-    });
-    g.finish();
+    bench("partition/paqoc_6q80").run(|| paqoc_partition(&circuit, PaqocConfig::default()));
 }
 
-fn bench_synthesis(c: &mut Criterion) {
-    let mut g = c.benchmark_group("synthesis");
-    g.sample_size(10);
+fn bench_synthesis() {
     let cz = Gate::CZ.unitary_matrix();
-    g.bench_function("qsearch_cz", |bench| {
-        bench.iter(|| synthesize(&cz, &SynthConfig::default()))
-    });
+    bench("synthesis/qsearch_cz")
+        .samples(10)
+        .run(|| synthesize(&cz, &SynthConfig::default()));
     let mut rng = StdRng::seed_from_u64(5);
     let random2q = random_unitary(4, &mut rng);
-    g.bench_function("qsearch_random_2q", |bench| {
-        bench.iter(|| synthesize(&random2q, &SynthConfig::default()))
-    });
-    g.finish();
+    bench("synthesis/qsearch_random_2q")
+        .samples(10)
+        .run(|| synthesize(&random2q, &SynthConfig::default()));
 }
 
-fn bench_grape(c: &mut Criterion) {
-    let mut g = c.benchmark_group("grape");
-    g.sample_size(10);
+fn bench_grape() {
     let d1 = DeviceModel::transmon_line(1);
     let x = Gate::X.unitary_matrix();
-    g.bench_function("grape_x_30slots", |bench| {
-        bench.iter(|| grape(&d1, &x, 30, &GrapeConfig::default()))
-    });
+    bench("grape/grape_x_30slots")
+        .samples(10)
+        .run(|| grape(&d1, &x, 30, &GrapeConfig::default()));
     let d2 = DeviceModel::transmon_line(2);
     let cz = Gate::CZ.unitary_matrix();
-    g.bench_function("grape_cz_128slots", |bench| {
-        bench.iter(|| {
-            grape(
-                &d2,
-                &cz,
-                128,
-                &GrapeConfig {
-                    max_iters: 100,
-                    ..Default::default()
-                },
-            )
-        })
+    bench("grape/grape_cz_128slots").samples(10).run(|| {
+        grape(
+            &d2,
+            &cz,
+            128,
+            &GrapeConfig {
+                max_iters: 100,
+                ..Default::default()
+            },
+        )
     });
-    g.finish();
 }
 
-fn bench_pipeline(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pipeline");
-    g.sample_size(10);
+fn bench_pipeline() {
+    // Fresh compiler per iteration: the pulse library cache persists
+    // across compiles, so a reused compiler would measure cache hits.
     let ghz = generators::ghz(4);
-    g.bench_function("epoc_compile_ghz4", |bench| {
-        bench.iter_batched(
+    bench("pipeline/epoc_compile_ghz4")
+        .samples(10)
+        .run_with_setup(
             || EpocCompiler::new(EpocConfig::fast()),
             |compiler| compiler.compile(&ghz),
-            BatchSize::PerIteration,
-        )
-    });
+        );
     let qaoa = generators::qaoa(4, 2, 5);
-    g.bench_function("epoc_compile_qaoa4", |bench| {
-        bench.iter_batched(
+    bench("pipeline/epoc_compile_qaoa4")
+        .samples(10)
+        .run_with_setup(
             || EpocCompiler::new(EpocConfig::fast()),
             |compiler| compiler.compile(&qaoa),
-            BatchSize::PerIteration,
-        )
-    });
-    g.bench_function("paqoc_compile_qaoa4", |bench| {
-        bench.iter_batched(
-            PaqocCompiler::default,
-            |compiler| compiler.compile(&qaoa),
-            BatchSize::PerIteration,
-        )
-    });
-    g.finish();
+        );
+    bench("pipeline/paqoc_compile_qaoa4")
+        .samples(10)
+        .run_with_setup(PaqocCompiler::default, |compiler| compiler.compile(&qaoa));
 }
 
-criterion_group!(
-    benches,
-    bench_linalg,
-    bench_zx,
-    bench_partition,
-    bench_synthesis,
-    bench_grape,
-    bench_pipeline
-);
-criterion_main!(benches);
+fn main() {
+    bench_linalg();
+    bench_zx();
+    bench_partition();
+    bench_synthesis();
+    bench_grape();
+    bench_pipeline();
+}

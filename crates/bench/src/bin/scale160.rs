@@ -12,8 +12,8 @@
 use epoc::baselines::gate_based;
 use epoc::{EpocCompiler, EpocConfig};
 use epoc_circuit::{Circuit, Gate};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use epoc_rt::rng::StdRng;
+use epoc_rt::rng::Rng;
 use std::time::Instant;
 
 /// A wide, deep, locally-structured program: layers of single-qubit
@@ -23,9 +23,9 @@ fn wide_program(n: usize, layers: usize, seed: u64) -> Circuit {
     let mut c = Circuit::new(n);
     for layer in 0..layers {
         for q in 0..n {
-            c.push(Gate::RZ(rng.gen::<f64>() * 3.1), &[q]);
+            c.push(Gate::RZ(rng.gen_f64() * 3.1), &[q]);
             c.push(Gate::Sx, &[q]);
-            c.push(Gate::RZ(rng.gen::<f64>() * 3.1), &[q]);
+            c.push(Gate::RZ(rng.gen_f64() * 3.1), &[q]);
         }
         let offset = layer % 2;
         let mut q = offset;
@@ -47,8 +47,10 @@ fn main() {
         circuit.depth()
     );
 
-    let mut config = EpocConfig::default();
-    config.verify = false; // 2^160 amplitudes are not a thing
+    let config = EpocConfig {
+        verify: false, // 2^160 amplitudes are not a thing
+        ..EpocConfig::default()
+    };
     let t0 = Instant::now();
     let report = EpocCompiler::new(config).compile(&circuit);
     let elapsed = t0.elapsed();

@@ -193,7 +193,7 @@ mod tests {
     fn benchmark_suite_lowers_cleanly() {
         for b in crate::generators::benchmark_suite() {
             let lowered = lower_to_basis(&b.circuit);
-            assert!(lowered.len() >= b.circuit.len() || lowered.len() > 0);
+            assert!(lowered.len() >= b.circuit.len() || !lowered.is_empty());
             if b.circuit.n_qubits() <= 6 {
                 assert!(
                     circuits_equivalent(&b.circuit, &lowered, 1e-7),

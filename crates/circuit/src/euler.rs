@@ -121,8 +121,7 @@ pub fn append_controlled_unitary(c: &mut Circuit, u: &Matrix, control: usize, ta
 mod tests {
     use super::*;
     use epoc_linalg::{approx_eq_up_to_phase, random_unitary};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use epoc_rt::rng::StdRng;
     use std::f64::consts::{FRAC_PI_2, PI};
 
     #[test]

@@ -9,8 +9,8 @@
 
 use crate::circuit::Circuit;
 use crate::gate::Gate;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use epoc_rt::rng::StdRng;
+use epoc_rt::rng::Rng;
 use std::f64::consts::PI;
 
 /// GHZ state preparation on `n` qubits: `H` then a CNOT chain.
@@ -136,14 +136,14 @@ pub fn bb84(n: usize, seed: u64) -> Circuit {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut c = Circuit::new(n);
     for q in 0..n {
-        if rng.gen::<bool>() {
+        if rng.gen_bool() {
             c.push(Gate::X, &[q]);
         }
-        if rng.gen::<bool>() {
+        if rng.gen_bool() {
             c.push(Gate::H, &[q]);
         }
         // Bob's random basis.
-        if rng.gen::<bool>() {
+        if rng.gen_bool() {
             c.push(Gate::H, &[q]);
         }
     }
@@ -158,8 +158,8 @@ pub fn qaoa(n: usize, p: usize, seed: u64) -> Circuit {
         c.push(Gate::H, &[q]);
     }
     for _ in 0..p {
-        let gamma: f64 = rng.gen::<f64>() * PI;
-        let beta: f64 = rng.gen::<f64>() * PI;
+        let gamma: f64 = rng.gen_f64() * PI;
+        let beta: f64 = rng.gen_f64() * PI;
         for q in 0..n {
             let r = (q + 1) % n;
             if n > 2 || q < r {
@@ -199,14 +199,14 @@ pub fn dnn(n: usize, layers: usize, seed: u64) -> Circuit {
     let mut c = Circuit::new(n);
     for _ in 0..layers {
         for q in 0..n {
-            c.push(Gate::RY(rng.gen::<f64>() * PI), &[q]);
-            c.push(Gate::RZ(rng.gen::<f64>() * PI), &[q]);
+            c.push(Gate::RY(rng.gen_f64() * PI), &[q]);
+            c.push(Gate::RZ(rng.gen_f64() * PI), &[q]);
         }
         for q in 0..n.saturating_sub(1) {
             c.push(Gate::CX, &[q, q + 1]);
         }
         for q in 0..n {
-            c.push(Gate::RY(rng.gen::<f64>() * PI), &[q]);
+            c.push(Gate::RY(rng.gen_f64() * PI), &[q]);
         }
     }
     c
@@ -242,15 +242,15 @@ pub fn vqe(n: usize, layers: usize, seed: u64) -> Circuit {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut c = Circuit::new(n);
     for q in 0..n {
-        c.push(Gate::RY(rng.gen::<f64>() * PI), &[q]);
+        c.push(Gate::RY(rng.gen_f64() * PI), &[q]);
     }
     for _ in 0..layers {
         for q in 0..n.saturating_sub(1) {
             c.push(Gate::CZ, &[q, q + 1]);
         }
         for q in 0..n {
-            c.push(Gate::RY(rng.gen::<f64>() * PI), &[q]);
-            c.push(Gate::RZ(rng.gen::<f64>() * PI), &[q]);
+            c.push(Gate::RY(rng.gen_f64() * PI), &[q]);
+            c.push(Gate::RZ(rng.gen_f64() * PI), &[q]);
         }
     }
     c
@@ -441,8 +441,8 @@ pub fn random_circuit(n: usize, gates: usize, seed: u64) -> Circuit {
             0 => c.push(Gate::H, &[rng.gen_range(0..n)]),
             1 => c.push(Gate::T, &[rng.gen_range(0..n)]),
             2 => c.push(Gate::S, &[rng.gen_range(0..n)]),
-            3 => c.push(Gate::RX(rng.gen::<f64>() * PI), &[rng.gen_range(0..n)]),
-            4 => c.push(Gate::RZ(rng.gen::<f64>() * PI), &[rng.gen_range(0..n)]),
+            3 => c.push(Gate::RX(rng.gen_f64() * PI), &[rng.gen_range(0..n)]),
+            4 => c.push(Gate::RZ(rng.gen_f64() * PI), &[rng.gen_range(0..n)]),
             5 => {
                 let a = rng.gen_range(0..n);
                 let b = (a + rng.gen_range(1..n)) % n;
@@ -465,7 +465,7 @@ pub fn random_clifford_t(n: usize, gates: usize, t_fraction: f64, seed: u64) -> 
     let mut rng = StdRng::seed_from_u64(seed);
     let mut c = Circuit::new(n);
     for _ in 0..gates {
-        if rng.gen::<f64>() < t_fraction {
+        if rng.gen_f64() < t_fraction {
             c.push(Gate::T, &[rng.gen_range(0..n)]);
         } else {
             match rng.gen_range(0..4) {

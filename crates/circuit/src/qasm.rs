@@ -396,12 +396,10 @@ fn tokenize(src: &str) -> Result<Vec<Tok>, String> {
                 let start = i;
                 while i < bytes.len() {
                     let ch = bytes[i] as char;
-                    if ch.is_ascii_digit() || ch == '.' || ch == 'e' || ch == 'E' {
-                        i += 1;
-                    } else if (ch == '+' || ch == '-')
+                    let exp_sign = (ch == '+' || ch == '-')
                         && i > start
-                        && matches!(bytes[i - 1] as char, 'e' | 'E')
-                    {
+                        && matches!(bytes[i - 1] as char, 'e' | 'E');
+                    if ch.is_ascii_digit() || ch == '.' || ch == 'e' || ch == 'E' || exp_sign {
                         i += 1;
                     } else {
                         break;

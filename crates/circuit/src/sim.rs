@@ -126,14 +126,14 @@ impl StateVector {
         let mut rest = 0usize;
         loop {
             // Gather the 2^k amplitudes for this "rest" assignment.
-            for a in 0..dk {
+            for (a, slot) in local.iter_mut().enumerate() {
                 let mut idx = rest;
                 for (bit, &s) in shifts.iter().enumerate() {
                     if (a >> (k - 1 - bit)) & 1 == 1 {
                         idx |= 1 << s;
                     }
                 }
-                local[a] = self.amps[idx];
+                *slot = self.amps[idx];
             }
             // Multiply by the gate matrix and scatter back.
             for (r, row_out) in (0..dk).map(|r| (r, m.row(r))).map(|(r, row)| {

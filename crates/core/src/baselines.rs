@@ -30,11 +30,13 @@ pub fn gate_based_with(circuit: &Circuit, tables: &GatePulseTables) -> Compilati
     let t0 = Instant::now();
     let basis = epoc_circuit::lower_to_basis(circuit);
     let schedule = gate_based_schedule(&basis, tables);
-    let mut stages = StageStats::default();
-    stages.zx_depth_before = circuit.depth();
-    stages.zx_depth_after = circuit.depth();
-    stages.gates_after_zx = circuit.len();
-    stages.pulses = schedule.len();
+    let stages = StageStats {
+        zx_depth_before: circuit.depth(),
+        zx_depth_after: circuit.depth(),
+        gates_after_zx: circuit.len(),
+        pulses: schedule.len(),
+        ..StageStats::default()
+    };
     CompilationReport {
         flow: "gate-based".into(),
         n_qubits: circuit.n_qubits(),
@@ -83,14 +85,16 @@ impl PaqocCompiler {
         let partition = paqoc_partition(circuit, self.partition);
         let schedule = schedule_partition(&partition, &self.backend);
         let (hits1, misses1) = self.backend.cache_counts();
-        let mut stages = StageStats::default();
-        stages.zx_depth_before = circuit.depth();
-        stages.zx_depth_after = circuit.depth();
-        stages.gates_after_zx = circuit.len();
-        stages.synth_blocks = partition.len();
-        stages.pulses = schedule.len();
-        stages.cache_hits = hits1.saturating_sub(hits0);
-        stages.cache_misses = misses1.saturating_sub(misses0);
+        let stages = StageStats {
+            zx_depth_before: circuit.depth(),
+            zx_depth_after: circuit.depth(),
+            gates_after_zx: circuit.len(),
+            synth_blocks: partition.len(),
+            pulses: schedule.len(),
+            cache_hits: hits1.saturating_sub(hits0),
+            cache_misses: misses1.saturating_sub(misses0),
+            ..StageStats::default()
+        };
         CompilationReport {
             flow: "paqoc".into(),
             n_qubits: circuit.n_qubits(),

@@ -119,8 +119,10 @@ fn main() -> ExitCode {
     }
     let report = match args.flow.as_str() {
         "epoc" => {
-            let mut config = EpocConfig::default();
-            config.zx = args.zx;
+            let mut config = EpocConfig {
+                zx: args.zx,
+                ..EpocConfig::default()
+            };
             if !args.regroup {
                 config = config.without_regrouping();
             }

@@ -45,6 +45,11 @@ pub struct EpocConfig {
     /// Verify the optimized circuit against the input by statevector
     /// probing when the register is small enough.
     pub verify: bool,
+    /// Worker count for the parallel synthesis stage; `None` uses the
+    /// machine's available parallelism. Reports are identical at any
+    /// worker count (synthesis is deterministic per block and results
+    /// merge in block order).
+    pub workers: Option<usize>,
 }
 
 impl Default for EpocConfig {
@@ -70,6 +75,7 @@ impl Default for EpocConfig {
             key_policy: KeyPolicy::PhaseAware,
             duration_model: DurationModel::default(),
             verify: true,
+            workers: None,
         }
     }
 }
@@ -99,6 +105,12 @@ impl EpocConfig {
     /// Disables regrouping (the "without grouping" arm of Figures 8–10).
     pub fn without_regrouping(mut self) -> Self {
         self.regroup = None;
+        self
+    }
+
+    /// Pins the synthesis worker count (1 = fully sequential).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
         self
     }
 }

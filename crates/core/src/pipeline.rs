@@ -19,8 +19,8 @@ use epoc_qoc::{
 };
 use epoc_synth::{lower_to_vug_form, synthesize_or_fallback};
 use epoc_zx::zx_optimize;
-use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Register width above which semantic verification is skipped.
@@ -29,22 +29,20 @@ const VERIFY_LIMIT: usize = 10;
 const DENSE_LIMIT: usize = 8;
 
 pub(crate) enum BackendImpl {
-    Hybrid(HybridSynthesizer),
-    Modeled(ModeledSynthesizer),
+    Hybrid(Box<HybridSynthesizer>),
+    Modeled(Box<ModeledSynthesizer>),
 }
 
 impl BackendImpl {
     pub(crate) fn new(config: &EpocConfig) -> Self {
         match config.backend {
-            Backend::Hybrid { grape_limit } => BackendImpl::Hybrid(HybridSynthesizer::new(
-                config.key_policy,
-                grape_limit,
-                config.duration_model,
+            Backend::Hybrid { grape_limit } => BackendImpl::Hybrid(Box::new(
+                HybridSynthesizer::new(config.key_policy, grape_limit, config.duration_model),
             )),
-            Backend::Modeled => BackendImpl::Modeled(ModeledSynthesizer::new(
+            Backend::Modeled => BackendImpl::Modeled(Box::new(ModeledSynthesizer::new(
                 config.duration_model,
                 config.key_policy,
-            )),
+            ))),
         }
     }
 
@@ -170,7 +168,7 @@ impl EpocCompiler {
             // Bind the lookup before the branch: an inline `cache.lock()`
             // in the `if let` scrutinee would hold the guard through the
             // `else` and self-deadlock.
-            let cached = cache.lock().get(&key).cloned();
+            let cached = cache.lock().unwrap().get(&key).cloned();
             if let Some(hit) = cached {
                 return hit;
             }
@@ -187,39 +185,23 @@ impl EpocCompiler {
             } else {
                 (original, false)
             };
-            cache.lock().insert(key, entry.clone());
+            cache.lock().unwrap().insert(key, entry.clone());
             entry
         };
-        // A fixed worker pool over an atomic index -- not a thread per
+        // Fan the blocks out over a fixed worker crew (not a thread per
         // block, which would spawn thousands of OS threads on large
-        // circuits.
-        let n_workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-            .min(blocks.len().max(1));
-        let results: Vec<Mutex<Option<(Circuit, bool)>>> =
-            (0..blocks.len()).map(|_| Mutex::new(None)).collect();
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        crossbeam::thread::scope(|scope| {
-            for _ in 0..n_workers {
-                let next = &next;
-                let results = &results;
-                let synthesize_block = &synthesize_block;
-                scope.spawn(move |_| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= blocks.len() {
-                        break;
-                    }
-                    *results[i].lock() = Some(synthesize_block(&blocks[i]));
-                });
-            }
-        })
-        .expect("synthesis worker panicked");
-        let results: Vec<Option<(Circuit, bool)>> =
-            results.into_iter().map(|m| m.into_inner()).collect();
+        // circuits). Per-block synthesis is deterministic under the
+        // configured seed and results merge in block order, so the output
+        // is identical at any worker count.
+        let n_workers = self
+            .config
+            .workers
+            .unwrap_or_else(epoc_rt::pool::default_workers);
+        let results = epoc_rt::pool::parallel_map(blocks, n_workers, |_, block| {
+            synthesize_block(block)
+        });
         let mut vug_stream = Circuit::new(optimized.n_qubits());
-        for (block, result) in blocks.iter().zip(results) {
-            let (local, converged) = result.expect("every block synthesized");
+        for (block, (local, converged)) in blocks.iter().zip(results) {
             if converged {
                 stages.synth_converged += 1;
             }

@@ -1,11 +1,11 @@
 //! Compilation reports: everything the evaluation section measures.
 
 use epoc_pulse::PulseSchedule;
-use serde::Serialize;
+use epoc_rt::json::Json;
 use std::time::Duration;
 
 /// Per-stage statistics of one EPOC compilation.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default)]
 pub struct StageStats {
     /// Circuit depth before / after the ZX pass.
     pub zx_depth_before: usize,
@@ -27,8 +27,24 @@ pub struct StageStats {
     pub cache_misses: usize,
 }
 
+impl StageStats {
+    /// The stats as a JSON value (field order matches the struct).
+    pub fn to_json_value(&self) -> Json {
+        Json::obj()
+            .push("zx_depth_before", self.zx_depth_before)
+            .push("zx_depth_after", self.zx_depth_after)
+            .push("gates_after_zx", self.gates_after_zx)
+            .push("synth_blocks", self.synth_blocks)
+            .push("synth_converged", self.synth_converged)
+            .push("vug_stream_gates", self.vug_stream_gates)
+            .push("pulses", self.pulses)
+            .push("cache_hits", self.cache_hits)
+            .push("cache_misses", self.cache_misses)
+    }
+}
+
 /// The result of compiling one circuit down to pulses.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CompilationReport {
     /// Which flow produced it (`"epoc"`, `"gate-based"`, `"paqoc"`, …).
     pub flow: String,
@@ -60,13 +76,29 @@ impl CompilationReport {
         self.schedule.esp()
     }
 
+    /// The report as a JSON value. `compile_time` serializes as
+    /// `{secs, nanos}`, the same shape the previous serde-based output
+    /// used for `Duration`.
+    pub fn to_json_value(&self) -> Json {
+        Json::obj()
+            .push("flow", self.flow.as_str())
+            .push("n_qubits", self.n_qubits)
+            .push("gates_in", self.gates_in)
+            .push("schedule", self.schedule.to_json_value())
+            .push(
+                "compile_time",
+                Json::obj()
+                    .push("secs", self.compile_time.as_secs())
+                    .push("nanos", self.compile_time.subsec_nanos()),
+            )
+            .push("stages", self.stages.to_json_value())
+            .push("verified", self.verified)
+            .push("verify_skipped", self.verify_skipped)
+    }
+
     /// The report as pretty-printed JSON (schedule included), for tooling.
-    ///
-    /// # Panics
-    ///
-    /// Never panics in practice: all fields are plain data.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("report serializes")
+        self.to_json_value().to_string_pretty()
     }
 
     /// One-line human-readable summary.
@@ -103,5 +135,76 @@ mod tests {
         assert!(s.contains("latency"));
         assert_eq!(r.latency(), 0.0);
         assert_eq!(r.esp(), 1.0);
+    }
+
+    #[test]
+    fn report_json_matches_expected_bytes() {
+        let mut schedule = PulseSchedule::new(1);
+        schedule.push(epoc_pulse::ScheduledPulse {
+            qubits: vec![0],
+            start: 0.0,
+            duration: 26.5,
+            fidelity: 0.9995,
+            label: "blk\"0\"".into(),
+        });
+        let r = CompilationReport {
+            flow: "epoc".into(),
+            n_qubits: 1,
+            gates_in: 2,
+            schedule,
+            compile_time: Duration::new(1, 500),
+            stages: StageStats {
+                zx_depth_before: 3,
+                zx_depth_after: 2,
+                gates_after_zx: 2,
+                synth_blocks: 1,
+                synth_converged: 1,
+                vug_stream_gates: 2,
+                pulses: 1,
+                cache_hits: 0,
+                cache_misses: 1,
+            },
+            verified: true,
+            verify_skipped: false,
+        };
+        let expected = concat!(
+            "{\n",
+            "  \"flow\": \"epoc\",\n",
+            "  \"n_qubits\": 1,\n",
+            "  \"gates_in\": 2,\n",
+            "  \"schedule\": {\n",
+            "    \"n_qubits\": 1,\n",
+            "    \"pulses\": [\n",
+            "      {\n",
+            "        \"qubits\": [\n",
+            "          0\n",
+            "        ],\n",
+            "        \"start\": 0.0,\n",
+            "        \"duration\": 26.5,\n",
+            "        \"fidelity\": 0.9995,\n",
+            "        \"label\": \"blk\\\"0\\\"\"\n",
+            "      }\n",
+            "    ]\n",
+            "  },\n",
+            "  \"compile_time\": {\n",
+            "    \"secs\": 1,\n",
+            "    \"nanos\": 500\n",
+            "  },\n",
+            "  \"stages\": {\n",
+            "    \"zx_depth_before\": 3,\n",
+            "    \"zx_depth_after\": 2,\n",
+            "    \"gates_after_zx\": 2,\n",
+            "    \"synth_blocks\": 1,\n",
+            "    \"synth_converged\": 1,\n",
+            "    \"vug_stream_gates\": 2,\n",
+            "    \"pulses\": 1,\n",
+            "    \"cache_hits\": 0,\n",
+            "    \"cache_misses\": 1\n",
+            "  },\n",
+            "  \"verified\": true,\n",
+            "  \"verify_skipped\": false\n",
+            "}",
+        );
+        assert_eq!(r.to_json(), expected);
     }
 }

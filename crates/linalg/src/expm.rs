@@ -146,11 +146,11 @@ pub fn solve(a: &Matrix, b: &Matrix) -> Matrix {
             }
             for j in col..n {
                 let v = lu[(col, j)];
-                lu[(r, j)] = lu[(r, j)] - f * v;
+                lu[(r, j)] -= f * v;
             }
             for j in 0..m {
                 let v = x[(col, j)];
-                x[(r, j)] = x[(r, j)] - f * v;
+                x[(r, j)] -= f * v;
             }
         }
     }
@@ -160,7 +160,7 @@ pub fn solve(a: &Matrix, b: &Matrix) -> Matrix {
         for j in 0..m {
             let mut acc = x[(col, j)];
             for k in (col + 1)..n {
-                acc = acc - lu[(col, k)] * x[(k, j)];
+                acc -= lu[(col, k)] * x[(k, j)];
             }
             x[(col, j)] = acc * inv;
         }

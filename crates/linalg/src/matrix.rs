@@ -230,13 +230,13 @@ impl Matrix {
     pub fn matvec(&self, v: &[Complex64]) -> Vec<Complex64> {
         assert_eq!(self.cols, v.len(), "matvec dimension mismatch");
         let mut out = vec![Complex64::ZERO; self.rows];
-        for i in 0..self.rows {
+        for (i, slot) in out.iter_mut().enumerate() {
             let row = &self.data[i * self.cols..(i + 1) * self.cols];
             let mut acc = Complex64::ZERO;
             for (&m, &x) in row.iter().zip(v) {
                 acc += m * x;
             }
-            out[i] = acc;
+            *slot = acc;
         }
         out
     }

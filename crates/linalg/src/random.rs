@@ -2,7 +2,7 @@
 
 use crate::complex::{c64, Complex64};
 use crate::matrix::Matrix;
-use rand::Rng;
+use epoc_rt::rng::Rng;
 
 /// Samples a complex matrix with i.i.d. standard-normal entries
 /// (real and imaginary parts independent).
@@ -20,9 +20,8 @@ pub fn random_gaussian_matrix(n: usize, rng: &mut impl Rng) -> Matrix {
 ///
 /// ```
 /// use epoc_linalg::random_unitary;
-/// use rand::SeedableRng;
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let mut rng = epoc_rt::rng::StdRng::seed_from_u64(7);
 /// let u = random_unitary(4, &mut rng);
 /// assert!(u.is_unitary(1e-10));
 /// ```
@@ -40,9 +39,9 @@ pub fn random_unitary(n: usize, rng: &mut impl Rng) -> Matrix {
                 .zip(&cols[j])
                 .map(|(a, b)| a.conj() * *b)
                 .sum();
-            for i in 0..n {
-                let ck = cols[k][i];
-                cols[j][i] = cols[j][i] - proj * ck;
+            let ck: Vec<Complex64> = cols[k].clone();
+            for (cj, ck) in cols[j].iter_mut().zip(ck) {
+                *cj -= proj * ck;
             }
         }
         let norm: f64 = cols[j].iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
@@ -56,7 +55,7 @@ pub fn random_unitary(n: usize, rng: &mut impl Rng) -> Matrix {
         let phase = lead / c64(lead.abs(), 0.0);
         let scale = phase.conj() / norm;
         for z in cols[j].iter_mut() {
-            *z = *z * scale;
+            *z *= scale;
         }
     }
     Matrix::from_fn(n, n, |i, j| cols[j][i])
@@ -79,11 +78,11 @@ pub fn random_hermitian(n: usize, rng: &mut impl Rng) -> Matrix {
 /// Standard normal sample via Box–Muller (avoids a rand_distr dependency).
 fn sample_normal(rng: &mut impl Rng) -> f64 {
     loop {
-        let u1: f64 = rng.gen::<f64>();
+        let u1: f64 = rng.gen_f64();
         if u1 <= f64::MIN_POSITIVE {
             continue;
         }
-        let u2: f64 = rng.gen::<f64>();
+        let u2: f64 = rng.gen_f64();
         return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
     }
 }
@@ -91,8 +90,7 @@ fn sample_normal(rng: &mut impl Rng) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use epoc_rt::rng::StdRng;
 
     #[test]
     fn random_unitary_is_unitary() {

@@ -1,155 +1,227 @@
 //! Property-based tests for the linear-algebra core.
+//!
+//! Ported from `proptest!` macros to `epoc_rt::check`, preserving the
+//! 64-case counts.
 
 use epoc_linalg::{
     c64, canonicalize_phase, eigh, expm, expm_ih, phase_invariant_distance, random_hermitian,
     random_unitary, Complex64, Matrix, UnitaryKey,
 };
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use epoc_rt::check::{property, Gen};
+use epoc_rt::rng::StdRng;
 
-fn small_complex() -> impl Strategy<Value = Complex64> {
-    (-2.0..2.0f64, -2.0..2.0f64).prop_map(|(re, im)| c64(re, im))
+fn small_complex(g: &mut Gen) -> Complex64 {
+    c64(g.f64_in(-2.0, 2.0), g.f64_in(-2.0, 2.0))
 }
 
-fn matrix(n: usize) -> impl Strategy<Value = Matrix> {
-    proptest::collection::vec(small_complex(), n * n)
-        .prop_map(move |v| Matrix::from_vec(n, n, v))
+fn matrix(g: &mut Gen, n: usize) -> Matrix {
+    let v: Vec<Complex64> = (0..n * n).map(|_| small_complex(g)).collect();
+    Matrix::from_vec(n, n, v)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn complex_mul_commutative() {
+    property("complex_mul_commutative").cases(64).run(|g| {
+        let a = small_complex(g);
+        let b = small_complex(g);
+        assert!((a * b).approx_eq(b * a, 1e-12));
+    });
+}
 
-    #[test]
-    fn complex_mul_commutative(a in small_complex(), b in small_complex()) {
-        prop_assert!((a * b).approx_eq(b * a, 1e-12));
-    }
+#[test]
+fn complex_mul_associative() {
+    property("complex_mul_associative").cases(64).run(|g| {
+        let a = small_complex(g);
+        let b = small_complex(g);
+        let c = small_complex(g);
+        assert!(((a * b) * c).approx_eq(a * (b * c), 1e-9));
+    });
+}
 
-    #[test]
-    fn complex_mul_associative(a in small_complex(), b in small_complex(), c in small_complex()) {
-        prop_assert!(((a * b) * c).approx_eq(a * (b * c), 1e-9));
-    }
+#[test]
+fn complex_conj_is_involution() {
+    property("complex_conj_is_involution").cases(64).run(|g| {
+        let a = small_complex(g);
+        assert_eq!(a.conj().conj(), a);
+    });
+}
 
-    #[test]
-    fn complex_conj_is_involution(a in small_complex()) {
-        prop_assert_eq!(a.conj().conj(), a);
-    }
+#[test]
+fn complex_abs_multiplicative() {
+    property("complex_abs_multiplicative").cases(64).run(|g| {
+        let a = small_complex(g);
+        let b = small_complex(g);
+        assert!(((a * b).abs() - a.abs() * b.abs()).abs() < 1e-9);
+    });
+}
 
-    #[test]
-    fn complex_abs_multiplicative(a in small_complex(), b in small_complex()) {
-        prop_assert!(((a * b).abs() - a.abs() * b.abs()).abs() < 1e-9);
-    }
-
-    #[test]
-    fn matmul_associative(a in matrix(3), b in matrix(3), c in matrix(3)) {
+#[test]
+fn matmul_associative() {
+    property("matmul_associative").cases(64).run(|g| {
+        let a = matrix(g, 3);
+        let b = matrix(g, 3);
+        let c = matrix(g, 3);
         let lhs = a.matmul(&b).matmul(&c);
         let rhs = a.matmul(&b.matmul(&c));
-        prop_assert!(lhs.approx_eq(&rhs, 1e-8));
-    }
+        assert!(lhs.approx_eq(&rhs, 1e-8));
+    });
+}
 
-    #[test]
-    fn matmul_distributes_over_add(a in matrix(3), b in matrix(3), c in matrix(3)) {
+#[test]
+fn matmul_distributes_over_add() {
+    property("matmul_distributes_over_add").cases(64).run(|g| {
+        let a = matrix(g, 3);
+        let b = matrix(g, 3);
+        let c = matrix(g, 3);
         let lhs = a.matmul(&(&b + &c));
         let rhs = &a.matmul(&b) + &a.matmul(&c);
-        prop_assert!(lhs.approx_eq(&rhs, 1e-8));
-    }
+        assert!(lhs.approx_eq(&rhs, 1e-8));
+    });
+}
 
-    #[test]
-    fn dagger_is_involution(a in matrix(4)) {
-        prop_assert!(a.dagger().dagger().approx_eq(&a, 1e-15));
-    }
+#[test]
+fn dagger_is_involution() {
+    property("dagger_is_involution").cases(64).run(|g| {
+        let a = matrix(g, 4);
+        assert!(a.dagger().dagger().approx_eq(&a, 1e-15));
+    });
+}
 
-    #[test]
-    fn trace_cyclic(a in matrix(3), b in matrix(3)) {
+#[test]
+fn trace_cyclic() {
+    property("trace_cyclic").cases(64).run(|g| {
+        let a = matrix(g, 3);
+        let b = matrix(g, 3);
         let t1 = a.matmul(&b).trace();
         let t2 = b.matmul(&a).trace();
-        prop_assert!(t1.approx_eq(t2, 1e-8));
-    }
+        assert!(t1.approx_eq(t2, 1e-8));
+    });
+}
 
-    #[test]
-    fn kron_respects_dagger(a in matrix(2), b in matrix(2)) {
+#[test]
+fn kron_respects_dagger() {
+    property("kron_respects_dagger").cases(64).run(|g| {
+        let a = matrix(g, 2);
+        let b = matrix(g, 2);
         let lhs = a.kron(&b).dagger();
         let rhs = a.dagger().kron(&b.dagger());
-        prop_assert!(lhs.approx_eq(&rhs, 1e-12));
-    }
+        assert!(lhs.approx_eq(&rhs, 1e-12));
+    });
+}
 
-    #[test]
-    fn frobenius_triangle_inequality(a in matrix(3), b in matrix(3)) {
+#[test]
+fn frobenius_triangle_inequality() {
+    property("frobenius_triangle_inequality").cases(64).run(|g| {
+        let a = matrix(g, 3);
+        let b = matrix(g, 3);
         let sum = (&a + &b).frobenius_norm();
-        prop_assert!(sum <= a.frobenius_norm() + b.frobenius_norm() + 1e-9);
-    }
+        assert!(sum <= a.frobenius_norm() + b.frobenius_norm() + 1e-9);
+    });
+}
 
-    #[test]
-    fn eigh_reconstructs_random_hermitian(seed in 0u64..500) {
+#[test]
+fn eigh_reconstructs_random_hermitian() {
+    property("eigh_reconstructs_random_hermitian").cases(64).run(|g| {
+        let seed = g.u64_in(0, 500);
         let mut rng = StdRng::seed_from_u64(seed);
         let h = random_hermitian(4, &mut rng);
         let e = eigh(&h).unwrap();
-        prop_assert!(e.reconstruct().approx_eq(&h, 1e-8));
-        prop_assert!(e.vectors.is_unitary(1e-8));
-    }
+        assert!(e.reconstruct().approx_eq(&h, 1e-8), "seed={seed}");
+        assert!(e.vectors.is_unitary(1e-8), "seed={seed}");
+    });
+}
 
-    #[test]
-    fn expm_ih_is_unitary(seed in 0u64..500, t in 0.0..5.0f64) {
+#[test]
+fn expm_ih_is_unitary() {
+    property("expm_ih_is_unitary").cases(64).run(|g| {
+        let seed = g.u64_in(0, 500);
+        let t = g.f64_in(0.0, 5.0);
         let mut rng = StdRng::seed_from_u64(seed);
         let h = random_hermitian(3, &mut rng);
         let u = expm_ih(&h, t).unwrap();
-        prop_assert!(u.is_unitary(1e-9));
-    }
+        assert!(u.is_unitary(1e-9), "seed={seed} t={t}");
+    });
+}
 
-    #[test]
-    fn expm_inverse_cancels(seed in 0u64..200) {
+#[test]
+fn expm_inverse_cancels() {
+    property("expm_inverse_cancels").cases(64).run(|g| {
+        let seed = g.u64_in(0, 200);
         let mut rng = StdRng::seed_from_u64(seed);
         let h = random_hermitian(3, &mut rng).scale(c64(0.0, -1.0));
         let e = expm(&h);
         let einv = expm(&h.scale_re(-1.0));
-        prop_assert!(e.matmul(&einv).approx_eq(&Matrix::identity(3), 1e-9));
-    }
+        assert!(
+            e.matmul(&einv).approx_eq(&Matrix::identity(3), 1e-9),
+            "seed={seed}"
+        );
+    });
+}
 
-    #[test]
-    fn unitary_key_invariant_under_global_phase(seed in 0u64..500, phi in -3.1..3.1f64) {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let u = random_unitary(3, &mut rng);
-        let v = u.scale(Complex64::cis(phi));
-        prop_assert_eq!(UnitaryKey::new(&u), UnitaryKey::new(&v));
-    }
+#[test]
+fn unitary_key_invariant_under_global_phase() {
+    property("unitary_key_invariant_under_global_phase")
+        .cases(64)
+        .run(|g| {
+            let seed = g.u64_in(0, 500);
+            let phi = g.f64_in(-3.1, 3.1);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let u = random_unitary(3, &mut rng);
+            let v = u.scale(Complex64::cis(phi));
+            assert_eq!(UnitaryKey::new(&u), UnitaryKey::new(&v), "seed={seed} phi={phi}");
+        });
+}
 
-    #[test]
-    fn canonicalize_is_idempotent(seed in 0u64..300) {
+#[test]
+fn canonicalize_is_idempotent() {
+    property("canonicalize_is_idempotent").cases(64).run(|g| {
+        let seed = g.u64_in(0, 300);
         let mut rng = StdRng::seed_from_u64(seed);
         let u = random_unitary(3, &mut rng);
         let c1 = canonicalize_phase(&u);
         let c2 = canonicalize_phase(&c1);
-        prop_assert!(c1.approx_eq(&c2, 1e-10));
-    }
+        assert!(c1.approx_eq(&c2, 1e-10), "seed={seed}");
+    });
+}
 
-    #[test]
-    fn distance_symmetric(sa in 0u64..200, sb in 0u64..200) {
+#[test]
+fn distance_symmetric() {
+    property("distance_symmetric").cases(64).run(|g| {
+        let sa = g.u64_in(0, 200);
+        let sb = g.u64_in(0, 200);
         let mut ra = StdRng::seed_from_u64(sa);
         let mut rb = StdRng::seed_from_u64(sb.wrapping_add(1_000_000));
         let a = random_unitary(3, &mut ra);
         let b = random_unitary(3, &mut rb);
         let d1 = phase_invariant_distance(&a, &b);
         let d2 = phase_invariant_distance(&b, &a);
-        prop_assert!((d1 - d2).abs() < 1e-10);
-        prop_assert!((0.0..=1.0 + 1e-9).contains(&d1));
-    }
+        assert!((d1 - d2).abs() < 1e-10, "sa={sa} sb={sb}");
+        assert!((0.0..=1.0 + 1e-9).contains(&d1), "sa={sa} sb={sb}");
+    });
+}
 
-    #[test]
-    fn embed_preserves_unitarity(seed in 0u64..200, q in 0usize..3) {
+#[test]
+fn embed_preserves_unitarity() {
+    property("embed_preserves_unitarity").cases(64).run(|g| {
+        let seed = g.u64_in(0, 200);
+        let q = g.usize_in(0, 3);
         let mut rng = StdRng::seed_from_u64(seed);
         let u = random_unitary(2, &mut rng);
         let e = u.embed(&[q], 3);
-        prop_assert!(e.is_unitary(1e-9));
-    }
+        assert!(e.is_unitary(1e-9), "seed={seed} q={q}");
+    });
+}
 
-    #[test]
-    fn embed_composes_like_matmul(seed in 0u64..100) {
+#[test]
+fn embed_composes_like_matmul() {
+    property("embed_composes_like_matmul").cases(64).run(|g| {
+        let seed = g.u64_in(0, 100);
         // embed(A)·embed(B) = embed(A·B) when acting on the same qubit.
         let mut rng = StdRng::seed_from_u64(seed);
         let a = random_unitary(2, &mut rng);
         let b = random_unitary(2, &mut rng);
         let lhs = a.embed(&[1], 3).matmul(&b.embed(&[1], 3));
         let rhs = a.matmul(&b).embed(&[1], 3);
-        prop_assert!(lhs.approx_eq(&rhs, 1e-9));
-    }
+        assert!(lhs.approx_eq(&rhs, 1e-9), "seed={seed}");
+    });
 }

@@ -5,10 +5,10 @@
 //! paper's Eq. 3).
 
 use epoc_circuit::{Circuit, Operation};
-use serde::Serialize;
+use epoc_rt::json::Json;
 
 /// One pulse placed in the schedule.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScheduledPulse {
     /// Global qubits the pulse drives.
     pub qubits: Vec<usize>,
@@ -27,10 +27,23 @@ impl ScheduledPulse {
     pub fn end(&self) -> f64 {
         self.start + self.duration
     }
+
+    /// The pulse as a JSON value (field order matches the struct).
+    pub fn to_json_value(&self) -> Json {
+        Json::obj()
+            .push(
+                "qubits",
+                Json::Arr(self.qubits.iter().map(|&q| Json::from(q)).collect()),
+            )
+            .push("start", self.start)
+            .push("duration", self.duration)
+            .push("fidelity", self.fidelity)
+            .push("label", self.label.as_str())
+    }
 }
 
 /// A pulse schedule over an `n`-qubit device.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default)]
 pub struct PulseSchedule {
     n_qubits: usize,
     pulses: Vec<ScheduledPulse>,
@@ -104,6 +117,14 @@ impl PulseSchedule {
             .map(|p| p.duration * p.qubits.len() as f64)
             .sum();
         busy / total
+    }
+
+    /// The schedule as a JSON value (used by the compilation report).
+    pub fn to_json_value(&self) -> Json {
+        Json::obj().push("n_qubits", self.n_qubits).push(
+            "pulses",
+            Json::Arr(self.pulses.iter().map(ScheduledPulse::to_json_value).collect()),
+        )
     }
 
     /// `true` when no two pulses overlap on any qubit line.

@@ -1,78 +1,95 @@
 //! Property-based tests for pulse schedules and envelopes.
+//!
+//! Ported from `proptest!` macros to `epoc_rt::check`, preserving the
+//! 48-case counts.
 
 use epoc_circuit::generators;
 use epoc_pulse::{
     gate_based_schedule, schedule_circuit, CoherenceModel, Envelope, GatePulseTables, PulseCost,
 };
-use proptest::prelude::*;
+use epoc_rt::check::property;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn asap_schedules_are_always_valid(
-        n in 2usize..6,
-        gates in 0usize..40,
-        seed in 0u64..10_000,
-    ) {
+#[test]
+fn asap_schedules_are_always_valid() {
+    property("asap_schedules_are_always_valid").cases(48).run(|g| {
+        let n = g.usize_in(2, 6);
+        let gates = g.usize_in(0, 40);
+        let seed = g.u64_in(0, 10_000);
         let c = generators::random_circuit(n.max(2), gates.max(1), seed);
         let s = gate_based_schedule(&c, &GatePulseTables::default());
-        prop_assert!(s.is_valid(), "overlapping pulses");
-        prop_assert!(s.latency() >= 0.0);
-        prop_assert!((0.0..=1.0).contains(&s.esp()));
-        prop_assert!((0.0..=1.0 + 1e-9).contains(&s.utilization()));
-    }
+        assert!(s.is_valid(), "overlapping pulses (n={n} gates={gates} seed={seed})");
+        assert!(s.latency() >= 0.0);
+        assert!((0.0..=1.0).contains(&s.esp()));
+        assert!((0.0..=1.0 + 1e-9).contains(&s.utilization()));
+    });
+}
 
-    #[test]
-    fn latency_bounded_by_serial_sum(
-        seed in 0u64..5_000,
-        dur in 1.0..100.0f64,
-    ) {
+#[test]
+fn latency_bounded_by_serial_sum() {
+    property("latency_bounded_by_serial_sum").cases(48).run(|g| {
+        let seed = g.u64_in(0, 5_000);
+        let dur = g.f64_in(1.0, 100.0);
         let c = generators::random_circuit(3, 12, seed);
         let s = schedule_circuit(&c, |_| PulseCost { duration: dur, fidelity: 1.0 });
         // Latency is at most fully-serial execution, at least one pulse.
-        prop_assert!(s.latency() <= dur * c.len() as f64 + 1e-9);
-        prop_assert!(s.latency() >= dur - 1e-9);
-    }
+        assert!(s.latency() <= dur * c.len() as f64 + 1e-9, "seed={seed} dur={dur}");
+        assert!(s.latency() >= dur - 1e-9, "seed={seed} dur={dur}");
+    });
+}
 
-    #[test]
-    fn latency_at_least_critical_path_lower_bound(seed in 0u64..5_000) {
-        // With unit durations, latency ≥ depth of the circuit.
-        let c = generators::random_circuit(3, 15, seed);
-        let s = schedule_circuit(&c, |_| PulseCost { duration: 1.0, fidelity: 1.0 });
-        prop_assert!(s.latency() + 1e-9 >= c.depth() as f64);
-    }
+#[test]
+fn latency_at_least_critical_path_lower_bound() {
+    property("latency_at_least_critical_path_lower_bound")
+        .cases(48)
+        .run(|g| {
+            let seed = g.u64_in(0, 5_000);
+            // With unit durations, latency ≥ depth of the circuit.
+            let c = generators::random_circuit(3, 15, seed);
+            let s = schedule_circuit(&c, |_| PulseCost { duration: 1.0, fidelity: 1.0 });
+            assert!(s.latency() + 1e-9 >= c.depth() as f64, "seed={seed}");
+        });
+}
 
-    #[test]
-    fn coherence_decay_monotone(t1a in 1_000.0..50_000.0f64, factor in 1.1..5.0f64) {
+#[test]
+fn coherence_decay_monotone() {
+    property("coherence_decay_monotone").cases(48).run(|g| {
+        let t1a = g.f64_in(1_000.0, 50_000.0);
+        let factor = g.f64_in(1.1, 5.0);
         let c = generators::ghz(4);
         let s = gate_based_schedule(&c, &GatePulseTables::default());
         let short = CoherenceModel::new(t1a, 0.8 * t1a);
         let long = CoherenceModel::new(t1a * factor, 0.8 * t1a * factor);
         // Longer coherence → less decay.
-        prop_assert!(long.schedule_decay(&s) >= short.schedule_decay(&s));
-    }
+        assert!(
+            long.schedule_decay(&s) >= short.schedule_decay(&s),
+            "t1a={t1a} factor={factor}"
+        );
+    });
+}
 
-    #[test]
-    fn gaussian_envelope_bounded_by_peak(
-        amp in 0.01..1.0f64,
-        dur in 10.0..100.0f64,
-        t in 0.0..100.0f64,
-    ) {
+#[test]
+fn gaussian_envelope_bounded_by_peak() {
+    property("gaussian_envelope_bounded_by_peak").cases(48).run(|g| {
+        let amp = g.f64_in(0.01, 1.0);
+        let dur = g.f64_in(10.0, 100.0);
+        let t = g.f64_in(0.0, 100.0);
         let e = Envelope::Gaussian { amplitude: amp, duration: dur, sigma: dur / 4.0 };
-        prop_assert!(e.sample(t).abs() <= e.peak() + 1e-12);
-    }
+        assert!(e.sample(t).abs() <= e.peak() + 1e-12, "amp={amp} dur={dur} t={t}");
+    });
+}
 
-    #[test]
-    fn pwc_round_trips_samples(samples in proptest::collection::vec(-0.5..0.5f64, 1..20)) {
+#[test]
+fn pwc_round_trips_samples() {
+    property("pwc_round_trips_samples").cases(48).run(|g| {
+        let samples = g.vec(1, 20, |g| g.f64_in(-0.5, 0.5));
         let e = Envelope::PiecewiseConstant { samples: samples.clone(), dt: 2.0 };
         for (i, &v) in samples.iter().enumerate() {
             let t = (i as f64 + 0.5) * 2.0;
-            prop_assert!((e.sample(t) - v).abs() < 1e-12);
+            assert!((e.sample(t) - v).abs() < 1e-12);
         }
         let total: f64 = samples.iter().sum::<f64>() * 2.0;
-        prop_assert!((e.area() - total).abs() < 1e-9);
-    }
+        assert!((e.area() - total).abs() < 1e-9);
+    });
 }
 
 #[test]

@@ -9,8 +9,8 @@
 use crate::device::DeviceModel;
 use crate::grape::propagate;
 use epoc_linalg::Matrix;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use epoc_rt::rng::StdRng;
+use epoc_rt::rng::Rng;
 
 /// CRAB configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -83,7 +83,7 @@ pub fn crab(
             .map(|_| {
                 (1..=nc)
                     .map(|k| {
-                        2.0 * std::f64::consts::PI * (k as f64 + rng.gen::<f64>() - 0.5)
+                        2.0 * std::f64::consts::PI * (k as f64 + rng.gen_f64() - 0.5)
                             / duration
                     })
                     .collect()
@@ -94,7 +94,7 @@ pub fn crab(
         let sample_controls = |params: &[f64]| -> Vec<Vec<f64>> {
             let mut out = vec![vec![0.0f64; n_slots]; n_ctrl];
             for j in 0..n_ctrl {
-                for s in 0..n_slots {
+                for (s, slot) in out[j].iter_mut().enumerate() {
                     let t = (s as f64 + 0.5) * device.dt();
                     let mut v = 0.0;
                     for k in 0..nc {
@@ -104,7 +104,7 @@ pub fn crab(
                         v += a * (w * t).sin() + b * (w * t).cos();
                     }
                     // Keep within drive bounds with a smooth squash.
-                    out[j][s] = a_max * (v / a_max).tanh();
+                    *slot = a_max * (v / a_max).tanh();
                 }
             }
             out
@@ -120,7 +120,7 @@ pub fn crab(
 
         // Nelder–Mead simplex.
         let init: Vec<f64> = (0..n_params)
-            .map(|_| (rng.gen::<f64>() - 0.5) * a_max)
+            .map(|_| (rng.gen_f64() - 0.5) * a_max)
             .collect();
         let (params, c) = nelder_mead(
             &mut cost,

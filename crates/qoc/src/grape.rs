@@ -10,7 +10,7 @@
 
 use crate::device::DeviceModel;
 use epoc_linalg::{c64, eigh, Complex64, Matrix};
-use rand::Rng;
+use epoc_rt::rng::Rng;
 
 /// Gradient flavor for the ablation bench.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,8 +84,7 @@ pub fn grape(
     let dim = device.dim() as f64;
     let a_max = device.max_amplitude();
 
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use epoc_rt::rng::StdRng;
     let mut best: Option<(Vec<Vec<f64>>, f64, usize)> = None;
 
     for restart in 0..config.restarts.max(1) {
@@ -94,7 +93,7 @@ pub fn grape(
         let mut u: Vec<Vec<f64>> = (0..n_ctrl)
             .map(|_| {
                 (0..n_slots)
-                    .map(|_| (rng.gen::<f64>() - 0.5) * a_max)
+                    .map(|_| (rng.gen_f64() - 0.5) * a_max)
                     .collect()
             })
             .collect();

@@ -7,7 +7,7 @@
 //! implemented so the ablation bench can compare them.
 
 use epoc_linalg::{Matrix, PhaseSensitiveKey, UnitaryKey};
-use parking_lot::RwLock;
+use std::sync::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -86,11 +86,13 @@ impl PulseLibrary {
             KeyPolicy::PhaseAware => self
                 .phase_aware
                 .read()
+                .unwrap()
                 .get(&UnitaryKey::new(unitary))
                 .copied(),
             KeyPolicy::PhaseSensitive => self
                 .phase_sensitive
                 .read()
+                .unwrap()
                 .get(&PhaseSensitiveKey::new(unitary))
                 .copied(),
         };
@@ -112,11 +114,13 @@ impl PulseLibrary {
             KeyPolicy::PhaseAware => {
                 self.phase_aware
                     .write()
+                    .unwrap()
                     .insert(UnitaryKey::new(unitary), entry);
             }
             KeyPolicy::PhaseSensitive => {
                 self.phase_sensitive
                     .write()
+                    .unwrap()
                     .insert(PhaseSensitiveKey::new(unitary), entry);
             }
         }
@@ -125,8 +129,8 @@ impl PulseLibrary {
     /// Number of stored pulses.
     pub fn len(&self) -> usize {
         match self.policy {
-            KeyPolicy::PhaseAware => self.phase_aware.read().len(),
-            KeyPolicy::PhaseSensitive => self.phase_sensitive.read().len(),
+            KeyPolicy::PhaseAware => self.phase_aware.read().unwrap().len(),
+            KeyPolicy::PhaseSensitive => self.phase_sensitive.read().unwrap().len(),
         }
     }
 

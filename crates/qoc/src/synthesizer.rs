@@ -15,8 +15,8 @@ use crate::library::{KeyPolicy, PulseEntry, PulseLibrary};
 use crate::model::DurationModel;
 use epoc_circuit::Circuit;
 use epoc_linalg::Matrix;
-use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// What a pulse is requested for.
 #[derive(Debug, Clone, Copy)]
@@ -71,6 +71,7 @@ impl GrapeSynthesizer {
     fn device_for(&self, n: usize) -> DeviceModel {
         self.devices
             .lock()
+            .unwrap()
             .entry(n)
             .or_insert_with(|| DeviceModel::transmon_line(n))
             .clone()

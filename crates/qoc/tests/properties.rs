@@ -1,4 +1,7 @@
 //! Property-based tests for the QOC crate.
+//!
+//! Ported from `proptest!` macros to `epoc_rt::check`, preserving the
+//! 24-case counts.
 
 use epoc_circuit::{Circuit, Gate};
 use epoc_linalg::{random_unitary, Matrix};
@@ -6,33 +9,35 @@ use epoc_qoc::{
     grape, propagate, DeviceModel, DurationModel, GrapeConfig, KeyPolicy, PulseEntry,
     PulseLibrary,
 };
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use epoc_rt::check::property;
+use epoc_rt::rng::{Rng, StdRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn propagation_is_always_unitary(seed in 0u64..1000, slots in 1usize..12) {
+#[test]
+fn propagation_is_always_unitary() {
+    property("propagation_is_always_unitary").cases(24).run(|g| {
+        let seed = g.u64_in(0, 1000);
+        let slots = g.usize_in(1, 12);
         let device = DeviceModel::transmon_line(2);
         let mut rng = StdRng::seed_from_u64(seed);
         let a = device.max_amplitude();
         let controls: Vec<Vec<f64>> = (0..device.controls().len())
-            .map(|_| (0..slots).map(|_| (rng.gen::<f64>() - 0.5) * 2.0 * a).collect())
+            .map(|_| (0..slots).map(|_| (rng.gen_f64() - 0.5) * 2.0 * a).collect())
             .collect();
         let u = propagate(&device, &controls);
-        prop_assert!(u.is_unitary(1e-8));
-    }
+        assert!(u.is_unitary(1e-8), "seed={seed} slots={slots}");
+    });
+}
 
-    #[test]
-    fn propagation_composes(seed in 0u64..500) {
+#[test]
+fn propagation_composes() {
+    property("propagation_composes").cases(24).run(|g| {
+        let seed = g.u64_in(0, 500);
         // Propagating k slots then m slots equals propagating k+m at once.
         let device = DeviceModel::transmon_line(1);
         let mut rng = StdRng::seed_from_u64(seed);
         let a = device.max_amplitude();
         let mk = |rng: &mut StdRng, n: usize| -> Vec<Vec<f64>> {
-            (0..2).map(|_| (0..n).map(|_| (rng.gen::<f64>() - 0.5) * a).collect()).collect()
+            (0..2).map(|_| (0..n).map(|_| (rng.gen_f64() - 0.5) * a).collect()).collect()
         };
         let first = mk(&mut rng, 3);
         let second = mk(&mut rng, 4);
@@ -45,11 +50,14 @@ proptest! {
             .collect();
         let u = propagate(&device, &second).matmul(&propagate(&device, &first));
         let w = propagate(&device, &combined);
-        prop_assert!(u.approx_eq(&w, 1e-9));
-    }
+        assert!(u.approx_eq(&w, 1e-9), "seed={seed}");
+    });
+}
 
-    #[test]
-    fn grape_fidelity_in_unit_interval(seed in 0u64..200) {
+#[test]
+fn grape_fidelity_in_unit_interval() {
+    property("grape_fidelity_in_unit_interval").cases(24).run(|g| {
+        let seed = g.u64_in(0, 200);
         let device = DeviceModel::transmon_line(1);
         let mut rng = StdRng::seed_from_u64(seed);
         let target = random_unitary(2, &mut rng);
@@ -59,18 +67,21 @@ proptest! {
             10,
             &GrapeConfig { max_iters: 30, restarts: 1, seed, ..Default::default() },
         );
-        prop_assert!((0.0..=1.0 + 1e-9).contains(&r.fidelity));
-        prop_assert!(r.unitary.is_unitary(1e-8));
+        assert!((0.0..=1.0 + 1e-9).contains(&r.fidelity), "seed={seed}");
+        assert!(r.unitary.is_unitary(1e-8), "seed={seed}");
         // Controls respect the amplitude bound.
         for ch in &r.controls {
             for &v in ch {
-                prop_assert!(v.abs() <= device.max_amplitude() + 1e-12);
+                assert!(v.abs() <= device.max_amplitude() + 1e-12, "seed={seed}");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn duration_model_monotone_in_gates(extra in 1usize..6) {
+#[test]
+fn duration_model_monotone_in_gates() {
+    property("duration_model_monotone_in_gates").cases(24).run(|g| {
+        let extra = g.usize_in(1, 6);
         // Appending physical gates never shortens the modeled duration.
         let m = DurationModel::default();
         let mut c = Circuit::new(2);
@@ -79,28 +90,38 @@ proptest! {
         for i in 0..extra {
             c.push(Gate::CX, &[i % 2, (i + 1) % 2]);
         }
-        prop_assert!(m.block_duration(&c) >= base);
-    }
+        assert!(m.block_duration(&c) >= base, "extra={extra}");
+    });
+}
 
-    #[test]
-    fn library_lookup_returns_what_was_inserted(seed in 0u64..500, d in 1.0..500.0f64) {
-        let lib = PulseLibrary::new(KeyPolicy::PhaseAware);
-        let mut rng = StdRng::seed_from_u64(seed);
-        let u = random_unitary(2, &mut rng);
-        let entry = PulseEntry { duration: d, fidelity: 0.999, n_slots: d as usize };
-        lib.insert(&u, entry);
-        prop_assert_eq!(lib.lookup(&u), Some(entry));
-    }
+#[test]
+fn library_lookup_returns_what_was_inserted() {
+    property("library_lookup_returns_what_was_inserted")
+        .cases(24)
+        .run(|g| {
+            let seed = g.u64_in(0, 500);
+            let d = g.f64_in(1.0, 500.0);
+            let lib = PulseLibrary::new(KeyPolicy::PhaseAware);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let u = random_unitary(2, &mut rng);
+            let entry = PulseEntry { duration: d, fidelity: 0.999, n_slots: d as usize };
+            lib.insert(&u, entry);
+            assert_eq!(lib.lookup(&u), Some(entry), "seed={seed} d={d}");
+        });
+}
 
-    #[test]
-    fn library_phase_invariance(seed in 0u64..500, phi in -3.1..3.1f64) {
+#[test]
+fn library_phase_invariance() {
+    property("library_phase_invariance").cases(24).run(|g| {
+        let seed = g.u64_in(0, 500);
+        let phi = g.f64_in(-3.1, 3.1);
         let lib = PulseLibrary::new(KeyPolicy::PhaseAware);
         let mut rng = StdRng::seed_from_u64(seed);
         let u = random_unitary(2, &mut rng);
         lib.insert(&u, PulseEntry { duration: 7.0, fidelity: 0.99, n_slots: 4 });
         let rotated = u.scale(epoc_linalg::Complex64::cis(phi));
-        prop_assert!(lib.lookup(&rotated).is_some());
-    }
+        assert!(lib.lookup(&rotated).is_some(), "seed={seed} phi={phi}");
+    });
 }
 
 #[test]

@@ -1,0 +1,157 @@
+//! A tiny wall-clock benchmark harness.
+//!
+//! Replaces `criterion` for the stage benches: a few warmup iterations,
+//! then a fixed number of timed samples, reported as median / min / mean.
+//! No statistics engine, no HTML — just honest numbers on stderr, fast
+//! enough to run inside `cargo test -q --no-run`-checked bench targets.
+
+use std::time::{Duration, Instant};
+
+/// Timing summary of one benchmark: all samples, sorted.
+#[derive(Debug, Clone)]
+pub struct Stats {
+    /// The benchmark's name.
+    pub name: String,
+    /// Per-sample wall-clock times, sorted ascending.
+    pub samples: Vec<Duration>,
+}
+
+impl Stats {
+    /// The median sample.
+    pub fn median(&self) -> Duration {
+        self.samples[self.samples.len() / 2]
+    }
+
+    /// The fastest sample.
+    pub fn min(&self) -> Duration {
+        self.samples[0]
+    }
+
+    /// The arithmetic mean of the samples.
+    pub fn mean(&self) -> Duration {
+        self.samples.iter().sum::<Duration>() / self.samples.len() as u32
+    }
+}
+
+/// Starts building a benchmark with default settings (3 warmup
+/// iterations, 10 timed samples).
+pub fn bench(name: &str) -> Bench {
+    Bench {
+        name: name.to_string(),
+        warmup: 3,
+        samples: 10,
+    }
+}
+
+/// A configured benchmark; built by [`bench`], executed by
+/// [`Bench::run`] or [`Bench::run_with_setup`].
+pub struct Bench {
+    name: String,
+    warmup: usize,
+    samples: usize,
+}
+
+impl Bench {
+    /// Sets the number of warmup iterations (untimed; default 3).
+    pub fn warmup(mut self, iters: usize) -> Self {
+        self.warmup = iters;
+        self
+    }
+
+    /// Sets the number of timed samples (default 10). Clamped to >= 1.
+    pub fn samples(mut self, n: usize) -> Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Runs the routine: warmup, then timed samples. Prints one summary
+    /// line to stderr and returns the stats. The routine's return value
+    /// is passed through `std::hint::black_box` so the work is not
+    /// optimized away.
+    pub fn run<R>(self, mut routine: impl FnMut() -> R) -> Stats {
+        self.run_with_setup(|| (), |()| routine())
+    }
+
+    /// Like [`Bench::run`] but rebuilds fresh input before every
+    /// iteration (warmup included); only the routine is timed. Use when
+    /// the routine consumes or mutates its input.
+    pub fn run_with_setup<T, R>(
+        self,
+        mut setup: impl FnMut() -> T,
+        mut routine: impl FnMut(T) -> R,
+    ) -> Stats {
+        for _ in 0..self.warmup {
+            let input = setup();
+            std::hint::black_box(routine(std::hint::black_box(input)));
+        }
+        let mut samples = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(std::hint::black_box(input)));
+            samples.push(start.elapsed());
+        }
+        samples.sort();
+        let stats = Stats {
+            name: self.name,
+            samples,
+        };
+        eprintln!(
+            "bench {:<40} median {:>12?}  min {:>12?}  mean {:>12?}  (n={})",
+            stats.name,
+            stats.median(),
+            stats.min(),
+            stats.mean(),
+            stats.samples.len()
+        );
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collects_requested_sample_count() {
+        let stats = bench("noop").warmup(1).samples(5).run(|| 1 + 1);
+        assert_eq!(stats.samples.len(), 5);
+    }
+
+    #[test]
+    fn samples_are_sorted_and_stats_consistent() {
+        let stats = bench("spin").warmup(0).samples(7).run(|| {
+            let mut acc = 0u64;
+            for i in 0..1000 {
+                acc = acc.wrapping_add(i).rotate_left(3);
+            }
+            acc
+        });
+        assert!(stats.samples.windows(2).all(|w| w[0] <= w[1]));
+        assert!(stats.min() <= stats.median());
+        assert!(stats.mean() >= stats.min());
+    }
+
+    #[test]
+    fn setup_runs_fresh_each_iteration() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let built = AtomicUsize::new(0);
+        bench("consuming")
+            .warmup(2)
+            .samples(4)
+            .run_with_setup(
+                || {
+                    built.fetch_add(1, Ordering::Relaxed);
+                    vec![1u8, 2, 3]
+                },
+                |v| v.into_iter().sum::<u8>(),
+            );
+        assert_eq!(built.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn zero_samples_clamps_to_one() {
+        let stats = bench("clamped").warmup(0).samples(0).run(|| ());
+        assert_eq!(stats.samples.len(), 1);
+    }
+}

@@ -1,0 +1,289 @@
+//! A small JSON serializer.
+//!
+//! Replaces `serde`/`serde_json` for the compiler's report output. Values
+//! are built as an explicit tree ([`Json`]); objects keep their keys in
+//! insertion order, so the same tree always prints the same bytes — the
+//! pipeline's byte-identical-report guarantee depends on that.
+//!
+//! Strings are escaped per RFC 8259 (quotes, backslashes, and all control
+//! characters, the latter as `\u00XX`). Floats print in Rust's shortest
+//! round-trip form with a `.0` appended when integral, matching how the
+//! previous serde-based output looked; non-finite floats become `null`,
+//! as `serde_json` does.
+
+use std::fmt::Write as _;
+
+/// A JSON value. Object keys keep insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (covers every counter in the reports).
+    UInt(u64),
+    /// A signed integer.
+    Int(i64),
+    /// A double. Non-finite values serialize as `null`.
+    Num(f64),
+    /// A string (escaped on output).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object, to be filled with [`Json::push`].
+    pub fn obj() -> Self {
+        Json::Obj(Vec::new())
+    }
+
+    /// Appends a key/value pair to an object (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an object.
+    pub fn push(mut self, key: &str, value: impl Into<Json>) -> Self {
+        match &mut self {
+            Json::Obj(pairs) => pairs.push((key.to_string(), value.into())),
+            other => panic!("push on non-object Json: {other:?}"),
+        }
+        self
+    }
+
+    /// Serializes compactly (no whitespace).
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Serializes pretty-printed with two-space indentation, the layout
+    /// `serde_json::to_string_pretty` produced before.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Num(x) => write_f64(out, *x),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    item.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    write_escaped(out, key);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    value.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+/// Writes `x` so that parsing the output recovers `x` exactly: Rust's
+/// `Debug` float formatting is shortest-round-trip, keeps a `.0` on
+/// integral values, and switches to exponent notation at extreme
+/// magnitudes. Non-finite values become `null`.
+fn write_f64(out: &mut String, x: f64) {
+    if !x.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    let _ = write!(out, "{x:?}");
+}
+
+/// Writes `s` quoted and escaped per RFC 8259.
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Self {
+        Json::Bool(v)
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Self {
+        Json::UInt(v as u64)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Self {
+        Json::UInt(v)
+    }
+}
+impl From<u32> for Json {
+    fn from(v: u32) -> Self {
+        Json::UInt(v as u64)
+    }
+}
+impl From<i64> for Json {
+    fn from(v: i64) -> Self {
+        Json::Int(v)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Self {
+        Json::Num(v)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Self {
+        Json::Str(v.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Self {
+        Json::Str(v)
+    }
+}
+impl From<Vec<Json>> for Json {
+    fn from(v: Vec<Json>) -> Self {
+        Json::Arr(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_print_as_expected() {
+        assert_eq!(Json::Null.to_string_compact(), "null");
+        assert_eq!(Json::Bool(true).to_string_compact(), "true");
+        assert_eq!(Json::UInt(42).to_string_compact(), "42");
+        assert_eq!(Json::Int(-7).to_string_compact(), "-7");
+        assert_eq!(Json::Str("hi".into()).to_string_compact(), "\"hi\"");
+    }
+
+    #[test]
+    fn floats_round_trip_and_keep_a_decimal_point() {
+        assert_eq!(Json::Num(1.0).to_string_compact(), "1.0");
+        assert_eq!(Json::Num(-0.5).to_string_compact(), "-0.5");
+        assert_eq!(Json::Num(0.1).to_string_compact(), "0.1");
+        assert_eq!(Json::Num(1e300).to_string_compact(), "1e300");
+        assert_eq!(Json::Num(f64::NAN).to_string_compact(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).to_string_compact(), "null");
+        // Shortest form parses back to the exact same bits.
+        for x in [0.1, 1.0 / 3.0, 2.0_f64.sqrt(), 1234.5678e-12, -1.7e18] {
+            let printed = Json::Num(x).to_string_compact();
+            let reparsed: f64 = printed.parse().unwrap();
+            assert_eq!(reparsed.to_bits(), x.to_bits(), "{printed}");
+        }
+    }
+
+    #[test]
+    fn strings_escape_quotes_backslashes_and_controls() {
+        let s = "a\"b\\c\nd\te\u{01}f";
+        assert_eq!(
+            Json::Str(s.into()).to_string_compact(),
+            "\"a\\\"b\\\\c\\nd\\te\\u0001f\""
+        );
+    }
+
+    #[test]
+    fn unicode_passes_through_unescaped() {
+        assert_eq!(Json::Str("π≈3".into()).to_string_compact(), "\"π≈3\"");
+    }
+
+    #[test]
+    fn empty_containers_stay_on_one_line() {
+        assert_eq!(Json::Arr(vec![]).to_string_pretty(), "[]");
+        assert_eq!(Json::obj().to_string_pretty(), "{}");
+    }
+
+    #[test]
+    fn pretty_layout_matches_expected_bytes() {
+        let doc = Json::obj()
+            .push("flow", "epoc")
+            .push("n_qubits", 3usize)
+            .push("fidelity", 0.5f64)
+            .push("tags", Json::Arr(vec![Json::UInt(1), Json::UInt(2)]));
+        let expected = "{\n  \"flow\": \"epoc\",\n  \"n_qubits\": 3,\n  \"fidelity\": 0.5,\n  \"tags\": [\n    1,\n    2\n  ]\n}";
+        assert_eq!(doc.to_string_pretty(), expected);
+    }
+
+    #[test]
+    fn object_keys_keep_insertion_order() {
+        let doc = Json::obj().push("z", 1usize).push("a", 2usize).push("m", 3usize);
+        assert_eq!(doc.to_string_compact(), "{\"z\":1,\"a\":2,\"m\":3}");
+    }
+
+    #[test]
+    fn nested_object_compact() {
+        let doc = Json::obj().push(
+            "stages",
+            Json::obj().push("zx_depth_before", 9usize).push("pulses", 4usize),
+        );
+        assert_eq!(
+            doc.to_string_compact(),
+            "{\"stages\":{\"zx_depth_before\":9,\"pulses\":4}}"
+        );
+    }
+}

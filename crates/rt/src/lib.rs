@@ -1,0 +1,32 @@
+//! # epoc-rt — the hermetic runtime under every EPOC crate
+//!
+//! The workspace builds and tests fully offline: no crates-io registry,
+//! no vendored sources. Everything the other crates used to pull from
+//! external dependencies lives here, implemented on `std` alone:
+//!
+//! * [`rng`] — a seedable xoshiro256** PRNG (SplitMix64 seeding) with the
+//!   sampling helpers the compiler needs (`gen_f64`, `gen_range`,
+//!   `gen_gaussian` via Box–Muller). Replaces `rand`.
+//! * [`check`] — a minimal property-based testing harness: seeded case
+//!   generation, bounded choice-stream shrinking, and explicit regression
+//!   replay. Replaces `proptest`.
+//! * [`pool`] — scoped-thread parallel map over a slice with a
+//!   configurable worker count. Replaces `crossbeam::thread::scope` (and
+//!   the `parking_lot` locks around it).
+//! * [`json`] — an escape-correct JSON value tree with a pretty printer
+//!   whose `f64` formatting round-trips. Replaces `serde`/`serde_json`.
+//! * [`bench`] — a tiny wall-clock benchmark harness (median-of-N with
+//!   warmup). Replaces `criterion` for the stage benches.
+//!
+//! Every module is deliberately small: the goal is not to reimplement the
+//! upstream crates, only the narrow slices the workspace consumes, with
+//! deterministic behavior under a fixed seed so pipeline reports are
+//! byte-identical regardless of worker count.
+
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod check;
+pub mod json;
+pub mod pool;
+pub mod rng;

@@ -1,0 +1,119 @@
+//! Scoped-thread parallel map.
+//!
+//! Replaces `crossbeam::thread::scope` in `core::pipeline`: a fixed crew
+//! of workers pulls item indices off a shared atomic counter and writes
+//! each result into its slot, so the output order matches the input order
+//! regardless of which worker computed what. With equal inputs the output
+//! is identical at any worker count — the property the pipeline's
+//! determinism guarantee rests on.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The worker count to use when the caller has no preference: the
+/// machine's available parallelism, falling back to 4 if that cannot be
+/// determined.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+/// Applies `f` to every item of `items`, spreading the work over
+/// `workers` scoped threads, and returns the results in input order.
+///
+/// `f` receives the item index alongside the item. With `workers <= 1`
+/// (or a single item) everything runs on the calling thread. A panic in
+/// `f` propagates out of the scope.
+pub fn parallel_map<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = workers.max(1).min(items.len().max(1));
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let result = f(i, &items[i]);
+                *slots[i].lock().unwrap() = Some(result);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("worker crew left a slot unfilled")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = parallel_map(&items, 4, |i, &x| {
+            assert_eq!(i, x);
+            x * x
+        });
+        let expected: Vec<usize> = (0..100).map(|x| x * x).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn single_worker_matches_many_workers() {
+        let items: Vec<u64> = (0..57).collect();
+        let seq = parallel_map(&items, 1, |_, &x| x.wrapping_mul(0x9E37_79B9).rotate_left(13));
+        let par = parallel_map(&items, 8, |_, &x| x.wrapping_mul(0x9E37_79B9).rotate_left(13));
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let items: Vec<u32> = Vec::new();
+        let out = parallel_map(&items, 4, |_, &x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_workers_than_items_is_fine() {
+        let items = vec![1, 2, 3];
+        let out = parallel_map(&items, 64, |_, &x| x * 10);
+        assert_eq!(out, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn every_item_visited_exactly_once() {
+        use std::sync::atomic::AtomicUsize;
+        let visits: Vec<AtomicUsize> = (0..200).map(|_| AtomicUsize::new(0)).collect();
+        let items: Vec<usize> = (0..200).collect();
+        parallel_map(&items, 6, |i, _| {
+            visits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, v) in visits.iter().enumerate() {
+            assert_eq!(v.load(Ordering::Relaxed), 1, "item {i} visited wrong count");
+        }
+    }
+
+    #[test]
+    fn default_workers_is_positive() {
+        assert!(default_workers() >= 1);
+    }
+}

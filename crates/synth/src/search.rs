@@ -11,8 +11,7 @@
 use crate::template::{InstantiateOptions, Template};
 use epoc_circuit::{Circuit, Gate};
 use epoc_linalg::Matrix;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use epoc_rt::rng::StdRng;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -359,8 +358,7 @@ mod tests {
     use super::*;
     use epoc_circuit::{circuits_equivalent, Circuit};
     use epoc_linalg::{phase_invariant_distance, random_unitary};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use epoc_rt::rng::StdRng;
 
     fn verify(result: &SynthResult, target: &Matrix, tol: f64) {
         let u = result.circuit.unitary();

@@ -10,7 +10,7 @@
 
 use epoc_circuit::{Circuit, Gate};
 use epoc_linalg::{c64, Complex64, Matrix};
-use rand::Rng;
+use epoc_rt::rng::Rng;
 
 /// Rotation axis of a template parameter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -250,7 +250,7 @@ impl Template {
         let mut best_cost = f64::INFINITY;
         for _restart in 0..opts.restarts.max(1) {
             let mut params: Vec<f64> = (0..self.n_params)
-                .map(|_| rng.gen::<f64>() * std::f64::consts::TAU)
+                .map(|_| rng.gen_f64() * std::f64::consts::TAU)
                 .collect();
             let mut m = vec![0.0f64; self.n_params];
             let mut v = vec![0.0f64; self.n_params];
@@ -344,15 +344,14 @@ pub type _C = Complex64;
 mod tests {
     use super::*;
     use epoc_linalg::random_unitary;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use epoc_rt::rng::StdRng;
 
     #[test]
     fn initial_template_shape() {
         let t = Template::initial(2);
         assert_eq!(t.n_params(), 6);
         assert_eq!(t.cnot_count(), 0);
-        let u = t.unitary(&vec![0.0; 6]);
+        let u = t.unitary(&[0.0; 6]);
         assert!(u.approx_eq(&Matrix::identity(4), 1e-12));
     }
 
@@ -370,7 +369,7 @@ mod tests {
         let mut t = Template::initial(3);
         t.push_cell(0, 1);
         t.push_cell(1, 2);
-        let params: Vec<f64> = (0..t.n_params()).map(|_| rng.gen::<f64>() * 6.0).collect();
+        let params: Vec<f64> = (0..t.n_params()).map(|_| rng.gen_f64() * 6.0).collect();
         assert!(t.unitary(&params).is_unitary(1e-9));
     }
 
@@ -380,7 +379,7 @@ mod tests {
         let target = random_unitary(4, &mut rng);
         let mut t = Template::initial(2);
         t.push_cell(0, 1);
-        let params: Vec<f64> = (0..t.n_params()).map(|_| rng.gen::<f64>() * 6.0).collect();
+        let params: Vec<f64> = (0..t.n_params()).map(|_| rng.gen_f64() * 6.0).collect();
         let (c0, grad) = t.cost_and_grad(&target, &params);
         let h = 1e-6;
         for j in 0..t.n_params() {
@@ -432,7 +431,7 @@ mod tests {
         let mut t = Template::initial(2);
         t.push_cell(0, 1);
         t.push_cell(1, 0);
-        let params: Vec<f64> = (0..t.n_params()).map(|_| rng.gen::<f64>() * 6.0).collect();
+        let params: Vec<f64> = (0..t.n_params()).map(|_| rng.gen_f64() * 6.0).collect();
         let c = t.to_circuit(&params);
         let d = epoc_linalg::phase_invariant_distance(&c.unitary(), &t.unitary(&params));
         assert!(d < 1e-7, "distance {d}");
@@ -445,7 +444,7 @@ mod tests {
     #[test]
     fn to_circuit_skips_identity_vugs() {
         let t = Template::initial(2);
-        let c = t.to_circuit(&vec![0.0; 6]);
+        let c = t.to_circuit(&[0.0; 6]);
         assert!(c.is_empty());
     }
 }

@@ -1,97 +1,120 @@
 //! Property-based tests for the synthesis crate.
+//!
+//! Ported from `proptest!` macros to `epoc_rt::check`, preserving the
+//! 16-case counts.
 
 use epoc_circuit::{circuits_equivalent, generators, Gate};
 use epoc_linalg::{phase_invariant_distance, random_unitary};
+use epoc_rt::check::property;
+use epoc_rt::rng::StdRng;
 use epoc_synth::{
     lower_to_vug_form, synthesize, synthesize_or_fallback, vug_gate, InstantiateOptions,
     SynthConfig, Template,
 };
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+#[test]
+fn single_qubit_synthesis_always_converges() {
+    property("single_qubit_synthesis_always_converges")
+        .cases(16)
+        .run(|g| {
+            let seed = g.u64_in(0, 2000);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let target = random_unitary(2, &mut rng);
+            let r = synthesize(&target, &SynthConfig { seed, ..Default::default() });
+            assert!(r.converged, "seed={seed} distance {}", r.distance);
+            assert!(phase_invariant_distance(&r.circuit.unitary(), &target) < 1e-4);
+        });
+}
 
-    #[test]
-    fn single_qubit_synthesis_always_converges(seed in 0u64..2000) {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let target = random_unitary(2, &mut rng);
-        let r = synthesize(&target, &SynthConfig { seed, ..Default::default() });
-        prop_assert!(r.converged, "distance {}", r.distance);
-        prop_assert!(phase_invariant_distance(&r.circuit.unitary(), &target) < 1e-4);
-    }
+#[test]
+fn lower_to_vug_form_preserves_random_circuits() {
+    property("lower_to_vug_form_preserves_random_circuits")
+        .cases(16)
+        .run(|g| {
+            let n = g.usize_in(2, 4);
+            let gates = g.usize_in(1, 15);
+            let seed = g.u64_in(0, 2000);
+            let c = generators::random_circuit(n, gates, seed);
+            let lowered = lower_to_vug_form(&c);
+            assert!(
+                circuits_equivalent(&c, &lowered, 1e-6),
+                "n={n} gates={gates} seed={seed}"
+            );
+            for op in lowered.ops() {
+                let in_vug_form = matches!(op.gate, Gate::Unitary { .. } | Gate::CX | Gate::RZ(_));
+                assert!(in_vug_form, "unexpected gate {}", op.gate);
+            }
+        });
+}
 
-    #[test]
-    fn lower_to_vug_form_preserves_random_circuits(
-        n in 2usize..4,
-        gates in 1usize..15,
-        seed in 0u64..2000,
-    ) {
-        let c = generators::random_circuit(n, gates, seed);
-        let lowered = lower_to_vug_form(&c);
-        prop_assert!(circuits_equivalent(&c, &lowered, 1e-6));
-        for op in lowered.ops() {
-            let in_vug_form = matches!(op.gate, Gate::Unitary { .. } | Gate::CX | Gate::RZ(_));
-            prop_assert!(in_vug_form, "unexpected gate {}", op.gate);
-        }
-    }
-
-    #[test]
-    fn fallback_is_always_sound(
-        gates in 1usize..10,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn fallback_is_always_sound() {
+    property("fallback_is_always_sound").cases(16).run(|g| {
+        let gates = g.usize_in(1, 10);
+        let seed = g.u64_in(0, 1000);
         // Even with a zero search budget, synthesize_or_fallback returns a
         // faithful circuit.
         let c = generators::random_circuit(2, gates, seed);
         let target = c.unitary();
         let cfg = SynthConfig { max_nodes: 1, max_cnots: 0, seed, ..Default::default() };
         let r = synthesize_or_fallback(&target, &c, &cfg);
-        prop_assert!(r.converged);
-        prop_assert!(circuits_equivalent(&c, &r.circuit, 1e-5));
-    }
+        assert!(r.converged);
+        assert!(circuits_equivalent(&c, &r.circuit, 1e-5), "gates={gates} seed={seed}");
+    });
+}
 
-    #[test]
-    fn template_gradient_matches_fd_random_structure(seed in 0u64..300) {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let target = random_unitary(4, &mut rng);
-        let mut t = Template::initial(2);
-        t.push_cell(seed as usize % 2, (seed as usize + 1) % 2);
-        let params: Vec<f64> = (0..t.n_params())
-            .map(|i| ((seed as f64) * 0.37 + i as f64 * 0.91) % 6.28)
-            .collect();
-        let (c0, grad) = t.cost_and_grad(&target, &params);
-        let h = 1e-6;
-        for j in 0..t.n_params() {
-            let mut p = params.clone();
-            p[j] += h;
-            let (c1, _) = t.cost_and_grad(&target, &p);
-            let fd = (c1 - c0) / h;
-            prop_assert!((fd - grad[j]).abs() < 1e-4, "param {j}: {fd} vs {}", grad[j]);
-        }
-    }
+#[test]
+fn template_gradient_matches_fd_random_structure() {
+    property("template_gradient_matches_fd_random_structure")
+        .cases(16)
+        .run(|g| {
+            let seed = g.u64_in(0, 300);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let target = random_unitary(4, &mut rng);
+            let mut t = Template::initial(2);
+            t.push_cell(seed as usize % 2, (seed as usize + 1) % 2);
+            let params: Vec<f64> = (0..t.n_params())
+                .map(|i| ((seed as f64) * 0.37 + i as f64 * 0.91) % std::f64::consts::TAU)
+                .collect();
+            let (c0, grad) = t.cost_and_grad(&target, &params);
+            let h = 1e-6;
+            for j in 0..t.n_params() {
+                let mut p = params.clone();
+                p[j] += h;
+                let (c1, _) = t.cost_and_grad(&target, &p);
+                let fd = (c1 - c0) / h;
+                assert!(
+                    (fd - grad[j]).abs() < 1e-4,
+                    "seed={seed} param {j}: {fd} vs {}",
+                    grad[j]
+                );
+            }
+        });
+}
 
-    #[test]
-    fn vug_gate_classification(seed in 0u64..1000, theta in -3.0..3.0f64) {
+#[test]
+fn vug_gate_classification() {
+    property("vug_gate_classification").cases(16).run(|g| {
+        let seed = g.u64_in(0, 1000);
+        let theta = g.f64_in(-3.0, 3.0);
         // Diagonal unitaries become virtual RZ; identity becomes nothing.
         let rz = Gate::RZ(theta).unitary_matrix();
         match vug_gate(&rz) {
-            None => prop_assert!(theta.abs() < 1e-6),
+            None => assert!(theta.abs() < 1e-6, "theta={theta}"),
             Some(Gate::RZ(t)) => {
                 let d = Gate::RZ(t).unitary_matrix();
-                prop_assert!(phase_invariant_distance(&d, &rz) < 1e-7);
+                assert!(phase_invariant_distance(&d, &rz) < 1e-7, "theta={theta}");
             }
-            Some(g) => prop_assert!(false, "diagonal became {g}"),
+            Some(g) => panic!("diagonal became {g}"),
         }
         // Generic unitaries become opaque VUGs.
         let mut rng = StdRng::seed_from_u64(seed);
         let u = random_unitary(2, &mut rng);
         if u[(0, 1)].abs() > 1e-4 {
             let is_opaque = matches!(vug_gate(&u), Some(Gate::Unitary { .. }));
-            prop_assert!(is_opaque);
+            assert!(is_opaque, "seed={seed}");
         }
-    }
+    });
 }
 
 #[test]

@@ -112,8 +112,7 @@ pub fn extract_circuit(graph: &ZxGraph) -> Result<Circuit, ExtractError> {
             return Err(ExtractError::NoGflow);
         }
         // Step 1: clear frontier phases.
-        for q in 0..n {
-            let v = frontier[q];
+        for (q, &v) in frontier.iter().enumerate() {
             if input_index(v).is_some() {
                 continue;
             }
@@ -243,16 +242,18 @@ pub fn extract_circuit(graph: &ZxGraph) -> Result<Circuit, ExtractError> {
             if p != pivot_row {
                 // Swap via three additions to keep everything as row ops.
                 for &(t, s) in &[(pivot_row, p), (p, pivot_row), (pivot_row, p)] {
-                    for c in 0..cols.len() {
-                        m[t][c] ^= m[s][c];
+                    let src = m[s].clone();
+                    for (dst, v) in m[t].iter_mut().zip(src) {
+                        *dst ^= v;
                     }
                     row_ops.push((t, s));
                 }
             }
             for r in 0..rows.len() {
                 if r != pivot_row && m[r][col] {
-                    for c in 0..cols.len() {
-                        m[r][c] ^= m[pivot_row][c];
+                    let src = m[pivot_row].clone();
+                    for (dst, v) in m[r].iter_mut().zip(src) {
+                        *dst ^= v;
                     }
                     row_ops.push((r, pivot_row));
                 }
@@ -319,7 +320,7 @@ pub fn extract_circuit(graph: &ZxGraph) -> Result<Circuit, ExtractError> {
         }
         perm[q] = input_index(w).expect("checked above");
     }
-    if perm.iter().any(|&p| p == usize::MAX) {
+    if perm.contains(&usize::MAX) {
         return Err(ExtractError::Malformed("unassigned output wire".into()));
     }
     {

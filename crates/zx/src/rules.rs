@@ -271,8 +271,8 @@ pub fn pivot_boundary(g: &mut ZxGraph, u: Vertex, v: Vertex) -> bool {
 mod tests {
     use super::*;
     use crate::tensor::{graph_to_matrix, proportional};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use epoc_rt::rng::StdRng;
+    use epoc_rt::rng::Rng;
 
     /// Applies `rule` and checks the semantics is unchanged (up to scalar).
     fn check_preserves(g: &ZxGraph, rule: impl FnOnce(&mut ZxGraph) -> bool) -> bool {
@@ -299,7 +299,7 @@ mod tests {
         for _ in 0..n {
             let i = g.add_vertex(VertexKind::Boundary);
             let s = g.add_vertex(VertexKind::Z(Phase::from_radians(
-                rng.gen::<f64>() * std::f64::consts::TAU,
+                rng.gen_f64() * std::f64::consts::TAU,
             )));
             let o = g.add_vertex(VertexKind::Boundary);
             g.add_edge(i, s, EdgeKind::Simple);
@@ -311,7 +311,7 @@ mod tests {
         // Interior spiders with random Hadamard wiring.
         for _ in 0..interior {
             let v = g.add_vertex(VertexKind::Z(Phase::from_radians(
-                rng.gen::<f64>() * std::f64::consts::TAU,
+                rng.gen_f64() * std::f64::consts::TAU,
             )));
             // Connect to 1-3 existing spiders.
             let k = rng.gen_range(1..=3usize.min(spiders.len()));

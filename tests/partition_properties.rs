@@ -1,76 +1,91 @@
 //! Property-based tests for the partitioning and regrouping passes.
+//!
+//! Ported from `proptest!` macros to `epoc_rt::check`, preserving the
+//! 48-case counts.
 
 use epoc_circuit::{circuits_equivalent, generators};
 use epoc_partition::{
     greedy_partition, paqoc_partition, regroup_to_blocks, PaqocConfig, PartitionConfig,
     RegroupConfig,
 };
-use proptest::prelude::*;
+use epoc_rt::check::property;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn greedy_partition_invariants(
-        n in 2usize..6,
-        gates in 1usize..40,
-        seed in 0u64..10_000,
-        max_qubits in 2usize..5,
-        max_gates in 1usize..20,
-    ) {
+#[test]
+fn greedy_partition_invariants() {
+    property("greedy_partition_invariants").cases(48).run(|g| {
+        let n = g.usize_in(2, 6);
+        let gates = g.usize_in(1, 40);
+        let seed = g.u64_in(0, 10_000);
+        let max_qubits = g.usize_in(2, 5);
+        let max_gates = g.usize_in(1, 20);
         let c = generators::random_circuit(n, gates, seed);
         let p = greedy_partition(&c, PartitionConfig { max_qubits, max_gates });
         // Cover every gate exactly once.
-        prop_assert_eq!(p.total_gates(), c.len());
+        assert_eq!(p.total_gates(), c.len());
         // Respect limits.
         for b in p.blocks() {
-            prop_assert!(b.n_qubits() <= max_qubits);
-            prop_assert!(b.len() <= max_gates);
-            prop_assert!(!b.is_empty());
+            assert!(b.n_qubits() <= max_qubits);
+            assert!(b.len() <= max_gates);
+            assert!(!b.is_empty());
         }
         // Preserve semantics.
-        prop_assert!(circuits_equivalent(&c, &p.to_circuit(), 1e-7));
-    }
+        assert!(
+            circuits_equivalent(&c, &p.to_circuit(), 1e-7),
+            "n={n} gates={gates} seed={seed} max_qubits={max_qubits} max_gates={max_gates}"
+        );
+    });
+}
 
-    #[test]
-    fn paqoc_partition_invariants(
-        n in 2usize..6,
-        gates in 1usize..30,
-        seed in 0u64..10_000,
-    ) {
+#[test]
+fn paqoc_partition_invariants() {
+    property("paqoc_partition_invariants").cases(48).run(|g| {
+        let n = g.usize_in(2, 6);
+        let gates = g.usize_in(1, 30);
+        let seed = g.u64_in(0, 10_000);
         let c = generators::random_circuit(n, gates, seed);
         let p = paqoc_partition(&c, PaqocConfig::default());
-        prop_assert_eq!(p.total_gates(), c.len());
-        prop_assert!(circuits_equivalent(&c, &p.to_circuit(), 1e-7));
+        assert_eq!(p.total_gates(), c.len());
+        assert!(
+            circuits_equivalent(&c, &p.to_circuit(), 1e-7),
+            "n={n} gates={gates} seed={seed}"
+        );
         for b in p.blocks() {
-            prop_assert!(b.n_qubits() <= 2);
+            assert!(b.n_qubits() <= 2);
         }
-    }
+    });
+}
 
-    #[test]
-    fn regroup_preserves_semantics(
-        n in 2usize..5,
-        gates in 1usize..30,
-        seed in 0u64..10_000,
-    ) {
+#[test]
+fn regroup_preserves_semantics() {
+    property("regroup_preserves_semantics").cases(48).run(|g| {
+        let n = g.usize_in(2, 5);
+        let gates = g.usize_in(1, 30);
+        let seed = g.u64_in(0, 10_000);
         let c = generators::random_circuit(n, gates, seed);
         let (blocks, stats) = regroup_to_blocks(
             &c,
             RegroupConfig { max_qubits: 3, max_gates: 12 },
         );
-        prop_assert!(circuits_equivalent(&c, &blocks, 1e-6));
-        prop_assert!(stats.blocks_out <= stats.gates_in.max(1));
-    }
+        assert!(
+            circuits_equivalent(&c, &blocks, 1e-6),
+            "n={n} gates={gates} seed={seed}"
+        );
+        assert!(stats.blocks_out <= stats.gates_in.max(1));
+    });
+}
 
-    #[test]
-    fn block_circuit_unitaries_compose(
-        seed in 0u64..5_000,
-    ) {
+#[test]
+fn block_circuit_unitaries_compose() {
+    property("block_circuit_unitaries_compose").cases(48).run(|g| {
+        let seed = g.u64_in(0, 5_000);
         // to_block_circuit (opaque matrices) equals the flattened gates.
         let c = generators::random_circuit(3, 15, seed);
         let p = greedy_partition(&c, PartitionConfig { max_qubits: 2, max_gates: 6 });
-        prop_assert!(circuits_equivalent(&p.to_circuit(), &p.to_block_circuit(), 1e-6));
-    }
+        assert!(
+            circuits_equivalent(&p.to_circuit(), &p.to_block_circuit(), 1e-6),
+            "seed={seed}"
+        );
+    });
 }
 
 #[test]

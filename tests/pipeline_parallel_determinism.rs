@@ -1,0 +1,51 @@
+//! The parallel synthesis stage must not change results: a compilation
+//! with 1 worker and with 4 workers produces byte-identical reports
+//! (modulo wall-clock time) under a fixed seed.
+
+use epoc::{EpocCompiler, EpocConfig};
+use epoc_circuit::generators;
+use std::time::Duration;
+
+/// Compiles `circuit` with the given worker count and returns the report
+/// JSON with the (necessarily nondeterministic) wall-clock time zeroed.
+fn compile_json(circuit: &epoc_circuit::Circuit, workers: usize) -> String {
+    let compiler = EpocCompiler::new(EpocConfig::fast().with_workers(workers));
+    let mut report = compiler.compile(circuit);
+    assert!(report.verified, "compilation with {workers} workers failed verification");
+    report.compile_time = Duration::ZERO;
+    report.to_json()
+}
+
+#[test]
+fn pipeline_parallel_determinism() {
+    // qaoa(4, 2, 5) partitions into enough blocks to actually exercise
+    // cross-worker scheduling.
+    let circuit = generators::qaoa(4, 2, 5);
+    let sequential = compile_json(&circuit, 1);
+    let parallel = compile_json(&circuit, 4);
+    assert_eq!(
+        sequential, parallel,
+        "report differs between workers=1 and workers=4"
+    );
+}
+
+#[test]
+fn pipeline_parallel_determinism_random_circuits() {
+    for seed in 0..3u64 {
+        let circuit = generators::random_circuit(3, 14, seed);
+        let sequential = compile_json(&circuit, 1);
+        let parallel = compile_json(&circuit, 4);
+        assert_eq!(sequential, parallel, "seed {seed} differs across worker counts");
+    }
+}
+
+#[test]
+fn latency_and_esp_identical_across_worker_counts() {
+    let circuit = generators::ghz(4);
+    let r1 = EpocCompiler::new(EpocConfig::fast().with_workers(1)).compile(&circuit);
+    let r4 = EpocCompiler::new(EpocConfig::fast().with_workers(4)).compile(&circuit);
+    assert_eq!(r1.latency().to_bits(), r4.latency().to_bits());
+    assert_eq!(r1.esp().to_bits(), r4.esp().to_bits());
+    assert_eq!(r1.stages.synth_converged, r4.stages.synth_converged);
+    assert_eq!(r1.stages.pulses, r4.stages.pulses);
+}

@@ -1,67 +1,113 @@
 //! Property-based tests: the ZX optimization pipeline preserves circuit
 //! semantics on randomized inputs.
+//!
+//! Ported from `proptest!` macros to `epoc_rt::check`; case counts (48)
+//! are preserved, and the counterexamples that used to live in
+//! `tests/zx_properties.proptest-regressions` are pinned as the explicit
+//! `zx_regression_*` tests below.
 
 use epoc_circuit::{circuits_equivalent, generators, Gate};
+use epoc_rt::check::property;
 use epoc_zx::{
     circuit_to_graph, extract_circuit, full_reduce, latency_cost, lower_for_zx, zx_optimize,
 };
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn zx_optimize_preserves_random_circuits(
-        n in 2usize..5,
-        gates in 4usize..24,
-        seed in 0u64..10_000,
-    ) {
-        let c = generators::random_circuit(n, gates, seed);
-        let r = zx_optimize(&c);
-        prop_assert!(circuits_equivalent(&c, &r.circuit, 1e-6));
-        // Contract: the kept result never costs more (latency-weighted
-        // critical path) than the basis-lowered input.
-        if r.optimized {
-            let lowered = lower_for_zx(&c).expect("no opaque blocks");
-            prop_assert!(latency_cost(&r.circuit) <= latency_cost(&lowered));
-        }
+/// Body of `zx_optimize_preserves_random_circuits`, callable with the
+/// concrete inputs the old proptest regression file recorded.
+fn check_zx_preserves_random(n: usize, gates: usize, seed: u64) {
+    let c = generators::random_circuit(n, gates, seed);
+    let r = zx_optimize(&c);
+    assert!(
+        circuits_equivalent(&c, &r.circuit, 1e-6),
+        "n={n} gates={gates} seed={seed}: semantics broken"
+    );
+    // Contract: the kept result never costs more (latency-weighted
+    // critical path) than the basis-lowered input.
+    if r.optimized {
+        let lowered = lower_for_zx(&c).expect("no opaque blocks");
+        assert!(
+            latency_cost(&r.circuit) <= latency_cost(&lowered),
+            "n={n} gates={gates} seed={seed}: optimization made it worse"
+        );
     }
+}
 
-    #[test]
-    fn zx_optimize_preserves_clifford_t(
-        n in 2usize..5,
-        gates in 5usize..30,
-        seed in 0u64..10_000,
-    ) {
+#[test]
+fn zx_optimize_preserves_random_circuits() {
+    property("zx_optimize_preserves_random_circuits")
+        .cases(48)
+        .run(|g| {
+            let n = g.usize_in(2, 5);
+            let gates = g.usize_in(4, 24);
+            let seed = g.u64_in(0, 10_000);
+            check_zx_preserves_random(n, gates, seed);
+        });
+}
+
+// The three counterexamples from tests/zx_properties.proptest-regressions,
+// re-encoded as direct calls so the old failures stay pinned forever.
+
+#[test]
+fn zx_regression_n2_g13_s2140() {
+    check_zx_preserves_random(2, 13, 2140);
+}
+
+#[test]
+fn zx_regression_n3_g8_s2810() {
+    check_zx_preserves_random(3, 8, 2810);
+}
+
+#[test]
+fn zx_regression_n3_g12_s9005() {
+    check_zx_preserves_random(3, 12, 9005);
+}
+
+#[test]
+fn zx_optimize_preserves_clifford_t() {
+    property("zx_optimize_preserves_clifford_t").cases(48).run(|g| {
+        let n = g.usize_in(2, 5);
+        let gates = g.usize_in(5, 30);
+        let seed = g.u64_in(0, 10_000);
         let c = generators::random_clifford_t(n, gates, 0.25, seed);
         let r = zx_optimize(&c);
-        prop_assert!(circuits_equivalent(&c, &r.circuit, 1e-6));
-    }
+        assert!(
+            circuits_equivalent(&c, &r.circuit, 1e-6),
+            "n={n} gates={gates} seed={seed}"
+        );
+    });
+}
 
-    #[test]
-    fn simplify_extract_round_trip(
-        n in 2usize..4,
-        gates in 3usize..18,
-        seed in 0u64..10_000,
-    ) {
+#[test]
+fn simplify_extract_round_trip() {
+    property("simplify_extract_round_trip").cases(48).run(|g| {
+        let n = g.usize_in(2, 4);
+        let gates = g.usize_in(3, 18);
+        let seed = g.u64_in(0, 10_000);
         let c = generators::random_circuit(n, gates, seed.wrapping_add(777));
         let mut g = circuit_to_graph(&c).expect("convertible");
         full_reduce(&mut g);
         let out = extract_circuit(&g).expect("extractable after clifford simp");
-        prop_assert!(circuits_equivalent(&c, &out, 1e-6));
-    }
+        assert!(
+            circuits_equivalent(&c, &out, 1e-6),
+            "n={n} gates={gates} seed={seed}"
+        );
+    });
+}
 
-    #[test]
-    fn double_optimization_is_stable(
-        seed in 0u64..5_000,
-    ) {
+#[test]
+fn double_optimization_is_stable() {
+    property("double_optimization_is_stable").cases(48).run(|g| {
+        let seed = g.u64_in(0, 5_000);
         // Optimizing twice must not grow the circuit or change semantics.
         let c = generators::random_clifford_t(3, 20, 0.2, seed);
         let once = zx_optimize(&c);
         let twice = zx_optimize(&once.circuit);
-        prop_assert!(circuits_equivalent(&c, &twice.circuit, 1e-6));
-        prop_assert!(latency_cost(&twice.circuit) <= latency_cost(&once.circuit) + 1e-9);
-    }
+        assert!(circuits_equivalent(&c, &twice.circuit, 1e-6), "seed={seed}");
+        assert!(
+            latency_cost(&twice.circuit) <= latency_cost(&once.circuit) + 1e-9,
+            "seed={seed}"
+        );
+    });
 }
 
 #[test]
