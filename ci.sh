@@ -45,4 +45,10 @@ else
     echo "==> cargo clippy not installed; skipping lint step" >&2
 fi
 
+# bench-check: a quick bench run (3 samples per stage) writes
+# BENCH_stages.json and fails if any stage's median regressed more than
+# 2x against the committed BENCH_baseline.json. The bench binary skips
+# the comparison (with a notice) when no baseline is committed.
+run env EPOC_BENCH_QUICK=1 EPOC_BENCH_CHECK=1 cargo bench -p epoc-bench --bench stages
+
 echo "CI OK"

@@ -4,40 +4,106 @@
 //! ```sh
 //! cargo bench -p epoc-bench
 //! ```
+//!
+//! Every run writes the per-stage medians to `BENCH_stages.json` at the
+//! workspace root, so speedups are tracked as data rather than claims.
+//! Two environment variables drive CI integration (see `ci.sh`):
+//!
+//! * `EPOC_BENCH_QUICK=1` — 3 samples instead of 10, for a fast smoke run;
+//! * `EPOC_BENCH_CHECK=1` — after writing the report, compare each stage
+//!   median against the committed `BENCH_baseline.json` and exit nonzero
+//!   if any stage regressed more than [`REGRESSION_FACTOR`]×. Absent
+//!   baseline → the check is skipped with a notice.
 
 use epoc::baselines::PaqocCompiler;
 use epoc::{EpocCompiler, EpocConfig};
 use epoc_circuit::{generators, Gate};
-use epoc_linalg::{eigh, expm_ih, random_hermitian, random_unitary};
+use epoc_linalg::{eigh, expm_ih, random_hermitian, random_unitary, Complex64, Matrix};
 use epoc_partition::{greedy_partition, paqoc_partition, PaqocConfig, PartitionConfig};
 use epoc_qoc::{grape, DeviceModel, GrapeConfig};
-use epoc_rt::bench::bench;
+use epoc_rt::bench::{bench, Bench, Stats};
+use epoc_rt::json::Json;
 use epoc_rt::rng::StdRng;
 use epoc_synth::{synthesize, SynthConfig};
 use epoc_zx::zx_optimize;
+use std::path::{Path, PathBuf};
 
-fn bench_linalg() {
+/// A fresh median must stay below `baseline × REGRESSION_FACTOR`.
+const REGRESSION_FACTOR: f64 = 2.0;
+
+/// Stages whose baseline median is below this are exempt from the
+/// regression check: below ~100µs, scheduler noise on a shared 1-CPU
+/// runner routinely doubles a median, so only the substantive stages
+/// (eig/expm, ZX, synthesis, GRAPE, full pipeline) are gated.
+const MIN_BASELINE_NS: f64 = 100_000.0;
+
+fn quick() -> bool {
+    std::env::var("EPOC_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+fn check_mode() -> bool {
+    std::env::var("EPOC_BENCH_CHECK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// A bench with the sample count for the current mode applied.
+fn stage(name: &str) -> Bench {
+    bench(name).samples(if quick() { 3 } else { 10 })
+}
+
+/// The workspace root (two levels above this crate's manifest).
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// The pre-optimization dense matmul inner loop, kept here (and only
+/// here) as the reference side of the `matmul_16` comparison: i-k-j
+/// order with a zero-skip branch on the left operand. On dense unitaries
+/// the branch never fires — it only costs a compare and a mispredict per
+/// element — which is why the kernel in `epoc_linalg` dropped it.
+fn branchy_matmul_reference(a: &Matrix, b: &Matrix) -> Matrix {
+    let (n, k, m) = (a.rows(), a.cols(), b.cols());
+    assert_eq!(k, b.rows());
+    let mut out = Matrix::zeros(n, m);
+    let (av, bv, ov) = (a.as_slice(), b.as_slice(), out.as_mut_slice());
+    for i in 0..n {
+        for p in 0..k {
+            let aip = av[i * k + p];
+            if aip == Complex64::ZERO {
+                continue;
+            }
+            let row = &bv[p * m..(p + 1) * m];
+            let dst = &mut ov[i * m..(i + 1) * m];
+            for (d, &x) in dst.iter_mut().zip(row) {
+                *d += aip * x;
+            }
+        }
+    }
+    out
+}
+
+fn bench_linalg(stats: &mut Vec<Stats>) {
     let mut rng = StdRng::seed_from_u64(1);
     let a = random_unitary(16, &mut rng);
     let b = random_unitary(16, &mut rng);
-    bench("linalg/matmul_16").run(|| a.matmul(&b));
+    stats.push(stage("linalg/matmul_16").run(|| a.matmul(&b)));
+    stats.push(stage("linalg/matmul_16_branchy_ref").run(|| branchy_matmul_reference(&a, &b)));
     let h = random_hermitian(16, &mut rng);
-    bench("linalg/eigh_16").run(|| eigh(&h).unwrap());
-    bench("linalg/expm_ih_16").run(|| expm_ih(&h, 0.5).unwrap());
+    stats.push(stage("linalg/eigh_16").run(|| eigh(&h).unwrap()));
+    stats.push(stage("linalg/expm_ih_16").run(|| expm_ih(&h, 0.5).unwrap()));
     let u = random_unitary(8, &mut rng);
-    bench("linalg/unitary_key_8").run(|| epoc_linalg::UnitaryKey::new(&u));
+    stats.push(stage("linalg/unitary_key_8").run(|| epoc_linalg::UnitaryKey::new(&u)));
 }
 
-fn bench_zx() {
+fn bench_zx(stats: &mut Vec<Stats>) {
     let clifford_t = generators::random_clifford_t(4, 60, 0.2, 11);
-    bench("zx/optimize_cliffordt_4q60").run(|| zx_optimize(&clifford_t));
+    stats.push(stage("zx/optimize_cliffordt_4q60").run(|| zx_optimize(&clifford_t)));
     let qaoa = generators::qaoa(6, 2, 7);
-    bench("zx/optimize_qaoa_6q").run(|| zx_optimize(&qaoa));
+    stats.push(stage("zx/optimize_qaoa_6q").run(|| zx_optimize(&qaoa)));
 }
 
-fn bench_partition() {
+fn bench_partition(stats: &mut Vec<Stats>) {
     let circuit = generators::random_circuit(6, 80, 3);
-    bench("partition/greedy_6q80").run(|| {
+    stats.push(stage("partition/greedy_6q80").run(|| {
         greedy_partition(
             &circuit,
             PartitionConfig {
@@ -45,31 +111,25 @@ fn bench_partition() {
                 max_gates: 12,
             },
         )
-    });
-    bench("partition/paqoc_6q80").run(|| paqoc_partition(&circuit, PaqocConfig::default()));
+    }));
+    stats.push(stage("partition/paqoc_6q80").run(|| paqoc_partition(&circuit, PaqocConfig::default())));
 }
 
-fn bench_synthesis() {
+fn bench_synthesis(stats: &mut Vec<Stats>) {
     let cz = Gate::CZ.unitary_matrix();
-    bench("synthesis/qsearch_cz")
-        .samples(10)
-        .run(|| synthesize(&cz, &SynthConfig::default()));
+    stats.push(stage("synthesis/qsearch_cz").run(|| synthesize(&cz, &SynthConfig::default())));
     let mut rng = StdRng::seed_from_u64(5);
     let random2q = random_unitary(4, &mut rng);
-    bench("synthesis/qsearch_random_2q")
-        .samples(10)
-        .run(|| synthesize(&random2q, &SynthConfig::default()));
+    stats.push(stage("synthesis/qsearch_random_2q").run(|| synthesize(&random2q, &SynthConfig::default())));
 }
 
-fn bench_grape() {
+fn bench_grape(stats: &mut Vec<Stats>) {
     let d1 = DeviceModel::transmon_line(1);
     let x = Gate::X.unitary_matrix();
-    bench("grape/grape_x_30slots")
-        .samples(10)
-        .run(|| grape(&d1, &x, 30, &GrapeConfig::default()));
+    stats.push(stage("grape/grape_x_30slots").run(|| grape(&d1, &x, 30, &GrapeConfig::default())));
     let d2 = DeviceModel::transmon_line(2);
     let cz = Gate::CZ.unitary_matrix();
-    bench("grape/grape_cz_128slots").samples(10).run(|| {
+    stats.push(stage("grape/grape_cz_128slots").run(|| {
         grape(
             &d2,
             &cz,
@@ -79,36 +139,115 @@ fn bench_grape() {
                 ..Default::default()
             },
         )
-    });
+    }));
 }
 
-fn bench_pipeline() {
+fn bench_pipeline(stats: &mut Vec<Stats>) {
     // Fresh compiler per iteration: the pulse library cache persists
     // across compiles, so a reused compiler would measure cache hits.
     let ghz = generators::ghz(4);
-    bench("pipeline/epoc_compile_ghz4")
-        .samples(10)
-        .run_with_setup(
-            || EpocCompiler::new(EpocConfig::fast()),
-            |compiler| compiler.compile(&ghz),
-        );
+    stats.push(stage("pipeline/epoc_compile_ghz4").run_with_setup(
+        || EpocCompiler::new(EpocConfig::fast()),
+        |compiler| compiler.compile(&ghz),
+    ));
     let qaoa = generators::qaoa(4, 2, 5);
-    bench("pipeline/epoc_compile_qaoa4")
-        .samples(10)
-        .run_with_setup(
-            || EpocCompiler::new(EpocConfig::fast()),
-            |compiler| compiler.compile(&qaoa),
+    stats.push(stage("pipeline/epoc_compile_qaoa4").run_with_setup(
+        || EpocCompiler::new(EpocConfig::fast()),
+        |compiler| compiler.compile(&qaoa),
+    ));
+    stats.push(
+        stage("pipeline/paqoc_compile_qaoa4")
+            .run_with_setup(PaqocCompiler::default, |compiler| compiler.compile(&qaoa)),
+    );
+}
+
+/// Writes `BENCH_stages.json` at the workspace root and returns its path.
+fn write_report(stats: &[Stats]) -> PathBuf {
+    let mut benches = Json::obj();
+    for s in stats {
+        benches = benches.push(
+            &s.name,
+            Json::obj()
+                .push("median_ns", s.median().as_nanos() as u64)
+                .push("min_ns", s.min().as_nanos() as u64)
+                .push("mean_ns", s.mean().as_nanos() as u64)
+                .push("samples", s.samples.len()),
         );
-    bench("pipeline/paqoc_compile_qaoa4")
-        .samples(10)
-        .run_with_setup(PaqocCompiler::default, |compiler| compiler.compile(&qaoa));
+    }
+    let doc = Json::obj()
+        .push("schema", "epoc-bench-stages/v1")
+        .push("quick", quick())
+        .push("benches", benches);
+    let path = workspace_root().join("BENCH_stages.json");
+    std::fs::write(&path, doc.to_string_pretty() + "\n")
+        .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    path
+}
+
+/// Compares fresh medians against `BENCH_baseline.json`. Returns the
+/// list of regressions (empty = pass). Stages absent from the baseline
+/// (new benches) and stages below [`MIN_BASELINE_NS`] are skipped.
+fn regressions(stats: &[Stats], baseline: &Json) -> Vec<String> {
+    let mut failures = Vec::new();
+    for s in stats {
+        let Some(base_ns) = baseline
+            .get("benches")
+            .and_then(|b| b.get(&s.name))
+            .and_then(|e| e.get("median_ns"))
+            .and_then(Json::as_f64)
+        else {
+            continue;
+        };
+        if base_ns < MIN_BASELINE_NS {
+            continue;
+        }
+        let now_ns = s.median().as_nanos() as f64;
+        if now_ns > base_ns * REGRESSION_FACTOR {
+            failures.push(format!(
+                "{}: {:.1}µs vs baseline {:.1}µs ({:.2}x, limit {REGRESSION_FACTOR}x)",
+                s.name,
+                now_ns / 1e3,
+                base_ns / 1e3,
+                now_ns / base_ns,
+            ));
+        }
+    }
+    failures
+}
+
+fn check_against_baseline(stats: &[Stats]) {
+    let path = workspace_root().join("BENCH_baseline.json");
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(_) => {
+            eprintln!("bench-check: no {} — skipping regression check", path.display());
+            return;
+        }
+    };
+    let baseline = Json::parse(&text)
+        .unwrap_or_else(|e| panic!("parsing {}: {e}", path.display()));
+    let failures = regressions(stats, &baseline);
+    if failures.is_empty() {
+        eprintln!("bench-check: all stages within {REGRESSION_FACTOR}x of baseline");
+        return;
+    }
+    for f in &failures {
+        eprintln!("bench-check REGRESSION: {f}");
+    }
+    std::process::exit(1);
 }
 
 fn main() {
-    bench_linalg();
-    bench_zx();
-    bench_partition();
-    bench_synthesis();
-    bench_grape();
-    bench_pipeline();
+    let mut stats = Vec::new();
+    bench_linalg(&mut stats);
+    bench_zx(&mut stats);
+    bench_partition(&mut stats);
+    bench_synthesis(&mut stats);
+    bench_grape(&mut stats);
+    bench_pipeline(&mut stats);
+    let path = write_report(&stats);
+    eprintln!("wrote {}", path.display());
+    if check_mode() {
+        check_against_baseline(&stats);
+    }
 }

@@ -83,7 +83,9 @@ impl PaqocCompiler {
         let basis = epoc_circuit::lower_to_basis(circuit);
         let circuit = &basis;
         let partition = paqoc_partition(circuit, self.partition);
-        let schedule = schedule_partition(&partition, &self.backend);
+        // The comparator stays single-threaded: its pulse cost is the
+        // baseline number the paper's speedups are quoted against.
+        let schedule = schedule_partition(&partition, &self.backend, 1);
         let (hits1, misses1) = self.backend.cache_counts();
         let stages = StageStats {
             zx_depth_before: circuit.depth(),

@@ -15,7 +15,7 @@ use epoc_linalg::Matrix;
 use epoc_partition::{greedy_partition, regroup, Partition, PartitionConfig};
 use epoc_pulse::{PulseSchedule, ScheduledPulse};
 use epoc_qoc::{
-    HybridSynthesizer, ModeledSynthesizer, PulseRequest, PulseSynthesizer,
+    GrapeSynthesizer, HybridSynthesizer, ModeledSynthesizer, PulseRequest, PulseSynthesizer,
 };
 use epoc_synth::{lower_to_vug_form, synthesize_or_fallback};
 use epoc_zx::zx_optimize;
@@ -36,13 +36,33 @@ pub(crate) enum BackendImpl {
 impl BackendImpl {
     pub(crate) fn new(config: &EpocConfig) -> Self {
         match config.backend {
-            Backend::Hybrid { grape_limit } => BackendImpl::Hybrid(Box::new(
-                HybridSynthesizer::new(config.key_policy, grape_limit, config.duration_model),
-            )),
+            Backend::Hybrid { grape_limit } => {
+                // Plumb the pipeline worker count down into GRAPE itself:
+                // its per-timeslot parallelism is bit-deterministic at any
+                // worker count, so this only changes speed, never output.
+                let mut search = epoc_qoc::DurationSearchConfig::default();
+                search.grape.workers = config
+                    .workers
+                    .unwrap_or_else(epoc_rt::pool::default_workers);
+                BackendImpl::Hybrid(Box::new(HybridSynthesizer::with_search(
+                    config.key_policy,
+                    search,
+                    grape_limit,
+                    config.duration_model,
+                )))
+            }
             Backend::Modeled => BackendImpl::Modeled(Box::new(ModeledSynthesizer::new(
                 config.duration_model,
                 config.key_policy,
             ))),
+        }
+    }
+
+    /// The GRAPE sub-backend, when this backend has one.
+    fn grape_backend(&self) -> Option<&GrapeSynthesizer> {
+        match self {
+            BackendImpl::Hybrid(h) => Some(h.grape()),
+            BackendImpl::Modeled(_) => None,
         }
     }
 
@@ -62,22 +82,86 @@ impl BackendImpl {
 }
 
 /// Generates the ASAP pulse schedule for a partition, one pulse per block.
+///
+/// The expensive work — dense block unitaries and GRAPE duration searches
+/// for cache-missing blocks — fans out over `workers` threads; everything
+/// that is observable (the schedule and the library's hit/miss counters)
+/// is replayed serially in block order afterwards, so the output is
+/// byte-identical to the sequential pipeline at any worker count:
+///
+/// 1. **materialize** every dense block unitary in parallel (pure);
+/// 2. **classify** serially with counter-free peeks: the first occurrence
+///    of each GRAPE-routed cache key not already in the library becomes a
+///    compute job (later duplicates will hit once the first is inserted);
+/// 3. **compute** the jobs in parallel (each is deterministic and touches
+///    no shared state);
+/// 4. **replay** serially: every block performs the same lookup/insert
+///    sequence the serial pipeline would, taking precomputed entries at
+///    first-miss positions.
 pub(crate) fn schedule_partition(
     partition: &Partition,
     backend: &BackendImpl,
+    workers: usize,
 ) -> PulseSchedule {
+    let blocks = partition.blocks();
+
+    // Stage 1: dense unitaries (pure function of each block).
+    let unitaries: Vec<Option<Matrix>> =
+        epoc_rt::pool::parallel_map(blocks, workers, |_, block| {
+            (!block.is_empty() && block.n_qubits() <= DENSE_LIMIT).then(|| block.unitary())
+        });
+
+    // A block goes to GRAPE when the hybrid backend exists, its width is
+    // within the GRAPE cap, and its dense unitary was materialized —
+    // mirroring `HybridSynthesizer::pulse` routing.
+    let grape_route = |i: usize| -> Option<(&GrapeSynthesizer, &Matrix)> {
+        let grape = backend.grape_backend()?;
+        let u = unitaries[i].as_ref()?;
+        (blocks[i].n_qubits() <= grape.max_qubits()).then_some((grape, u))
+    };
+
+    // Stage 2: serial classification with counter-free peeks.
+    let mut claimed = std::collections::HashSet::new();
+    let jobs: Vec<usize> = (0..blocks.len())
+        .filter(|&i| {
+            !blocks[i].is_empty()
+                && grape_route(i).is_some_and(|(grape, u)| {
+                    grape.library().peek(u).is_none()
+                        && claimed.insert(grape.library().cache_key(u))
+                })
+        })
+        .collect();
+
+    // Stage 3: parallel GRAPE on the deduplicated misses.
+    let computed = epoc_rt::pool::parallel_map(&jobs, workers, |_, &i| {
+        let (grape, u) = grape_route(i).expect("job classified as GRAPE-routed");
+        grape.compute_uncached(blocks[i].n_qubits(), u)
+    });
+    let mut precomputed: HashMap<usize, epoc_qoc::PulseEntry> =
+        jobs.into_iter().zip(computed).collect();
+
+    // Stage 4: serial replay in block order.
     let mut schedule = PulseSchedule::new(partition.n_qubits());
     let mut line_free = vec![0.0f64; partition.n_qubits()];
-    for (i, block) in partition.blocks().iter().enumerate() {
+    for (i, block) in blocks.iter().enumerate() {
         if block.is_empty() {
             continue;
         }
-        let unitary: Option<Matrix> = (block.n_qubits() <= DENSE_LIMIT).then(|| block.unitary());
-        let entry = backend.pulse(&PulseRequest {
-            n_qubits: block.n_qubits(),
-            unitary: unitary.as_ref(),
-            local_circuit: Some(block.circuit()),
-        });
+        let entry = match grape_route(i) {
+            Some((grape, u)) => match grape.library().lookup(u) {
+                Some(entry) => entry,
+                None => {
+                    let entry = precomputed.remove(&i).expect("miss was classified");
+                    grape.library().insert(u, entry);
+                    entry
+                }
+            },
+            None => backend.pulse(&PulseRequest {
+                n_qubits: block.n_qubits(),
+                unitary: unitaries[i].as_ref(),
+                local_circuit: Some(block.circuit()),
+            }),
+        };
         if entry.duration <= 0.0 {
             continue; // purely virtual block: no physical pulse
         }
@@ -221,8 +305,9 @@ impl EpocCompiler {
             ),
         };
 
-        // §3.4 — pulse generation through the backend + cache.
-        let schedule = schedule_partition(&final_partition, &self.backend);
+        // §3.4 — pulse generation through the backend + cache, fanned out
+        // over the same worker crew as synthesis.
+        let schedule = schedule_partition(&final_partition, &self.backend, n_workers);
         stages.pulses = schedule.len();
         let (hits1, misses1) = self.backend.cache_counts();
         stages.cache_hits = hits1.saturating_sub(hits0);

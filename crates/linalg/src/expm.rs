@@ -84,8 +84,12 @@ pub fn expm(a: &Matrix) -> Matrix {
     let mut num = Matrix::identity(n);
     let mut den = Matrix::identity(n);
     let mut pow = Matrix::identity(n);
+    // `tmp` ping-pongs with `pow`/`r` so the power and squaring loops run
+    // without per-step allocations.
+    let mut tmp = Matrix::zeros(n, n);
     for (k, &ck) in C.iter().enumerate().skip(1) {
-        pow = pow.matmul(&a_scaled);
+        pow.matmul_into(&a_scaled, &mut tmp);
+        std::mem::swap(&mut pow, &mut tmp);
         let term = pow.scale_re(ck);
         num += &term;
         if k % 2 == 0 {
@@ -96,7 +100,8 @@ pub fn expm(a: &Matrix) -> Matrix {
     }
     let mut r = solve(&den, &num);
     for _ in 0..s {
-        r = r.matmul(&r);
+        r.matmul_into(&r, &mut tmp);
+        std::mem::swap(&mut r, &mut tmp);
     }
     r
 }

@@ -6,6 +6,7 @@
 //! provided here: products, Kronecker products, adjoints, traces and norms.
 
 use crate::complex::{c64, Complex64};
+use std::cell::RefCell;
 use std::fmt;
 use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub};
 
@@ -158,16 +159,31 @@ impl Matrix {
     }
 
     /// Conjugate transpose (dagger, †).
+    #[must_use]
     pub fn dagger(&self) -> Self {
-        Self::from_fn(self.cols, self.rows, |i, j| self[(j, i)].conj())
+        let mut out = Self::zeros(self.cols, self.rows);
+        self.dagger_into(&mut out);
+        out
+    }
+
+    /// Conjugate transpose, written into `out` (allocation reused).
+    pub fn dagger_into(&self, out: &mut Self) {
+        out.reshape(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.data[j * self.rows + i] = self.data[i * self.cols + j].conj();
+            }
+        }
     }
 
     /// Plain transpose (no conjugation).
+    #[must_use]
     pub fn transpose(&self) -> Self {
         Self::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
     }
 
     /// Element-wise complex conjugate.
+    #[must_use]
     pub fn conj(&self) -> Self {
         let data = self.data.iter().map(|z| z.conj()).collect();
         Self {
@@ -178,6 +194,7 @@ impl Matrix {
     }
 
     /// Multiplies every entry by a complex scalar.
+    #[must_use]
     pub fn scale(&self, k: Complex64) -> Self {
         let data = self.data.iter().map(|&z| z * k).collect();
         Self {
@@ -188,38 +205,82 @@ impl Matrix {
     }
 
     /// Multiplies every entry by a real scalar.
+    #[must_use]
     pub fn scale_re(&self, k: f64) -> Self {
         self.scale(c64(k, 0.0))
     }
 
+    /// Multiplies every entry by a complex scalar in place.
+    pub fn scale_in_place(&mut self, k: Complex64) {
+        for z in &mut self.data {
+            *z *= k;
+        }
+    }
+
+    /// Overwrites `self` with the contents of `src`, reusing the allocation.
+    pub fn copy_from(&mut self, src: &Self) {
+        self.reshape(src.rows, src.cols);
+        self.data.copy_from_slice(&src.data);
+    }
+
+    /// Re-dimensions the matrix in place, reusing its allocation. Entries
+    /// are unspecified afterwards; every caller overwrites them fully.
+    fn reshape(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, Complex64::ZERO);
+    }
+
     /// Matrix product `self · rhs`.
+    ///
+    /// Dispatches to fully unrolled kernels for the 1×1/2×2/4×4 operators
+    /// that dominate VUG-based synthesis, and to a cache-blocked kernel
+    /// over split real/imaginary planes for everything larger. Allocates
+    /// the result; use [`Matrix::matmul_into`] in hot loops.
     ///
     /// # Panics
     ///
     /// Panics if `self.cols() != rhs.rows()`.
+    #[must_use]
     pub fn matmul(&self, rhs: &Self) -> Self {
+        let mut out = Self::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// Matrix product `self · rhs`, written into `out`.
+    ///
+    /// `out` is reshaped to `self.rows() × rhs.cols()`; its previous
+    /// contents are discarded but its allocation is reused, so a scratch
+    /// matrix threaded through an iteration loop costs no allocations
+    /// after warm-up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn matmul_into(&self, rhs: &Self, out: &mut Self) {
         assert_eq!(
             self.cols, rhs.rows,
             "dimension mismatch: ({}, {}) x ({}, {})",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Self::zeros(self.rows, rhs.cols);
-        // ikj loop order keeps the inner accesses contiguous in both
-        // `rhs` and `out` for the row-major layout.
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == Complex64::ZERO {
-                    continue;
+        out.reshape(self.rows, rhs.cols);
+        if self.rows == self.cols && rhs.rows == rhs.cols {
+            // Square fast paths: the synthesis and QOC inner loops run
+            // almost entirely on 2×2 (VUG) and 4×4 (2-qubit) products.
+            match self.rows {
+                1 => {
+                    out.data[0] = self.data[0] * rhs.data[0];
+                    return;
                 }
-                let rrow = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &r) in orow.iter_mut().zip(rrow) {
-                    *o += a * r;
-                }
+                2 => return mm_unrolled::<2>(&self.data, &rhs.data, &mut out.data),
+                4 => return mm_unrolled::<4>(&self.data, &rhs.data, &mut out.data),
+                _ => {}
             }
         }
-        out
+        mm_blocked(
+            &self.data, &rhs.data, &mut out.data, self.rows, self.cols, rhs.cols,
+        );
     }
 
     /// Matrix–vector product `self · v`.
@@ -227,18 +288,35 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if `self.cols() != v.len()`.
+    #[must_use]
     pub fn matvec(&self, v: &[Complex64]) -> Vec<Complex64> {
-        assert_eq!(self.cols, v.len(), "matvec dimension mismatch");
-        let mut out = vec![Complex64::ZERO; self.rows];
-        for (i, slot) in out.iter_mut().enumerate() {
-            let row = &self.data[i * self.cols..(i + 1) * self.cols];
-            let mut acc = Complex64::ZERO;
-            for (&m, &x) in row.iter().zip(v) {
-                acc += m * x;
-            }
-            *slot = acc;
-        }
+        let mut out = Vec::new();
+        self.matvec_into(v, &mut out);
         out
+    }
+
+    /// Matrix–vector product `self · v`, written into `out` (allocation
+    /// reused).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != v.len()`.
+    pub fn matvec_into(&self, v: &[Complex64], out: &mut Vec<Complex64>) {
+        assert_eq!(self.cols, v.len(), "matvec dimension mismatch");
+        out.clear();
+        out.resize(self.rows, Complex64::ZERO);
+        if self.cols == 0 {
+            return;
+        }
+        for (slot, row) in out.iter_mut().zip(self.data.chunks_exact(self.cols)) {
+            let mut re = 0.0;
+            let mut im = 0.0;
+            for (m, x) in row.iter().zip(v) {
+                re += m.re * x.re - m.im * x.im;
+                im += m.re * x.im + m.im * x.re;
+            }
+            *slot = c64(re, im);
+        }
     }
 
     /// Kronecker (tensor) product `self ⊗ rhs`.
@@ -250,22 +328,39 @@ impl Matrix {
     /// let i2 = Matrix::identity(2);
     /// assert_eq!(i2.kron(&i2), Matrix::identity(4));
     /// ```
+    #[must_use]
     pub fn kron(&self, rhs: &Self) -> Self {
         let mut out = Self::zeros(self.rows * rhs.rows, self.cols * rhs.cols);
+        self.kron_into(rhs, &mut out);
+        out
+    }
+
+    /// Kronecker product `self ⊗ rhs`, written into `out` (allocation
+    /// reused).
+    ///
+    /// Keeps the zero-skip branch: structured operators (embedded gates,
+    /// controlled unitaries) are mostly zeros, and skipping a whole
+    /// `rhs`-sized tile per zero entry is a large win there — unlike in
+    /// the dense matmul path, where the same branch only mispredicts.
+    pub fn kron_into(&self, rhs: &Self, out: &mut Self) {
+        out.reshape(self.rows * rhs.rows, self.cols * rhs.cols);
+        out.data.fill(Complex64::ZERO);
+        let oc = out.cols;
         for i in 0..self.rows {
             for j in 0..self.cols {
-                let a = self[(i, j)];
+                let a = self.data[i * self.cols + j];
                 if a == Complex64::ZERO {
                     continue;
                 }
                 for p in 0..rhs.rows {
-                    for q in 0..rhs.cols {
-                        out[(i * rhs.rows + p, j * rhs.cols + q)] = a * rhs[(p, q)];
+                    let base = (i * rhs.rows + p) * oc + j * rhs.cols;
+                    let src = &rhs.data[p * rhs.cols..(p + 1) * rhs.cols];
+                    for (dst, &r) in out.data[base..base + rhs.cols].iter_mut().zip(src) {
+                        *dst = a * r;
                     }
                 }
             }
         }
-        out
     }
 
     /// Trace `Σᵢ Mᵢᵢ`.
@@ -304,11 +399,19 @@ impl Matrix {
         self.data.iter().map(|z| z.abs()).fold(0.0, f64::max)
     }
 
-    /// Induced 1-norm (maximum absolute column sum).
+    /// Induced 1-norm (maximum absolute column sum), accumulated in one
+    /// flat row-major pass.
     pub fn one_norm(&self) -> f64 {
-        (0..self.cols)
-            .map(|j| (0..self.rows).map(|i| self[(i, j)].abs()).sum::<f64>())
-            .fold(0.0, f64::max)
+        if self.cols == 0 {
+            return 0.0;
+        }
+        let mut sums = vec![0.0; self.cols];
+        for row in self.data.chunks_exact(self.cols) {
+            for (s, z) in sums.iter_mut().zip(row) {
+                *s += z.abs();
+            }
+        }
+        sums.into_iter().fold(0.0, f64::max)
     }
 
     /// `true` when every entry of `self - rhs` has modulus ≤ `tol`.
@@ -363,6 +466,7 @@ impl Matrix {
     ///
     /// Panics if `self` is not `2^k × 2^k` for `k = qubits.len()`, if any
     /// qubit index is `>= n`, or if the qubit list contains duplicates.
+    #[must_use]
     pub fn embed(&self, qubits: &[usize], n: usize) -> Self {
         let k = qubits.len();
         let dim_k = 1usize << k;
@@ -416,6 +520,93 @@ impl Matrix {
         }
         out
     }
+}
+
+/// Fully unrolled `N×N` product for the tiny operators synthesis touches
+/// most. With `N` const the compiler unrolls and vectorizes the whole
+/// kernel; no branches, no scratch.
+#[inline]
+fn mm_unrolled<const N: usize>(a: &[Complex64], b: &[Complex64], o: &mut [Complex64]) {
+    for i in 0..N {
+        for j in 0..N {
+            let mut re = 0.0;
+            let mut im = 0.0;
+            for k in 0..N {
+                let x = a[i * N + k];
+                let y = b[k * N + j];
+                re += x.re * y.re - x.im * y.im;
+                im += x.re * y.im + x.im * y.re;
+            }
+            o[i * N + j] = c64(re, im);
+        }
+    }
+}
+
+/// Column-tile width of the blocked kernel: two split `f64` accumulator
+/// rows of 64 lanes (1 KiB total) stay L1-resident while streaming the
+/// packed planes of `b`.
+const MM_TILE: usize = 64;
+
+thread_local! {
+    /// Scratch for [`mm_blocked`]: split re/im planes of `b` plus the
+    /// accumulator tile. Thread-local so `matmul_into` is allocation-free
+    /// after warm-up without threading a scratch handle through callers.
+    static MM_SCRATCH: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Cache-blocked matmul: packs `b` into separate real/imaginary planes so
+/// the per-`k` rank-1 update runs on four independent `f64` streams the
+/// compiler autovectorizes, and tiles output columns so the split
+/// accumulators stay in registers/L1. No zero-skip branch: the inputs on
+/// this path are dense unitaries, where the branch only mispredicts.
+fn mm_blocked(a: &[Complex64], b: &[Complex64], o: &mut [Complex64], m: usize, kk: usize, n: usize) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    if kk == 0 {
+        o.fill(Complex64::ZERO);
+        return;
+    }
+    MM_SCRATCH.with(|cell| {
+        let mut buf = cell.borrow_mut();
+        buf.resize(2 * kk * n + 2 * MM_TILE, 0.0);
+        let (planes, acc) = buf.split_at_mut(2 * kk * n);
+        let (bre, bim) = planes.split_at_mut(kk * n);
+        let (acc_re, acc_im) = acc.split_at_mut(MM_TILE);
+        for (dst, z) in bre.iter_mut().zip(b) {
+            *dst = z.re;
+        }
+        for (dst, z) in bim.iter_mut().zip(b) {
+            *dst = z.im;
+        }
+        for jc in (0..n).step_by(MM_TILE) {
+            let tw = MM_TILE.min(n - jc);
+            for i in 0..m {
+                let arow = &a[i * kk..(i + 1) * kk];
+                acc_re[..tw].fill(0.0);
+                acc_im[..tw].fill(0.0);
+                for (k, x) in arow.iter().enumerate() {
+                    let (xr, xi) = (x.re, x.im);
+                    let br = &bre[k * n + jc..k * n + jc + tw];
+                    let bi = &bim[k * n + jc..k * n + jc + tw];
+                    for ((ar, ai), (&brv, &biv)) in acc_re[..tw]
+                        .iter_mut()
+                        .zip(acc_im[..tw].iter_mut())
+                        .zip(br.iter().zip(bi))
+                    {
+                        *ar += xr * brv - xi * biv;
+                        *ai += xr * biv + xi * brv;
+                    }
+                }
+                for (dst, (&re, &im)) in o[i * n + jc..i * n + jc + tw]
+                    .iter_mut()
+                    .zip(acc_re.iter().zip(acc_im.iter()))
+                {
+                    *dst = c64(re, im);
+                }
+            }
+        }
+    });
 }
 
 impl Index<(usize, usize)> for Matrix {
@@ -660,7 +851,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "duplicate qubit")]
     fn embed_rejects_duplicates() {
-        cx().embed(&[0, 0], 2);
+        let _ = cx().embed(&[0, 0], 2);
     }
 
     #[test]
@@ -681,5 +872,161 @@ mod tests {
         assert!(d.approx_eq(&a, 1e-12));
         let n = -&a;
         assert!((&a + &n).approx_eq(&Matrix::zeros(2, 2), 1e-12));
+    }
+
+    /// The pre-kernel ikj matmul (with its zero-skip branch), kept verbatim
+    /// as the oracle the blocked/unrolled kernels are property-tested
+    /// against.
+    fn matmul_reference(a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.cols, b.rows, "dimension mismatch");
+        let mut out = Matrix::zeros(a.rows, b.cols);
+        for i in 0..a.rows {
+            for k in 0..a.cols {
+                let x = a.data[i * a.cols + k];
+                if x == Complex64::ZERO {
+                    continue;
+                }
+                let rrow = &b.data[k * b.cols..(k + 1) * b.cols];
+                let orow = &mut out.data[i * b.cols..(i + 1) * b.cols];
+                for (o, &r) in orow.iter_mut().zip(rrow) {
+                    *o += x * r;
+                }
+            }
+        }
+        out
+    }
+
+    /// Index-by-index Kronecker product used as the `kron_into` oracle.
+    fn kron_reference(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows * b.rows, a.cols * b.cols);
+        for i in 0..a.rows {
+            for j in 0..a.cols {
+                for p in 0..b.rows {
+                    for q in 0..b.cols {
+                        out[(i * b.rows + p, j * b.cols + q)] = a[(i, j)] * b[(p, q)];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn rand_matrix(g: &mut epoc_rt::check::Gen, rows: usize, cols: usize) -> Matrix {
+        Matrix::from_fn(rows, cols, |_, _| {
+            c64(g.f64_in(-1.0, 1.0), g.f64_in(-1.0, 1.0))
+        })
+    }
+
+    #[test]
+    fn prop_matmul_matches_reference() {
+        epoc_rt::check::property("matmul_matches_reference")
+            .cases(40)
+            .run(|g| {
+                let m = g.usize_in(1, 65);
+                let k = g.usize_in(1, 65);
+                let n = g.usize_in(1, 65);
+                let a = rand_matrix(g, m, k);
+                let b = rand_matrix(g, k, n);
+                let want = matmul_reference(&a, &b);
+                assert!(
+                    a.matmul(&b).approx_eq(&want, 1e-12),
+                    "blocked kernel diverged at {m}x{k}x{n}"
+                );
+                let mut out = Matrix::zeros(1, 1);
+                a.matmul_into(&b, &mut out);
+                assert!(
+                    out.approx_eq(&want, 1e-12),
+                    "matmul_into diverged at {m}x{k}x{n}"
+                );
+            });
+    }
+
+    #[test]
+    fn prop_unrolled_sizes_match_reference() {
+        epoc_rt::check::property("unrolled_matmul_matches_reference")
+            .cases(48)
+            .run(|g| {
+                for n in [1usize, 2, 4] {
+                    let a = rand_matrix(g, n, n);
+                    let b = rand_matrix(g, n, n);
+                    assert!(
+                        a.matmul(&b).approx_eq(&matmul_reference(&a, &b), 1e-12),
+                        "unrolled {n}x{n} kernel diverged"
+                    );
+                }
+            });
+    }
+
+    #[test]
+    fn prop_kron_into_matches_reference() {
+        epoc_rt::check::property("kron_into_matches_reference")
+            .cases(40)
+            .run(|g| {
+                let (m, k) = (g.usize_in(1, 9), g.usize_in(1, 9));
+                let (p, q) = (g.usize_in(1, 9), g.usize_in(1, 9));
+                let a = rand_matrix(g, m, k);
+                let b = rand_matrix(g, p, q);
+                let want = kron_reference(&a, &b);
+                assert!(a.kron(&b).approx_eq(&want, 1e-12));
+                let mut out = Matrix::zeros(3, 7);
+                a.kron_into(&b, &mut out);
+                assert!(out.approx_eq(&want, 1e-12));
+            });
+    }
+
+    #[test]
+    fn prop_matvec_into_matches_reference() {
+        epoc_rt::check::property("matvec_into_matches_reference")
+            .cases(40)
+            .run(|g| {
+                let m = g.usize_in(1, 33);
+                let k = g.usize_in(1, 33);
+                let a = rand_matrix(g, m, k);
+                let v: Vec<Complex64> = (0..k)
+                    .map(|_| c64(g.f64_in(-1.0, 1.0), g.f64_in(-1.0, 1.0)))
+                    .collect();
+                let col = Matrix::from_vec(k, 1, v.clone());
+                let want = matmul_reference(&a, &col);
+                let mut out = Vec::new();
+                a.matvec_into(&v, &mut out);
+                for (i, got) in out.iter().enumerate() {
+                    assert!(got.approx_eq(want[(i, 0)], 1e-12));
+                }
+            });
+    }
+
+    #[test]
+    fn workspace_reuse_across_shapes() {
+        // Shrinking and growing the same `out` through mixed shapes must
+        // stay correct: `reshape` reuses the allocation.
+        let mut out = Matrix::zeros(1, 1);
+        for n in [6usize, 2, 4, 17, 3, 64, 5] {
+            let a = Matrix::from_fn(n, n, |i, j| c64(i as f64 - 0.5, j as f64 * 0.25));
+            let b = Matrix::from_fn(n, n, |i, j| c64(j as f64 * 0.5, -(i as f64)));
+            a.matmul_into(&b, &mut out);
+            assert!(out.approx_eq(&matmul_reference(&a, &b), 1e-10), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn zero_inner_dimension_product_is_zero() {
+        let a = Matrix::zeros(2, 0);
+        let b = Matrix::zeros(0, 3);
+        let p = a.matmul(&b);
+        assert_eq!((p.rows(), p.cols()), (2, 3));
+        assert!(p.approx_eq(&Matrix::zeros(2, 3), 0.0));
+    }
+
+    #[test]
+    fn dagger_into_scale_in_place_copy_from() {
+        let a = Matrix::from_fn(3, 2, |i, j| c64(i as f64, j as f64 + 0.5));
+        let mut d = Matrix::zeros(1, 1);
+        a.dagger_into(&mut d);
+        assert!(d.approx_eq(&a.dagger(), 1e-15));
+
+        let mut s = Matrix::zeros(1, 1);
+        s.copy_from(&a);
+        s.scale_in_place(c64(0.0, 2.0));
+        assert!(s.approx_eq(&a.scale(c64(0.0, 2.0)), 1e-15));
     }
 }

@@ -154,18 +154,32 @@ impl DeviceModel {
     ///
     /// Panics if `amplitudes.len()` differs from the channel count.
     pub fn hamiltonian(&self, amplitudes: &[f64]) -> Matrix {
+        let mut h = Matrix::zeros(0, 0);
+        self.hamiltonian_into(amplitudes, &mut h);
+        h
+    }
+
+    /// Total Hamiltonian at the given control amplitudes, written into
+    /// `out` (allocation reused — the GRAPE iteration loop rebuilds a slot
+    /// Hamiltonian every pass).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amplitudes.len()` differs from the channel count.
+    pub fn hamiltonian_into(&self, amplitudes: &[f64], out: &mut Matrix) {
         assert_eq!(
             amplitudes.len(),
             self.controls.len(),
             "amplitude count mismatch"
         );
-        let mut h = self.drift.clone();
+        out.copy_from(&self.drift);
         for (c, &a) in self.controls.iter().zip(amplitudes) {
             if a != 0.0 {
-                h += &c.hamiltonian.scale_re(a);
+                for (o, h) in out.as_mut_slice().iter_mut().zip(c.hamiltonian.as_slice()) {
+                    *o = epoc_linalg::c64(o.re + h.re * a, o.im + h.im * a);
+                }
             }
         }
-        h
     }
 }
 

@@ -42,7 +42,8 @@ pub use duration::{
     minimize_duration, DurationSearchConfig, PulseSolution, SearchDurationError,
 };
 pub use grape::{grape, propagate, GradientMode, GrapeConfig, GrapeResult};
-pub use library::{KeyPolicy, PulseEntry, PulseLibrary};
+pub use grape::GrapeWorkspace;
+pub use library::{CacheKey, KeyPolicy, PulseEntry, PulseLibrary};
 pub use model::{DurationModel, GateDurationTable};
 pub use synthesizer::{
     GrapeSynthesizer, HybridSynthesizer, ModeledSynthesizer, PulseRequest, PulseSynthesizer,

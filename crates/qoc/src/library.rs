@@ -36,6 +36,17 @@ pub struct PulseEntry {
     pub n_slots: usize,
 }
 
+/// A policy-resolved cache key: what [`PulseLibrary::lookup`] hashes
+/// internally, exposed so batch schedulers can deduplicate pending
+/// misses without touching the hit/miss counters.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum CacheKey {
+    /// Phase-invariant fingerprint.
+    PhaseAware(UnitaryKey),
+    /// Exact-matrix fingerprint.
+    PhaseSensitive(PhaseSensitiveKey),
+}
+
 /// A thread-safe pulse library.
 ///
 /// # Examples
@@ -80,9 +91,22 @@ impl PulseLibrary {
         self.policy
     }
 
-    /// Looks up a pulse for `unitary`, counting a hit or miss.
-    pub fn lookup(&self, unitary: &Matrix) -> Option<PulseEntry> {
-        let found = match self.policy {
+    /// The key `unitary` resolves to under this library's policy.
+    pub fn cache_key(&self, unitary: &Matrix) -> CacheKey {
+        match self.policy {
+            KeyPolicy::PhaseAware => CacheKey::PhaseAware(UnitaryKey::new(unitary)),
+            KeyPolicy::PhaseSensitive => {
+                CacheKey::PhaseSensitive(PhaseSensitiveKey::new(unitary))
+            }
+        }
+    }
+
+    /// Counter-free lookup: like [`PulseLibrary::lookup`] but without
+    /// recording a hit or miss. Batch schedulers use this to classify
+    /// work up front and replay the counter effects serially, so parallel
+    /// execution reports byte-identical statistics.
+    pub fn peek(&self, unitary: &Matrix) -> Option<PulseEntry> {
+        match self.policy {
             KeyPolicy::PhaseAware => self
                 .phase_aware
                 .read()
@@ -95,8 +119,12 @@ impl PulseLibrary {
                 .unwrap()
                 .get(&PhaseSensitiveKey::new(unitary))
                 .copied(),
-        };
-        match found {
+        }
+    }
+
+    /// Looks up a pulse for `unitary`, counting a hit or miss.
+    pub fn lookup(&self, unitary: &Matrix) -> Option<PulseEntry> {
+        match self.peek(unitary) {
             Some(e) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(e)

@@ -76,6 +76,37 @@ impl GrapeSynthesizer {
             .or_insert_with(|| DeviceModel::transmon_line(n))
             .clone()
     }
+
+    /// Runs the duration search for `unitary` without consulting or
+    /// updating the library. Deterministic given the inputs, so batch
+    /// schedulers can compute cache misses out of order in parallel and
+    /// replay the library bookkeeping serially.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_qubits` exceeds the backend's width cap.
+    pub fn compute_uncached(&self, n_qubits: usize, unitary: &Matrix) -> PulseEntry {
+        assert!(
+            n_qubits <= self.max_qubits,
+            "block of {} qubits exceeds GRAPE limit {}",
+            n_qubits,
+            self.max_qubits
+        );
+        let device = self.device_for(n_qubits);
+        match minimize_duration(&device, unitary, &self.search) {
+            Ok(sol) => PulseEntry {
+                duration: sol.result.duration,
+                fidelity: sol.result.fidelity,
+                n_slots: sol.n_slots,
+            },
+            Err(err) => PulseEntry {
+                // Unreachable within the cap: report the capped pulse.
+                duration: self.search.max_slots as f64 * device.dt(),
+                fidelity: err.best_fidelity,
+                n_slots: self.search.max_slots,
+            },
+        }
+    }
 }
 
 impl Default for GrapeSynthesizer {
@@ -98,20 +129,7 @@ impl PulseSynthesizer for GrapeSynthesizer {
         if let Some(entry) = self.library.lookup(unitary) {
             return entry;
         }
-        let device = self.device_for(request.n_qubits);
-        let entry = match minimize_duration(&device, unitary, &self.search) {
-            Ok(sol) => PulseEntry {
-                duration: sol.result.duration,
-                fidelity: sol.result.fidelity,
-                n_slots: sol.n_slots,
-            },
-            Err(err) => PulseEntry {
-                // Unreachable within the cap: report the capped pulse.
-                duration: self.search.max_slots as f64 * device.dt(),
-                fidelity: err.best_fidelity,
-                n_slots: self.search.max_slots,
-            },
-        };
+        let entry = self.compute_uncached(request.n_qubits, unitary);
         self.library.insert(unitary, entry);
         entry
     }
@@ -189,8 +207,19 @@ pub struct HybridSynthesizer {
 impl HybridSynthesizer {
     /// Creates a hybrid backend: GRAPE up to `grape_limit` qubits.
     pub fn new(policy: KeyPolicy, grape_limit: usize, model: DurationModel) -> Self {
+        Self::with_search(policy, DurationSearchConfig::default(), grape_limit, model)
+    }
+
+    /// Like [`HybridSynthesizer::new`] with explicit duration-search
+    /// settings (e.g. a GRAPE worker count plumbed from the pipeline).
+    pub fn with_search(
+        policy: KeyPolicy,
+        search: DurationSearchConfig,
+        grape_limit: usize,
+        model: DurationModel,
+    ) -> Self {
         Self {
-            grape: GrapeSynthesizer::new(policy, DurationSearchConfig::default(), grape_limit),
+            grape: GrapeSynthesizer::new(policy, search, grape_limit),
             model: ModeledSynthesizer::new(model, policy),
         }
     }

@@ -14,6 +14,7 @@ use epoc_linalg::Matrix;
 use epoc_rt::rng::StdRng;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::rc::Rc;
 
 /// Synthesis configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -64,12 +65,30 @@ pub struct SynthResult {
     pub converged: bool,
 }
 
+/// A search node. Template structure and instantiated parameters are
+/// behind `Rc`: the heap, the best-so-far bookkeeping, and LEAP restarts
+/// all share one allocation per evaluated node instead of deep-copying
+/// segment and parameter vectors at every improvement. The only deep
+/// template copy left is the structural one at expansion time, when a
+/// child genuinely differs from its parent by an appended cell.
 #[derive(Debug)]
 struct Node {
-    template: Template,
-    params: Vec<f64>,
+    template: Rc<Template>,
+    params: Rc<Vec<f64>>,
     distance: f64,
     score: f64,
+}
+
+impl Node {
+    /// A cheap handle-copy (shares template and params).
+    fn share(&self) -> Self {
+        Self {
+            template: Rc::clone(&self.template),
+            params: Rc::clone(&self.params),
+            distance: self.distance,
+            score: self.score,
+        }
+    }
 }
 
 impl PartialEq for Node {
@@ -160,8 +179,8 @@ pub fn synthesize(target: &Matrix, config: &SynthConfig) -> SynthResult {
         let (params, distance) = template.instantiate(target, rng, &config.instantiate);
         let score = distance + config.cnot_weight * template.cnot_count() as f64;
         Node {
-            template,
-            params,
+            template: Rc::new(template),
+            params: Rc::new(params),
             distance,
             score,
         }
@@ -169,12 +188,7 @@ pub fn synthesize(target: &Matrix, config: &SynthConfig) -> SynthResult {
 
     let root = evaluate(Template::initial(n), &mut rng);
     nodes_evaluated += 1;
-    let mut best = Node {
-        template: root.template.clone(),
-        params: root.params.clone(),
-        distance: root.distance,
-        score: root.score,
-    };
+    let mut best = root.share();
     let mut heap = BinaryHeap::new();
     heap.push(root);
     let mut since_improvement = 0usize;
@@ -190,17 +204,12 @@ pub fn synthesize(target: &Matrix, config: &SynthConfig) -> SynthResult {
             continue;
         }
         for &(c, t) in &pairs {
-            let mut templ = node.template.clone();
+            let mut templ = (*node.template).clone();
             templ.push_cell(c, t);
             let child = evaluate(templ, &mut rng);
             nodes_evaluated += 1;
             if child.distance < best.distance - 1e-12 {
-                best = Node {
-                    template: child.template.clone(),
-                    params: child.params.clone(),
-                    distance: child.distance,
-                    score: child.score,
-                };
+                best = child.share();
                 since_improvement = 0;
             } else {
                 since_improvement += 1;
@@ -216,12 +225,9 @@ pub fn synthesize(target: &Matrix, config: &SynthConfig) -> SynthResult {
         // LEAP: commit the best prefix when stuck.
         if config.leap_patience > 0 && since_improvement >= config.leap_patience {
             heap.clear();
-            heap.push(Node {
-                template: best.template.clone(),
-                params: best.params.clone(),
-                distance: best.distance,
-                score: best.distance, // reset score so it expands first
-            });
+            let mut restart = best.share();
+            restart.score = best.distance; // reset score so it expands first
+            heap.push(restart);
             since_improvement = 0;
         }
     }

@@ -7,6 +7,15 @@
 //! minimize the phase-invariant distance to a target unitary, using
 //! analytic gradients (each parameter is a rotation angle, so
 //! `∂G/∂θ = (−i P/2)·G` for the generator `P`).
+//!
+//! Evaluation goes through a compiled [`EvalPlan`]: every elementary gate
+//! is a 1-qubit rotation or a CNOT, so instead of embedding it to `d×d`
+//! and running a dense matmul (`O(d³)` per gate, with fresh allocations
+//! every Adam step), the plan applies each gate as a sparse row/column
+//! mix in `O(d²)`, and the gradient of every angle reduces to an `O(d²)`
+//! trace contraction against preassembled prefix/suffix products. All
+//! workspace matrices live in an [`EvalScratch`] reused across the whole
+//! Adam run (every iteration of every restart).
 
 use epoc_circuit::{Circuit, Gate};
 use epoc_linalg::{c64, Complex64, Matrix};
@@ -19,23 +28,6 @@ pub enum Axis {
     Z,
     /// Y rotation.
     Y,
-}
-
-impl Axis {
-    fn rotation(self, theta: f64) -> Matrix {
-        match self {
-            Axis::Z => Gate::RZ(theta).unitary_matrix(),
-            Axis::Y => Gate::RY(theta).unitary_matrix(),
-        }
-    }
-
-    /// Generator P with ∂R/∂θ = (−i P / 2) · R(θ).
-    fn generator(self) -> Matrix {
-        match self {
-            Axis::Z => Gate::Z.unitary_matrix(),
-            Axis::Y => Gate::Y.unitary_matrix(),
-        }
-    }
 }
 
 /// One structural element of a template.
@@ -65,10 +57,224 @@ pub struct Template {
     n_params: usize,
 }
 
-/// Flattened elementary op used during evaluation.
-enum ElemOp {
-    Fixed(Matrix),
-    Rot { axis: Axis, qubit: usize, param: usize },
+/// One compiled elementary op. Qubit positions are pre-resolved to basis
+/// index bit masks (`embed` is big-endian: qubit `q` owns bit `n-1-q`).
+#[derive(Debug, Clone, Copy)]
+enum PlanOp {
+    /// An embedded 1-qubit rotation: mixes index pairs differing in `mask`.
+    Rot {
+        axis: Axis,
+        mask: usize,
+        param: usize,
+    },
+    /// An embedded CNOT: a permutation (swap `tmask` pairs where `cmask`
+    /// is set).
+    Cnot { cmask: usize, tmask: usize },
+}
+
+/// The compiled evaluation plan of a template: structure only, no
+/// parameter values and no embedded matrices.
+#[derive(Debug)]
+struct EvalPlan {
+    dim: usize,
+    ops: Vec<PlanOp>,
+}
+
+/// Reusable workspace for plan evaluation: the daggered target and one
+/// `d×d` buffer per chain level, allocated once per `instantiate` call.
+struct EvalScratch {
+    /// `target†`.
+    adag: Matrix,
+    /// `as_chain[i] = target† · G_{k-1}···G_i` (suffix products folded
+    /// into the target from the left; `as_chain[k] = target†`).
+    as_chain: Vec<Matrix>,
+    /// Running prefix `G_{i-1}···G_0` during the gradient sweep.
+    prefix: Matrix,
+}
+
+impl EvalScratch {
+    fn new(target: &Matrix, plan: &EvalPlan) -> Self {
+        Self {
+            adag: target.dagger(),
+            as_chain: vec![Matrix::zeros(plan.dim, plan.dim); plan.ops.len() + 1],
+            prefix: Matrix::zeros(plan.dim, plan.dim),
+        }
+    }
+}
+
+/// `R(θ)` as a row-major 2×2.
+fn rot2(axis: Axis, theta: f64) -> [Complex64; 4] {
+    match axis {
+        Axis::Z => [
+            Complex64::cis(-theta / 2.0),
+            Complex64::ZERO,
+            Complex64::ZERO,
+            Complex64::cis(theta / 2.0),
+        ],
+        Axis::Y => {
+            let (s, c) = (theta / 2.0).sin_cos();
+            [c64(c, 0.0), c64(-s, 0.0), c64(s, 0.0), c64(c, 0.0)]
+        }
+    }
+}
+
+/// `P·R(θ)` for the axis generator `P` (so `∂R/∂θ = (−i/2)·P·R`).
+fn gen_rot2(axis: Axis, theta: f64) -> [Complex64; 4] {
+    let r = rot2(axis, theta);
+    match axis {
+        // diag(1,−1)·R
+        Axis::Z => [r[0], r[1], -r[2], -r[3]],
+        // [[0,−i],[i,0]]·R
+        Axis::Y => [
+            r[2] * c64(0.0, -1.0),
+            r[3] * c64(0.0, -1.0),
+            r[0] * c64(0.0, 1.0),
+            r[1] * c64(0.0, 1.0),
+        ],
+    }
+}
+
+/// `m ← embed(g)·m`: for every row pair `(r, r|mask)` replace the rows by
+/// their `g`-mix. Row pairs are disjoint, so the update is in place.
+fn mix_rows(m: &mut Matrix, mask: usize, g: &[Complex64; 4]) {
+    let rows = m.rows();
+    let cols = m.cols();
+    let data = m.as_mut_slice();
+    for r0 in 0..rows {
+        if r0 & mask != 0 {
+            continue;
+        }
+        let r1 = r0 | mask;
+        let (lo, hi) = data.split_at_mut(r1 * cols);
+        let row0 = &mut lo[r0 * cols..r0 * cols + cols];
+        let row1 = &mut hi[..cols];
+        for (x, y) in row0.iter_mut().zip(row1.iter_mut()) {
+            let (a, b) = (*x, *y);
+            *x = g[0] * a + g[1] * b;
+            *y = g[2] * a + g[3] * b;
+        }
+    }
+}
+
+/// `m ← m·embed(g)`: the column-pair analog of [`mix_rows`].
+fn mix_cols(m: &mut Matrix, mask: usize, g: &[Complex64; 4]) {
+    let cols = m.cols();
+    for row in m.as_mut_slice().chunks_exact_mut(cols) {
+        for c0 in 0..cols {
+            if c0 & mask != 0 {
+                continue;
+            }
+            let c1 = c0 | mask;
+            let (a, b) = (row[c0], row[c1]);
+            row[c0] = a * g[0] + b * g[2];
+            row[c1] = a * g[1] + b * g[3];
+        }
+    }
+}
+
+/// `m ← op·m`.
+fn apply_left(m: &mut Matrix, op: &PlanOp, params: &[f64]) {
+    match *op {
+        PlanOp::Rot { axis, mask, param } => mix_rows(m, mask, &rot2(axis, params[param])),
+        PlanOp::Cnot { cmask, tmask } => {
+            let rows = m.rows();
+            let cols = m.cols();
+            let data = m.as_mut_slice();
+            for r0 in 0..rows {
+                if r0 & cmask != 0 && r0 & tmask == 0 {
+                    let r1 = r0 | tmask;
+                    let (lo, hi) = data.split_at_mut(r1 * cols);
+                    lo[r0 * cols..r0 * cols + cols].swap_with_slice(&mut hi[..cols]);
+                }
+            }
+        }
+    }
+}
+
+/// `m ← m·op`.
+fn apply_right(m: &mut Matrix, op: &PlanOp, params: &[f64]) {
+    match *op {
+        PlanOp::Rot { axis, mask, param } => mix_cols(m, mask, &rot2(axis, params[param])),
+        PlanOp::Cnot { cmask, tmask } => {
+            let cols = m.cols();
+            for row in m.as_mut_slice().chunks_exact_mut(cols) {
+                for c0 in 0..cols {
+                    if c0 & cmask != 0 && c0 & tmask == 0 {
+                        row.swap(c0, c0 | tmask);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `Tr(prefix · as_next · embed(q))` without forming any product matrix:
+/// the right factor only mixes column pairs of `as_next`, so the trace is
+/// a direct `O(d²)` contraction.
+fn mixed_trace(prefix: &Matrix, as_next: &Matrix, mask: usize, q: &[Complex64; 4]) -> Complex64 {
+    let dim = as_next.rows();
+    let p = prefix.as_slice();
+    let mut acc = Complex64::ZERO;
+    for (b, row) in as_next.as_slice().chunks_exact(dim).enumerate() {
+        for a0 in 0..dim {
+            if a0 & mask != 0 {
+                continue;
+            }
+            let a1 = a0 | mask;
+            let y0 = row[a0] * q[0] + row[a1] * q[2];
+            let y1 = row[a0] * q[1] + row[a1] * q[3];
+            acc += p[a0 * dim + b] * y0 + p[a1 * dim + b] * y1;
+        }
+    }
+    acc
+}
+
+fn set_identity(m: &mut Matrix) {
+    let dim = m.rows();
+    let data = m.as_mut_slice();
+    data.fill(Complex64::ZERO);
+    for i in 0..dim {
+        data[i * dim + i] = Complex64::ONE;
+    }
+}
+
+impl EvalPlan {
+    /// Phase-invariant cost and gradient at `params`, written into `grad`.
+    ///
+    /// With ops `G_0..G_{k-1}` (so `U = G_{k-1}···G_0`) and `A = target†`:
+    /// a backward sweep stores `AS_i = A·G_{k-1}···G_i`, then a forward
+    /// sweep maintains `prefix_i = G_{i-1}···G_0` and reads off each
+    /// angle's derivative from
+    /// `df_i = (−i/2)·Tr(prefix_i · AS_{i+1} · embed(P·R(θ_i)))`.
+    fn cost_and_grad(&self, params: &[f64], scratch: &mut EvalScratch, grad: &mut [f64]) -> f64 {
+        let k = self.ops.len();
+        let dim = self.dim as f64;
+        scratch.as_chain[k].copy_from(&scratch.adag);
+        for i in (0..k).rev() {
+            let (lo, hi) = scratch.as_chain.split_at_mut(i + 1);
+            lo[i].copy_from(&hi[0]);
+            apply_right(&mut lo[i], &self.ops[i], params);
+        }
+        // f = Tr(A·U) = Tr(AS_0)
+        let f = scratch.as_chain[0].trace();
+        let fabs = f.abs().max(1e-300);
+        let cost = 1.0 - fabs / dim;
+
+        grad.fill(0.0);
+        set_identity(&mut scratch.prefix);
+        for (i, op) in self.ops.iter().enumerate() {
+            if let PlanOp::Rot { axis, mask, param } = *op {
+                let q = gen_rot2(axis, params[param]);
+                let df =
+                    mixed_trace(&scratch.prefix, &scratch.as_chain[i + 1], mask, &q)
+                        * c64(0.0, -0.5);
+                // d|f|/dθ = Re(conj(f)·df)/|f|
+                grad[param] -= (f.conj() * df).re / fabs / dim;
+            }
+            apply_left(&mut scratch.prefix, op, params);
+        }
+        cost
+    }
 }
 
 impl Template {
@@ -128,26 +334,44 @@ impl Template {
         self.push_vug(target);
     }
 
-    fn elem_ops(&self) -> Vec<ElemOp> {
-        let mut ops = Vec::new();
+    /// Compiles the segment list into masked elementary ops.
+    fn plan(&self) -> EvalPlan {
+        let n = self.n_qubits;
+        let bit = |q: usize| 1usize << (n - 1 - q);
+        let mut ops = Vec::with_capacity(self.segments.len() * 3);
         for seg in &self.segments {
             match *seg {
                 Segment::Vug { qubit, param } => {
                     // U = RZ(a)·RY(b)·RZ(c): RZ(c) acts first.
-                    ops.push(ElemOp::Rot { axis: Axis::Z, qubit, param: param + 2 });
-                    ops.push(ElemOp::Rot { axis: Axis::Y, qubit, param: param + 1 });
-                    ops.push(ElemOp::Rot { axis: Axis::Z, qubit, param });
+                    let mask = bit(qubit);
+                    ops.push(PlanOp::Rot {
+                        axis: Axis::Z,
+                        mask,
+                        param: param + 2,
+                    });
+                    ops.push(PlanOp::Rot {
+                        axis: Axis::Y,
+                        mask,
+                        param: param + 1,
+                    });
+                    ops.push(PlanOp::Rot {
+                        axis: Axis::Z,
+                        mask,
+                        param,
+                    });
                 }
                 Segment::Cnot { control, target } => {
-                    ops.push(ElemOp::Fixed(
-                        Gate::CX
-                            .unitary_matrix()
-                            .embed(&[control, target], self.n_qubits),
-                    ));
+                    ops.push(PlanOp::Cnot {
+                        cmask: bit(control),
+                        tmask: bit(target),
+                    });
                 }
             }
         }
-        ops
+        EvalPlan {
+            dim: 1 << n,
+            ops,
+        }
     }
 
     /// Evaluates the template unitary at `params`.
@@ -157,16 +381,10 @@ impl Template {
     /// Panics if `params.len() != n_params`.
     pub fn unitary(&self, params: &[f64]) -> Matrix {
         assert_eq!(params.len(), self.n_params, "parameter count mismatch");
-        let dim = 1usize << self.n_qubits;
-        let mut u = Matrix::identity(dim);
-        for op in self.elem_ops() {
-            let g = match op {
-                ElemOp::Fixed(m) => m,
-                ElemOp::Rot { axis, qubit, param } => axis
-                    .rotation(params[param])
-                    .embed(&[qubit], self.n_qubits),
-            };
-            u = g.matmul(&u);
+        let plan = self.plan();
+        let mut u = Matrix::identity(plan.dim);
+        for op in &plan.ops {
+            apply_left(&mut u, op, params);
         }
         u
     }
@@ -178,57 +396,10 @@ impl Template {
     /// Panics on parameter count mismatch.
     pub fn cost_and_grad(&self, target: &Matrix, params: &[f64]) -> (f64, Vec<f64>) {
         assert_eq!(params.len(), self.n_params, "parameter count mismatch");
-        let dim = 1usize << self.n_qubits;
-        let a = target.dagger();
-        let ops = self.elem_ops();
-        let k = ops.len();
-        // Gate matrices.
-        let mats: Vec<Matrix> = ops
-            .iter()
-            .map(|op| match op {
-                ElemOp::Fixed(m) => m.clone(),
-                ElemOp::Rot { axis, qubit, param } => axis
-                    .rotation(params[*param])
-                    .embed(&[*qubit], self.n_qubits),
-            })
-            .collect();
-        // prefix[i] = G_{i-1}···G_1 (prefix[0] = I)
-        let mut prefix = Vec::with_capacity(k + 1);
-        prefix.push(Matrix::identity(dim));
-        for m in &mats {
-            let last = prefix.last().expect("non-empty");
-            prefix.push(m.matmul(last));
-        }
-        // suffix[i] = G_k···G_{i+1} (suffix[k] = I)
-        let mut suffix = vec![Matrix::identity(dim); k + 1];
-        for i in (0..k).rev() {
-            suffix[i] = suffix[i + 1].matmul(&mats[i]);
-        }
-        let u = &prefix[k];
-        // f = Tr(A·U)
-        let f = a.matmul(u).trace();
-        let fabs = f.abs().max(1e-300);
-        let cost = 1.0 - fabs / dim as f64;
-
+        let plan = self.plan();
+        let mut scratch = EvalScratch::new(target, &plan);
         let mut grad = vec![0.0f64; self.n_params];
-        for (i, op) in ops.iter().enumerate() {
-            if let ElemOp::Rot { axis, qubit, param } = op {
-                // dG_i = (−i P/2) embedded acting on G_i; embed is linear,
-                // so dG_i = embed((−i P/2)·R) = scale·embed(P)·G_i-embedded?
-                // embed(P·R) = embed(P)·embed(R) for same-qubit products.
-                let p_embed = axis.generator().embed(&[*qubit], self.n_qubits);
-                let dg = p_embed.matmul(&mats[i]).scale(c64(0.0, -0.5));
-                // df = Tr(A · suffix_{i+1} · dG · prefix_i)
-                let m = a
-                    .matmul(&suffix[i + 1])
-                    .matmul(&dg)
-                    .matmul(&prefix[i]);
-                let df = m.trace();
-                // d|f|/dθ = Re(conj(f)·df)/|f|
-                let dabs = (f.conj() * df).re / fabs;
-                grad[*param] -= dabs / dim as f64;
-            }
-        }
+        let cost = plan.cost_and_grad(params, &mut scratch, &mut grad);
         (cost, grad)
     }
 
@@ -246,6 +417,9 @@ impl Template {
         rng: &mut impl Rng,
         opts: &InstantiateOptions,
     ) -> (Vec<f64>, f64) {
+        let plan = self.plan();
+        let mut scratch = EvalScratch::new(target, &plan);
+        let mut g = vec![0.0f64; self.n_params];
         let mut best_params: Vec<f64> = Vec::new();
         let mut best_cost = f64::INFINITY;
         for _restart in 0..opts.restarts.max(1) {
@@ -257,7 +431,7 @@ impl Template {
             let (b1, b2, eps) = (0.9, 0.999, 1e-8);
             let mut cost = f64::INFINITY;
             for step in 1..=opts.max_iters {
-                let (c, g) = self.cost_and_grad(target, &params);
+                let c = plan.cost_and_grad(&params, &mut scratch, &mut g);
                 cost = c;
                 if c < opts.cost_threshold {
                     break;
@@ -346,6 +520,91 @@ mod tests {
     use epoc_linalg::random_unitary;
     use epoc_rt::rng::StdRng;
 
+    /// Dense reference evaluator: embeds every elementary gate to `d×d`
+    /// and multiplies — the pre-plan implementation, kept as the oracle
+    /// for the sparse row/column-mix path.
+    fn unitary_reference(t: &Template, params: &[f64]) -> Matrix {
+        let n = t.n_qubits();
+        let rot = |axis: Axis, theta: f64| match axis {
+            Axis::Z => Gate::RZ(theta).unitary_matrix(),
+            Axis::Y => Gate::RY(theta).unitary_matrix(),
+        };
+        let mut u = Matrix::identity(1 << n);
+        for seg in t.segments() {
+            match *seg {
+                Segment::Vug { qubit, param } => {
+                    for (axis, p) in [(Axis::Z, param + 2), (Axis::Y, param + 1), (Axis::Z, param)]
+                    {
+                        u = rot(axis, params[p]).embed(&[qubit], n).matmul(&u);
+                    }
+                }
+                Segment::Cnot { control, target } => {
+                    u = Gate::CX
+                        .unitary_matrix()
+                        .embed(&[control, target], n)
+                        .matmul(&u);
+                }
+            }
+        }
+        u
+    }
+
+    fn random_template(g: &mut epoc_rt::check::Gen) -> Template {
+        let n = g.usize_in(1, 4);
+        let mut t = Template::initial(n);
+        if n >= 2 {
+            for _ in 0..g.usize_in(0, 4) {
+                let c = g.usize_in(0, n);
+                let mut tq = g.usize_in(0, n);
+                if tq == c {
+                    tq = (tq + 1) % n;
+                }
+                t.push_cell(c, tq);
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn prop_plan_unitary_matches_dense_reference() {
+        epoc_rt::check::property("synth plan unitary == dense embed/matmul reference")
+            .cases(30)
+            .run(|g| {
+                let t = random_template(g);
+                let params: Vec<f64> = (0..t.n_params())
+                    .map(|_| g.f64_in(-7.0, 7.0))
+                    .collect();
+                let fast = t.unitary(&params);
+                let slow = unitary_reference(&t, &params);
+                assert!(
+                    fast.approx_eq(&slow, 1e-12),
+                    "plan and reference unitaries diverge"
+                );
+            });
+    }
+
+    #[test]
+    fn prop_plan_cost_matches_dense_reference() {
+        epoc_rt::check::property("synth plan cost == dense reference cost")
+            .cases(20)
+            .run(|g| {
+                let t = random_template(g);
+                let dim = 1usize << t.n_qubits();
+                let mut rng = StdRng::seed_from_u64(g.usize_in(0, 1 << 30) as u64);
+                let target = random_unitary(dim, &mut rng);
+                let params: Vec<f64> = (0..t.n_params())
+                    .map(|_| g.f64_in(-7.0, 7.0))
+                    .collect();
+                let (cost, _) = t.cost_and_grad(&target, &params);
+                let f = target.dagger().matmul(&unitary_reference(&t, &params)).trace();
+                let expect = 1.0 - f.abs() / dim as f64;
+                assert!(
+                    (cost - expect).abs() < 1e-12,
+                    "plan cost {cost} vs reference {expect}"
+                );
+            });
+    }
+
     #[test]
     fn initial_template_shape() {
         let t = Template::initial(2);
@@ -379,6 +638,30 @@ mod tests {
         let target = random_unitary(4, &mut rng);
         let mut t = Template::initial(2);
         t.push_cell(0, 1);
+        let params: Vec<f64> = (0..t.n_params()).map(|_| rng.gen_f64() * 6.0).collect();
+        let (c0, grad) = t.cost_and_grad(&target, &params);
+        let h = 1e-6;
+        for j in 0..t.n_params() {
+            let mut p = params.clone();
+            p[j] += h;
+            let (c1, _) = t.cost_and_grad(&target, &p);
+            let fd = (c1 - c0) / h;
+            assert!(
+                (fd - grad[j]).abs() < 1e-4,
+                "param {j}: fd {fd} vs analytic {}",
+                grad[j]
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference_three_qubits() {
+        // Exercises non-adjacent masks and reversed-direction CNOTs.
+        let mut rng = StdRng::seed_from_u64(7);
+        let target = random_unitary(8, &mut rng);
+        let mut t = Template::initial(3);
+        t.push_cell(2, 0);
+        t.push_cell(1, 2);
         let params: Vec<f64> = (0..t.n_params()).map(|_| rng.gen_f64() * 6.0).collect();
         let (c0, grad) = t.cost_and_grad(&target, &params);
         let h = 1e-6;

@@ -39,6 +39,34 @@ fn pipeline_parallel_determinism_random_circuits() {
     }
 }
 
+/// The parallel pulse stage must replay GRAPE cache effects exactly: with
+/// a real hybrid backend (GRAPE on 1-qubit blocks, per-gate pulses so the
+/// stream contains duplicate unitaries), the report — including the
+/// cache hit/miss counters — is byte-identical at any worker count, both
+/// on a cold cache and on a warm second compile.
+#[test]
+fn hybrid_grape_pulse_stage_deterministic() {
+    let circuit = generators::qaoa(3, 1, 2);
+    let compile_twice = |workers: usize| -> (String, String) {
+        let compiler = EpocCompiler::new(
+            EpocConfig::with_grape(1)
+                .without_regrouping()
+                .with_workers(workers),
+        );
+        let mut cold = compiler.compile(&circuit);
+        let mut warm = compiler.compile(&circuit);
+        assert!(cold.verified && warm.verified);
+        cold.compile_time = Duration::ZERO;
+        warm.compile_time = Duration::ZERO;
+        (cold.to_json(), warm.to_json())
+    };
+    assert_eq!(
+        compile_twice(1),
+        compile_twice(4),
+        "hybrid GRAPE pulse stage differs across worker counts"
+    );
+}
+
 #[test]
 fn latency_and_esp_identical_across_worker_counts() {
     let circuit = generators::ghz(4);
