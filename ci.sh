@@ -46,9 +46,18 @@ else
 fi
 
 # bench-check: a quick bench run (3 samples per stage) writes
-# BENCH_stages.json and fails if any stage's median regressed more than
-# 2x against the committed BENCH_baseline.json. The bench binary skips
-# the comparison (with a notice) when no baseline is committed.
+# target/BENCH_stages.json and fails if any stage's median regressed more
+# than 2x against the committed BENCH_baseline.json. The bench binary
+# skips the comparison (with a notice) when no baseline is committed.
 run env EPOC_BENCH_QUICK=1 EPOC_BENCH_CHECK=1 cargo bench -p epoc-bench --bench stages
+
+# trace-smoke: compile a benchmark with telemetry enabled and validate the
+# exported Chrome trace structurally — malformed or empty traces (or a
+# compile that lost one of the five stage spans) fail the build. Needs the
+# release binaries, so it rides with the non-quick path.
+if [ "$quick" -eq 0 ]; then
+    run ./target/release/epocc --trace target/trace-smoke.json bench:ghz_n8
+    run ./target/release/trace_check --require-qoc target/trace-smoke.json
+fi
 
 echo "CI OK"

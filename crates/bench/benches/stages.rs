@@ -5,8 +5,10 @@
 //! cargo bench -p epoc-bench
 //! ```
 //!
-//! Every run writes the per-stage medians to `BENCH_stages.json` at the
-//! workspace root, so speedups are tracked as data rather than claims.
+//! Every run writes the per-stage medians to `target/BENCH_stages.json`
+//! (an untracked build artifact — only the pinned `BENCH_baseline.json`
+//! at the workspace root is committed), so speedups are tracked as data
+//! rather than claims.
 //! Two environment variables drive CI integration (see `ci.sh`):
 //!
 //! * `EPOC_BENCH_QUICK=1` — 3 samples instead of 10, for a fast smoke run;
@@ -161,7 +163,7 @@ fn bench_pipeline(stats: &mut Vec<Stats>) {
     );
 }
 
-/// Writes `BENCH_stages.json` at the workspace root and returns its path.
+/// Writes `target/BENCH_stages.json` and returns its path.
 fn write_report(stats: &[Stats]) -> PathBuf {
     let mut benches = Json::obj();
     for s in stats {
@@ -178,7 +180,10 @@ fn write_report(stats: &[Stats]) -> PathBuf {
         .push("schema", "epoc-bench-stages/v1")
         .push("quick", quick())
         .push("benches", benches);
-    let path = workspace_root().join("BENCH_stages.json");
+    let dir = workspace_root().join("target");
+    std::fs::create_dir_all(&dir)
+        .unwrap_or_else(|e| panic!("creating {}: {e}", dir.display()));
+    let path = dir.join("BENCH_stages.json");
     std::fs::write(&path, doc.to_string_pretty() + "\n")
         .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
     path

@@ -4,17 +4,24 @@
 //! pulse schedule and prints the report.
 //!
 //! ```sh
-//! epocc circuit.qasm                # EPOC pipeline (default config)
+//! epocc circuit.qasm                # EPOC pipeline (hybrid GRAPE backend)
 //! epocc --flow gate-based bench:ghz_n8
 //! epocc --flow paqoc --no-zx bench:qaoa_n6
 //! epocc --no-regroup circuit.qasm   # the Figures-8/10 "no grouping" arm
 //! epocc --schedule circuit.qasm     # dump the pulse timeline
+//! epocc --grape 0 circuit.qasm      # modeled backend (no GRAPE)
+//! epocc --trace t.json bench:ghz_n8 # Chrome trace of the compile
+//! epocc --metrics bench:ghz_n8      # counter/histogram dump + stage times
 //! ```
 
 use epoc::baselines::{gate_based, PaqocCompiler};
 use epoc::{CompilationReport, EpocCompiler, EpocConfig};
 use epoc_circuit::{generators, parse_qasm, Circuit};
 use std::process::ExitCode;
+
+/// GRAPE width cap of the default `epoc` flow (`--grape` overrides; 0
+/// selects the calibrated duration model instead).
+const DEFAULT_GRAPE_LIMIT: usize = 2;
 
 struct Args {
     input: String,
@@ -23,12 +30,19 @@ struct Args {
     regroup: bool,
     show_schedule: bool,
     json: bool,
+    trace: Option<String>,
+    metrics: bool,
+    grape_limit: usize,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: epocc [--flow epoc|gate-based|paqoc] [--no-zx] [--no-regroup] \
-         [--schedule] [--json] <file.qasm | bench:NAME>\n\
+         [--grape N] [--schedule] [--json] [--trace FILE] [--metrics] \
+         <file.qasm | bench:NAME>\n\
+         --grape N    GRAPE width cap for the epoc flow (default {DEFAULT_GRAPE_LIMIT}; 0 = modeled)\n\
+         --trace FILE write a Chrome trace-event JSON of the compile to FILE\n\
+         --metrics    print telemetry counters, histograms, and stage times\n\
          builtin benchmarks: {}",
         generators::benchmark_suite()
             .iter()
@@ -39,6 +53,18 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
+/// The value of a `--flag VALUE` pair, failing with a targeted message
+/// (not the generic usage dump) when the value is missing.
+fn flag_value(iter: &mut impl Iterator<Item = String>, flag: &str, what: &str) -> String {
+    match iter.next() {
+        Some(v) if !v.starts_with('-') => v,
+        _ => {
+            eprintln!("error: {flag} requires {what}");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn parse_args() -> Args {
     let mut args = Args {
         input: String::new(),
@@ -47,15 +73,30 @@ fn parse_args() -> Args {
         regroup: true,
         show_schedule: false,
         json: false,
+        trace: None,
+        metrics: false,
+        grape_limit: DEFAULT_GRAPE_LIMIT,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(a) = iter.next() {
         match a.as_str() {
-            "--flow" => args.flow = iter.next().unwrap_or_else(|| usage()),
+            "--flow" => args.flow = flag_value(&mut iter, "--flow", "a flow name"),
             "--no-zx" => args.zx = false,
             "--no-regroup" => args.regroup = false,
             "--schedule" => args.show_schedule = true,
             "--json" => args.json = true,
+            "--trace" => args.trace = Some(flag_value(&mut iter, "--trace", "a path")),
+            "--metrics" => args.metrics = true,
+            "--grape" => {
+                let v = flag_value(&mut iter, "--grape", "a qubit count");
+                args.grape_limit = match v.parse() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        eprintln!("error: --grape expects a non-negative integer, got '{v}'");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => usage(),
             other => args.input = other.to_string(),
@@ -117,12 +158,17 @@ fn main() -> ExitCode {
             circuit.depth()
         );
     }
+    if args.trace.is_some() || args.metrics {
+        epoc_rt::telemetry::enable();
+    }
     let report = match args.flow.as_str() {
         "epoc" => {
-            let mut config = EpocConfig {
-                zx: args.zx,
-                ..EpocConfig::default()
+            let base = if args.grape_limit == 0 {
+                EpocConfig::default()
+            } else {
+                EpocConfig::with_grape(args.grape_limit)
             };
+            let mut config = EpocConfig { zx: args.zx, ..base };
             if !args.regroup {
                 config = config.without_regrouping();
             }
@@ -132,6 +178,20 @@ fn main() -> ExitCode {
         "paqoc" => PaqocCompiler::default().compile(&circuit),
         _ => unreachable!("flow validated at startup"),
     };
+    if let Some(path) = &args.trace {
+        let trace = epoc_rt::telemetry::chrome_trace().to_string_pretty();
+        if let Err(e) = std::fs::write(path, trace) {
+            eprintln!("error: cannot write trace to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        if !args.json {
+            println!("trace written to {path}");
+        }
+    }
+    if args.metrics {
+        eprintln!("{}", epoc_rt::telemetry::metrics_text());
+        eprintln!("{}", report.stages.to_text());
+    }
     if args.json {
         println!("{}", report.to_json());
         return if report.verified || report.verify_skipped {

@@ -1,0 +1,110 @@
+//! `trace_check` — structural validator for `epocc --trace` output.
+//!
+//! Parses a Chrome trace-event JSON file and asserts the invariants the
+//! telemetry layer promises: a non-empty `traceEvents` array of well-formed
+//! `"X"` events and one span per pipeline stage. The CI `trace-smoke` step
+//! runs it against a fresh `epocc --trace` compile so a malformed or empty
+//! trace fails the build instead of silently shipping.
+//!
+//! ```sh
+//! trace_check trace.json                # stage spans only
+//! trace_check --require-qoc trace.json  # also demand GRAPE/QSearch spans
+//! ```
+
+use epoc_rt::json::Json;
+use std::process::ExitCode;
+
+/// Stage spans every EPOC compile must emit (cat `"stage"`).
+const STAGES: [&str; 5] = ["zx", "partition", "synth", "regroup", "pulse"];
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("trace_check: FAIL: {msg}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut require_qoc = false;
+    let mut path = String::new();
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--require-qoc" => require_qoc = true,
+            other if other.starts_with('-') => {
+                eprintln!("usage: trace_check [--require-qoc] <trace.json>");
+                return ExitCode::from(2);
+            }
+            other => path = other.to_string(),
+        }
+    }
+    if path.is_empty() {
+        eprintln!("usage: trace_check [--require-qoc] <trace.json>");
+        return ExitCode::from(2);
+    }
+
+    let source = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("cannot read {path}: {e}")),
+    };
+    let doc = match Json::parse(&source) {
+        Ok(j) => j,
+        Err(e) => return fail(&format!("{path} is not valid JSON: {e}")),
+    };
+
+    let Some(Json::Arr(events)) = doc.get("traceEvents") else {
+        return fail("top-level \"traceEvents\" array missing");
+    };
+    if events.is_empty() {
+        return fail("traceEvents is empty — was telemetry enabled?");
+    }
+
+    // Every event must be a complete ("X") event with the full field set
+    // and lossless integer timestamps in args.
+    let mut spans: Vec<(String, String)> = Vec::new();
+    for (i, e) in events.iter().enumerate() {
+        let name = match e.get("name").and_then(Json::as_str) {
+            Some(n) => n.to_string(),
+            None => return fail(&format!("event {i}: missing \"name\"")),
+        };
+        let cat = match e.get("cat").and_then(Json::as_str) {
+            Some(c) => c.to_string(),
+            None => return fail(&format!("event {i} ({name}): missing \"cat\"")),
+        };
+        if e.get("ph").and_then(Json::as_str) != Some("X") {
+            return fail(&format!("event {i} ({name}): ph is not \"X\""));
+        }
+        for field in ["ts", "dur", "pid", "tid"] {
+            if e.get(field).and_then(Json::as_f64).is_none() {
+                return fail(&format!("event {i} ({name}): missing numeric \"{field}\""));
+            }
+        }
+        let Some(args) = e.get("args") else {
+            return fail(&format!("event {i} ({name}): missing \"args\""));
+        };
+        for field in ["ts_ns", "dur_ns", "depth"] {
+            if args.get(field).and_then(Json::as_f64).is_none() {
+                return fail(&format!("event {i} ({name}): missing args.{field}"));
+            }
+        }
+        spans.push((cat, name));
+    }
+
+    for stage in STAGES {
+        if !spans.iter().any(|(c, n)| c == "stage" && n == stage) {
+            return fail(&format!("no \"stage\" span named \"{stage}\""));
+        }
+    }
+    if require_qoc {
+        for (cat, name) in [("qoc", "grape"), ("synth", "qsearch")] {
+            if !spans.iter().any(|(c, n)| c == cat && n == name) {
+                return fail(&format!("no \"{cat}\" span named \"{name}\""));
+            }
+        }
+    }
+
+    println!(
+        "trace_check: OK: {} events, all {} stage spans present{}",
+        events.len(),
+        STAGES.len(),
+        if require_qoc { ", grape + qsearch present" } else { "" }
+    );
+    ExitCode::SUCCESS
+}

@@ -31,7 +31,7 @@ mod report;
 
 pub use config::{Backend, EpocConfig};
 pub use pipeline::{compile_default, is_compilable, EpocCompiler};
-pub use report::{CompilationReport, StageStats};
+pub use report::{CompilationReport, StageStats, StageTimings};
 
 pub use epoc_circuit as circuit;
 pub use epoc_linalg as linalg;

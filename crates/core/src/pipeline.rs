@@ -79,6 +79,15 @@ impl BackendImpl {
             BackendImpl::Modeled(m) => (m.library().hits(), m.library().misses()),
         }
     }
+
+    /// `(iterations, probes)` spent by the GRAPE sub-backend so far
+    /// (`(0, 0)` for the modeled backend).
+    pub(crate) fn grape_stats(&self) -> (usize, usize) {
+        match self.grape_backend() {
+            Some(g) => (g.total_iterations(), g.total_probes()),
+            None => (0, 0),
+        }
+    }
 }
 
 /// Generates the ASAP pulse schedule for a partition, one pulse per block.
@@ -191,8 +200,11 @@ pub struct EpocCompiler {
     config: EpocConfig,
     backend: BackendImpl,
     /// Synthesis memo: identical block unitaries (up to global phase)
-    /// reuse the previously synthesized local circuit.
-    synth_cache: Mutex<HashMap<epoc_linalg::UnitaryKey, (Circuit, bool)>>,
+    /// reuse the previously synthesized local circuit. The third element
+    /// is the QSearch node count of the first computation; cache hits
+    /// replay it so `StageStats::qsearch_nodes` is independent of which
+    /// worker computed a block first.
+    synth_cache: Mutex<HashMap<epoc_linalg::UnitaryKey, (Circuit, bool, usize)>>,
 }
 
 impl EpocCompiler {
@@ -216,36 +228,48 @@ impl EpocCompiler {
         let t0 = Instant::now();
         let mut stages = StageStats::default();
         let (hits0, misses0) = self.backend.cache_counts();
+        let (grape_iters0, grape_probes0) = self.backend.grape_stats();
 
         // Transpile to the hardware basis first — every flow prices the
         // same physical gate stream (see `epoc_circuit::lower_to_basis`).
         let basis = epoc_circuit::lower_to_basis(circuit);
 
         // §3.1 — graph-based depth optimization.
+        let stage_span = epoc_rt::telemetry::span("stage", "zx");
+        let stage_t = Instant::now();
         stages.zx_depth_before = basis.depth();
         let optimized = if self.config.zx && basis.len() <= self.config.zx_gate_limit {
             let r = zx_optimize(&basis);
             stages.zx_depth_after = r.depth_after;
+            stages.zx_rewrites = r.rewrites;
             r.circuit
         } else {
             stages.zx_depth_after = stages.zx_depth_before;
             basis.clone()
         };
         stages.gates_after_zx = optimized.len();
+        stages.timings.zx = stage_t.elapsed();
+        drop(stage_span);
 
         // §3.2 — greedy partitioning for synthesis.
+        let stage_span = epoc_rt::telemetry::span("stage", "partition");
+        let stage_t = Instant::now();
         let partition = greedy_partition(&optimized, self.config.partition);
         stages.synth_blocks = partition.len();
+        stages.timings.partition = stage_t.elapsed();
+        drop(stage_span);
 
         // §3.3 — VUG-based synthesis across the worker pool.
+        let stage_span = epoc_rt::telemetry::span("stage", "synth");
+        let stage_t = Instant::now();
         let synth_cfg = &self.config.synth;
         let limit = self.config.synth_qubit_limit;
         let blocks = partition.blocks();
         let gate_table = self.config.duration_model.gate_table;
         let cache = &self.synth_cache;
-        let synthesize_block = |block: &epoc_partition::Block| -> (Circuit, bool) {
+        let synthesize_block = |block: &epoc_partition::Block| -> (Circuit, bool, usize) {
             if block.n_qubits() > limit {
-                return (lower_to_vug_form(block.circuit()), false);
+                return (lower_to_vug_form(block.circuit()), false, 0);
             }
             let unitary = block.unitary();
             let key = epoc_linalg::UnitaryKey::new(&unitary);
@@ -265,9 +289,9 @@ impl EpocCompiler {
             let entry = if r.converged
                 && gate_table.critical_path(&r.circuit) <= gate_table.critical_path(&original)
             {
-                (r.circuit, true)
+                (r.circuit, true, r.nodes_evaluated)
             } else {
-                (original, false)
+                (original, false, r.nodes_evaluated)
             };
             cache.lock().unwrap().insert(key, entry.clone());
             entry
@@ -285,15 +309,20 @@ impl EpocCompiler {
             synthesize_block(block)
         });
         let mut vug_stream = Circuit::new(optimized.n_qubits());
-        for (block, (local, converged)) in blocks.iter().zip(results) {
+        for (block, (local, converged, nodes)) in blocks.iter().zip(results) {
             if converged {
                 stages.synth_converged += 1;
             }
+            stages.qsearch_nodes += nodes;
             vug_stream.extend_mapped(&local, block.qubits());
         }
         stages.vug_stream_gates = vug_stream.len();
+        stages.timings.synth = stage_t.elapsed();
+        drop(stage_span);
 
         // §3.3 — regrouping (or per-gate pulses when disabled).
+        let stage_span = epoc_rt::telemetry::span("stage", "regroup");
+        let stage_t = Instant::now();
         let final_partition = match self.config.regroup {
             Some(cfg) => regroup(&vug_stream, cfg),
             None => greedy_partition(
@@ -304,14 +333,23 @@ impl EpocCompiler {
                 },
             ),
         };
+        stages.timings.regroup = stage_t.elapsed();
+        drop(stage_span);
 
         // §3.4 — pulse generation through the backend + cache, fanned out
         // over the same worker crew as synthesis.
+        let stage_span = epoc_rt::telemetry::span("stage", "pulse");
+        let stage_t = Instant::now();
         let schedule = schedule_partition(&final_partition, &self.backend, n_workers);
         stages.pulses = schedule.len();
         let (hits1, misses1) = self.backend.cache_counts();
         stages.cache_hits = hits1.saturating_sub(hits0);
         stages.cache_misses = misses1.saturating_sub(misses0);
+        let (grape_iters1, grape_probes1) = self.backend.grape_stats();
+        stages.grape_iterations = grape_iters1.saturating_sub(grape_iters0);
+        stages.grape_probes = grape_probes1.saturating_sub(grape_probes0);
+        stages.timings.pulse = stage_t.elapsed();
+        drop(stage_span);
 
         // Verification: the synthesized stream must implement the input.
         let (verified, verify_skipped) = if !self.config.verify {

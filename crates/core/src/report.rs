@@ -4,6 +4,37 @@ use epoc_pulse::PulseSchedule;
 use epoc_rt::json::Json;
 use std::time::Duration;
 
+/// Wall-clock durations of the five pipeline stages.
+///
+/// Timings are observability data, not part of the deterministic report
+/// surface: the byte-determinism tests zero this struct (exactly as they
+/// zero `compile_time`) before comparing serialized reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    /// §3.1 ZX depth optimization.
+    pub zx: Duration,
+    /// §3.2 greedy partitioning.
+    pub partition: Duration,
+    /// §3.3 VUG synthesis fan-out.
+    pub synth: Duration,
+    /// §3.3 regrouping (or the per-gate fallback partition).
+    pub regroup: Duration,
+    /// §3.4 pulse generation.
+    pub pulse: Duration,
+}
+
+impl StageTimings {
+    /// The timings as a JSON value, one `<stage>_ns` integer per stage.
+    pub fn to_json_value(&self) -> Json {
+        Json::obj()
+            .push("zx_ns", self.zx.as_nanos() as u64)
+            .push("partition_ns", self.partition.as_nanos() as u64)
+            .push("synth_ns", self.synth.as_nanos() as u64)
+            .push("regroup_ns", self.regroup.as_nanos() as u64)
+            .push("pulse_ns", self.pulse.as_nanos() as u64)
+    }
+}
+
 /// Per-stage statistics of one EPOC compilation.
 #[derive(Debug, Clone, Default)]
 pub struct StageStats {
@@ -11,12 +42,19 @@ pub struct StageStats {
     pub zx_depth_before: usize,
     /// Depth after ZX (equals before when the pass is disabled/fell back).
     pub zx_depth_after: usize,
+    /// ZX rewrite rules applied to produce the kept circuit (0 when the
+    /// pass was skipped or fell back).
+    pub zx_rewrites: usize,
     /// Gate count entering partitioning.
     pub gates_after_zx: usize,
     /// Synthesis blocks processed.
     pub synth_blocks: usize,
     /// Blocks where QSearch converged (vs structural fallback).
     pub synth_converged: usize,
+    /// QSearch nodes instantiated across all synthesis blocks. Cache-hit
+    /// blocks replay the node count of the first computation, so the total
+    /// is identical at any worker count.
+    pub qsearch_nodes: usize,
     /// Gates in the synthesized VUG/CNOT stream.
     pub vug_stream_gates: usize,
     /// Pulses in the final schedule.
@@ -25,6 +63,13 @@ pub struct StageStats {
     pub cache_hits: usize,
     /// Pulse-cache misses.
     pub cache_misses: usize,
+    /// GRAPE Adam iterations spent during this compile (0 for the modeled
+    /// backend).
+    pub grape_iterations: usize,
+    /// GRAPE duration-search probes spent during this compile.
+    pub grape_probes: usize,
+    /// Per-stage wall-clock durations (zeroed by determinism checks).
+    pub timings: StageTimings,
 }
 
 impl StageStats {
@@ -33,13 +78,51 @@ impl StageStats {
         Json::obj()
             .push("zx_depth_before", self.zx_depth_before)
             .push("zx_depth_after", self.zx_depth_after)
+            .push("zx_rewrites", self.zx_rewrites)
             .push("gates_after_zx", self.gates_after_zx)
             .push("synth_blocks", self.synth_blocks)
             .push("synth_converged", self.synth_converged)
+            .push("qsearch_nodes", self.qsearch_nodes)
             .push("vug_stream_gates", self.vug_stream_gates)
             .push("pulses", self.pulses)
             .push("cache_hits", self.cache_hits)
             .push("cache_misses", self.cache_misses)
+            .push("grape_iterations", self.grape_iterations)
+            .push("grape_probes", self.grape_probes)
+            .push("timings", self.timings.to_json_value())
+    }
+
+    /// Multi-line human-readable stage breakdown (work metrics plus the
+    /// per-stage wall clock).
+    pub fn to_text(&self) -> String {
+        let t = &self.timings;
+        format!(
+            "stages:\n\
+             \x20 zx         {:>10.2?}  depth {} -> {}, {} rewrites\n\
+             \x20 partition  {:>10.2?}  {} blocks from {} gates\n\
+             \x20 synth      {:>10.2?}  {}/{} converged, {} qsearch nodes, {} vug gates\n\
+             \x20 regroup    {:>10.2?}\n\
+             \x20 pulse      {:>10.2?}  {} pulses, cache {}/{} hit, grape {} iters / {} probes",
+            t.zx,
+            self.zx_depth_before,
+            self.zx_depth_after,
+            self.zx_rewrites,
+            t.partition,
+            self.synth_blocks,
+            self.gates_after_zx,
+            t.synth,
+            self.synth_converged,
+            self.synth_blocks,
+            self.qsearch_nodes,
+            self.vug_stream_gates,
+            t.regroup,
+            t.pulse,
+            self.pulses,
+            self.cache_hits,
+            self.cache_hits + self.cache_misses,
+            self.grape_iterations,
+            self.grape_probes,
+        )
     }
 }
 
@@ -156,13 +239,24 @@ mod tests {
             stages: StageStats {
                 zx_depth_before: 3,
                 zx_depth_after: 2,
+                zx_rewrites: 4,
                 gates_after_zx: 2,
                 synth_blocks: 1,
                 synth_converged: 1,
+                qsearch_nodes: 9,
                 vug_stream_gates: 2,
                 pulses: 1,
                 cache_hits: 0,
                 cache_misses: 1,
+                grape_iterations: 120,
+                grape_probes: 3,
+                timings: StageTimings {
+                    zx: Duration::from_nanos(10),
+                    partition: Duration::from_nanos(20),
+                    synth: Duration::from_nanos(30),
+                    regroup: Duration::from_nanos(40),
+                    pulse: Duration::from_nanos(50),
+                },
             },
             verified: true,
             verify_skipped: false,
@@ -193,13 +287,24 @@ mod tests {
             "  \"stages\": {\n",
             "    \"zx_depth_before\": 3,\n",
             "    \"zx_depth_after\": 2,\n",
+            "    \"zx_rewrites\": 4,\n",
             "    \"gates_after_zx\": 2,\n",
             "    \"synth_blocks\": 1,\n",
             "    \"synth_converged\": 1,\n",
+            "    \"qsearch_nodes\": 9,\n",
             "    \"vug_stream_gates\": 2,\n",
             "    \"pulses\": 1,\n",
             "    \"cache_hits\": 0,\n",
-            "    \"cache_misses\": 1\n",
+            "    \"cache_misses\": 1,\n",
+            "    \"grape_iterations\": 120,\n",
+            "    \"grape_probes\": 3,\n",
+            "    \"timings\": {\n",
+            "      \"zx_ns\": 10,\n",
+            "      \"partition_ns\": 20,\n",
+            "      \"synth_ns\": 30,\n",
+            "      \"regroup_ns\": 40,\n",
+            "      \"pulse_ns\": 50\n",
+            "    }\n",
             "  },\n",
             "  \"verified\": true,\n",
             "  \"verify_skipped\": false\n",

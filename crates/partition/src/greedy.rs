@@ -40,6 +40,7 @@ impl Default for PartitionConfig {
 /// Panics if `config.max_qubits == 0` or `config.max_gates == 0`, or if
 /// the circuit contains a gate wider than `max_qubits`.
 pub fn greedy_partition(circuit: &Circuit, config: PartitionConfig) -> Partition {
+    let _span = epoc_rt::telemetry::span("partition", "greedy_partition");
     assert!(config.max_qubits >= 1, "max_qubits must be positive");
     assert!(config.max_gates >= 1, "max_gates must be positive");
     let n = circuit.n_qubits();
@@ -111,6 +112,7 @@ pub fn greedy_partition(circuit: &Circuit, config: PartitionConfig) -> Partition
             blocks.push(make_block(ops, &[i]));
         }
     }
+    crate::record_partition_telemetry("partition", &blocks);
     Partition::new(n, blocks)
 }
 

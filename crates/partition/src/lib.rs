@@ -33,3 +33,30 @@ pub use block::{Block, Partition};
 pub use greedy::{greedy_partition, PartitionConfig};
 pub use paqoc::{mine_patterns, paqoc_partition, PaqocConfig, PatternKey};
 pub use regroup::{regroup, regroup_to_blocks, RegroupConfig, RegroupStats};
+
+/// Records block-count and per-block shape telemetry for a finished
+/// partitioning pass under the `<prefix>.*` metric names. One counter add
+/// plus two histogram samples per block; free when telemetry is disabled.
+pub(crate) fn record_partition_telemetry(prefix: &'static str, blocks: &[Block]) {
+    use epoc_rt::telemetry;
+    if !telemetry::is_enabled() {
+        return;
+    }
+    let (blocks_name, qubits_name, gates_name) = match prefix {
+        "regroup" => (
+            "regroup.blocks",
+            "regroup.block_qubits",
+            "regroup.block_gates",
+        ),
+        _ => (
+            "partition.blocks",
+            "partition.block_qubits",
+            "partition.block_gates",
+        ),
+    };
+    telemetry::counter_add(blocks_name, blocks.len() as u64);
+    for block in blocks {
+        telemetry::histogram_record(qubits_name, block.n_qubits() as u64);
+        telemetry::histogram_record(gates_name, block.circuit().len() as u64);
+    }
+}

@@ -51,13 +51,16 @@ pub struct RegroupStats {
 /// produces far fewer, fuller blocks, which directly translates into
 /// fewer pulses.
 pub fn regroup(circuit: &Circuit, config: RegroupConfig) -> Partition {
-    paqoc_partition(
+    let _span = epoc_rt::telemetry::span("partition", "regroup");
+    let p = paqoc_partition(
         circuit,
         PaqocConfig {
             max_qubits: config.max_qubits,
             max_gates: config.max_gates,
         },
-    )
+    );
+    crate::record_partition_telemetry("regroup", p.blocks());
+    p
 }
 
 /// Regroups and converts to a circuit of opaque unitary blocks, returning

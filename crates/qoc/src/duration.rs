@@ -41,6 +41,9 @@ pub struct PulseSolution {
     pub n_slots: usize,
     /// Total GRAPE probes spent.
     pub probes: usize,
+    /// GRAPE iterations spent across every probe of the search (including
+    /// failed probes and discarded restarts).
+    pub total_iterations: usize,
 }
 
 /// Error from [`minimize_duration`].
@@ -50,6 +53,10 @@ pub struct SearchDurationError {
     pub best_fidelity: f64,
     /// The slot cap that was tried.
     pub max_slots: usize,
+    /// GRAPE probes spent before giving up.
+    pub probes: usize,
+    /// GRAPE iterations spent across every probe before giving up.
+    pub total_iterations: usize,
 }
 
 impl std::fmt::Display for SearchDurationError {
@@ -75,16 +82,21 @@ pub fn minimize_duration(
     target: &Matrix,
     config: &DurationSearchConfig,
 ) -> Result<PulseSolution, SearchDurationError> {
+    let _span = epoc_rt::telemetry::span("qoc", "duration_search");
     let mut probes = 0usize;
-    let mut run = |slots: usize| -> GrapeResult {
-        probes += 1;
-        grape(device, target, slots, &config.grape)
+    let mut total_iterations = 0usize;
+    let run = |slots: usize, probes: &mut usize, iters: &mut usize| -> GrapeResult {
+        *probes += 1;
+        epoc_rt::telemetry::counter_add("grape.probes", 1);
+        let r = grape(device, target, slots, &config.grape);
+        *iters += r.total_iterations;
+        r
     };
     // Phase 1: geometric growth until success.
     let mut hi = config.initial_slots.max(1);
     let mut hi_result;
     loop {
-        let r = run(hi);
+        let r = run(hi, &mut probes, &mut total_iterations);
         if r.fidelity >= config.fidelity_threshold {
             hi_result = r;
             break;
@@ -93,6 +105,8 @@ pub fn minimize_duration(
             return Err(SearchDurationError {
                 best_fidelity: r.fidelity,
                 max_slots: config.max_slots,
+                probes,
+                total_iterations,
             });
         }
         hi = (hi * 2).min(config.max_slots);
@@ -102,7 +116,7 @@ pub fn minimize_duration(
     let mut best_slots = hi;
     while hi - lo > 1 {
         let mid = (lo + hi) / 2;
-        let r = run(mid);
+        let r = run(mid, &mut probes, &mut total_iterations);
         if r.fidelity >= config.fidelity_threshold {
             hi = mid;
             best_slots = mid;
@@ -115,6 +129,7 @@ pub fn minimize_duration(
         result: hi_result,
         n_slots: best_slots,
         probes,
+        total_iterations,
     })
 }
 

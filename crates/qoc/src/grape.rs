@@ -152,6 +152,9 @@ pub struct GrapeResult {
     pub duration: f64,
     /// Iterations consumed (across the best restart).
     pub iterations: usize,
+    /// Iterations consumed across *all* restarts of this run (what a
+    /// compile-time profile should charge the run with).
+    pub total_iterations: usize,
     /// The realized propagator.
     pub unitary: Matrix,
 }
@@ -167,6 +170,7 @@ pub fn grape(
     n_slots: usize,
     config: &GrapeConfig,
 ) -> GrapeResult {
+    let _span = epoc_rt::telemetry::span("qoc", "grape");
     assert!(n_slots > 0, "need at least one time slot");
     assert_eq!(target.rows(), device.dim(), "target dimension mismatch");
     let n_ctrl = device.controls().len();
@@ -176,11 +180,14 @@ pub fn grape(
 
     use epoc_rt::rng::StdRng;
     let mut best: Option<(Vec<Vec<f64>>, f64, usize)> = None;
+    let mut total_iterations = 0usize;
+    let mut restarts_run = 0usize;
     // One workspace serves every iteration of every restart.
     let mut ws = GrapeWorkspace::new(device, n_slots);
     let adag = target.dagger();
 
     for restart in 0..config.restarts.max(1) {
+        restarts_run += 1;
         let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(restart as u64));
         // Smooth random initialization well inside the bounds.
         let mut u: Vec<Vec<f64>> = (0..n_ctrl)
@@ -215,6 +222,7 @@ pub fn grape(
                 }
             }
         }
+        total_iterations += iters_used;
         let better = match &best {
             None => true,
             Some((_, bf, _)) => fidelity > *bf,
@@ -226,6 +234,9 @@ pub fn grape(
             }
         }
     }
+    epoc_rt::telemetry::counter_add("grape.iterations", total_iterations as u64);
+    epoc_rt::telemetry::counter_add("grape.restarts", restarts_run as u64);
+    epoc_rt::telemetry::histogram_record("grape.iters_per_run", total_iterations as u64);
     let (controls, fidelity, iterations) = best.expect("at least one restart ran");
     let unitary = propagate(device, &controls);
     GrapeResult {
@@ -233,6 +244,7 @@ pub fn grape(
         fidelity,
         duration: n_slots as f64 * dt,
         iterations,
+        total_iterations,
         unitary,
     }
 }

@@ -127,10 +127,12 @@ impl PulseLibrary {
         match self.peek(unitary) {
             Some(e) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                epoc_rt::telemetry::counter_add("pulse_lib.hits", 1);
                 Some(e)
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                epoc_rt::telemetry::counter_add("pulse_lib.misses", 1);
                 None
             }
         }
@@ -138,6 +140,7 @@ impl PulseLibrary {
 
     /// Inserts (or replaces) the pulse for `unitary`.
     pub fn insert(&self, unitary: &Matrix, entry: PulseEntry) {
+        epoc_rt::telemetry::counter_add("pulse_lib.inserts", 1);
         match self.policy {
             KeyPolicy::PhaseAware => {
                 self.phase_aware

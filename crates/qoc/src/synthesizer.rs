@@ -16,6 +16,7 @@ use crate::model::DurationModel;
 use epoc_circuit::Circuit;
 use epoc_linalg::Matrix;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// What a pulse is requested for.
@@ -45,6 +46,10 @@ pub struct GrapeSynthesizer {
     search: DurationSearchConfig,
     /// Width cap — requests beyond it panic (route them to a hybrid).
     max_qubits: usize,
+    /// GRAPE iterations spent by this backend across all searches.
+    iterations: AtomicUsize,
+    /// Duration-search GRAPE probes spent by this backend.
+    probes: AtomicUsize,
 }
 
 impl GrapeSynthesizer {
@@ -55,6 +60,8 @@ impl GrapeSynthesizer {
             devices: Mutex::new(HashMap::new()),
             search,
             max_qubits: max_qubits.clamp(1, 6),
+            iterations: AtomicUsize::new(0),
+            probes: AtomicUsize::new(0),
         }
     }
 
@@ -66,6 +73,17 @@ impl GrapeSynthesizer {
     /// Width cap.
     pub fn max_qubits(&self) -> usize {
         self.max_qubits
+    }
+
+    /// GRAPE iterations spent so far (every Adam step of every restart of
+    /// every probe, including failed probes).
+    pub fn total_iterations(&self) -> usize {
+        self.iterations.load(Ordering::Relaxed)
+    }
+
+    /// Duration-search GRAPE probes run so far.
+    pub fn total_probes(&self) -> usize {
+        self.probes.load(Ordering::Relaxed)
     }
 
     fn device_for(&self, n: usize) -> DeviceModel {
@@ -94,17 +112,25 @@ impl GrapeSynthesizer {
         );
         let device = self.device_for(n_qubits);
         match minimize_duration(&device, unitary, &self.search) {
-            Ok(sol) => PulseEntry {
-                duration: sol.result.duration,
-                fidelity: sol.result.fidelity,
-                n_slots: sol.n_slots,
-            },
-            Err(err) => PulseEntry {
-                // Unreachable within the cap: report the capped pulse.
-                duration: self.search.max_slots as f64 * device.dt(),
-                fidelity: err.best_fidelity,
-                n_slots: self.search.max_slots,
-            },
+            Ok(sol) => {
+                self.iterations.fetch_add(sol.total_iterations, Ordering::Relaxed);
+                self.probes.fetch_add(sol.probes, Ordering::Relaxed);
+                PulseEntry {
+                    duration: sol.result.duration,
+                    fidelity: sol.result.fidelity,
+                    n_slots: sol.n_slots,
+                }
+            }
+            Err(err) => {
+                self.iterations.fetch_add(err.total_iterations, Ordering::Relaxed);
+                self.probes.fetch_add(err.probes, Ordering::Relaxed);
+                PulseEntry {
+                    // Unreachable within the cap: report the capped pulse.
+                    duration: self.search.max_slots as f64 * device.dt(),
+                    fidelity: err.best_fidelity,
+                    n_slots: self.search.max_slots,
+                }
+            }
         }
     }
 }
@@ -242,6 +268,16 @@ impl HybridSynthesizer {
     /// Combined cache miss count.
     pub fn cache_misses(&self) -> usize {
         self.grape.library().misses() + self.model.library().misses()
+    }
+
+    /// GRAPE iterations spent by the GRAPE sub-backend so far.
+    pub fn total_iterations(&self) -> usize {
+        self.grape.total_iterations()
+    }
+
+    /// Duration-search GRAPE probes run by the GRAPE sub-backend so far.
+    pub fn total_probes(&self) -> usize {
+        self.grape.total_probes()
     }
 }
 

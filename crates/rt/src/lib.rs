@@ -17,6 +17,9 @@
 //!   whose `f64` formatting round-trips. Replaces `serde`/`serde_json`.
 //! * [`bench`] — a tiny wall-clock benchmark harness (median-of-N with
 //!   warmup). Replaces `criterion` for the stage benches.
+//! * [`telemetry`] — RAII spans, monotonic counters, and log-2 histograms
+//!   with Chrome trace-event export. Replaces `tracing`/`metrics`; off by
+//!   default with a one-atomic-load fast path.
 //!
 //! Every module is deliberately small: the goal is not to reimplement the
 //! upstream crates, only the narrow slices the workspace consumes, with
@@ -30,3 +33,4 @@ pub mod check;
 pub mod json;
 pub mod pool;
 pub mod rng;
+pub mod telemetry;

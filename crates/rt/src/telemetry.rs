@@ -1,0 +1,627 @@
+//! Hermetic tracing and metrics for the EPOC pipeline.
+//!
+//! A dependency-free replacement for the `tracing` + `metrics` +
+//! `tracing-chrome` stack, small enough to audit in one sitting:
+//!
+//! * **Spans** — [`span`] returns an RAII guard; dropping it records a
+//!   complete interval (name, category, thread id, nesting depth, start,
+//!   duration) into the global registry. Nesting is tracked per thread, so
+//!   a GRAPE span opened inside the pulse stage shows up one level deeper.
+//! * **Counters** — [`counter_add`] accumulates monotonically. Addition is
+//!   commutative, so totals are *deterministic at any worker count* even
+//!   though worker threads race on the registry lock — the property that
+//!   lets the instrumented pipeline keep its byte-identical-report
+//!   guarantee.
+//! * **Histograms** — [`histogram_record`] buckets values on a log-2
+//!   scale (bucket 0 holds zeros, bucket `i ≥ 1` holds `[2^(i-1), 2^i)`),
+//!   which covers nanoseconds-to-seconds and single-digit-to-millions
+//!   counts with 65 fixed buckets and no allocation per sample.
+//!
+//! Everything is **off by default**: until [`enable`] is called, every
+//! entry point is a single relaxed atomic load and an immediate return —
+//! no lock, no allocation, no `Instant::now()`. Instrumented hot loops
+//! therefore cost nothing in production runs.
+//!
+//! The registry exports to Chrome trace-event JSON ([`chrome_trace`],
+//! loadable in `chrome://tracing` or <https://ui.perfetto.dev>) and to a
+//! human-readable text dump ([`metrics_text`]). Timestamps are relative
+//! to the [`enable`]/[`reset`] epoch; exact integer nanoseconds ride
+//! along in each event's `args` so tooling can assert on nesting without
+//! floating-point slop.
+
+use crate::json::Json;
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Global on/off switch. Relaxed is enough: toggling enablement is not a
+/// synchronization point, it only gates future recording.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Monotonic source of small per-thread ids (0 is reserved for "main",
+/// i.e. whichever thread touches telemetry first).
+static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Small dense id for this thread (Chrome traces want integers, and
+    /// `std::thread::ThreadId` has no stable integer accessor).
+    static TID: Cell<u64> = const { Cell::new(u64::MAX) };
+    /// Current span nesting depth on this thread.
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+fn thread_id() -> u64 {
+    TID.with(|t| {
+        let v = t.get();
+        if v != u64::MAX {
+            return v;
+        }
+        let v = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+        t.set(v);
+        v
+    })
+}
+
+/// One completed span interval.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Span name (e.g. `"grape"`).
+    pub name: &'static str,
+    /// Category (e.g. `"qoc"`, `"stage"`).
+    pub cat: &'static str,
+    /// Start, in nanoseconds since the registry epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Dense thread id (0 = first thread to record).
+    pub tid: u64,
+    /// Nesting depth on its thread at the time the span opened.
+    pub depth: u32,
+}
+
+impl SpanEvent {
+    /// End of the interval, in nanoseconds since the epoch.
+    pub fn end_ns(&self) -> u64 {
+        self.start_ns + self.dur_ns
+    }
+}
+
+/// A log-2 histogram: bucket 0 counts zeros, bucket `i ≥ 1` counts values
+/// in `[2^(i-1), 2^i)`.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// Per-bucket sample counts.
+    pub buckets: [u64; 65],
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample seen.
+    pub min: u64,
+    /// Largest sample seen.
+    pub max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// The bucket index `value` falls into.
+    pub fn bucket(value: u64) -> usize {
+        match value {
+            0 => 0,
+            v => v.ilog2() as usize + 1,
+        }
+    }
+
+    /// Mean of the recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+struct Registry {
+    epoch: Instant,
+    events: Vec<SpanEvent>,
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl Registry {
+    fn new() -> Self {
+        Self {
+            epoch: Instant::now(),
+            events: Vec::new(),
+            counters: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+        }
+    }
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Registry::new()))
+}
+
+/// Turns recording on. Idempotent; does not clear previous data (call
+/// [`reset`] for a clean slate).
+pub fn enable() {
+    registry(); // arm the epoch before the first span can race it
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turns recording off. Spans already open still record on drop.
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// `true` when recording is on.
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Clears all recorded spans, counters, and histograms and re-arms the
+/// timestamp epoch. Leaves the enabled flag untouched.
+pub fn reset() {
+    let mut r = registry().lock().unwrap();
+    *r = Registry::new();
+}
+
+/// An RAII span guard returned by [`span`]. Dropping it records the
+/// interval. When telemetry is disabled the guard is inert and
+/// constructing + dropping it does no work at all.
+#[must_use = "a span records its interval when dropped"]
+pub struct Span {
+    /// `None` when telemetry was disabled at open time.
+    open: Option<(Instant, &'static str, &'static str, u32)>,
+}
+
+impl Span {
+    /// An inert span (what [`span`] returns when disabled).
+    pub const fn disabled() -> Self {
+        Span { open: None }
+    }
+
+    /// `true` when this span will record on drop.
+    pub fn is_recording(&self) -> bool {
+        self.open.is_some()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some((start, name, cat, depth)) = self.open.take() else {
+            return;
+        };
+        let dur = start.elapsed();
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        let tid = thread_id();
+        let mut r = registry().lock().unwrap();
+        let start_ns = start
+            .checked_duration_since(r.epoch)
+            .unwrap_or(Duration::ZERO)
+            .as_nanos() as u64;
+        r.events.push(SpanEvent {
+            name,
+            cat,
+            start_ns,
+            dur_ns: dur.as_nanos() as u64,
+            tid,
+            depth,
+        });
+    }
+}
+
+/// Opens a span named `name` in category `cat`. Returns an RAII guard
+/// that records the interval when dropped. When telemetry is disabled
+/// this is one atomic load and returns an inert guard.
+#[inline]
+pub fn span(cat: &'static str, name: &'static str) -> Span {
+    if !is_enabled() {
+        return Span::disabled();
+    }
+    let depth = DEPTH.with(|d| {
+        let v = d.get();
+        d.set(v + 1);
+        v
+    });
+    Span {
+        open: Some((Instant::now(), name, cat, depth)),
+    }
+}
+
+/// Adds `delta` to the counter `name`. Counters merge by addition, so the
+/// total is deterministic regardless of which thread recorded what.
+/// When telemetry is disabled this is one atomic load.
+#[inline]
+pub fn counter_add(name: &'static str, delta: u64) {
+    if !is_enabled() || delta == 0 {
+        return;
+    }
+    let mut r = registry().lock().unwrap();
+    *r.counters.entry(name).or_insert(0) += delta;
+}
+
+/// Records `value` into the log-2 histogram `name`. When telemetry is
+/// disabled this is one atomic load.
+#[inline]
+pub fn histogram_record(name: &'static str, value: u64) {
+    if !is_enabled() {
+        return;
+    }
+    let mut r = registry().lock().unwrap();
+    r.histograms.entry(name).or_default().record(value);
+}
+
+/// The current value of counter `name` (0 when never touched).
+pub fn counter_value(name: &str) -> u64 {
+    registry()
+        .lock()
+        .unwrap()
+        .counters
+        .get(name)
+        .copied()
+        .unwrap_or(0)
+}
+
+/// Snapshot of all counters, sorted by name.
+pub fn counters_snapshot() -> Vec<(String, u64)> {
+    registry()
+        .lock()
+        .unwrap()
+        .counters
+        .iter()
+        .map(|(k, v)| (k.to_string(), *v))
+        .collect()
+}
+
+/// Snapshot of all recorded span events, in completion order.
+pub fn events_snapshot() -> Vec<SpanEvent> {
+    registry().lock().unwrap().events.clone()
+}
+
+/// Renders everything recorded so far as a Chrome trace-event document:
+/// `{"traceEvents": [...], "displayTimeUnit": "ns", ...}` with one `"X"`
+/// (complete) event per span. `ts`/`dur` are microseconds as the format
+/// requires; exact integer nanoseconds are duplicated into `args.ts_ns` /
+/// `args.dur_ns` for tooling that wants lossless arithmetic. Counter and
+/// histogram totals ride along under the `"epocCounters"` /
+/// `"epocHistograms"` keys (ignored by trace viewers).
+pub fn chrome_trace() -> Json {
+    let r = registry().lock().unwrap();
+    let mut events = Vec::with_capacity(r.events.len());
+    for e in &r.events {
+        events.push(
+            Json::obj()
+                .push("name", e.name)
+                .push("cat", e.cat)
+                .push("ph", "X")
+                .push("ts", e.start_ns as f64 / 1e3)
+                .push("dur", e.dur_ns as f64 / 1e3)
+                .push("pid", 1u64)
+                .push("tid", e.tid)
+                .push(
+                    "args",
+                    Json::obj()
+                        .push("depth", e.depth as u64)
+                        .push("ts_ns", e.start_ns)
+                        .push("dur_ns", e.dur_ns),
+                ),
+        );
+    }
+    let mut counters = Json::obj();
+    for (name, value) in &r.counters {
+        counters = counters.push(name, *value);
+    }
+    let mut histograms = Json::obj();
+    for (name, h) in &r.histograms {
+        let nonzero: Vec<Json> = h
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| Json::Arr(vec![Json::UInt(i as u64), Json::UInt(c)]))
+            .collect();
+        histograms = histograms.push(
+            name,
+            Json::obj()
+                .push("count", h.count)
+                .push("sum", h.sum)
+                .push("min", if h.count == 0 { 0 } else { h.min })
+                .push("max", h.max)
+                .push("log2_buckets", Json::Arr(nonzero)),
+        );
+    }
+    Json::obj()
+        .push("traceEvents", Json::Arr(events))
+        .push("displayTimeUnit", "ns")
+        .push("epocCounters", counters)
+        .push("epocHistograms", histograms)
+}
+
+/// Renders counters and histograms as an aligned, human-readable text
+/// block (the `epocc --metrics` dump). Spans are summarized per name.
+pub fn metrics_text() -> String {
+    use std::fmt::Write as _;
+    let r = registry().lock().unwrap();
+    let mut out = String::new();
+    if !r.counters.is_empty() {
+        out.push_str("counters:\n");
+        for (name, value) in &r.counters {
+            let _ = writeln!(out, "  {name:<32} {value}");
+        }
+    }
+    if !r.histograms.is_empty() {
+        out.push_str("histograms (log2 buckets):\n");
+        for (name, h) in &r.histograms {
+            let _ = writeln!(
+                out,
+                "  {name:<32} n={} mean={:.1} min={} max={}",
+                h.count,
+                h.mean(),
+                if h.count == 0 { 0 } else { h.min },
+                h.max
+            );
+        }
+    }
+    // Per-name span roll-up: count and total time.
+    let mut rollup: BTreeMap<(&str, &str), (u64, u64)> = BTreeMap::new();
+    for e in &r.events {
+        let slot = rollup.entry((e.cat, e.name)).or_insert((0, 0));
+        slot.0 += 1;
+        slot.1 += e.dur_ns;
+    }
+    if !rollup.is_empty() {
+        out.push_str("spans:\n");
+        for ((cat, name), (count, total_ns)) in &rollup {
+            let _ = writeln!(
+                out,
+                "  {:<32} n={count} total={:.3}ms",
+                format!("{cat}/{name}"),
+                *total_ns as f64 / 1e6
+            );
+        }
+    }
+    if out.is_empty() {
+        out.push_str("telemetry: nothing recorded\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Telemetry state is global; tests in this binary serialize on this.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_mode_records_nothing() {
+        let _guard = lock();
+        disable();
+        reset();
+        {
+            let s = span("test", "noop");
+            assert!(!s.is_recording());
+            counter_add("test.counter", 7);
+            histogram_record("test.hist", 42);
+        }
+        assert!(events_snapshot().is_empty());
+        assert_eq!(counter_value("test.counter"), 0);
+        assert!(counters_snapshot().is_empty());
+    }
+
+    #[test]
+    fn spans_nest_and_record_depth() {
+        let _guard = lock();
+        reset();
+        enable();
+        {
+            let _outer = span("test", "outer");
+            {
+                let _inner = span("test", "inner");
+            }
+        }
+        disable();
+        let events = events_snapshot();
+        assert_eq!(events.len(), 2);
+        // Inner completes first.
+        let inner = &events[0];
+        let outer = &events[1];
+        assert_eq!(inner.name, "inner");
+        assert_eq!(outer.name, "outer");
+        assert_eq!(outer.depth, 0);
+        assert_eq!(inner.depth, 1);
+        assert_eq!(inner.tid, outer.tid);
+        // Containment in exact integer nanoseconds.
+        assert!(inner.start_ns >= outer.start_ns);
+        assert!(inner.end_ns() <= outer.end_ns());
+        reset();
+    }
+
+    #[test]
+    fn cross_thread_counter_merge_is_deterministic() {
+        let _guard = lock();
+        reset();
+        enable();
+        let run = || {
+            reset();
+            std::thread::scope(|scope| {
+                for t in 0..8u64 {
+                    scope.spawn(move || {
+                        for i in 0..100u64 {
+                            counter_add("test.merge", t * 100 + i);
+                        }
+                    });
+                }
+            });
+            counter_value("test.merge")
+        };
+        let a = run();
+        let b = run();
+        // Σ_{t<8} Σ_{i<100} (100t + i) = 100·100·(0+..+7) + 8·(0+..+99)
+        let expected: u64 = (0..8u64).map(|t| (0..100).map(|i| t * 100 + i).sum::<u64>()).sum();
+        assert_eq!(a, expected);
+        assert_eq!(a, b, "counter totals must not depend on interleaving");
+        disable();
+        reset();
+    }
+
+    #[test]
+    fn spans_from_worker_threads_get_distinct_tids() {
+        let _guard = lock();
+        reset();
+        enable();
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                scope.spawn(|| {
+                    let _s = span("test", "worker");
+                });
+            }
+        });
+        disable();
+        let events = events_snapshot();
+        assert_eq!(events.len(), 3);
+        let mut tids: Vec<u64> = events.iter().map(|e| e.tid).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        assert_eq!(tids.len(), 3, "each worker thread gets its own tid");
+        reset();
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(Histogram::bucket(0), 0);
+        assert_eq!(Histogram::bucket(1), 1);
+        assert_eq!(Histogram::bucket(2), 2);
+        assert_eq!(Histogram::bucket(3), 2);
+        assert_eq!(Histogram::bucket(4), 3);
+        assert_eq!(Histogram::bucket(1023), 10);
+        assert_eq!(Histogram::bucket(1024), 11);
+        assert_eq!(Histogram::bucket(u64::MAX), 64);
+        let mut h = Histogram::default();
+        for v in [0, 1, 1, 3, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 105);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 100);
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[1], 2);
+        assert_eq!(h.buckets[2], 1);
+        assert_eq!(h.buckets[7], 1);
+        assert!((h.mean() - 21.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_through_parser() {
+        let _guard = lock();
+        reset();
+        enable();
+        {
+            let _s = span("stage", "zx");
+        }
+        counter_add("zx.fusions", 3);
+        histogram_record("partition.block_qubits", 2);
+        disable();
+        let doc = chrome_trace();
+        let text = doc.to_string_pretty();
+        let parsed = Json::parse(&text).expect("trace is valid JSON");
+        let events = match parsed.get("traceEvents") {
+            Some(Json::Arr(items)) => items,
+            other => panic!("traceEvents missing or not an array: {other:?}"),
+        };
+        assert_eq!(events.len(), 1);
+        let e = &events[0];
+        assert_eq!(e.get("name").and_then(Json::as_str), Some("zx"));
+        assert_eq!(e.get("ph").and_then(Json::as_str), Some("X"));
+        assert!(e.get("ts").and_then(Json::as_f64).is_some());
+        assert!(e.get("dur").and_then(Json::as_f64).is_some());
+        let args = e.get("args").expect("args present");
+        assert!(args.get("ts_ns").and_then(Json::as_f64).is_some());
+        assert_eq!(
+            parsed
+                .get("epocCounters")
+                .and_then(|c| c.get("zx.fusions"))
+                .and_then(Json::as_f64),
+            Some(3.0)
+        );
+        assert!(parsed
+            .get("epocHistograms")
+            .and_then(|h| h.get("partition.block_qubits"))
+            .is_some());
+        reset();
+    }
+
+    #[test]
+    fn metrics_text_lists_counters_and_spans() {
+        let _guard = lock();
+        reset();
+        enable();
+        counter_add("pulse_lib.hits", 4);
+        {
+            let _s = span("stage", "pulse");
+        }
+        histogram_record("grape.iters_per_run", 37);
+        disable();
+        let text = metrics_text();
+        assert!(text.contains("pulse_lib.hits"), "{text}");
+        assert!(text.contains("stage/pulse"), "{text}");
+        assert!(text.contains("grape.iters_per_run"), "{text}");
+        reset();
+        assert!(metrics_text().contains("nothing recorded"));
+    }
+
+    #[test]
+    fn reset_rearms_epoch() {
+        let _guard = lock();
+        reset();
+        enable();
+        {
+            let _s = span("test", "warm");
+        }
+        std::thread::sleep(Duration::from_millis(2));
+        reset();
+        {
+            let _s = span("test", "fresh");
+        }
+        disable();
+        let events = events_snapshot();
+        assert_eq!(events.len(), 1);
+        // A fresh epoch means the new span starts near zero, not 2ms in.
+        assert!(
+            events[0].start_ns < 1_500_000,
+            "epoch not re-armed: start {}ns",
+            events[0].start_ns
+        );
+        reset();
+    }
+}

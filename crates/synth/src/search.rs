@@ -134,6 +134,7 @@ impl Ord for Node {
 /// assert!(r.distance < 1e-5);
 /// ```
 pub fn synthesize(target: &Matrix, config: &SynthConfig) -> SynthResult {
+    let _span = epoc_rt::telemetry::span("synth", "qsearch");
     assert!(target.is_square(), "target must be square");
     let dim = target.rows();
     assert!(
@@ -161,6 +162,7 @@ pub fn synthesize(target: &Matrix, config: &SynthConfig) -> SynthResult {
         let t = Template::initial(1);
         let (params, dist) = t.instantiate(target, &mut rng, &config.instantiate);
         let circuit = t.to_circuit(&params);
+        record_search_telemetry(1);
         return SynthResult {
             distance: dist,
             cnots: 0,
@@ -224,6 +226,7 @@ pub fn synthesize(target: &Matrix, config: &SynthConfig) -> SynthResult {
         }
         // LEAP: commit the best prefix when stuck.
         if config.leap_patience > 0 && since_improvement >= config.leap_patience {
+            epoc_rt::telemetry::counter_add("qsearch.leap_restarts", 1);
             heap.clear();
             let mut restart = best.share();
             restart.score = best.distance; // reset score so it expands first
@@ -235,6 +238,7 @@ pub fn synthesize(target: &Matrix, config: &SynthConfig) -> SynthResult {
 }
 
 fn finish(node: Node, nodes_evaluated: usize, converged: bool) -> SynthResult {
+    record_search_telemetry(nodes_evaluated);
     let circuit = node.template.to_circuit(&node.params);
     SynthResult {
         cnots: circuit.count_gates(|g| matches!(g, Gate::CX)),
@@ -243,6 +247,12 @@ fn finish(node: Node, nodes_evaluated: usize, converged: bool) -> SynthResult {
         converged,
         circuit,
     }
+}
+
+/// Per-call node accounting, shared by every exit path of [`synthesize`].
+fn record_search_telemetry(nodes_evaluated: usize) {
+    epoc_rt::telemetry::counter_add("qsearch.nodes", nodes_evaluated as u64);
+    epoc_rt::telemetry::histogram_record("qsearch.nodes_per_call", nodes_evaluated as u64);
 }
 
 /// For 1-qubit targets whose optimum collapsed to identity-skip: make sure

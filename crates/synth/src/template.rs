@@ -423,6 +423,7 @@ impl Template {
         let mut best_params: Vec<f64> = Vec::new();
         let mut best_cost = f64::INFINITY;
         for _restart in 0..opts.restarts.max(1) {
+            epoc_rt::telemetry::counter_add("qsearch.adam_restarts", 1);
             let mut params: Vec<f64> = (0..self.n_params)
                 .map(|_| rng.gen_f64() * std::f64::consts::TAU)
                 .collect();

@@ -17,6 +17,9 @@ use epoc_circuit::{circuits_equivalent, Circuit, Gate};
 pub struct ZxOptResult {
     /// The optimized circuit (or a clone of the input on fallback).
     pub circuit: Circuit,
+    /// Rewrite rules applied to produce the kept circuit (0 on fallback:
+    /// rewrites whose result was discarded do not count).
+    pub rewrites: usize,
     /// Depth before optimization — of the **ZX-basis-lowered** input
     /// (`{H, RZ, CX, CZ}`), which is the fair comparison point for the
     /// extraction output and equals the input depth for circuits already
@@ -50,10 +53,12 @@ const VERIFY_QUBIT_LIMIT: usize = 10;
 /// unchanged (flagged `optimized: false`) when conversion, extraction, or
 /// verification fails or the result is deeper than the input.
 pub fn zx_optimize(circuit: &Circuit) -> ZxOptResult {
+    let _span = epoc_rt::telemetry::span("zx", "zx_optimize");
     let gates_before = circuit.len();
     // On fallback the pass is a no-op, so before/after depths coincide.
     let fallback = |c: &Circuit| ZxOptResult {
         circuit: c.clone(),
+        rewrites: 0,
         depth_before: c.depth(),
         depth_after: c.depth(),
         gates_before,
@@ -68,7 +73,11 @@ pub fn zx_optimize(circuit: &Circuit) -> ZxOptResult {
     let Ok(mut graph) = circuit_to_graph(circuit) else {
         return fallback(circuit);
     };
-    full_reduce(&mut graph);
+    let stats = full_reduce(&mut graph);
+    epoc_rt::telemetry::counter_add("zx.fusions", stats.fusions as u64);
+    epoc_rt::telemetry::counter_add("zx.identities", stats.identities as u64);
+    epoc_rt::telemetry::counter_add("zx.local_complements", stats.local_complements as u64);
+    epoc_rt::telemetry::counter_add("zx.pivots", stats.pivots as u64);
     let Ok(extracted) = extract_circuit(&graph) else {
         return fallback(circuit);
     };
@@ -99,6 +108,7 @@ pub fn zx_optimize(circuit: &Circuit) -> ZxOptResult {
         depth_after: cleaned.depth(),
         gates_after: cleaned.len(),
         circuit: cleaned,
+        rewrites: stats.total(),
         depth_before,
         gates_before,
         optimized: true,
@@ -212,6 +222,7 @@ mod tests {
         }
         let r = zx_optimize(&c);
         assert!(r.optimized);
+        assert!(r.rewrites > 0, "an optimized circuit implies rewrites fired");
         assert!(
             r.depth_after < r.depth_before / 2,
             "depth {} -> {}",

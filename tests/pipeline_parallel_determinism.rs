@@ -1,18 +1,25 @@
 //! The parallel synthesis stage must not change results: a compilation
 //! with 1 worker and with 4 workers produces byte-identical reports
 //! (modulo wall-clock time) under a fixed seed.
+//!
+//! Telemetry is enabled for every compile here: recording spans and
+//! counters must not perturb the deterministic report surface.
 
-use epoc::{EpocCompiler, EpocConfig};
+use epoc::{EpocCompiler, EpocConfig, StageTimings};
 use epoc_circuit::generators;
 use std::time::Duration;
 
 /// Compiles `circuit` with the given worker count and returns the report
-/// JSON with the (necessarily nondeterministic) wall-clock time zeroed.
+/// JSON with the (necessarily nondeterministic) wall-clock times zeroed —
+/// `compile_time` and the per-stage `stages.timings`, which are
+/// observability data, not part of the deterministic surface.
 fn compile_json(circuit: &epoc_circuit::Circuit, workers: usize) -> String {
+    epoc_rt::telemetry::enable();
     let compiler = EpocCompiler::new(EpocConfig::fast().with_workers(workers));
     let mut report = compiler.compile(circuit);
     assert!(report.verified, "compilation with {workers} workers failed verification");
     report.compile_time = Duration::ZERO;
+    report.stages.timings = StageTimings::default();
     report.to_json()
 }
 
@@ -47,6 +54,7 @@ fn pipeline_parallel_determinism_random_circuits() {
 #[test]
 fn hybrid_grape_pulse_stage_deterministic() {
     let circuit = generators::qaoa(3, 1, 2);
+    epoc_rt::telemetry::enable();
     let compile_twice = |workers: usize| -> (String, String) {
         let compiler = EpocCompiler::new(
             EpocConfig::with_grape(1)
@@ -58,6 +66,8 @@ fn hybrid_grape_pulse_stage_deterministic() {
         assert!(cold.verified && warm.verified);
         cold.compile_time = Duration::ZERO;
         warm.compile_time = Duration::ZERO;
+        cold.stages.timings = StageTimings::default();
+        warm.stages.timings = StageTimings::default();
         (cold.to_json(), warm.to_json())
     };
     assert_eq!(
