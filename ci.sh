@@ -60,4 +60,18 @@ if [ "$quick" -eq 0 ]; then
     run ./target/release/trace_check --require-qoc target/trace-smoke.json
 fi
 
+# sim-smoke: compile a small benchmark with the default hybrid flow, dump
+# the schedule, validate it structurally (payloads included — the epoc
+# flow must emit simulatable schedules), and replay it at pulse level
+# asserting >= 0.99 noiseless process fidelity against the circuit
+# unitary. This is the end-to-end digital-twin check: it fails on
+# scheduling bugs and wrong block embeddings that GRAPE's own per-block
+# fidelity cannot see.
+if [ "$quick" -eq 0 ]; then
+    run ./target/release/epocc --simulate --sim-check 0.99 \
+        --schedule target/sim-smoke-schedule.json bench:wstate_n3
+    run ./target/release/schedule_check --require-payloads \
+        target/sim-smoke-schedule.json
+fi
+
 echo "CI OK"

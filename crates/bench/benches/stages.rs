@@ -126,10 +126,10 @@ fn bench_synthesis(stats: &mut Vec<Stats>) {
 }
 
 fn bench_grape(stats: &mut Vec<Stats>) {
-    let d1 = DeviceModel::transmon_line(1);
+    let d1 = DeviceModel::transmon_line(1).unwrap();
     let x = Gate::X.unitary_matrix();
     stats.push(stage("grape/grape_x_30slots").run(|| grape(&d1, &x, 30, &GrapeConfig::default())));
-    let d2 = DeviceModel::transmon_line(2);
+    let d2 = DeviceModel::transmon_line(2).unwrap();
     let cz = Gate::CZ.unitary_matrix();
     stats.push(stage("grape/grape_cz_128slots").run(|| {
         grape(
@@ -141,6 +141,41 @@ fn bench_grape(stats: &mut Vec<Stats>) {
                 ..Default::default()
             },
         )
+    }));
+}
+
+fn bench_sim(stats: &mut Vec<Stats>) {
+    use epoc_pulse::{PulsePayload, PulseSchedule, ScheduledPulse};
+    use epoc_qoc::PulseWaveform;
+    use epoc_sim::{propagate, SimWorkspace, Timeline};
+    use std::sync::Arc;
+
+    // A 64-slot 2-qubit waveform pulse — the shape a GRAPE-synthesized
+    // CZ-class block produces — lowered once, propagated per sample.
+    let device = DeviceModel::transmon_line(2).unwrap();
+    let n_slots = 64;
+    let amp = device.max_amplitude();
+    let controls: Vec<Vec<f64>> = (0..4)
+        .map(|ch| {
+            (0..n_slots)
+                .map(|s| amp * 0.6 * (0.37 * s as f64 + ch as f64).sin())
+                .collect()
+        })
+        .collect();
+    let w = PulseWaveform::new(device.dt(), controls);
+    let mut s = PulseSchedule::new(2);
+    s.push(ScheduledPulse {
+        qubits: vec![0, 1],
+        start: 0.0,
+        duration: w.duration(),
+        fidelity: 1.0,
+        label: "blk0".into(),
+        payload: PulsePayload::Waveform(Arc::new(w)),
+    });
+    let timeline = Timeline::lower(&s, 8).unwrap();
+    stats.push(stage("sim/propagate_2q").run(|| {
+        let mut ws = SimWorkspace::new(timeline.dim);
+        propagate(&timeline, &mut ws).unwrap()
     }));
 }
 
@@ -249,6 +284,7 @@ fn main() {
     bench_partition(&mut stats);
     bench_synthesis(&mut stats);
     bench_grape(&mut stats);
+    bench_sim(&mut stats);
     bench_pipeline(&mut stats);
     let path = write_report(&stats);
     eprintln!("wrote {}", path.display());

@@ -80,6 +80,7 @@ fn main() {
                         duration: 20.0,
                         fidelity: 0.999,
                         n_slots: 10,
+                        waveform: None,
                     },
                 );
             }

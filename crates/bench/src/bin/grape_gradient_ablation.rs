@@ -28,7 +28,7 @@ fn main() {
         ("CZ", 2, Gate::CZ.unitary_matrix(), 128),
     ];
     for (name, n, target, slots) in cases {
-        let device = DeviceModel::transmon_line(n);
+        let device = DeviceModel::transmon_line(n).unwrap();
         let run = |mode: GradientMode| {
             grape(
                 &device,

@@ -46,6 +46,7 @@ pub fn gate_based_with(circuit: &Circuit, tables: &GatePulseTables) -> Compilati
         stages,
         verified: true, // identity transformation: trivially faithful
         verify_skipped: false,
+        simulation: None,
     }
 }
 
@@ -106,6 +107,7 @@ impl PaqocCompiler {
             stages,
             verified: true, // partition flattening is gate-identical
             verify_skipped: false,
+            simulation: None,
         }
     }
 }

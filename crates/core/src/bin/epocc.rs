@@ -8,14 +8,18 @@
 //! epocc --flow gate-based bench:ghz_n8
 //! epocc --flow paqoc --no-zx bench:qaoa_n6
 //! epocc --no-regroup circuit.qasm   # the Figures-8/10 "no grouping" arm
-//! epocc --schedule circuit.qasm     # dump the pulse timeline
+//! epocc --timeline circuit.qasm     # print the human-readable pulse timeline
+//! epocc --schedule s.json circuit.qasm  # dump the final schedule as JSON
+//! epocc --simulate bench:wstate_n3  # pulse-level replay vs the circuit unitary
+//! epocc --simulate --shots 8 bench:wstate_n3  # + noisy Monte-Carlo trajectories
 //! epocc --grape 0 circuit.qasm      # modeled backend (no GRAPE)
 //! epocc --trace t.json bench:ghz_n8 # Chrome trace of the compile
 //! epocc --metrics bench:ghz_n8      # counter/histogram dump + stage times
 //! ```
 
 use epoc::baselines::{gate_based, PaqocCompiler};
-use epoc::{CompilationReport, EpocCompiler, EpocConfig};
+use epoc::sim::{NoiseModel, SimOptions};
+use epoc::{simulate_schedule, CompilationReport, EpocCompiler, EpocConfig};
 use epoc_circuit::{generators, parse_qasm, Circuit};
 use std::process::ExitCode;
 
@@ -28,7 +32,11 @@ struct Args {
     flow: String,
     zx: bool,
     regroup: bool,
-    show_schedule: bool,
+    timeline: bool,
+    schedule_out: Option<String>,
+    simulate: bool,
+    shots: usize,
+    sim_check: Option<f64>,
     json: bool,
     trace: Option<String>,
     metrics: bool,
@@ -38,11 +46,17 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: epocc [--flow epoc|gate-based|paqoc] [--no-zx] [--no-regroup] \
-         [--grape N] [--schedule] [--json] [--trace FILE] [--metrics] \
+         [--grape N] [--timeline] [--schedule FILE] [--simulate] [--shots N] \
+         [--sim-check F] [--json] [--trace FILE] [--metrics] \
          <file.qasm | bench:NAME>\n\
-         --grape N    GRAPE width cap for the epoc flow (default {DEFAULT_GRAPE_LIMIT}; 0 = modeled)\n\
-         --trace FILE write a Chrome trace-event JSON of the compile to FILE\n\
-         --metrics    print telemetry counters, histograms, and stage times\n\
+         --grape N      GRAPE width cap for the epoc flow (default {DEFAULT_GRAPE_LIMIT}; 0 = modeled)\n\
+         --timeline     print the human-readable pulse timeline\n\
+         --schedule FILE dump the final pulse schedule as JSON to FILE\n\
+         --simulate     replay the schedule at pulse level vs the circuit unitary\n\
+         --shots N      add N noisy Monte-Carlo trajectories (implies --simulate)\n\
+         --sim-check F  fail unless simulated process fidelity >= F (implies --simulate)\n\
+         --trace FILE   write a Chrome trace-event JSON of the compile to FILE\n\
+         --metrics      print telemetry counters, histograms, and stage times\n\
          builtin benchmarks: {}",
         generators::benchmark_suite()
             .iter()
@@ -71,7 +85,11 @@ fn parse_args() -> Args {
         flow: "epoc".into(),
         zx: true,
         regroup: true,
-        show_schedule: false,
+        timeline: false,
+        schedule_out: None,
+        simulate: false,
+        shots: 0,
+        sim_check: None,
         json: false,
         trace: None,
         metrics: false,
@@ -83,7 +101,33 @@ fn parse_args() -> Args {
             "--flow" => args.flow = flag_value(&mut iter, "--flow", "a flow name"),
             "--no-zx" => args.zx = false,
             "--no-regroup" => args.regroup = false,
-            "--schedule" => args.show_schedule = true,
+            "--timeline" => args.timeline = true,
+            "--schedule" => {
+                args.schedule_out = Some(flag_value(&mut iter, "--schedule", "a path"))
+            }
+            "--simulate" => args.simulate = true,
+            "--shots" => {
+                let v = flag_value(&mut iter, "--shots", "a trajectory count");
+                args.shots = match v.parse() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        eprintln!("error: --shots expects a non-negative integer, got '{v}'");
+                        std::process::exit(2);
+                    }
+                };
+                args.simulate = true;
+            }
+            "--sim-check" => {
+                let v = flag_value(&mut iter, "--sim-check", "a fidelity threshold");
+                args.sim_check = match v.parse() {
+                    Ok(f) => Some(f),
+                    Err(_) => {
+                        eprintln!("error: --sim-check expects a fidelity in [0, 1], got '{v}'");
+                        std::process::exit(2);
+                    }
+                };
+                args.simulate = true;
+            }
             "--json" => args.json = true,
             "--trace" => args.trace = Some(flag_value(&mut iter, "--trace", "a path")),
             "--metrics" => args.metrics = true,
@@ -161,7 +205,7 @@ fn main() -> ExitCode {
     if args.trace.is_some() || args.metrics {
         epoc_rt::telemetry::enable();
     }
-    let report = match args.flow.as_str() {
+    let mut report = match args.flow.as_str() {
         "epoc" => {
             let base = if args.grape_limit == 0 {
                 EpocConfig::default()
@@ -178,6 +222,48 @@ fn main() -> ExitCode {
         "paqoc" => PaqocCompiler::default().compile(&circuit),
         _ => unreachable!("flow validated at startup"),
     };
+    if args.simulate {
+        // Noiseless trajectories carry no information beyond the
+        // propagator pass, so shots default to the standard noise model.
+        let opts = SimOptions {
+            shots: args.shots,
+            noise: if args.shots > 0 {
+                NoiseModel::standard()
+            } else {
+                NoiseModel::noiseless()
+            },
+            ..SimOptions::default()
+        };
+        match simulate_schedule(&circuit, &report.schedule, &opts) {
+            Ok(stats) => report.simulation = Some(stats),
+            Err(e) => {
+                eprintln!("error: simulation failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(path) = &args.schedule_out {
+        let dump = report.schedule.to_json_value().to_string_pretty();
+        if let Err(e) = std::fs::write(path, dump) {
+            eprintln!("error: cannot write schedule to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        if !args.json {
+            println!("schedule written to {path}");
+        }
+    }
+    if let Some(threshold) = args.sim_check {
+        let fid = report
+            .simulation
+            .as_ref()
+            .expect("--sim-check implies --simulate")
+            .outcome
+            .process_fidelity;
+        if fid < threshold {
+            eprintln!("error: simulated process fidelity {fid:.6} < required {threshold:.6}");
+            return ExitCode::FAILURE;
+        }
+    }
     if let Some(path) = &args.trace {
         let trace = epoc_rt::telemetry::chrome_trace().to_string_pretty();
         if let Err(e) = std::fs::write(path, trace) {
@@ -201,6 +287,9 @@ fn main() -> ExitCode {
         };
     }
     println!("{}", report.summary());
+    if let Some(sim) = &report.simulation {
+        println!("{}", sim.summary());
+    }
     if report.verify_skipped {
         println!("verification: skipped (register too wide)");
     } else if report.verified {
@@ -209,7 +298,7 @@ fn main() -> ExitCode {
         println!("verification: FAILED");
         return ExitCode::FAILURE;
     }
-    if args.show_schedule {
+    if args.timeline {
         print_schedule(&report);
     }
     ExitCode::SUCCESS

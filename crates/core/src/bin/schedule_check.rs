@@ -1,0 +1,167 @@
+//! `schedule_check` — structural validator for `epocc --schedule` output.
+//!
+//! Parses a dumped `PulseSchedule` JSON file and asserts the invariants
+//! the scheduler promises: well-formed pulses with in-range qubits,
+//! non-negative times, fidelities in `[0, 1]`, known payload kinds, no
+//! overlap between pulses sharing a qubit line, and well-formed frame
+//! updates. The CI `sim-smoke` step runs it against a fresh
+//! `epocc --schedule` dump so a malformed schedule fails the build.
+//!
+//! ```sh
+//! schedule_check schedule.json
+//! schedule_check --require-payloads schedule.json  # forbid opaque pulses
+//! ```
+
+use epoc_rt::json::Json;
+use std::process::ExitCode;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("schedule_check: FAIL: {msg}");
+    ExitCode::FAILURE
+}
+
+/// A pulse's qubit list as indices, or an error message.
+fn qubits_of(obj: &Json, what: &str, i: usize, n_qubits: usize) -> Result<Vec<usize>, String> {
+    let Some(Json::Arr(qs)) = obj.get("qubits") else {
+        return Err(format!("{what} {i}: missing \"qubits\" array"));
+    };
+    if qs.is_empty() {
+        return Err(format!("{what} {i}: empty qubit list"));
+    }
+    let mut out = Vec::with_capacity(qs.len());
+    for q in qs {
+        let Some(f) = q.as_f64() else {
+            return Err(format!("{what} {i}: non-numeric qubit"));
+        };
+        let q = f as usize;
+        if f != q as f64 || q >= n_qubits {
+            return Err(format!("{what} {i}: qubit {f} out of range 0..{n_qubits}"));
+        }
+        if out.contains(&q) {
+            return Err(format!("{what} {i}: duplicate qubit {q}"));
+        }
+        out.push(q);
+    }
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let mut require_payloads = false;
+    let mut path = String::new();
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--require-payloads" => require_payloads = true,
+            other if other.starts_with('-') => {
+                eprintln!("usage: schedule_check [--require-payloads] <schedule.json>");
+                return ExitCode::from(2);
+            }
+            other => path = other.to_string(),
+        }
+    }
+    if path.is_empty() {
+        eprintln!("usage: schedule_check [--require-payloads] <schedule.json>");
+        return ExitCode::from(2);
+    }
+
+    let source = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("cannot read {path}: {e}")),
+    };
+    let doc = match Json::parse(&source) {
+        Ok(j) => j,
+        Err(e) => return fail(&format!("{path} is not valid JSON: {e}")),
+    };
+
+    let Some(n_qubits) = doc.get("n_qubits").and_then(Json::as_f64) else {
+        return fail("missing numeric \"n_qubits\"");
+    };
+    if n_qubits < 1.0 || n_qubits != (n_qubits as usize) as f64 {
+        return fail(&format!("\"n_qubits\" must be a positive integer, got {n_qubits}"));
+    }
+    let n_qubits = n_qubits as usize;
+
+    let Some(Json::Arr(pulses)) = doc.get("pulses") else {
+        return fail("missing \"pulses\" array");
+    };
+
+    // Per-pulse structure, collecting (qubits, start, end) for overlap.
+    let mut placed: Vec<(Vec<usize>, f64, f64)> = Vec::with_capacity(pulses.len());
+    for (i, p) in pulses.iter().enumerate() {
+        let qubits = match qubits_of(p, "pulse", i, n_qubits) {
+            Ok(q) => q,
+            Err(e) => return fail(&e),
+        };
+        let Some(start) = p.get("start").and_then(Json::as_f64) else {
+            return fail(&format!("pulse {i}: missing numeric \"start\""));
+        };
+        let Some(duration) = p.get("duration").and_then(Json::as_f64) else {
+            return fail(&format!("pulse {i}: missing numeric \"duration\""));
+        };
+        let Some(fidelity) = p.get("fidelity").and_then(Json::as_f64) else {
+            return fail(&format!("pulse {i}: missing numeric \"fidelity\""));
+        };
+        if p.get("label").and_then(Json::as_str).is_none() {
+            return fail(&format!("pulse {i}: missing string \"label\""));
+        }
+        let payload = match p.get("payload").and_then(Json::as_str) {
+            Some(k) => k,
+            None => return fail(&format!("pulse {i}: missing string \"payload\"")),
+        };
+        if !matches!(payload, "opaque" | "waveform" | "unitary") {
+            return fail(&format!("pulse {i}: unknown payload kind \"{payload}\""));
+        }
+        if require_payloads && payload == "opaque" {
+            return fail(&format!("pulse {i}: opaque payload (schedule not simulatable)"));
+        }
+        if start < 0.0 || !start.is_finite() {
+            return fail(&format!("pulse {i}: negative or non-finite start {start}"));
+        }
+        if duration <= 0.0 || !duration.is_finite() {
+            return fail(&format!("pulse {i}: non-positive duration {duration}"));
+        }
+        if !(0.0..=1.0).contains(&fidelity) {
+            return fail(&format!("pulse {i}: fidelity {fidelity} outside [0, 1]"));
+        }
+        placed.push((qubits, start, start + duration));
+    }
+
+    // No overlap on any shared qubit line (mirrors PulseSchedule::is_valid).
+    for (i, (qa, sa, ea)) in placed.iter().enumerate() {
+        for (j, (qb, sb, eb)) in placed.iter().enumerate().skip(i + 1) {
+            if qa.iter().any(|q| qb.contains(q)) {
+                let disjoint = *ea <= sb + 1e-9 || *eb <= sa + 1e-9;
+                if !disjoint {
+                    return fail(&format!("pulses {i} and {j} overlap on a shared qubit line"));
+                }
+            }
+        }
+    }
+
+    let Some(Json::Arr(frames)) = doc.get("frames") else {
+        return fail("missing \"frames\" array");
+    };
+    for (i, f) in frames.iter().enumerate() {
+        if let Err(e) = qubits_of(f, "frame", i, n_qubits) {
+            return fail(&e);
+        }
+        let Some(time) = f.get("time").and_then(Json::as_f64) else {
+            return fail(&format!("frame {i}: missing numeric \"time\""));
+        };
+        if time < 0.0 || !time.is_finite() {
+            return fail(&format!("frame {i}: negative or non-finite time {time}"));
+        }
+        if f.get("label").and_then(Json::as_str).is_none() {
+            return fail(&format!("frame {i}: missing string \"label\""));
+        }
+        if !matches!(f.get("unitary"), Some(Json::Bool(_))) {
+            return fail(&format!("frame {i}: missing boolean \"unitary\""));
+        }
+    }
+
+    println!(
+        "schedule_check: OK — {} pulses, {} frames on {n_qubits} qubits",
+        pulses.len(),
+        frames.len()
+    );
+    ExitCode::SUCCESS
+}

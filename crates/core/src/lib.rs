@@ -28,15 +28,18 @@ pub mod baselines;
 mod config;
 mod pipeline;
 mod report;
+mod simulate;
 
 pub use config::{Backend, EpocConfig};
 pub use pipeline::{compile_default, is_compilable, EpocCompiler};
 pub use report::{CompilationReport, StageStats, StageTimings};
+pub use simulate::{simulate_schedule, SimulationStats};
 
 pub use epoc_circuit as circuit;
 pub use epoc_linalg as linalg;
 pub use epoc_partition as partition;
 pub use epoc_pulse as pulse;
 pub use epoc_qoc as qoc;
+pub use epoc_sim as sim;
 pub use epoc_synth as synth;
 pub use epoc_zx as zx;

@@ -13,7 +13,8 @@ use crate::report::{CompilationReport, StageStats};
 use epoc_circuit::{circuits_equivalent, Circuit, Gate};
 use epoc_linalg::Matrix;
 use epoc_partition::{greedy_partition, regroup, Partition, PartitionConfig};
-use epoc_pulse::{PulseSchedule, ScheduledPulse};
+use epoc_pulse::{FrameUpdate, PulsePayload, PulseSchedule, ScheduledPulse};
+use std::sync::Arc;
 use epoc_qoc::{
     GrapeSynthesizer, HybridSynthesizer, ModeledSynthesizer, PulseRequest, PulseSynthesizer,
 };
@@ -161,7 +162,7 @@ pub(crate) fn schedule_partition(
                 Some(entry) => entry,
                 None => {
                     let entry = precomputed.remove(&i).expect("miss was classified");
-                    grape.library().insert(u, entry);
+                    grape.library().insert(u, entry.clone());
                     entry
                 }
             },
@@ -171,23 +172,39 @@ pub(crate) fn schedule_partition(
                 local_circuit: Some(block.circuit()),
             }),
         };
-        if entry.duration <= 0.0 {
-            continue; // purely virtual block: no physical pulse
-        }
         let start = block
             .qubits()
             .iter()
             .map(|&q| line_free[q])
             .fold(0.0f64, f64::max);
+        if entry.duration <= 0.0 {
+            // Purely virtual block: no physical pulse, no time — but the
+            // simulator still needs its unitary to compose the evolution.
+            schedule.push_frame(FrameUpdate {
+                qubits: block.qubits().to_vec(),
+                time: start,
+                unitary: unitaries[i].as_ref().map(|u| Arc::new(u.clone())),
+                label: format!("blk{i}"),
+            });
+            continue;
+        }
         for &q in block.qubits() {
             line_free[q] = start + entry.duration;
         }
+        // Replay information for epoc-sim: the GRAPE waveform when one was
+        // synthesized, else the dense block unitary as an exact step.
+        let payload = match (&entry.waveform, unitaries[i].as_ref()) {
+            (Some(w), _) => PulsePayload::Waveform(Arc::clone(w)),
+            (None, Some(u)) => PulsePayload::Unitary(Arc::new(u.clone())),
+            (None, None) => PulsePayload::Opaque,
+        };
         schedule.push(ScheduledPulse {
             qubits: block.qubits().to_vec(),
             start,
             duration: entry.duration,
             fidelity: entry.fidelity,
             label: format!("blk{i}"),
+            payload,
         });
     }
     schedule
@@ -369,6 +386,7 @@ impl EpocCompiler {
             stages,
             verified,
             verify_skipped,
+            simulation: None,
         }
     }
 

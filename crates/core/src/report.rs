@@ -1,5 +1,6 @@
 //! Compilation reports: everything the evaluation section measures.
 
+use crate::simulate::SimulationStats;
 use epoc_pulse::PulseSchedule;
 use epoc_rt::json::Json;
 use std::time::Duration;
@@ -146,6 +147,11 @@ pub struct CompilationReport {
     pub verified: bool,
     /// `true` when verification was skipped (register too wide).
     pub verify_skipped: bool,
+    /// Pulse-level simulation outcome (`None` unless `--simulate` /
+    /// [`crate::simulate_schedule`] ran). The key is omitted from the
+    /// JSON entirely when absent, so existing report consumers are
+    /// unaffected.
+    pub simulation: Option<SimulationStats>,
 }
 
 impl CompilationReport {
@@ -163,7 +169,7 @@ impl CompilationReport {
     /// `{secs, nanos}`, the same shape the previous serde-based output
     /// used for `Duration`.
     pub fn to_json_value(&self) -> Json {
-        Json::obj()
+        let mut obj = Json::obj()
             .push("flow", self.flow.as_str())
             .push("n_qubits", self.n_qubits)
             .push("gates_in", self.gates_in)
@@ -176,7 +182,11 @@ impl CompilationReport {
             )
             .push("stages", self.stages.to_json_value())
             .push("verified", self.verified)
-            .push("verify_skipped", self.verify_skipped)
+            .push("verify_skipped", self.verify_skipped);
+        if let Some(sim) = &self.simulation {
+            obj = obj.push("simulation", sim.to_json_value());
+        }
+        obj
     }
 
     /// The report as pretty-printed JSON (schedule included), for tooling.
@@ -212,6 +222,7 @@ mod tests {
             stages: StageStats::default(),
             verified: true,
             verify_skipped: false,
+            simulation: None,
         };
         let s = r.summary();
         assert!(s.contains("epoc"));
@@ -229,6 +240,7 @@ mod tests {
             duration: 26.5,
             fidelity: 0.9995,
             label: "blk\"0\"".into(),
+            payload: epoc_pulse::PulsePayload::Opaque,
         });
         let r = CompilationReport {
             flow: "epoc".into(),
@@ -260,6 +272,7 @@ mod tests {
             },
             verified: true,
             verify_skipped: false,
+            simulation: None,
         };
         let expected = concat!(
             "{\n",
@@ -276,9 +289,11 @@ mod tests {
             "        \"start\": 0.0,\n",
             "        \"duration\": 26.5,\n",
             "        \"fidelity\": 0.9995,\n",
-            "        \"label\": \"blk\\\"0\\\"\"\n",
+            "        \"label\": \"blk\\\"0\\\"\",\n",
+            "        \"payload\": \"opaque\"\n",
             "      }\n",
-            "    ]\n",
+            "    ],\n",
+            "    \"frames\": []\n",
             "  },\n",
             "  \"compile_time\": {\n",
             "    \"secs\": 1,\n",

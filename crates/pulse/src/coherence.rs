@@ -75,7 +75,7 @@ impl CoherenceModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::schedule::ScheduledPulse;
+    use crate::schedule::{PulsePayload, ScheduledPulse};
 
     fn schedule_with(latency: f64, qubits: usize) -> PulseSchedule {
         let mut s = PulseSchedule::new(qubits);
@@ -86,6 +86,7 @@ mod tests {
                 duration: latency,
                 fidelity: 0.999,
                 label: "p".into(),
+                payload: PulsePayload::Opaque,
             });
         }
         s
@@ -139,6 +140,7 @@ mod tests {
             duration: 1000.0,
             fidelity: 1.0,
             label: "x".into(),
+            payload: PulsePayload::Opaque,
         });
         // One active qubit despite the 10-qubit register.
         let expect = m.survival(1000.0);

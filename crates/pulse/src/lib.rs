@@ -30,4 +30,6 @@ pub use envelope::Envelope;
 pub use gate_pulses::{
     calibrated_envelope, gate_based_schedule, GateFidelityTable, GatePulseTables,
 };
-pub use schedule::{schedule_circuit, PulseCost, PulseSchedule, ScheduledPulse};
+pub use schedule::{
+    schedule_circuit, FrameUpdate, PulseCost, PulsePayload, PulseSchedule, ScheduledPulse,
+};

@@ -5,7 +5,38 @@
 //! paper's Eq. 3).
 
 use epoc_circuit::{Circuit, Operation};
+use epoc_linalg::Matrix;
+use epoc_qoc::PulseWaveform;
 use epoc_rt::json::Json;
+use std::sync::Arc;
+
+/// What a scheduled pulse physically is — the replay information the
+/// pulse-level simulator (`epoc-sim`) needs to drive the block through
+/// the device Hamiltonian.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum PulsePayload {
+    /// No replay information (e.g. a modeled block too wide for a dense
+    /// unitary). Schedules containing opaque pulses cannot be simulated.
+    #[default]
+    Opaque,
+    /// A GRAPE control waveform on the block-local device (channel-major,
+    /// local qubit order).
+    Waveform(Arc<PulseWaveform>),
+    /// Digital fallback: the block's dense local unitary, applied as one
+    /// exact step (used for modeled blocks whose unitary is known).
+    Unitary(Arc<Matrix>),
+}
+
+impl PulsePayload {
+    /// Short kind tag used in the JSON dump.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            PulsePayload::Opaque => "opaque",
+            PulsePayload::Waveform(_) => "waveform",
+            PulsePayload::Unitary(_) => "unitary",
+        }
+    }
+}
 
 /// One pulse placed in the schedule.
 #[derive(Debug, Clone, PartialEq)]
@@ -20,6 +51,41 @@ pub struct ScheduledPulse {
     pub fidelity: f64,
     /// Display label (gate/block name).
     pub label: String,
+    /// Replay information for the simulator.
+    pub payload: PulsePayload,
+}
+
+/// A zero-duration virtual operation (an RZ-only block or gate) that the
+/// scheduler drops from the physical timeline. The pulse hardware absorbs
+/// these as frame changes, but the simulator must still apply their
+/// unitaries to compose the correct total evolution, so the schedule
+/// records them separately from the pulses (keeping latency, ESP, and
+/// pulse counts untouched).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameUpdate {
+    /// Global qubits the frame update acts on.
+    pub qubits: Vec<usize>,
+    /// The time (ns) at which it logically applies: after every earlier
+    /// pulse on its qubit lines and before every later one.
+    pub time: f64,
+    /// The virtual block's dense local unitary, when known.
+    pub unitary: Option<Arc<Matrix>>,
+    /// Display label (gate/block name).
+    pub label: String,
+}
+
+impl FrameUpdate {
+    /// The frame as a JSON value (the unitary serializes as its kind only).
+    pub fn to_json_value(&self) -> Json {
+        Json::obj()
+            .push(
+                "qubits",
+                Json::Arr(self.qubits.iter().map(|&q| Json::from(q)).collect()),
+            )
+            .push("time", self.time)
+            .push("label", self.label.as_str())
+            .push("unitary", self.unitary.is_some())
+    }
 }
 
 impl ScheduledPulse {
@@ -39,6 +105,7 @@ impl ScheduledPulse {
             .push("duration", self.duration)
             .push("fidelity", self.fidelity)
             .push("label", self.label.as_str())
+            .push("payload", self.payload.kind())
     }
 }
 
@@ -47,6 +114,7 @@ impl ScheduledPulse {
 pub struct PulseSchedule {
     n_qubits: usize,
     pulses: Vec<ScheduledPulse>,
+    frames: Vec<FrameUpdate>,
 }
 
 impl PulseSchedule {
@@ -55,6 +123,7 @@ impl PulseSchedule {
         Self {
             n_qubits,
             pulses: Vec::new(),
+            frames: Vec::new(),
         }
     }
 
@@ -66,6 +135,13 @@ impl PulseSchedule {
     /// The scheduled pulses in insertion order.
     pub fn pulses(&self) -> &[ScheduledPulse] {
         &self.pulses
+    }
+
+    /// The virtual frame updates in insertion order (block order — at
+    /// equal times on a shared qubit line a frame always precedes the
+    /// pulse starting there, because physical pulses advance the line).
+    pub fn frames(&self) -> &[FrameUpdate] {
+        &self.frames
     }
 
     /// Number of pulses.
@@ -91,6 +167,20 @@ impl PulseSchedule {
         );
         assert!(pulse.duration >= 0.0, "negative duration");
         self.pulses.push(pulse);
+    }
+
+    /// Appends a virtual frame update.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a qubit is out of range or the time is negative.
+    pub fn push_frame(&mut self, frame: FrameUpdate) {
+        assert!(
+            frame.qubits.iter().all(|&q| q < self.n_qubits),
+            "frame qubit out of range"
+        );
+        assert!(frame.time >= 0.0, "negative frame time");
+        self.frames.push(frame);
     }
 
     /// Total latency: the latest pulse end time (0 for an empty schedule).
@@ -121,10 +211,16 @@ impl PulseSchedule {
 
     /// The schedule as a JSON value (used by the compilation report).
     pub fn to_json_value(&self) -> Json {
-        Json::obj().push("n_qubits", self.n_qubits).push(
-            "pulses",
-            Json::Arr(self.pulses.iter().map(ScheduledPulse::to_json_value).collect()),
-        )
+        Json::obj()
+            .push("n_qubits", self.n_qubits)
+            .push(
+                "pulses",
+                Json::Arr(self.pulses.iter().map(ScheduledPulse::to_json_value).collect()),
+            )
+            .push(
+                "frames",
+                Json::Arr(self.frames.iter().map(FrameUpdate::to_json_value).collect()),
+            )
     }
 
     /// `true` when no two pulses overlap on any qubit line.
@@ -160,14 +256,22 @@ pub fn schedule_circuit(circuit: &Circuit, mut cost: impl FnMut(&Operation) -> P
     let mut line_free = vec![0.0f64; circuit.n_qubits()];
     for op in circuit.ops() {
         let c = cost(op);
-        if c.duration <= 0.0 {
-            continue; // virtual gate: no pulse, no time
-        }
         let start = op
             .qubits
             .iter()
             .map(|&q| line_free[q])
             .fold(0.0f64, f64::max);
+        if c.duration <= 0.0 {
+            // Virtual gate: no pulse, no time — but the simulator still
+            // needs its unitary to compose the correct evolution.
+            schedule.push_frame(FrameUpdate {
+                qubits: op.qubits.clone(),
+                time: start,
+                unitary: Some(Arc::new(op.gate.unitary_matrix())),
+                label: op.gate.name().to_string(),
+            });
+            continue;
+        }
         for &q in &op.qubits {
             line_free[q] = start + c.duration;
         }
@@ -177,6 +281,7 @@ pub fn schedule_circuit(circuit: &Circuit, mut cost: impl FnMut(&Operation) -> P
             duration: c.duration,
             fidelity: c.fidelity,
             label: op.gate.name().to_string(),
+            payload: PulsePayload::Unitary(Arc::new(op.gate.unitary_matrix())),
         });
     }
     schedule
@@ -256,6 +361,7 @@ mod tests {
             duration: 10.0,
             fidelity: 1.0,
             label: "a".into(),
+            payload: PulsePayload::Opaque,
         });
         s.push(ScheduledPulse {
             qubits: vec![0],
@@ -263,6 +369,7 @@ mod tests {
             duration: 10.0,
             fidelity: 1.0,
             label: "b".into(),
+            payload: PulsePayload::Opaque,
         });
         assert!(!s.is_valid());
     }
@@ -285,6 +392,7 @@ mod tests {
             duration: 1.0,
             fidelity: 1.0,
             label: "x".into(),
+            payload: PulsePayload::Opaque,
         });
     }
 }

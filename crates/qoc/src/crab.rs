@@ -232,7 +232,7 @@ mod tests {
 
     #[test]
     fn crab_reaches_single_qubit_gates() {
-        let d = DeviceModel::transmon_line(1);
+        let d = DeviceModel::transmon_line(1).unwrap();
         for gate in [Gate::X, Gate::H] {
             let r = crab(
                 &d,
@@ -254,7 +254,7 @@ mod tests {
 
     #[test]
     fn crab_controls_respect_bounds() {
-        let d = DeviceModel::transmon_line(1);
+        let d = DeviceModel::transmon_line(1).unwrap();
         let r = crab(&d, &Gate::Sx.unitary_matrix(), 20, &CrabConfig::default());
         for ch in &r.controls {
             for &a in ch {
@@ -269,7 +269,7 @@ mod tests {
     fn crab_smoothness() {
         // Fourier-basis pulses are smooth: adjacent-slot jumps stay small
         // relative to the amplitude bound.
-        let d = DeviceModel::transmon_line(1);
+        let d = DeviceModel::transmon_line(1).unwrap();
         let r = crab(&d, &Gate::X.unitary_matrix(), 40, &CrabConfig::default());
         let max_jump = r.controls[0]
             .windows(2)
@@ -292,7 +292,7 @@ mod tests {
 
     #[test]
     fn crab_too_short_fails_gracefully() {
-        let d = DeviceModel::transmon_line(1);
+        let d = DeviceModel::transmon_line(1).unwrap();
         let r = crab(&d, &Gate::X.unitary_matrix(), 2, &CrabConfig::default());
         assert!(r.fidelity < 0.9);
     }

@@ -15,6 +15,36 @@ use epoc_circuit::Gate;
 use epoc_linalg::Matrix;
 use std::f64::consts::PI;
 
+/// Widest register the dense transmon model supports (64×64 matrices are
+/// the practical GRAPE ceiling here).
+pub const MAX_MODEL_QUBITS: usize = 6;
+
+/// A typed error from device-model construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceError {
+    /// The requested register width falls outside the dense model's
+    /// supported range (`1..=`[`MAX_MODEL_QUBITS`]).
+    UnsupportedWidth {
+        /// The width that was requested.
+        n_qubits: usize,
+        /// The widest supported register.
+        max: usize,
+    },
+}
+
+impl std::fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeviceError::UnsupportedWidth { n_qubits, max } => write!(
+                f,
+                "transmon model supports 1..={max} qubits, got {n_qubits}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
 /// A control Hamiltonian channel.
 #[derive(Debug, Clone)]
 pub struct ControlChannel {
@@ -41,12 +71,18 @@ impl DeviceModel {
     /// `2π·0.002` between adjacent qubits, drive amplitude bound
     /// `2π·0.02`, slot width 2 ns.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `n == 0` or `n > 6` (dense 64×64 is the practical GRAPE
-    /// ceiling here).
-    pub fn transmon_line(n: usize) -> Self {
-        assert!((1..=6).contains(&n), "transmon model supports 1..=6 qubits");
+    /// Returns [`DeviceError::UnsupportedWidth`] if `n == 0` or
+    /// `n > `[`MAX_MODEL_QUBITS`] — the simulator and GRAPE share the same
+    /// dense ceiling and must fail gracefully rather than panic.
+    pub fn transmon_line(n: usize) -> Result<Self, DeviceError> {
+        if n == 0 || n > MAX_MODEL_QUBITS {
+            return Err(DeviceError::UnsupportedWidth {
+                n_qubits: n,
+                max: MAX_MODEL_QUBITS,
+            });
+        }
         let dim = 1usize << n;
         let z = Gate::Z.unitary_matrix();
         let x = Gate::X.unitary_matrix();
@@ -77,13 +113,13 @@ impl DeviceModel {
                 hamiltonian: y.embed(&[q], n).scale_re(0.5),
             });
         }
-        Self {
+        Ok(Self {
             n_qubits: n,
             drift,
             controls,
             max_amplitude: 2.0 * PI * 0.02,
             dt: 2.0,
-        }
+        })
     }
 
     /// Builds a custom model.
@@ -190,7 +226,7 @@ mod tests {
     #[test]
     fn transmon_line_shapes() {
         for n in 1..=3 {
-            let d = DeviceModel::transmon_line(n);
+            let d = DeviceModel::transmon_line(n).unwrap();
             assert_eq!(d.n_qubits(), n);
             assert_eq!(d.dim(), 1 << n);
             assert_eq!(d.controls().len(), 2 * n);
@@ -203,7 +239,7 @@ mod tests {
 
     #[test]
     fn hamiltonian_combines_channels() {
-        let d = DeviceModel::transmon_line(1);
+        let d = DeviceModel::transmon_line(1).unwrap();
         let h = d.hamiltonian(&[0.3, 0.0]);
         // H = drift + 0.3·X/2: check the off-diagonal.
         assert!((h[(0, 1)].re - 0.15).abs() < 1e-12);
@@ -213,20 +249,29 @@ mod tests {
     #[test]
     fn single_qubit_drift_is_zero_detuning() {
         // Qubit 0 has zero detuning by construction.
-        let d = DeviceModel::transmon_line(1);
+        let d = DeviceModel::transmon_line(1).unwrap();
         assert!(d.drift().frobenius_norm() < 1e-12);
     }
 
     #[test]
     fn coupling_present_for_two_qubits() {
-        let d = DeviceModel::transmon_line(2);
+        let d = DeviceModel::transmon_line(2).unwrap();
         assert!(d.drift().frobenius_norm() > 1e-6);
     }
 
     #[test]
-    #[should_panic(expected = "1..=6")]
-    fn rejects_large_models() {
-        DeviceModel::transmon_line(9);
+    fn rejects_out_of_range_widths() {
+        for n in [0, 7, 9] {
+            let err = DeviceModel::transmon_line(n).unwrap_err();
+            assert_eq!(
+                err,
+                DeviceError::UnsupportedWidth {
+                    n_qubits: n,
+                    max: MAX_MODEL_QUBITS
+                }
+            );
+            assert!(err.to_string().contains("1..=6"), "message: {err}");
+        }
     }
 
     #[test]

@@ -140,7 +140,7 @@ mod tests {
 
     #[test]
     fn finds_minimal_x_duration() {
-        let d = DeviceModel::transmon_line(1);
+        let d = DeviceModel::transmon_line(1).unwrap();
         let sol = minimize_duration(
             &d,
             &Gate::X.unitary_matrix(),
@@ -159,7 +159,7 @@ mod tests {
 
     #[test]
     fn identity_needs_minimal_slots() {
-        let d = DeviceModel::transmon_line(1);
+        let d = DeviceModel::transmon_line(1).unwrap();
         let sol = minimize_duration(
             &d,
             &Matrix::identity(2),
@@ -174,7 +174,7 @@ mod tests {
 
     #[test]
     fn unreachable_target_errors() {
-        let d = DeviceModel::transmon_line(1);
+        let d = DeviceModel::transmon_line(1).unwrap();
         let err = minimize_duration(
             &d,
             &Gate::X.unitary_matrix(),
@@ -193,7 +193,7 @@ mod tests {
     fn rz_cheap_z_rotations() {
         // Z rotations only need drive time proportional to angle via
         // X/Y composite; still reachable.
-        let d = DeviceModel::transmon_line(1);
+        let d = DeviceModel::transmon_line(1).unwrap();
         let sol = minimize_duration(
             &d,
             &Gate::S.unitary_matrix(),

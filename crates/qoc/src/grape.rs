@@ -402,7 +402,7 @@ mod tests {
     use epoc_linalg::phase_invariant_fidelity;
 
     fn device1() -> DeviceModel {
-        DeviceModel::transmon_line(1)
+        DeviceModel::transmon_line(1).unwrap()
     }
 
     /// Test convenience: allocates a fresh workspace and returns the
@@ -493,7 +493,7 @@ mod tests {
 
     #[test]
     fn grape_two_qubit_identity_is_easy() {
-        let d = DeviceModel::transmon_line(2);
+        let d = DeviceModel::transmon_line(2).unwrap();
         // The always-on coupling must be echoed away, which needs time:
         // 40 slots (80 ns) suffice to refocus it; 20 do not.
         let r = grape(
@@ -562,7 +562,7 @@ mod tests {
     /// rests on this).
     #[test]
     fn worker_count_does_not_change_trajectory() {
-        let d = DeviceModel::transmon_line(2);
+        let d = DeviceModel::transmon_line(2).unwrap();
         let target = Matrix::identity(4);
         let run = |workers: usize| {
             grape(

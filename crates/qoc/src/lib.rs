@@ -21,7 +21,7 @@
 //! use epoc_circuit::Gate;
 //! use epoc_qoc::{grape, DeviceModel, GrapeConfig};
 //!
-//! let device = DeviceModel::transmon_line(1);
+//! let device = DeviceModel::transmon_line(1).unwrap();
 //! let result = grape(&device, &Gate::Sx.unitary_matrix(), 16, &GrapeConfig::default());
 //! assert!(result.fidelity > 0.99);
 //! ```
@@ -35,9 +35,10 @@ mod grape;
 mod library;
 mod model;
 mod synthesizer;
+mod waveform;
 
 pub use crab::{crab, CrabConfig, CrabResult};
-pub use device::{ControlChannel, DeviceModel};
+pub use device::{ControlChannel, DeviceError, DeviceModel, MAX_MODEL_QUBITS};
 pub use duration::{
     minimize_duration, DurationSearchConfig, PulseSolution, SearchDurationError,
 };
@@ -48,3 +49,4 @@ pub use model::{DurationModel, GateDurationTable};
 pub use synthesizer::{
     GrapeSynthesizer, HybridSynthesizer, ModeledSynthesizer, PulseRequest, PulseSynthesizer,
 };
+pub use waveform::PulseWaveform;

@@ -6,7 +6,9 @@
 //! hit rate "similar to having a higher cache hit rate". Both policies are
 //! implemented so the ablation bench can compare them.
 
+use crate::waveform::PulseWaveform;
 use epoc_linalg::{Matrix, PhaseSensitiveKey, UnitaryKey};
+use std::sync::Arc;
 use std::sync::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -20,13 +22,15 @@ pub enum KeyPolicy {
     PhaseSensitive,
 }
 
-/// A cached pulse: its duration and realized fidelity.
+/// A cached pulse: its duration, realized fidelity, and (for GRAPE
+/// solutions) the control waveform itself.
 ///
-/// The control waveforms themselves are deliberately not stored — latency
-/// and fidelity are what the compiler consumes downstream; storing
-/// `O(channels × slots)` floats per entry would bloat the library without
-/// being read.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// The waveform rides behind an `Arc`, so cloning an entry — cache hits,
+/// the parallel pulse stage's replay — shares one `O(channels × slots)`
+/// buffer rather than copying it. It is what the pulse-level simulator
+/// (`epoc-sim`) replays against the device Hamiltonian to verify the
+/// schedule independently of GRAPE's own objective.
+#[derive(Debug, Clone, PartialEq)]
 pub struct PulseEntry {
     /// Pulse duration in ns.
     pub duration: f64,
@@ -34,6 +38,9 @@ pub struct PulseEntry {
     pub fidelity: f64,
     /// Slot count of the stored solution.
     pub n_slots: usize,
+    /// The GRAPE control waveform realizing the pulse (`None` for modeled
+    /// pulses and failed duration searches, which have no waveform).
+    pub waveform: Option<Arc<PulseWaveform>>,
 }
 
 /// A policy-resolved cache key: what [`PulseLibrary::lookup`] hashes
@@ -60,7 +67,7 @@ pub enum CacheKey {
 ///     &[Complex64::ZERO, Complex64::ONE],
 ///     &[Complex64::ONE, Complex64::ZERO],
 /// ]);
-/// lib.insert(&x, PulseEntry { duration: 26.0, fidelity: 0.9995, n_slots: 13 });
+/// lib.insert(&x, PulseEntry { duration: 26.0, fidelity: 0.9995, n_slots: 13, waveform: None });
 /// // The same gate with a different global phase hits the cache:
 /// let gx = x.scale(Complex64::cis(1.0));
 /// assert!(lib.lookup(&gx).is_some());
@@ -112,13 +119,13 @@ impl PulseLibrary {
                 .read()
                 .unwrap()
                 .get(&UnitaryKey::new(unitary))
-                .copied(),
+                .cloned(),
             KeyPolicy::PhaseSensitive => self
                 .phase_sensitive
                 .read()
                 .unwrap()
                 .get(&PhaseSensitiveKey::new(unitary))
-                .copied(),
+                .cloned(),
         }
     }
 
@@ -203,6 +210,7 @@ mod tests {
             duration: d,
             fidelity: 0.9995,
             n_slots: (d / 2.0) as usize,
+            waveform: None,
         }
     }
 

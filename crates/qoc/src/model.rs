@@ -146,7 +146,7 @@ impl DurationModel {
         let mut min_pulse = f64::INFINITY;
 
         // 1-qubit samples.
-        let d1 = DeviceModel::transmon_line(1);
+        let d1 = DeviceModel::transmon_line(1).expect("1-qubit model always supported");
         for gate in [Gate::X, Gate::H, Gate::Sx] {
             if let Ok(sol) = minimize_duration(
                 &d1,
@@ -162,7 +162,7 @@ impl DurationModel {
         }
         // 2-qubit samples; also measure 1q absorption from the duration
         // difference between a bare CX block and an H·CX·T block.
-        let d2 = DeviceModel::transmon_line(2);
+        let d2 = DeviceModel::transmon_line(2).expect("2-qubit model always supported");
         let search2 = DurationSearchConfig {
             max_slots: 1024,
             ..Default::default()

@@ -13,9 +13,11 @@ use crate::device::DeviceModel;
 use crate::duration::{minimize_duration, DurationSearchConfig};
 use crate::library::{KeyPolicy, PulseEntry, PulseLibrary};
 use crate::model::DurationModel;
+use crate::waveform::PulseWaveform;
 use epoc_circuit::Circuit;
 use epoc_linalg::Matrix;
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -91,7 +93,9 @@ impl GrapeSynthesizer {
             .lock()
             .unwrap()
             .entry(n)
-            .or_insert_with(|| DeviceModel::transmon_line(n))
+            .or_insert_with(|| {
+                DeviceModel::transmon_line(n).expect("width pre-checked against the GRAPE cap")
+            })
             .clone()
     }
 
@@ -119,6 +123,10 @@ impl GrapeSynthesizer {
                     duration: sol.result.duration,
                     fidelity: sol.result.fidelity,
                     n_slots: sol.n_slots,
+                    waveform: Some(Arc::new(PulseWaveform::new(
+                        device.dt(),
+                        sol.result.controls,
+                    ))),
                 }
             }
             Err(err) => {
@@ -129,6 +137,7 @@ impl GrapeSynthesizer {
                     duration: self.search.max_slots as f64 * device.dt(),
                     fidelity: err.best_fidelity,
                     n_slots: self.search.max_slots,
+                    waveform: None,
                 }
             }
         }
@@ -156,7 +165,7 @@ impl PulseSynthesizer for GrapeSynthesizer {
             return entry;
         }
         let entry = self.compute_uncached(request.n_qubits, unitary);
-        self.library.insert(unitary, entry);
+        self.library.insert(unitary, entry.clone());
         entry
     }
 
@@ -212,9 +221,10 @@ impl PulseSynthesizer for ModeledSynthesizer {
             duration,
             fidelity: self.model.pulse_fidelity,
             n_slots: (duration / 2.0).ceil() as usize,
+            waveform: None,
         };
         if let Some(u) = request.unitary {
-            self.library.insert(u, entry);
+            self.library.insert(u, entry.clone());
         }
         entry
     }

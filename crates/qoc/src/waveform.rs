@@ -1,0 +1,104 @@
+//! Piecewise-constant control waveforms captured from GRAPE solutions.
+//!
+//! A [`PulseWaveform`] is the physical artifact a pulse entry used to
+//! discard: the per-channel amplitude staircase GRAPE converged to. The
+//! pulse-level simulator (`epoc-sim`) replays these against the device
+//! Hamiltonian to verify schedules end-to-end, so the library now keeps
+//! them behind an `Arc` (see [`crate::PulseEntry`]).
+
+/// The piecewise-constant control amplitudes of one synthesized pulse.
+///
+/// Channel-major layout matching [`crate::DeviceModel::controls`]: row `j`
+/// holds the amplitude (rad/ns) of channel `j` in each of the `n_slots`
+/// slots of width [`PulseWaveform::dt`] ns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PulseWaveform {
+    dt: f64,
+    controls: Vec<Vec<f64>>,
+}
+
+impl PulseWaveform {
+    /// Wraps a channel-major control matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not positive or the channel rows have unequal
+    /// lengths.
+    pub fn new(dt: f64, controls: Vec<Vec<f64>>) -> Self {
+        assert!(dt > 0.0, "slot width must be positive");
+        let n_slots = controls.first().map_or(0, Vec::len);
+        assert!(
+            controls.iter().all(|c| c.len() == n_slots),
+            "ragged control rows"
+        );
+        Self { dt, controls }
+    }
+
+    /// Slot width (ns).
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// Number of control channels.
+    pub fn n_channels(&self) -> usize {
+        self.controls.len()
+    }
+
+    /// Number of slots.
+    pub fn n_slots(&self) -> usize {
+        self.controls.first().map_or(0, Vec::len)
+    }
+
+    /// Total waveform duration (ns).
+    pub fn duration(&self) -> f64 {
+        self.n_slots() as f64 * self.dt
+    }
+
+    /// The channel-major amplitude matrix.
+    pub fn controls(&self) -> &[Vec<f64>] {
+        &self.controls
+    }
+
+    /// Amplitude of `channel` at offset `t` ns from the waveform start
+    /// (clamped into the last slot at `t == duration`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range or `t` is negative.
+    pub fn amplitude(&self, channel: usize, t: f64) -> f64 {
+        assert!(t >= 0.0, "negative waveform offset");
+        let slot = ((t / self.dt) as usize).min(self.n_slots().saturating_sub(1));
+        self.controls[channel][slot]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_and_lookup() {
+        let w = PulseWaveform::new(2.0, vec![vec![0.1, 0.2, 0.3], vec![0.0, -0.1, 0.4]]);
+        assert_eq!(w.n_channels(), 2);
+        assert_eq!(w.n_slots(), 3);
+        assert!((w.duration() - 6.0).abs() < 1e-12);
+        assert_eq!(w.amplitude(0, 0.0), 0.1);
+        assert_eq!(w.amplitude(0, 3.9), 0.2);
+        assert_eq!(w.amplitude(1, 4.0), 0.4);
+        // t == duration clamps into the last slot.
+        assert_eq!(w.amplitude(1, 6.0), 0.4);
+    }
+
+    #[test]
+    fn empty_waveform() {
+        let w = PulseWaveform::new(1.0, vec![]);
+        assert_eq!(w.n_slots(), 0);
+        assert_eq!(w.duration(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn rejects_ragged_rows() {
+        PulseWaveform::new(1.0, vec![vec![0.1], vec![0.1, 0.2]]);
+    }
+}

@@ -17,7 +17,7 @@ fn propagation_is_always_unitary() {
     property("propagation_is_always_unitary").cases(24).run(|g| {
         let seed = g.u64_in(0, 1000);
         let slots = g.usize_in(1, 12);
-        let device = DeviceModel::transmon_line(2);
+        let device = DeviceModel::transmon_line(2).unwrap();
         let mut rng = StdRng::seed_from_u64(seed);
         let a = device.max_amplitude();
         let controls: Vec<Vec<f64>> = (0..device.controls().len())
@@ -33,7 +33,7 @@ fn propagation_composes() {
     property("propagation_composes").cases(24).run(|g| {
         let seed = g.u64_in(0, 500);
         // Propagating k slots then m slots equals propagating k+m at once.
-        let device = DeviceModel::transmon_line(1);
+        let device = DeviceModel::transmon_line(1).unwrap();
         let mut rng = StdRng::seed_from_u64(seed);
         let a = device.max_amplitude();
         let mk = |rng: &mut StdRng, n: usize| -> Vec<Vec<f64>> {
@@ -58,7 +58,7 @@ fn propagation_composes() {
 fn grape_fidelity_in_unit_interval() {
     property("grape_fidelity_in_unit_interval").cases(24).run(|g| {
         let seed = g.u64_in(0, 200);
-        let device = DeviceModel::transmon_line(1);
+        let device = DeviceModel::transmon_line(1).unwrap();
         let mut rng = StdRng::seed_from_u64(seed);
         let target = random_unitary(2, &mut rng);
         let r = grape(
@@ -104,8 +104,8 @@ fn library_lookup_returns_what_was_inserted() {
             let lib = PulseLibrary::new(KeyPolicy::PhaseAware);
             let mut rng = StdRng::seed_from_u64(seed);
             let u = random_unitary(2, &mut rng);
-            let entry = PulseEntry { duration: d, fidelity: 0.999, n_slots: d as usize };
-            lib.insert(&u, entry);
+            let entry = PulseEntry { duration: d, fidelity: 0.999, n_slots: d as usize, waveform: None };
+            lib.insert(&u, entry.clone());
             assert_eq!(lib.lookup(&u), Some(entry), "seed={seed} d={d}");
         });
 }
@@ -118,7 +118,7 @@ fn library_phase_invariance() {
         let lib = PulseLibrary::new(KeyPolicy::PhaseAware);
         let mut rng = StdRng::seed_from_u64(seed);
         let u = random_unitary(2, &mut rng);
-        lib.insert(&u, PulseEntry { duration: 7.0, fidelity: 0.99, n_slots: 4 });
+        lib.insert(&u, PulseEntry { duration: 7.0, fidelity: 0.99, n_slots: 4, waveform: None });
         let rotated = u.scale(epoc_linalg::Complex64::cis(phi));
         assert!(lib.lookup(&rotated).is_some(), "seed={seed} phi={phi}");
     });
@@ -126,7 +126,7 @@ fn library_phase_invariance() {
 
 #[test]
 fn grape_is_deterministic() {
-    let device = DeviceModel::transmon_line(1);
+    let device = DeviceModel::transmon_line(1).unwrap();
     let target = Gate::H.unitary_matrix();
     let a = grape(&device, &target, 20, &GrapeConfig::default());
     let b = grape(&device, &target, 20, &GrapeConfig::default());
@@ -138,7 +138,7 @@ fn grape_is_deterministic() {
 fn longer_pulses_never_reduce_best_fidelity_much() {
     // More slots = strictly more controllable; fidelity should not drop
     // materially when duration grows (optimizer noise aside).
-    let device = DeviceModel::transmon_line(1);
+    let device = DeviceModel::transmon_line(1).unwrap();
     let target = Gate::X.unitary_matrix();
     let short = grape(&device, &target, 14, &GrapeConfig::default());
     let long = grape(&device, &target, 28, &GrapeConfig::default());
@@ -150,7 +150,7 @@ fn identity_block_models_to_zero_but_identity_grape_is_cheap() {
     let m = DurationModel::default();
     let c = Circuit::new(2);
     assert_eq!(m.block_duration(&c), 0.0);
-    let device = DeviceModel::transmon_line(1);
+    let device = DeviceModel::transmon_line(1).unwrap();
     let r = grape(&device, &Matrix::identity(2), 1, &GrapeConfig::default());
     assert!(r.fidelity > 0.9999);
 }

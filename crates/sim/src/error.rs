@@ -1,0 +1,96 @@
+//! Typed simulator errors.
+
+use epoc_linalg::EigError;
+use epoc_qoc::DeviceError;
+
+/// An error from schedule lowering or propagation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The register is wider than the dense simulation ceiling.
+    TooWide {
+        /// Register width of the schedule.
+        n_qubits: usize,
+        /// The configured width ceiling.
+        max: usize,
+    },
+    /// Building the block-local device model failed (a waveform pulse
+    /// wider than the transmon model supports).
+    Device(DeviceError),
+    /// A pulse carries no replay information, so the schedule cannot be
+    /// simulated (e.g. a modeled block too wide for a dense unitary).
+    OpaquePulse {
+        /// Label of the offending pulse.
+        label: String,
+    },
+    /// A frame update carries no unitary.
+    OpaqueFrame {
+        /// Label of the offending frame.
+        label: String,
+    },
+    /// A waveform's channel count does not match its block-local device.
+    ChannelMismatch {
+        /// Label of the offending pulse.
+        label: String,
+        /// Channels the local device exposes.
+        expected: usize,
+        /// Channels the waveform carries.
+        got: usize,
+    },
+    /// A payload's dimension does not match its qubit count.
+    PayloadShape {
+        /// Label of the offending pulse or frame.
+        label: String,
+    },
+    /// The ground-truth unitary's dimension does not match the schedule.
+    TargetShape {
+        /// Expected dimension (`2^n_qubits`).
+        expected: usize,
+        /// The dimension that was supplied.
+        got: usize,
+    },
+    /// The eigendecomposition of a step Hamiltonian failed.
+    Eig(EigError),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::TooWide { n_qubits, max } => write!(
+                f,
+                "schedule register of {n_qubits} qubits exceeds the dense simulation limit {max}"
+            ),
+            SimError::Device(e) => write!(f, "device model: {e}"),
+            SimError::OpaquePulse { label } => {
+                write!(f, "pulse '{label}' carries no waveform or unitary to replay")
+            }
+            SimError::OpaqueFrame { label } => {
+                write!(f, "frame '{label}' carries no unitary to replay")
+            }
+            SimError::ChannelMismatch { label, expected, got } => write!(
+                f,
+                "pulse '{label}': waveform has {got} channels, device exposes {expected}"
+            ),
+            SimError::PayloadShape { label } => {
+                write!(f, "pulse '{label}': payload dimension does not match its qubit count")
+            }
+            SimError::TargetShape { expected, got } => {
+                write!(f, "target unitary is {got}-dimensional, schedule needs {expected}")
+            }
+            SimError::Eig(e) => write!(f, "step Hamiltonian eigendecomposition failed: {e:?}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<DeviceError> for SimError {
+    fn from(e: DeviceError) -> Self {
+        SimError::Device(e)
+    }
+}
+
+impl From<EigError> for SimError {
+    fn from(e: EigError) -> Self {
+        SimError::Eig(e)
+    }
+}

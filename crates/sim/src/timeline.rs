@@ -1,0 +1,324 @@
+//! Schedule → global-register timeline lowering.
+//!
+//! A [`PulseSchedule`] is block-local: each pulse's payload (waveform or
+//! dense unitary) lives on the qubits of its own block, optimized against
+//! a block-sized [`DeviceModel`]. The simulator needs everything on the
+//! *global* register, so lowering:
+//!
+//! 1. embeds every waveform pulse's block-local drift and control
+//!    Hamiltonians into the full `2^n` space (`Matrix::embed`),
+//! 2. turns unitary-payload pulses and frame updates into time-stamped
+//!    digital events with embedded matrices, and
+//! 3. collects every waveform slot edge, pulse boundary, and digital
+//!    timestamp into a sorted, deduplicated breakpoint grid — within one
+//!    interval the total Hamiltonian is constant, so the propagator can
+//!    take exact `expm` steps.
+//!
+//! Ordering of digital events at equal times follows the schedule
+//! invariant: frames precede pulses starting at the same instant on a
+//! shared line (physical pulses advance the line clock, so a frame that
+//! *follows* a pulse always lands at the pulse's end, a distinct time).
+
+use crate::error::SimError;
+use epoc_linalg::Matrix;
+use epoc_pulse::{PulsePayload, PulseSchedule};
+use epoc_qoc::{DeviceModel, PulseWaveform};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Breakpoint deduplication tolerance (ns).
+pub const TIME_TOL: f64 = 1e-9;
+
+/// A waveform pulse lowered onto the global register.
+#[derive(Debug, Clone)]
+pub struct DriveEvent {
+    /// Display label of the source pulse.
+    pub label: String,
+    /// Global qubits the drive acts on (block order — channel `2j`/`2j+1`
+    /// are the X/Y drives of `qubits[j]`).
+    pub qubits: Vec<usize>,
+    /// Start time (ns).
+    pub start: f64,
+    /// End time (ns).
+    pub end: f64,
+    /// The block's piecewise-constant control amplitudes.
+    pub waveform: Arc<PulseWaveform>,
+    /// Block-local drift embedded into the global register.
+    pub drift: Matrix,
+    /// Block-local control Hamiltonians embedded into the global register,
+    /// one per waveform channel.
+    pub channels: Vec<Matrix>,
+}
+
+/// A unitary applied as one exact step (a frame update or a
+/// unitary-payload pulse), embedded into the global register.
+#[derive(Debug, Clone)]
+pub struct DigitalEvent {
+    /// Application time (ns).
+    pub time: f64,
+    /// The embedded global unitary.
+    pub unitary: Matrix,
+    /// Display label of the source pulse or frame.
+    pub label: String,
+    /// Equal-time ordering class: frames (0) before pulses (1).
+    class: u8,
+    /// Insertion order within the schedule, the final tie-break.
+    seq: usize,
+}
+
+/// The lowered, simulation-ready form of a schedule.
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    /// Register width.
+    pub n_qubits: usize,
+    /// Hilbert-space dimension (`2^n_qubits`).
+    pub dim: usize,
+    /// Waveform drives in schedule order.
+    pub drives: Vec<DriveEvent>,
+    /// Digital events sorted by `(time, frame-before-pulse, insertion)`.
+    pub digitals: Vec<DigitalEvent>,
+    /// Sorted, deduplicated grid of piecewise-constant intervals.
+    pub breakpoints: Vec<f64>,
+}
+
+impl Timeline {
+    /// Lowers a schedule onto the global register.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the register exceeds `max_qubits`, any pulse is
+    /// opaque or malformed, or a block-local device model cannot be built.
+    pub fn lower(schedule: &PulseSchedule, max_qubits: usize) -> Result<Self, SimError> {
+        let n = schedule.n_qubits();
+        if n > max_qubits {
+            return Err(SimError::TooWide {
+                n_qubits: n,
+                max: max_qubits,
+            });
+        }
+        let dim = 1usize << n;
+
+        let mut devices: HashMap<usize, DeviceModel> = HashMap::new();
+        let mut embeddings: HashMap<Vec<usize>, (Matrix, Vec<Matrix>)> = HashMap::new();
+        let mut drives = Vec::new();
+        let mut digitals = Vec::new();
+        let mut seq = 0usize;
+
+        for pulse in schedule.pulses() {
+            let k = pulse.qubits.len();
+            match &pulse.payload {
+                PulsePayload::Waveform(w) => {
+                    let device = match devices.entry(k) {
+                        std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(DeviceModel::transmon_line(k)?)
+                        }
+                    };
+                    if w.n_channels() != device.controls().len() {
+                        return Err(SimError::ChannelMismatch {
+                            label: pulse.label.clone(),
+                            expected: device.controls().len(),
+                            got: w.n_channels(),
+                        });
+                    }
+                    let (drift, channels) = embeddings
+                        .entry(pulse.qubits.clone())
+                        .or_insert_with(|| {
+                            let drift = device.drift().embed(&pulse.qubits, n);
+                            let channels = device
+                                .controls()
+                                .iter()
+                                .map(|c| c.hamiltonian.embed(&pulse.qubits, n))
+                                .collect();
+                            (drift, channels)
+                        })
+                        .clone();
+                    drives.push(DriveEvent {
+                        label: pulse.label.clone(),
+                        qubits: pulse.qubits.clone(),
+                        start: pulse.start,
+                        end: pulse.end(),
+                        waveform: Arc::clone(w),
+                        drift,
+                        channels,
+                    });
+                }
+                PulsePayload::Unitary(u) => {
+                    if u.rows() != (1usize << k) || u.cols() != (1usize << k) {
+                        return Err(SimError::PayloadShape {
+                            label: pulse.label.clone(),
+                        });
+                    }
+                    digitals.push(DigitalEvent {
+                        time: pulse.start,
+                        unitary: u.embed(&pulse.qubits, n),
+                        label: pulse.label.clone(),
+                        class: 1,
+                        seq,
+                    });
+                }
+                PulsePayload::Opaque => {
+                    return Err(SimError::OpaquePulse {
+                        label: pulse.label.clone(),
+                    });
+                }
+            }
+            seq += 1;
+        }
+
+        for frame in schedule.frames() {
+            let u = frame.unitary.as_ref().ok_or_else(|| SimError::OpaqueFrame {
+                label: frame.label.clone(),
+            })?;
+            let k = frame.qubits.len();
+            if u.rows() != (1usize << k) || u.cols() != (1usize << k) {
+                return Err(SimError::PayloadShape {
+                    label: frame.label.clone(),
+                });
+            }
+            digitals.push(DigitalEvent {
+                time: frame.time,
+                unitary: u.embed(&frame.qubits, n),
+                label: frame.label.clone(),
+                class: 0,
+                seq,
+            });
+            seq += 1;
+        }
+
+        digitals.sort_by(|a, b| {
+            a.time
+                .partial_cmp(&b.time)
+                .expect("finite event times")
+                .then(a.class.cmp(&b.class))
+                .then(a.seq.cmp(&b.seq))
+        });
+
+        let mut breakpoints = vec![0.0f64];
+        for d in &drives {
+            let dt = d.waveform.dt();
+            for s in 0..=d.waveform.n_slots() {
+                breakpoints.push(d.start + s as f64 * dt);
+            }
+            breakpoints.push(d.end);
+        }
+        for d in &digitals {
+            breakpoints.push(d.time);
+        }
+        breakpoints.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        breakpoints.dedup_by(|next, kept| (*next - *kept).abs() <= TIME_TOL);
+
+        Ok(Self {
+            n_qubits: n,
+            dim,
+            drives,
+            digitals,
+            breakpoints,
+        })
+    }
+
+    /// `true` when `drive` is active over a step whose midpoint is `mid`.
+    pub fn drive_active(drive: &DriveEvent, mid: f64) -> bool {
+        mid >= drive.start && mid <= drive.end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epoc_pulse::{FrameUpdate, PulsePayload, ScheduledPulse};
+
+    fn waveform_pulse(qubits: Vec<usize>, start: f64, slots: usize) -> ScheduledPulse {
+        let k = qubits.len();
+        let dt = 2.0;
+        let w = PulseWaveform::new(dt, vec![vec![0.01; slots]; 2 * k]);
+        ScheduledPulse {
+            qubits,
+            start,
+            duration: slots as f64 * dt,
+            fidelity: 1.0,
+            label: "blk".into(),
+            payload: PulsePayload::Waveform(Arc::new(w)),
+        }
+    }
+
+    #[test]
+    fn lowers_waveforms_with_embeddings() {
+        let mut s = PulseSchedule::new(3);
+        s.push(waveform_pulse(vec![0, 2], 0.0, 3));
+        let t = Timeline::lower(&s, 8).unwrap();
+        assert_eq!(t.dim, 8);
+        assert_eq!(t.drives.len(), 1);
+        assert_eq!(t.drives[0].channels.len(), 4);
+        assert_eq!(t.drives[0].drift.rows(), 8);
+        // Breakpoints: slot edges 0,2,4,6 (end coincides with last edge).
+        assert_eq!(t.breakpoints, vec![0.0, 2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn frames_sort_before_pulses_at_equal_time() {
+        let mut s = PulseSchedule::new(1);
+        s.push(ScheduledPulse {
+            qubits: vec![0],
+            start: 4.0,
+            duration: 2.0,
+            fidelity: 1.0,
+            label: "p".into(),
+            payload: PulsePayload::Unitary(Arc::new(epoc_circuit::Gate::X.unitary_matrix())),
+        });
+        s.push_frame(FrameUpdate {
+            qubits: vec![0],
+            time: 4.0,
+            unitary: Some(Arc::new(epoc_circuit::Gate::Z.unitary_matrix())),
+            label: "f".into(),
+        });
+        let t = Timeline::lower(&s, 8).unwrap();
+        assert_eq!(t.digitals.len(), 2);
+        assert_eq!(t.digitals[0].label, "f");
+        assert_eq!(t.digitals[1].label, "p");
+    }
+
+    #[test]
+    fn rejects_opaque_and_wide() {
+        let mut s = PulseSchedule::new(1);
+        s.push(ScheduledPulse {
+            qubits: vec![0],
+            start: 0.0,
+            duration: 1.0,
+            fidelity: 1.0,
+            label: "mystery".into(),
+            payload: PulsePayload::Opaque,
+        });
+        assert!(matches!(
+            Timeline::lower(&s, 8),
+            Err(SimError::OpaquePulse { .. })
+        ));
+        let wide = PulseSchedule::new(9);
+        assert_eq!(
+            Timeline::lower(&wide, 8).unwrap_err(),
+            SimError::TooWide {
+                n_qubits: 9,
+                max: 8
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_channel_mismatch() {
+        let mut s = PulseSchedule::new(2);
+        // 2-qubit block but only 1 channel row.
+        let w = PulseWaveform::new(2.0, vec![vec![0.01; 2]]);
+        s.push(ScheduledPulse {
+            qubits: vec![0, 1],
+            start: 0.0,
+            duration: 4.0,
+            fidelity: 1.0,
+            label: "bad".into(),
+            payload: PulsePayload::Waveform(Arc::new(w)),
+        });
+        assert!(matches!(
+            Timeline::lower(&s, 8),
+            Err(SimError::ChannelMismatch { expected: 4, got: 1, .. })
+        ));
+    }
+}

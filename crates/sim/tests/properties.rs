@@ -1,0 +1,179 @@
+//! Property tests: the noiseless replay matches the circuit→unitary
+//! evaluator (ISSUE satellite — seeded via `epoc_rt::check` with pinned
+//! regression streams).
+
+use epoc_circuit::{Circuit, Gate};
+use epoc_linalg::phase_invariant_distance;
+use epoc_pulse::{schedule_circuit, PulseCost, PulseSchedule, PulsePayload, ScheduledPulse};
+use epoc_qoc::{propagate as grape_propagate, DeviceModel, PulseWaveform};
+use epoc_rt::check::{property, Gen};
+use epoc_sim::{simulate, SimOptions};
+use std::sync::Arc;
+
+fn random_gate(g: &mut Gen) -> (Gate, usize) {
+    match g.usize_in(0, 10) {
+        0 => (Gate::H, 1),
+        1 => (Gate::X, 1),
+        2 => (Gate::Y, 1),
+        3 => (Gate::Z, 1),
+        4 => (Gate::S, 1),
+        5 => (Gate::T, 1),
+        6 => (Gate::RZ(g.f64_in(-3.0, 3.0)), 1),
+        7 => (Gate::RX(g.f64_in(-3.0, 3.0)), 1),
+        8 => (Gate::RY(g.f64_in(-3.0, 3.0)), 1),
+        _ => (Gate::CX, 2),
+    }
+}
+
+/// Random single- and two-qubit gate schedules replay exactly: the
+/// digital payloads recorded by `schedule_circuit` compose to the same
+/// unitary as the circuit evaluator, RZs riding along as frame updates.
+#[test]
+fn digital_replay_matches_circuit_unitary() {
+    property("sim_digital_replay_matches_unitary")
+        .cases(48)
+        .regression(&[3, 7, 0, 0, 9, 2, 1, 5])
+        .regression(&[9, 1, 4, 4, 4, 0, 6, 6, 2, 8])
+        .run(|g| {
+            let n = g.usize_in(1, 4);
+            let n_ops = g.usize_in(1, 7);
+            let mut c = Circuit::new(n);
+            for _ in 0..n_ops {
+                let (gate, arity) = random_gate(g);
+                if arity == 2 && n >= 2 {
+                    let a = g.usize_in(0, n);
+                    let b = (a + 1 + g.usize_in(0, n - 1)) % n;
+                    c.push(gate, &[a, b]);
+                } else if arity == 1 {
+                    let q = g.usize_in(0, n);
+                    c.push(gate, &[q]);
+                }
+            }
+            // RZs become zero-duration frames, everything else a pulse.
+            let s = schedule_circuit(&c, |op| PulseCost {
+                duration: if matches!(op.gate, Gate::RZ(_)) { 0.0 } else { 20.0 },
+                fidelity: 1.0,
+            });
+            let target = c.unitary();
+            let out = simulate(&s, &target, &SimOptions::default()).unwrap();
+            assert!(
+                out.process_fidelity > 1.0 - 1e-9,
+                "replay diverged: fid = {} on {:?}",
+                out.process_fidelity,
+                c
+            );
+        });
+}
+
+/// Random piecewise-constant waveforms on a block replay to the same
+/// unitary GRAPE's own propagator computes for them — including when the
+/// block sits embedded inside a wider register.
+#[test]
+fn waveform_replay_matches_grape_propagator() {
+    property("sim_waveform_replay_matches_grape")
+        .cases(24)
+        .regression(&[1, 0, 2, 5, 5, 5, 0, 8])
+        .run(|g| {
+            let k = g.usize_in(1, 3);
+            let n = k + g.usize_in(0, 2);
+            let device = DeviceModel::transmon_line(k).unwrap();
+            let n_slots = g.usize_in(1, 9);
+            let amp = device.max_amplitude();
+            let controls: Vec<Vec<f64>> = (0..device.controls().len())
+                .map(|_| (0..n_slots).map(|_| g.f64_in(-amp, amp)).collect())
+                .collect();
+
+            // Pick k distinct qubits of the n-qubit register, any order.
+            let mut qubits: Vec<usize> = (0..n).collect();
+            for i in (1..qubits.len()).rev() {
+                let j = g.usize_in(0, i + 1);
+                qubits.swap(i, j);
+            }
+            qubits.truncate(k);
+
+            let local = grape_propagate(&device, &controls);
+            let target = local.embed(&qubits, n);
+
+            let mut s = PulseSchedule::new(n);
+            let start = g.f64_in(0.0, 10.0);
+            let w = PulseWaveform::new(device.dt(), controls);
+            s.push(ScheduledPulse {
+                qubits,
+                start,
+                duration: w.duration(),
+                fidelity: 1.0,
+                label: "blk0".into(),
+                payload: PulsePayload::Waveform(Arc::new(w)),
+            });
+
+            let out = simulate(&s, &target, &SimOptions::default()).unwrap();
+            // phase_invariant_distance on the replayed propagator itself
+            // is implied by the fidelity simulate() reports.
+            assert!(
+                1.0 - out.process_fidelity < 1e-6,
+                "waveform replay diverged: fid = {}",
+                out.process_fidelity
+            );
+        });
+}
+
+/// The frame-before-pulse ordering invariant holds for mixed
+/// virtual/physical circuits: interleaved RZs land on the correct side of
+/// their neighboring pulses.
+#[test]
+fn interleaved_frames_compose_in_circuit_order() {
+    property("sim_interleaved_frames_ordering")
+        .cases(32)
+        .regression(&[2, 6, 1, 3, 0, 0, 4])
+        .run(|g| {
+            let n = g.usize_in(1, 3);
+            let mut c = Circuit::new(n);
+            for _ in 0..g.usize_in(2, 9) {
+                let q = g.usize_in(0, n);
+                if g.bool() {
+                    c.push(Gate::RZ(g.f64_in(-3.0, 3.0)), &[q]);
+                } else {
+                    c.push(Gate::H, &[q]);
+                }
+            }
+            let s = schedule_circuit(&c, |op| PulseCost {
+                duration: if matches!(op.gate, Gate::RZ(_)) { 0.0 } else { 20.0 },
+                fidelity: 1.0,
+            });
+            let target = c.unitary();
+            let out = simulate(&s, &target, &SimOptions::default()).unwrap();
+            assert!(
+                out.process_fidelity > 1.0 - 1e-9,
+                "frame ordering broke replay: fid = {} on {:?}",
+                out.process_fidelity,
+                c
+            );
+        });
+}
+
+/// Direct check that a waveform-replayed propagator is close in the
+/// phase-invariant metric, not just in trace fidelity: rebuild the
+/// propagator through the public engine API and compare matrices.
+#[test]
+fn engine_propagator_is_phase_close_to_local_embed() {
+    let device = DeviceModel::transmon_line(2).unwrap();
+    let controls: Vec<Vec<f64>> = (0..4)
+        .map(|ch| (0..5).map(|s| 0.01 * ((ch + s) as f64 - 3.0)).collect())
+        .collect();
+    let local = grape_propagate(&device, &controls);
+    let w = PulseWaveform::new(device.dt(), controls);
+    let mut s = PulseSchedule::new(2);
+    s.push(ScheduledPulse {
+        qubits: vec![0, 1],
+        start: 6.0,
+        duration: w.duration(),
+        fidelity: 1.0,
+        label: "blk0".into(),
+        payload: PulsePayload::Waveform(Arc::new(w)),
+    });
+    let t = epoc_sim::Timeline::lower(&s, 8).unwrap();
+    let mut ws = epoc_sim::SimWorkspace::new(t.dim);
+    let (u, steps) = epoc_sim::propagate(&t, &mut ws).unwrap();
+    assert_eq!(steps, 5, "one expm step per slot");
+    assert!(phase_invariant_distance(&u, &local) < 1e-9);
+}

@@ -13,7 +13,7 @@ use epoc_qoc::{
 
 fn main() {
     // --- single-qubit X gate -------------------------------------------
-    let device = DeviceModel::transmon_line(1);
+    let device = DeviceModel::transmon_line(1).unwrap();
     let x = Gate::X.unitary_matrix();
     let sol = minimize_duration(&device, &x, &DurationSearchConfig::default())
         .expect("X gate is reachable");
@@ -43,7 +43,7 @@ fn main() {
     println!();
 
     // --- two-qubit entangling block ------------------------------------
-    let device2 = DeviceModel::transmon_line(2);
+    let device2 = DeviceModel::transmon_line(2).unwrap();
     let mut block = Circuit::new(2);
     block.push(Gate::H, &[0]).push(Gate::CX, &[0, 1]);
     let target = block.unitary();

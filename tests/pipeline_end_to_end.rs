@@ -204,14 +204,15 @@ fn phase_aware_cache_beats_phase_sensitive() {
         duration: 20.0,
         fidelity: 0.999,
         n_slots: 10,
+        waveform: None,
     };
     // RZ(θ) and Phase(θ) differ by a global phase only — a realistic
     // source of phase-twin unitaries in compiled streams.
     for theta in [0.3, 0.7, 1.1] {
         let rz = Gate::RZ(theta).unitary_matrix();
         let ph = Gate::Phase(theta).unitary_matrix();
-        aware.insert(&rz, entry);
-        sensitive.insert(&rz, entry);
+        aware.insert(&rz, entry.clone());
+        sensitive.insert(&rz, entry.clone());
         aware.lookup(&ph);
         sensitive.lookup(&ph);
     }

@@ -77,6 +77,50 @@ fn hybrid_grape_pulse_stage_deterministic() {
     );
 }
 
+/// The `--simulate` path with multiple noisy shots is part of the
+/// deterministic report surface: with a fixed seed, the `simulation`
+/// block (trajectory fidelities included) is byte-identical across
+/// simulator worker counts, compiler worker counts, and repeat runs.
+#[test]
+fn simulation_shots_deterministic_across_worker_counts() {
+    use epoc::sim::{NoiseModel, SimOptions};
+
+    let circuit = generators::wstate(3);
+    let sim_json = |compile_workers: usize, sim_workers: usize| -> String {
+        let compiler =
+            EpocCompiler::new(EpocConfig::with_grape(2).with_workers(compile_workers));
+        let mut report = compiler.compile(&circuit);
+        assert!(report.verified);
+        let opts = SimOptions {
+            shots: 8,
+            workers: sim_workers,
+            noise: NoiseModel::standard(),
+            ..SimOptions::default()
+        };
+        report.simulation =
+            Some(epoc::simulate_schedule(&circuit, &report.schedule, &opts).unwrap());
+        report.compile_time = Duration::ZERO;
+        report.stages.timings = StageTimings::default();
+        report.to_json()
+    };
+    let baseline = sim_json(1, 1);
+    assert!(
+        baseline.contains("\"trajectories\""),
+        "simulation block missing from report JSON"
+    );
+    assert_eq!(
+        baseline,
+        sim_json(1, 4),
+        "simulation differs across simulator worker counts"
+    );
+    assert_eq!(
+        baseline,
+        sim_json(4, 4),
+        "simulation differs across compiler worker counts"
+    );
+    assert_eq!(baseline, sim_json(1, 1), "simulation differs across repeat runs");
+}
+
 #[test]
 fn latency_and_esp_identical_across_worker_counts() {
     let circuit = generators::ghz(4);
