@@ -60,6 +60,19 @@ if [ "$quick" -eq 0 ]; then
     run ./target/release/trace_check --require-qoc target/trace-smoke.json
 fi
 
+# chaos-smoke: compile under a fixed-seed failure storm (QSearch budgets
+# and GRAPE convergence both injected to fail on every attempt) and
+# demand that the exported trace carries recovery.* counters — the
+# recovery ladder must both rescue the compile (the run exits 0 with a
+# verified report) and leave an audit trail, or degradation happened
+# silently.
+if [ "$quick" -eq 0 ]; then
+    run ./target/release/epocc \
+        --faults "grape.converge=always,qsearch.budget=always" --fault-seed 7 \
+        --trace target/chaos-smoke.json bench:ghz_n8
+    run ./target/release/trace_check --require-recovery target/chaos-smoke.json
+fi
+
 # sim-smoke: compile a small benchmark with the default hybrid flow, dump
 # the schedule, validate it structurally (payloads included — the epoc
 # flow must emit simulatable schedules), and replay it at pulse level

@@ -185,12 +185,12 @@ fn bench_pipeline(stats: &mut Vec<Stats>) {
     let ghz = generators::ghz(4);
     stats.push(stage("pipeline/epoc_compile_ghz4").run_with_setup(
         || EpocCompiler::new(EpocConfig::fast()),
-        |compiler| compiler.compile(&ghz),
+        |compiler| compiler.compile(&ghz).unwrap(),
     ));
     let qaoa = generators::qaoa(4, 2, 5);
     stats.push(stage("pipeline/epoc_compile_qaoa4").run_with_setup(
         || EpocCompiler::new(EpocConfig::fast()),
-        |compiler| compiler.compile(&qaoa),
+        |compiler| compiler.compile(&qaoa).unwrap(),
     ));
     stats.push(
         stage("pipeline/paqoc_compile_qaoa4")

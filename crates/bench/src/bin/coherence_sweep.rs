@@ -24,7 +24,7 @@ fn main() {
 
     let g = gate_based(&circuit);
     let p = paqoc.compile(&circuit);
-    let e = epoc.compile(&circuit);
+    let e = epoc.compile(&circuit).expect("sweep circuit compiles");
     println!(
         "ham7 latencies: gate-based {:.0} ns, paqoc {:.0} ns, epoc {:.0} ns\n",
         g.latency(),

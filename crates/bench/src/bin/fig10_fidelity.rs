@@ -20,8 +20,8 @@ fn main() {
     );
     let mut improvements = Vec::new();
     for b in generators::benchmark_suite() {
-        let g = grouped.compile(&b.circuit);
-        let u = ungrouped.compile(&b.circuit);
+        let g = grouped.compile(&b.circuit).expect("benchmark circuits compile");
+        let u = ungrouped.compile(&b.circuit).expect("benchmark circuits compile");
         let imp = g.esp() / u.esp().max(1e-12) - 1.0;
         improvements.push(imp);
         row(

@@ -21,8 +21,8 @@ fn main() {
     let mut reductions = Vec::new();
     let mut all_shorter = true;
     for b in generators::benchmark_suite() {
-        let g = grouped.compile(&b.circuit);
-        let u = ungrouped.compile(&b.circuit);
+        let g = grouped.compile(&b.circuit).expect("benchmark circuits compile");
+        let u = ungrouped.compile(&b.circuit).expect("benchmark circuits compile");
         let red = 1.0 - g.latency() / u.latency().max(1e-9);
         reductions.push(red);
         all_shorter &= g.latency() <= u.latency() + 1e-9;

@@ -42,8 +42,8 @@ fn main() {
                 },
             )
         };
-        let exact = run(GradientMode::Exact);
-        let first = run(GradientMode::FirstOrder);
+        let exact = run(GradientMode::Exact).expect("ablation targets are well-formed");
+        let first = run(GradientMode::FirstOrder).expect("ablation targets are well-formed");
         row(
             &[
                 name.to_string(),

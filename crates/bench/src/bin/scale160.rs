@@ -52,7 +52,7 @@ fn main() {
         ..EpocConfig::default()
     };
     let t0 = Instant::now();
-    let report = EpocCompiler::new(config).compile(&circuit);
+    let report = EpocCompiler::new(config).compile(&circuit).expect("scale circuit compiles");
     let elapsed = t0.elapsed();
 
     let gates = gate_based(&circuit);

@@ -32,7 +32,7 @@ fn main() {
     for b in generators::table1_suite() {
         let g = gate_based(&b.circuit);
         let p = paqoc.compile(&b.circuit);
-        let e = epoc.compile(&b.circuit);
+        let e = epoc.compile(&b.circuit).expect("benchmark circuits compile");
         vs_paqoc.push(1.0 - e.latency() / p.latency().max(1e-9));
         vs_gate.push(1.0 - e.latency() / g.latency().max(1e-9));
         row(

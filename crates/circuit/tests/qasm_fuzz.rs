@@ -1,0 +1,99 @@
+//! `parse_qasm` must never panic: arbitrary byte soup, mutated programs,
+//! and token salad all either parse or return a `ParseQasmError`. This
+//! backs the `epocc` contract of a clean nonzero-exit diagnostic on
+//! malformed input — a parser panic would surface as a backtrace instead.
+
+use epoc_circuit::parse_qasm;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+const VALID: &str = "OPENQASM 2.0;\n\
+                     include \"qelib1.inc\";\n\
+                     qreg q[3];\n\
+                     creg c[3];\n\
+                     h q[0];\n\
+                     cx q[0],q[1];\n\
+                     rz(pi/4) q[2];\n\
+                     barrier q;\n\
+                     measure q -> c;\n";
+
+fn assert_no_panic(source: &str) {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let _ = parse_qasm(source);
+    }));
+    assert!(outcome.is_ok(), "parse_qasm panicked on {source:?}");
+}
+
+#[test]
+fn parse_qasm_never_panics_on_byte_soup() {
+    epoc_rt::check::property("qasm_byte_soup").cases(128).run(|g| {
+        let bytes = g.vec(0, 200, |g| g.u64_in(0, 256) as u8);
+        assert_no_panic(&String::from_utf8_lossy(&bytes));
+    });
+}
+
+#[test]
+fn parse_qasm_never_panics_on_mutated_programs() {
+    epoc_rt::check::property("qasm_mutations").cases(128).run(|g| {
+        let mut bytes = VALID.as_bytes().to_vec();
+        for _ in 0..g.usize_in(1, 9) {
+            match g.usize_in(0, 4) {
+                0 => {
+                    let i = g.usize_in(0, bytes.len());
+                    bytes[i] = g.u64_in(0, 256) as u8;
+                }
+                1 => {
+                    bytes.truncate(g.usize_in(0, bytes.len() + 1));
+                    if bytes.is_empty() {
+                        bytes.push(b';');
+                    }
+                }
+                2 => {
+                    // Splice a random slice of the program over itself:
+                    // duplicated headers, torn statements.
+                    let a = g.usize_in(0, bytes.len());
+                    let b = g.usize_in(0, bytes.len());
+                    let (lo, hi) = (a.min(b), a.max(b));
+                    let slice = bytes[lo..hi].to_vec();
+                    let at = g.usize_in(0, bytes.len());
+                    bytes.splice(at..at, slice);
+                }
+                _ => {
+                    const NOISE: &[u8] = b"[](),;-9e.";
+                    let i = g.usize_in(0, bytes.len());
+                    bytes.insert(i, NOISE[g.usize_in(0, NOISE.len())]);
+                }
+            }
+        }
+        assert_no_panic(&String::from_utf8_lossy(&bytes));
+    });
+}
+
+#[test]
+fn parse_qasm_never_panics_on_token_salad() {
+    const TOKENS: [&str; 16] = [
+        "OPENQASM 2.0",
+        "include \"qelib1.inc\"",
+        "qreg q[2]",
+        "qreg q[99999999999999999999]",
+        "creg c[2]",
+        "h q[0]",
+        "cx q[0],q[1]",
+        "cx q[0],q[0]",
+        "rz(pi/0) q[0]",
+        "u3(1e309,-pi,)",
+        "measure q -> c",
+        "barrier q",
+        "if(c==1) x q[0]",
+        "gate foo a { h a; }",
+        "h q[17]",
+        "x nope[0]",
+    ];
+    epoc_rt::check::property("qasm_token_salad").cases(128).run(|g| {
+        let mut source = String::new();
+        for _ in 0..g.usize_in(0, 12) {
+            source.push_str(TOKENS[g.usize_in(0, TOKENS.len())]);
+            source.push_str(if g.bool() { ";\n" } else { " " });
+        }
+        assert_no_panic(&source);
+    });
+}

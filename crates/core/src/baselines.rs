@@ -86,7 +86,8 @@ impl PaqocCompiler {
         let partition = paqoc_partition(circuit, self.partition);
         // The comparator stays single-threaded: its pulse cost is the
         // baseline number the paper's speedups are quoted against.
-        let schedule = schedule_partition(&partition, &self.backend, 1);
+        let schedule = schedule_partition(&partition, &self.backend, 1, &mut Vec::new())
+            .expect("modeled comparator backend cannot fail");
         let (hits1, misses1) = self.backend.cache_counts();
         let stages = StageStats {
             zx_depth_before: circuit.depth(),
@@ -153,7 +154,7 @@ mod tests {
         let epoc = EpocCompiler::new(crate::EpocConfig::fast());
         let paqoc = PaqocCompiler::default();
         for b in generators::table1_suite() {
-            let re = epoc.compile(&b.circuit);
+            let re = epoc.compile(&b.circuit).unwrap();
             let rp = paqoc.compile(&b.circuit);
             assert!(re.verified || re.verify_skipped, "{} failed verify", b.name);
             epoc_total += re.latency();

@@ -41,13 +41,17 @@ struct Args {
     trace: Option<String>,
     metrics: bool,
     grape_limit: usize,
+    strict: bool,
+    faults: Option<String>,
+    fault_seed: Option<u64>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: epocc [--flow epoc|gate-based|paqoc] [--no-zx] [--no-regroup] \
          [--grape N] [--timeline] [--schedule FILE] [--simulate] [--shots N] \
-         [--sim-check F] [--json] [--trace FILE] [--metrics] \
+         [--sim-check F] [--json] [--trace FILE] [--metrics] [--strict] \
+         [--faults SPEC] [--fault-seed N] \
          <file.qasm | bench:NAME>\n\
          --grape N      GRAPE width cap for the epoc flow (default {DEFAULT_GRAPE_LIMIT}; 0 = modeled)\n\
          --timeline     print the human-readable pulse timeline\n\
@@ -57,6 +61,9 @@ fn usage() -> ! {
          --sim-check F  fail unless simulated process fidelity >= F (implies --simulate)\n\
          --trace FILE   write a Chrome trace-event JSON of the compile to FILE\n\
          --metrics      print telemetry counters, histograms, and stage times\n\
+         --strict       fail the compile when the recovery ladder is exhausted\n\
+         --faults SPEC  arm fault injection, e.g. 'grape.converge=always,pulse_lib.miss=p0.5'\n\
+         --fault-seed N seed for probabilistic fault triggers\n\
          builtin benchmarks: {}",
         generators::benchmark_suite()
             .iter()
@@ -94,6 +101,9 @@ fn parse_args() -> Args {
         trace: None,
         metrics: false,
         grape_limit: DEFAULT_GRAPE_LIMIT,
+        strict: false,
+        faults: None,
+        fault_seed: None,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(a) = iter.next() {
@@ -137,6 +147,18 @@ fn parse_args() -> Args {
                     Ok(n) => n,
                     Err(_) => {
                         eprintln!("error: --grape expects a non-negative integer, got '{v}'");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--strict" => args.strict = true,
+            "--faults" => args.faults = Some(flag_value(&mut iter, "--faults", "a fault spec")),
+            "--fault-seed" => {
+                let v = flag_value(&mut iter, "--fault-seed", "a seed");
+                args.fault_seed = match v.parse() {
+                    Ok(n) => Some(n),
+                    Err(_) => {
+                        eprintln!("error: --fault-seed expects a non-negative integer, got '{v}'");
                         std::process::exit(2);
                     }
                 };
@@ -205,6 +227,15 @@ fn main() -> ExitCode {
     if args.trace.is_some() || args.metrics {
         epoc_rt::telemetry::enable();
     }
+    if let Some(spec) = &args.faults {
+        if let Some(seed) = args.fault_seed {
+            epoc_rt::faults::set_seed(seed);
+        }
+        if let Err(e) = epoc_rt::faults::arm_from_spec(spec) {
+            eprintln!("error: bad --faults spec: {e}");
+            return ExitCode::from(2);
+        }
+    }
     let mut report = match args.flow.as_str() {
         "epoc" => {
             let base = if args.grape_limit == 0 {
@@ -213,10 +244,17 @@ fn main() -> ExitCode {
                 EpocConfig::with_grape(args.grape_limit)
             };
             let mut config = EpocConfig { zx: args.zx, ..base };
+            config.recovery.strict = args.strict;
             if !args.regroup {
                 config = config.without_regrouping();
             }
-            EpocCompiler::new(config).compile(&circuit)
+            match EpocCompiler::new(config).compile(&circuit) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: compilation failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
         }
         "gate-based" => gate_based(&circuit),
         "paqoc" => PaqocCompiler::default().compile(&circuit),

@@ -9,7 +9,12 @@
 //! ```sh
 //! trace_check trace.json                # stage spans only
 //! trace_check --require-qoc trace.json  # also demand GRAPE/QSearch spans
+//! trace_check --require-recovery trace.json  # demand recovery.* counters
 //! ```
+//!
+//! `--require-recovery` backs the CI `chaos-smoke` step: a compile with
+//! fault injection armed must surface its recovery ladder in the
+//! `epocCounters` section, or degradation happened silently.
 
 use epoc_rt::json::Json;
 use std::process::ExitCode;
@@ -24,19 +29,21 @@ fn fail(msg: &str) -> ExitCode {
 
 fn main() -> ExitCode {
     let mut require_qoc = false;
+    let mut require_recovery = false;
     let mut path = String::new();
     for a in std::env::args().skip(1) {
         match a.as_str() {
             "--require-qoc" => require_qoc = true,
+            "--require-recovery" => require_recovery = true,
             other if other.starts_with('-') => {
-                eprintln!("usage: trace_check [--require-qoc] <trace.json>");
+                eprintln!("usage: trace_check [--require-qoc] [--require-recovery] <trace.json>");
                 return ExitCode::from(2);
             }
             other => path = other.to_string(),
         }
     }
     if path.is_empty() {
-        eprintln!("usage: trace_check [--require-qoc] <trace.json>");
+        eprintln!("usage: trace_check [--require-qoc] [--require-recovery] <trace.json>");
         return ExitCode::from(2);
     }
 
@@ -99,12 +106,21 @@ fn main() -> ExitCode {
             }
         }
     }
+    if require_recovery {
+        let Some(Json::Obj(counters)) = doc.get("epocCounters") else {
+            return fail("top-level \"epocCounters\" object missing");
+        };
+        if !counters.iter().any(|(k, _)| k.starts_with("recovery.")) {
+            return fail("no recovery.* counter — did the armed faults trigger any ladder rung?");
+        }
+    }
 
     println!(
-        "trace_check: OK: {} events, all {} stage spans present{}",
+        "trace_check: OK: {} events, all {} stage spans present{}{}",
         events.len(),
         STAGES.len(),
-        if require_qoc { ", grape + qsearch present" } else { "" }
+        if require_qoc { ", grape + qsearch present" } else { "" },
+        if require_recovery { ", recovery counters present" } else { "" }
     );
     ExitCode::SUCCESS
 }

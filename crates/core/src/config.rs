@@ -17,6 +17,42 @@ pub enum Backend {
     Modeled,
 }
 
+/// Per-block recovery ladder: how the pipeline escalates when a stage
+/// misses its target instead of failing the compile. Every climbed rung
+/// is recorded in [`crate::StageStats::recoveries`] and counted under a
+/// `recovery.*` telemetry counter; the records are byte-identical at any
+/// worker count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryPolicy {
+    /// QSearch non-convergence: how many times to retry the block with an
+    /// escalated node budget before falling back to the structural
+    /// lowering.
+    pub synth_budget_escalations: usize,
+    /// Node-budget multiplier per synthesis escalation.
+    pub synth_budget_factor: usize,
+    /// GRAPE below-threshold fidelity: restart-escalation rungs (doubled
+    /// restarts, perturbed seed) before the slot rungs.
+    pub grape_restart_escalations: usize,
+    /// GRAPE slot-escalation rungs (doubled slot cap) before the digital
+    /// fallback.
+    pub grape_slot_escalations: usize,
+    /// Fail the compile with a typed error instead of taking the digital
+    /// fallback when the GRAPE ladder is exhausted.
+    pub strict: bool,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        Self {
+            synth_budget_escalations: 1,
+            synth_budget_factor: 4,
+            grape_restart_escalations: 1,
+            grape_slot_escalations: 1,
+            strict: false,
+        }
+    }
+}
+
 /// Full EPOC pipeline configuration.
 #[derive(Debug, Clone)]
 pub struct EpocConfig {
@@ -50,6 +86,8 @@ pub struct EpocConfig {
     /// worker count (synthesis is deterministic per block and results
     /// merge in block order).
     pub workers: Option<usize>,
+    /// Per-block recovery ladder for soft stage failures.
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for EpocConfig {
@@ -76,6 +114,7 @@ impl Default for EpocConfig {
             duration_model: DurationModel::default(),
             verify: true,
             workers: None,
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
@@ -113,6 +152,14 @@ impl EpocConfig {
         self.workers = Some(workers);
         self
     }
+
+    /// Strict mode: an exhausted GRAPE recovery ladder fails the compile
+    /// with [`crate::EpocError`] instead of degrading to the digital
+    /// fallback.
+    pub fn strict(mut self) -> Self {
+        self.recovery.strict = true;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -131,6 +178,12 @@ mod tests {
     fn without_regrouping_clears_it() {
         let c = EpocConfig::default().without_regrouping();
         assert!(c.regroup.is_none());
+    }
+
+    #[test]
+    fn strict_builder_sets_recovery_flag() {
+        assert!(!EpocConfig::default().recovery.strict);
+        assert!(EpocConfig::default().strict().recovery.strict);
     }
 
     #[test]

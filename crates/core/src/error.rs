@@ -1,0 +1,102 @@
+//! Typed pipeline errors.
+//!
+//! [`EpocError`] is the single error type [`crate::EpocCompiler::compile`]
+//! returns. Every variant wraps the typed error of the stage that failed,
+//! so callers can distinguish malformed inputs ([`EpocError::Synth`]) from
+//! numerical breakdown ([`EpocError::Grape`]) from scheduling failures
+//! ([`EpocError::Schedule`], which includes strict-mode fidelity misses).
+//!
+//! Soft failures — QSearch running out of node budget, GRAPE missing the
+//! fidelity target — are *not* errors: the pipeline climbs the
+//! [recovery ladder](crate::RecoveryPolicy) and records the rungs in
+//! [`crate::StageStats::recoveries`]. Only strict mode promotes an
+//! exhausted ladder to an error.
+
+use epoc_qoc::{GrapeError, PulseError};
+use epoc_synth::SynthError;
+
+/// A pulse-generation failure during schedule assembly, tagged with the
+/// block it happened on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleError {
+    /// Index of the failing block in the pulse-stage partition.
+    pub block: usize,
+    /// The underlying pulse failure.
+    pub source: PulseError,
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "block {}: {}", self.block, self.source)
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// A compilation failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EpocError {
+    /// Block synthesis failed (malformed block unitary or a lowering
+    /// defect).
+    Synth(SynthError),
+    /// A GRAPE run failed outright (bad inputs or numerical breakdown).
+    Grape(GrapeError),
+    /// Pulse scheduling failed on a specific block (device build,
+    /// missing unitary, or a strict-mode fidelity miss).
+    Schedule(ScheduleError),
+}
+
+impl EpocError {
+    /// Wraps a pulse failure from scheduling `block`, routing GRAPE
+    /// failures to [`EpocError::Grape`].
+    pub(crate) fn from_pulse(block: usize, source: PulseError) -> Self {
+        match source {
+            PulseError::Grape(g) => Self::Grape(g),
+            source => Self::Schedule(ScheduleError { block, source }),
+        }
+    }
+}
+
+impl std::fmt::Display for EpocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Synth(e) => write!(f, "synthesis: {e}"),
+            Self::Grape(e) => write!(f, "grape: {e}"),
+            Self::Schedule(e) => write!(f, "schedule: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EpocError {}
+
+impl From<SynthError> for EpocError {
+    fn from(e: SynthError) -> Self {
+        Self::Synth(e)
+    }
+}
+
+impl From<GrapeError> for EpocError {
+    fn from(e: GrapeError) -> Self {
+        Self::Grape(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_stage_and_block() {
+        let e = EpocError::Synth(SynthError::NotSquare);
+        assert!(e.to_string().starts_with("synthesis:"));
+        let e = EpocError::from_pulse(3, PulseError::MissingUnitary);
+        assert!(e.to_string().contains("block 3"), "{e}");
+    }
+
+    #[test]
+    fn grape_pulse_errors_route_to_grape_variant() {
+        let g = GrapeError::NoSlots;
+        let e = EpocError::from_pulse(0, PulseError::Grape(g.clone()));
+        assert_eq!(e, EpocError::Grape(g));
+    }
+}

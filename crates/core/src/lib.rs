@@ -13,7 +13,7 @@
 //! use epoc_circuit::generators;
 //!
 //! let compiler = EpocCompiler::new(EpocConfig::fast());
-//! let report = compiler.compile(&generators::ghz(3));
+//! let report = compiler.compile(&generators::ghz(3)).unwrap();
 //! assert!(report.verified);
 //! println!("{}", report.summary());
 //! ```
@@ -26,13 +26,18 @@
 
 pub mod baselines;
 mod config;
+mod error;
 mod pipeline;
 mod report;
 mod simulate;
 
-pub use config::{Backend, EpocConfig};
+pub use config::{Backend, EpocConfig, RecoveryPolicy};
+pub use error::{EpocError, ScheduleError};
 pub use pipeline::{compile_default, is_compilable, EpocCompiler};
-pub use report::{CompilationReport, StageStats, StageTimings};
+pub use report::{
+    CompilationReport, RecoveryRecord, StageStats, StageTimings, RUNG_SCHEDULE_RECOMPUTE,
+    RUNG_SYNTH_BUDGET, RUNG_SYNTH_FALLBACK,
+};
 pub use simulate::{simulate_schedule, SimulationStats};
 
 pub use epoc_circuit as circuit;

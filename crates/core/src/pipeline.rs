@@ -9,16 +9,21 @@
 //! entanglement and unitary calculations … executed in parallel").
 
 use crate::config::{Backend, EpocConfig};
-use crate::report::{CompilationReport, StageStats};
+use crate::error::EpocError;
+use crate::report::{
+    CompilationReport, RecoveryRecord, StageStats, RUNG_SCHEDULE_RECOMPUTE, RUNG_SYNTH_BUDGET,
+    RUNG_SYNTH_FALLBACK,
+};
 use epoc_circuit::{circuits_equivalent, Circuit, Gate};
 use epoc_linalg::Matrix;
 use epoc_partition::{greedy_partition, regroup, Partition, PartitionConfig};
 use epoc_pulse::{FrameUpdate, PulsePayload, PulseSchedule, ScheduledPulse};
 use std::sync::Arc;
 use epoc_qoc::{
-    GrapeSynthesizer, HybridSynthesizer, ModeledSynthesizer, PulseRequest, PulseSynthesizer,
+    GrapeSynthesizer, HybridSynthesizer, ModeledSynthesizer, PulseError, PulseRequest,
+    PulseSynthesizer, RecoveredPulse,
 };
-use epoc_synth::{lower_to_vug_form, synthesize_or_fallback};
+use epoc_synth::{lower_to_vug_form, synthesize, SynthError};
 use epoc_zx::zx_optimize;
 use std::collections::HashMap;
 use std::sync::Mutex;
@@ -45,6 +50,11 @@ impl BackendImpl {
                 search.grape.workers = config
                     .workers
                     .unwrap_or_else(epoc_rt::pool::default_workers);
+                search.recovery = epoc_qoc::GrapeRecoveryPolicy {
+                    restart_escalations: config.recovery.grape_restart_escalations,
+                    slot_escalations: config.recovery.grape_slot_escalations,
+                    strict: config.recovery.strict,
+                };
                 BackendImpl::Hybrid(Box::new(HybridSynthesizer::with_search(
                     config.key_policy,
                     search,
@@ -67,7 +77,10 @@ impl BackendImpl {
         }
     }
 
-    pub(crate) fn pulse(&self, req: &PulseRequest<'_>) -> epoc_qoc::PulseEntry {
+    pub(crate) fn pulse(
+        &self,
+        req: &PulseRequest<'_>,
+    ) -> Result<epoc_qoc::PulseEntry, PulseError> {
         match self {
             BackendImpl::Hybrid(h) => h.pulse(req),
             BackendImpl::Modeled(m) => m.pulse(req),
@@ -112,7 +125,8 @@ pub(crate) fn schedule_partition(
     partition: &Partition,
     backend: &BackendImpl,
     workers: usize,
-) -> PulseSchedule {
+    recoveries: &mut Vec<RecoveryRecord>,
+) -> Result<PulseSchedule, EpocError> {
     let blocks = partition.blocks();
 
     // Stage 1: dense unitaries (pure function of each block).
@@ -142,13 +156,18 @@ pub(crate) fn schedule_partition(
         })
         .collect();
 
-    // Stage 3: parallel GRAPE on the deduplicated misses.
+    // Stage 3: parallel GRAPE on the deduplicated misses. Each job's
+    // route was established during classification; a `None` here would
+    // mean the invariant broke, and stage 4's recompute path absorbs it
+    // instead of panicking.
     let computed = epoc_rt::pool::parallel_map(&jobs, workers, |_, &i| {
-        let (grape, u) = grape_route(i).expect("job classified as GRAPE-routed");
-        grape.compute_uncached(blocks[i].n_qubits(), u)
+        grape_route(i).map(|(grape, u)| grape.compute_uncached(blocks[i].n_qubits(), u))
     });
-    let mut precomputed: HashMap<usize, epoc_qoc::PulseEntry> =
-        jobs.into_iter().zip(computed).collect();
+    let mut precomputed: HashMap<usize, Result<RecoveredPulse, PulseError>> = jobs
+        .into_iter()
+        .zip(computed)
+        .filter_map(|(i, r)| r.map(|r| (i, r)))
+        .collect();
 
     // Stage 4: serial replay in block order.
     let mut schedule = PulseSchedule::new(partition.n_qubits());
@@ -161,16 +180,42 @@ pub(crate) fn schedule_partition(
             Some((grape, u)) => match grape.library().lookup(u) {
                 Some(entry) => entry,
                 None => {
-                    let entry = precomputed.remove(&i).expect("miss was classified");
-                    grape.library().insert(u, entry.clone());
-                    entry
+                    // A miss normally finds its precomputed pulse here.
+                    // When it doesn't — a deduplicated twin whose insert
+                    // was lost, or a forced cache miss — recompute in
+                    // place rather than fail the compile.
+                    let recovered = match precomputed.remove(&i) {
+                        Some(r) => r,
+                        None => {
+                            recoveries.push(RecoveryRecord {
+                                stage: "schedule",
+                                subject: format!("blk{i}"),
+                                rung: RUNG_SCHEDULE_RECOMPUTE,
+                            });
+                            epoc_rt::telemetry::counter_add(RUNG_SCHEDULE_RECOMPUTE, 1);
+                            grape.compute_uncached(block.n_qubits(), u)
+                        }
+                    }
+                    .map_err(|e| EpocError::from_pulse(i, e))?;
+                    for &rung in &recovered.rungs {
+                        recoveries.push(RecoveryRecord {
+                            stage: "pulse",
+                            subject: format!("blk{i}"),
+                            rung,
+                        });
+                        epoc_rt::telemetry::counter_add(rung, 1);
+                    }
+                    grape.library().insert(u, recovered.entry.clone());
+                    recovered.entry
                 }
             },
-            None => backend.pulse(&PulseRequest {
-                n_qubits: block.n_qubits(),
-                unitary: unitaries[i].as_ref(),
-                local_circuit: Some(block.circuit()),
-            }),
+            None => backend
+                .pulse(&PulseRequest {
+                    n_qubits: block.n_qubits(),
+                    unitary: unitaries[i].as_ref(),
+                    local_circuit: Some(block.circuit()),
+                })
+                .map_err(|e| EpocError::from_pulse(i, e))?,
         };
         let start = block
             .qubits()
@@ -207,7 +252,7 @@ pub(crate) fn schedule_partition(
             payload,
         });
     }
-    schedule
+    Ok(schedule)
 }
 
 /// The EPOC compiler: holds the configuration and the (cache-bearing)
@@ -217,12 +262,17 @@ pub struct EpocCompiler {
     config: EpocConfig,
     backend: BackendImpl,
     /// Synthesis memo: identical block unitaries (up to global phase)
-    /// reuse the previously synthesized local circuit. The third element
-    /// is the QSearch node count of the first computation; cache hits
-    /// replay it so `StageStats::qsearch_nodes` is independent of which
-    /// worker computed a block first.
-    synth_cache: Mutex<HashMap<epoc_linalg::UnitaryKey, (Circuit, bool, usize)>>,
+    /// reuse the previously synthesized local circuit. The node count and
+    /// recovery rungs of the first computation ride along; cache hits
+    /// replay them so `StageStats::qsearch_nodes` and
+    /// `StageStats::recoveries` are independent of which worker computed
+    /// a block first.
+    synth_cache: Mutex<HashMap<epoc_linalg::UnitaryKey, SynthOutcome>>,
 }
+
+/// Per-block synthesis outcome: the kept local circuit, whether QSearch
+/// converged, the nodes spent, and the recovery rungs climbed.
+type SynthOutcome = (Circuit, bool, usize, Vec<&'static str>);
 
 impl EpocCompiler {
     /// Creates a compiler from a configuration.
@@ -241,7 +291,17 @@ impl EpocCompiler {
     }
 
     /// Compiles a circuit to a pulse schedule, returning the full report.
-    pub fn compile(&self, circuit: &Circuit) -> CompilationReport {
+    ///
+    /// Soft stage failures (QSearch budget exhaustion, GRAPE fidelity
+    /// misses, lost cache entries) are recovered through the configured
+    /// [`crate::RecoveryPolicy`] ladder and recorded in
+    /// [`StageStats::recoveries`]; only malformed inputs, numerical
+    /// breakdown, or a strict-mode ladder exhaustion return an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EpocError`] naming the failing stage and block.
+    pub fn compile(&self, circuit: &Circuit) -> Result<CompilationReport, EpocError> {
         let t0 = Instant::now();
         let mut stages = StageStats::default();
         let (hits0, misses0) = self.backend.cache_counts();
@@ -283,36 +343,68 @@ impl EpocCompiler {
         let limit = self.config.synth_qubit_limit;
         let blocks = partition.blocks();
         let gate_table = self.config.duration_model.gate_table;
+        let recovery = self.config.recovery;
         let cache = &self.synth_cache;
-        let synthesize_block = |block: &epoc_partition::Block| -> (Circuit, bool, usize) {
-            if block.n_qubits() > limit {
-                return (lower_to_vug_form(block.circuit()), false, 0);
-            }
-            let unitary = block.unitary();
-            let key = epoc_linalg::UnitaryKey::new(&unitary);
-            // Bind the lookup before the branch: an inline `cache.lock()`
-            // in the `if let` scrutinee would hold the guard through the
-            // `else` and self-deadlock.
-            let cached = cache.lock().unwrap().get(&key).cloned();
-            if let Some(hit) = cached {
-                return hit;
-            }
-            let r = synthesize_or_fallback(&unitary, block.circuit(), synth_cfg);
-            // Synthesis is only worth keeping when its VUG/CNOT structure
-            // is actually cheaper in pulse time than the block's own gates
-            // (QSearch minimizes CNOTs, not the physical single-qubit
-            // pulses it sprinkles around).
-            let original = lower_to_vug_form(block.circuit());
-            let entry = if r.converged
-                && gate_table.critical_path(&r.circuit) <= gate_table.critical_path(&original)
-            {
-                (r.circuit, true, r.nodes_evaluated)
-            } else {
-                (original, false, r.nodes_evaluated)
+        let synthesize_block =
+            |block: &epoc_partition::Block| -> Result<SynthOutcome, SynthError> {
+                if block.n_qubits() > limit {
+                    return Ok((lower_to_vug_form(block.circuit())?, false, 0, Vec::new()));
+                }
+                let unitary = block.unitary();
+                let key = epoc_linalg::UnitaryKey::new(&unitary);
+                // Bind the lookup before the branch: an inline `cache.lock()`
+                // in the `if let` scrutinee would hold the guard through the
+                // `else` and self-deadlock. The lock recovers from poison:
+                // the memo only ever holds fully-formed entries, so state
+                // left by a panicked worker is still valid.
+                let cached = cache
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .get(&key)
+                    .cloned();
+                if let Some(hit) = cached {
+                    return Ok(hit);
+                }
+                // Base attempt, then the budget-escalation rungs: QSearch
+                // non-convergence is soft, so retry with a multiplied node
+                // budget before settling for the structural fallback. The
+                // raw `synthesize` (not `synthesize_or_fallback`, which
+                // reports its own fallback as converged) keeps the true
+                // convergence state visible to the ladder.
+                let mut cfg = synth_cfg.clone();
+                let mut rungs: Vec<&'static str> = Vec::new();
+                let mut r = synthesize(&unitary, &cfg)?;
+                let mut nodes = r.nodes_evaluated;
+                for _ in 0..recovery.synth_budget_escalations {
+                    if r.converged {
+                        break;
+                    }
+                    cfg.max_nodes = cfg.max_nodes.saturating_mul(recovery.synth_budget_factor);
+                    rungs.push(RUNG_SYNTH_BUDGET);
+                    r = synthesize(&unitary, &cfg)?;
+                    nodes += r.nodes_evaluated;
+                }
+                // Synthesis is only worth keeping when its VUG/CNOT structure
+                // is actually cheaper in pulse time than the block's own gates
+                // (QSearch minimizes CNOTs, not the physical single-qubit
+                // pulses it sprinkles around).
+                let original = lower_to_vug_form(block.circuit())?;
+                let entry = if r.converged
+                    && gate_table.critical_path(&r.circuit) <= gate_table.critical_path(&original)
+                {
+                    (r.circuit, true, nodes, rungs)
+                } else {
+                    if !r.converged && !rungs.is_empty() {
+                        rungs.push(RUNG_SYNTH_FALLBACK);
+                    }
+                    (original, false, nodes, rungs)
+                };
+                cache
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .insert(key, entry.clone());
+                Ok(entry)
             };
-            cache.lock().unwrap().insert(key, entry.clone());
-            entry
-        };
         // Fan the blocks out over a fixed worker crew (not a thread per
         // block, which would spawn thousands of OS threads on large
         // circuits). Per-block synthesis is deterministic under the
@@ -326,11 +418,20 @@ impl EpocCompiler {
             synthesize_block(block)
         });
         let mut vug_stream = Circuit::new(optimized.n_qubits());
-        for (block, (local, converged, nodes)) in blocks.iter().zip(results) {
+        for (i, (block, result)) in blocks.iter().zip(results).enumerate() {
+            let (local, converged, nodes, rungs) = result?;
             if converged {
                 stages.synth_converged += 1;
             }
             stages.qsearch_nodes += nodes;
+            for rung in rungs {
+                stages.recoveries.push(RecoveryRecord {
+                    stage: "synth",
+                    subject: format!("blk{i}"),
+                    rung,
+                });
+                epoc_rt::telemetry::counter_add(rung, 1);
+            }
             vug_stream.extend_mapped(&local, block.qubits());
         }
         stages.vug_stream_gates = vug_stream.len();
@@ -357,7 +458,10 @@ impl EpocCompiler {
         // over the same worker crew as synthesis.
         let stage_span = epoc_rt::telemetry::span("stage", "pulse");
         let stage_t = Instant::now();
-        let schedule = schedule_partition(&final_partition, &self.backend, n_workers);
+        let mut pulse_recoveries = Vec::new();
+        let schedule =
+            schedule_partition(&final_partition, &self.backend, n_workers, &mut pulse_recoveries)?;
+        stages.recoveries.append(&mut pulse_recoveries);
         stages.pulses = schedule.len();
         let (hits1, misses1) = self.backend.cache_counts();
         stages.cache_hits = hits1.saturating_sub(hits0);
@@ -377,7 +481,7 @@ impl EpocCompiler {
             (false, true)
         };
 
-        CompilationReport {
+        Ok(CompilationReport {
             flow: "epoc".into(),
             n_qubits: circuit.n_qubits(),
             gates_in: circuit.len(),
@@ -387,7 +491,7 @@ impl EpocCompiler {
             verified,
             verify_skipped,
             simulation: None,
-        }
+        })
     }
 
     /// Combined pulse-cache hit count since construction.
@@ -402,8 +506,14 @@ impl EpocCompiler {
 }
 
 /// Convenience: compile with the default (modeled-backend) configuration.
+///
+/// Infallible wrapper: the default configuration is non-strict, so the
+/// recovery ladder absorbs every soft failure, and well-formed circuits
+/// (see [`is_compilable`]) cannot produce typed errors.
 pub fn compile_default(circuit: &Circuit) -> CompilationReport {
-    EpocCompiler::new(EpocConfig::default()).compile(circuit)
+    EpocCompiler::new(EpocConfig::default())
+        .compile(circuit)
+        .expect("default non-strict configuration recovers every soft failure")
 }
 
 /// Returns `true` when a circuit contains only gates the pipeline accepts
@@ -442,7 +552,7 @@ mod tests {
         let compiler = EpocCompiler::new(EpocConfig::fast());
         for seed in 0..4u64 {
             let c = generators::random_circuit(3, 12, seed);
-            let r = compiler.compile(&c);
+            let r = compiler.compile(&c).unwrap();
             assert!(r.verified, "seed {seed} failed verification");
             assert!(r.schedule.is_valid());
         }
@@ -451,9 +561,9 @@ mod tests {
     #[test]
     fn regrouping_reduces_latency() {
         let c = generators::qaoa(4, 2, 5);
-        let grouped = EpocCompiler::new(EpocConfig::fast()).compile(&c);
+        let grouped = EpocCompiler::new(EpocConfig::fast()).compile(&c).unwrap();
         let ungrouped =
-            EpocCompiler::new(EpocConfig::fast().without_regrouping()).compile(&c);
+            EpocCompiler::new(EpocConfig::fast().without_regrouping()).compile(&c).unwrap();
         assert!(grouped.verified && ungrouped.verified);
         assert!(
             grouped.latency() <= ungrouped.latency(),
@@ -469,8 +579,8 @@ mod tests {
     fn cache_reuse_across_compiles() {
         let compiler = EpocCompiler::new(EpocConfig::fast());
         let c = generators::ghz(3);
-        let r1 = compiler.compile(&c);
-        let r2 = compiler.compile(&c);
+        let r1 = compiler.compile(&c).unwrap();
+        let r2 = compiler.compile(&c).unwrap();
         assert!(r2.stages.cache_hits >= r1.stages.cache_hits);
         assert!(r2.stages.cache_misses == 0, "second compile should fully hit");
     }

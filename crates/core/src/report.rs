@@ -36,6 +36,40 @@ impl StageTimings {
     }
 }
 
+/// Recovery-ladder rung label: escalated QSearch node budget.
+pub const RUNG_SYNTH_BUDGET: &str = "recovery.synth.budget";
+/// Recovery-ladder rung label: structural fallback after the synthesis
+/// budget escalations were exhausted without convergence.
+pub const RUNG_SYNTH_FALLBACK: &str = "recovery.synth.fallback";
+/// Recovery-ladder rung label: a precomputed pulse went missing during
+/// schedule replay (lost cache insert or forced miss) and the block was
+/// recomputed in place.
+pub const RUNG_SCHEDULE_RECOMPUTE: &str = "recovery.schedule.recompute";
+
+/// One climbed rung of the per-block recovery ladder. The `rung` label
+/// doubles as the `recovery.*` telemetry counter the pipeline bumps when
+/// it takes the rung.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryRecord {
+    /// Pipeline stage that recovered (`"synth"`, `"pulse"`, `"schedule"`).
+    pub stage: &'static str,
+    /// What was recovered (e.g. `"blk3"`).
+    pub subject: String,
+    /// The ladder rung taken (e.g. [`RUNG_SYNTH_BUDGET`],
+    /// `epoc_qoc::RUNG_GRAPE_RESTARTS`).
+    pub rung: &'static str,
+}
+
+impl RecoveryRecord {
+    /// The record as a JSON value.
+    pub fn to_json_value(&self) -> Json {
+        Json::obj()
+            .push("stage", self.stage)
+            .push("subject", self.subject.as_str())
+            .push("rung", self.rung)
+    }
+}
+
 /// Per-stage statistics of one EPOC compilation.
 #[derive(Debug, Clone, Default)]
 pub struct StageStats {
@@ -69,6 +103,10 @@ pub struct StageStats {
     pub grape_iterations: usize,
     /// GRAPE duration-search probes spent during this compile.
     pub grape_probes: usize,
+    /// Recovery-ladder rungs climbed, in deterministic block order (the
+    /// same at any worker count; empty when every stage succeeded on its
+    /// base attempt).
+    pub recoveries: Vec<RecoveryRecord>,
     /// Per-stage wall-clock durations (zeroed by determinism checks).
     pub timings: StageTimings,
 }
@@ -90,6 +128,10 @@ impl StageStats {
             .push("cache_misses", self.cache_misses)
             .push("grape_iterations", self.grape_iterations)
             .push("grape_probes", self.grape_probes)
+            .push(
+                "recoveries",
+                Json::Arr(self.recoveries.iter().map(RecoveryRecord::to_json_value).collect()),
+            )
             .push("timings", self.timings.to_json_value())
     }
 
@@ -97,7 +139,7 @@ impl StageStats {
     /// per-stage wall clock).
     pub fn to_text(&self) -> String {
         let t = &self.timings;
-        format!(
+        let mut text = format!(
             "stages:\n\
              \x20 zx         {:>10.2?}  depth {} -> {}, {} rewrites\n\
              \x20 partition  {:>10.2?}  {} blocks from {} gates\n\
@@ -123,7 +165,11 @@ impl StageStats {
             self.cache_hits + self.cache_misses,
             self.grape_iterations,
             self.grape_probes,
-        )
+        );
+        for r in &self.recoveries {
+            text.push_str(&format!("\n  recovery: {} {} -> {}", r.stage, r.subject, r.rung));
+        }
+        text
     }
 }
 
@@ -262,6 +308,11 @@ mod tests {
                 cache_misses: 1,
                 grape_iterations: 120,
                 grape_probes: 3,
+                recoveries: vec![RecoveryRecord {
+                    stage: "pulse",
+                    subject: "blk0".into(),
+                    rung: "recovery.grape.restarts",
+                }],
                 timings: StageTimings {
                     zx: Duration::from_nanos(10),
                     partition: Duration::from_nanos(20),
@@ -313,6 +364,13 @@ mod tests {
             "    \"cache_misses\": 1,\n",
             "    \"grape_iterations\": 120,\n",
             "    \"grape_probes\": 3,\n",
+            "    \"recoveries\": [\n",
+            "      {\n",
+            "        \"stage\": \"pulse\",\n",
+            "        \"subject\": \"blk0\",\n",
+            "        \"rung\": \"recovery.grape.restarts\"\n",
+            "      }\n",
+            "    ],\n",
             "    \"timings\": {\n",
             "      \"zx_ns\": 10,\n",
             "      \"partition_ns\": 20,\n",

@@ -113,7 +113,11 @@ pub fn crab(
         let mut cost = |params: &[f64]| -> f64 {
             evals_here += 1;
             let controls = sample_controls(params);
-            let u = propagate(device, &controls);
+            // A propagator failure is costed worse than any valid point
+            // (infidelity ≤ 1), steering the simplex away from it.
+            let Ok(u) = propagate(device, &controls) else {
+                return 2.0;
+            };
             let f = target.dagger().matmul(&u).trace().abs() / dim;
             1.0 - f
         };

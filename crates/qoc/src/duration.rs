@@ -5,8 +5,34 @@
 //! until GRAPE succeeds, then binary-search the success boundary.
 
 use crate::device::DeviceModel;
-use crate::grape::{grape, GrapeConfig, GrapeResult};
+use crate::grape::{grape, GrapeConfig, GrapeError, GrapeResult};
 use epoc_linalg::Matrix;
+
+/// How the GRAPE backend escalates when a duration search comes back
+/// below the fidelity threshold. Each escalation is one recovery-ladder
+/// rung: restarts with perturbed seeds first, then a larger slot cap,
+/// then (unless `strict`) a digital fallback handled by the synthesizer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GrapeRecoveryPolicy {
+    /// Restart-escalation rungs: each doubles the GRAPE restart count and
+    /// perturbs the seed before re-running the search.
+    pub restart_escalations: usize,
+    /// Slot-escalation rungs: each doubles the slot cap (longer pulses).
+    pub slot_escalations: usize,
+    /// Fail with a typed error instead of degrading to the digital
+    /// fallback when every escalation rung is exhausted.
+    pub strict: bool,
+}
+
+impl Default for GrapeRecoveryPolicy {
+    fn default() -> Self {
+        Self {
+            restart_escalations: 1,
+            slot_escalations: 1,
+            strict: false,
+        }
+    }
+}
 
 /// Configuration for the duration search.
 #[derive(Debug, Clone, PartialEq)]
@@ -19,6 +45,8 @@ pub struct DurationSearchConfig {
     pub max_slots: usize,
     /// GRAPE settings for each probe.
     pub grape: GrapeConfig,
+    /// Escalation ladder applied by the synthesizer when the search fails.
+    pub recovery: GrapeRecoveryPolicy,
 }
 
 impl Default for DurationSearchConfig {
@@ -28,6 +56,7 @@ impl Default for DurationSearchConfig {
             initial_slots: 8,
             max_slots: 512,
             grape: GrapeConfig::default(),
+            recovery: GrapeRecoveryPolicy::default(),
         }
     }
 }
@@ -71,43 +100,73 @@ impl std::fmt::Display for SearchDurationError {
 
 impl std::error::Error for SearchDurationError {}
 
+/// Error from [`minimize_duration`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum DurationError {
+    /// No slot count up to the cap reached the fidelity threshold — a
+    /// *soft* failure the recovery ladder can escalate.
+    Unconverged(SearchDurationError),
+    /// A GRAPE probe failed outright (bad inputs or numerical breakdown)
+    /// — a *hard* failure escalation cannot fix.
+    Grape(GrapeError),
+}
+
+impl std::fmt::Display for DurationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Unconverged(e) => e.fmt(f),
+            Self::Grape(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for DurationError {}
+
+impl From<GrapeError> for DurationError {
+    fn from(e: GrapeError) -> Self {
+        Self::Grape(e)
+    }
+}
+
 /// Finds a (near-)minimal-duration pulse implementing `target`.
 ///
 /// # Errors
 ///
-/// Returns [`SearchDurationError`] when even `max_slots` slots cannot
-/// reach the fidelity threshold.
+/// Returns [`DurationError::Unconverged`] when even `max_slots` slots
+/// cannot reach the fidelity threshold, and [`DurationError::Grape`] when
+/// a probe fails outright.
 pub fn minimize_duration(
     device: &DeviceModel,
     target: &Matrix,
     config: &DurationSearchConfig,
-) -> Result<PulseSolution, SearchDurationError> {
+) -> Result<PulseSolution, DurationError> {
     let _span = epoc_rt::telemetry::span("qoc", "duration_search");
     let mut probes = 0usize;
     let mut total_iterations = 0usize;
-    let run = |slots: usize, probes: &mut usize, iters: &mut usize| -> GrapeResult {
-        *probes += 1;
-        epoc_rt::telemetry::counter_add("grape.probes", 1);
-        let r = grape(device, target, slots, &config.grape);
-        *iters += r.total_iterations;
-        r
-    };
+    let run =
+        |slots: usize, probes: &mut usize, iters: &mut usize| -> Result<GrapeResult, GrapeError> {
+            *probes += 1;
+            epoc_rt::telemetry::counter_add("grape.probes", 1);
+            let r = grape(device, target, slots, &config.grape)?;
+            *iters += r.total_iterations;
+            Ok(r)
+        };
     // Phase 1: geometric growth until success.
     let mut hi = config.initial_slots.max(1);
     let mut hi_result;
     loop {
-        let r = run(hi, &mut probes, &mut total_iterations);
+        let r = run(hi, &mut probes, &mut total_iterations)?;
         if r.fidelity >= config.fidelity_threshold {
             hi_result = r;
             break;
         }
         if hi >= config.max_slots {
-            return Err(SearchDurationError {
+            return Err(DurationError::Unconverged(SearchDurationError {
                 best_fidelity: r.fidelity,
                 max_slots: config.max_slots,
                 probes,
                 total_iterations,
-            });
+            }));
         }
         hi = (hi * 2).min(config.max_slots);
     }
@@ -116,7 +175,7 @@ pub fn minimize_duration(
     let mut best_slots = hi;
     while hi - lo > 1 {
         let mid = (lo + hi) / 2;
-        let r = run(mid, &mut probes, &mut total_iterations);
+        let r = run(mid, &mut probes, &mut total_iterations)?;
         if r.fidelity >= config.fidelity_threshold {
             hi = mid;
             best_slots = mid;
@@ -185,6 +244,9 @@ mod tests {
             },
         )
         .unwrap_err();
+        let DurationError::Unconverged(err) = err else {
+            panic!("expected a soft non-convergence, got {err}");
+        };
         assert!(err.best_fidelity < 0.999);
         assert_eq!(err.max_slots, 4);
     }

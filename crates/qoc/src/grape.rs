@@ -10,8 +10,54 @@
 
 use crate::device::DeviceModel;
 use epoc_linalg::{c64, eigh, Complex64, HermitianEig, Matrix};
+use epoc_rt::faults;
 use epoc_rt::pool::parallel_for_mut;
 use epoc_rt::rng::Rng;
+
+/// A GRAPE failure. Bad inputs and numerical breakdowns are errors;
+/// *not converging* is not — that is a low [`GrapeResult::fidelity`],
+/// which the recovery ladder upstream knows how to escalate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GrapeError {
+    /// `n_slots` was zero — there is no pulse to optimize.
+    NoSlots,
+    /// Target dimension does not match the device Hilbert space.
+    DimensionMismatch {
+        /// Rows of the target unitary.
+        target: usize,
+        /// Device Hilbert-space dimension.
+        device: usize,
+    },
+    /// A numerical routine (eigendecomposition / propagator exponential)
+    /// failed on a slot Hamiltonian.
+    Numerical(String),
+}
+
+impl std::fmt::Display for GrapeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NoSlots => write!(f, "GRAPE needs at least one time slot"),
+            Self::DimensionMismatch { target, device } => write!(
+                f,
+                "target dimension {target} does not match device dimension {device}"
+            ),
+            Self::Numerical(msg) => write!(f, "GRAPE numerical failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GrapeError {}
+
+/// Deterministic fingerprint of a matrix for fault-injection keys: the
+/// same target draws the same injected fate at any worker count.
+pub fn fault_fingerprint(m: &Matrix) -> u64 {
+    let mut h = faults::mix(0, m.rows() as u64);
+    for z in m.as_slice() {
+        h = faults::mix(h, z.re.to_bits());
+        h = faults::mix(h, z.im.to_bits());
+    }
+    h
+}
 
 /// Gradient flavor for the ablation bench.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,6 +132,9 @@ struct SlotScratch {
     hj: Matrix,
     /// Gradient contributions of this slot, one entry per channel.
     grad: Vec<f64>,
+    /// Set when this slot's eigendecomposition failed; checked after the
+    /// parallel phase (the worker closure cannot early-return an error).
+    failed: bool,
 }
 
 /// Reusable buffers for the GRAPE iteration loop.
@@ -126,6 +175,7 @@ impl GrapeWorkspace {
                 kern: zero(),
                 hj: zero(),
                 grad: vec![0.0; n_ctrl],
+                failed: false,
             })
             .collect();
         let mut prefix = vec![zero(); n_slots + 1];
@@ -161,22 +211,54 @@ pub struct GrapeResult {
 
 /// Runs GRAPE to implement `target` on `device` within `n_slots` slots.
 ///
-/// # Panics
+/// Non-convergence is *not* an error: the result simply carries a low
+/// fidelity for the caller's recovery ladder to escalate.
 ///
-/// Panics if `target` has the wrong dimension or `n_slots == 0`.
+/// # Errors
+///
+/// Returns [`GrapeError`] when `n_slots == 0`, the target dimension does
+/// not match the device, or a per-slot numerical routine fails.
 pub fn grape(
     device: &DeviceModel,
     target: &Matrix,
     n_slots: usize,
     config: &GrapeConfig,
-) -> GrapeResult {
+) -> Result<GrapeResult, GrapeError> {
     let _span = epoc_rt::telemetry::span("qoc", "grape");
-    assert!(n_slots > 0, "need at least one time slot");
-    assert_eq!(target.rows(), device.dim(), "target dimension mismatch");
+    if n_slots == 0 {
+        return Err(GrapeError::NoSlots);
+    }
+    if target.rows() != device.dim() {
+        return Err(GrapeError::DimensionMismatch {
+            target: target.rows(),
+            device: device.dim(),
+        });
+    }
     let n_ctrl = device.controls().len();
     let dt = device.dt();
     let dim = device.dim() as f64;
     let a_max = device.max_amplitude();
+
+    // Fail point `grape.converge`: an injected non-convergence, keyed by
+    // (target, slot count, seed) so the decision is a pure function of the
+    // work item — identical at any worker count, and fresh for every rung
+    // of the recovery ladder (escalations change the slot count or seed).
+    if faults::is_armed() {
+        let key = faults::mix(
+            fault_fingerprint(target),
+            faults::mix(n_slots as u64, config.seed),
+        );
+        if faults::fail_point_keyed("grape.converge", key) {
+            return Ok(GrapeResult {
+                controls: vec![vec![0.0; n_slots]; n_ctrl],
+                fidelity: 0.0,
+                duration: n_slots as f64 * dt,
+                iterations: 0,
+                total_iterations: 0,
+                unitary: Matrix::identity(device.dim()),
+            });
+        }
+    }
 
     use epoc_rt::rng::StdRng;
     let mut best: Option<(Vec<Vec<f64>>, f64, usize)> = None;
@@ -204,7 +286,7 @@ pub fn grape(
         let mut iters_used = 0;
         for step in 1..=config.max_iters {
             iters_used = step;
-            let f = fidelity_and_gradient(device, &adag, &u, config, &mut ws);
+            let f = fidelity_and_gradient(device, &adag, &u, config, &mut ws)?;
             fidelity = f;
             if 1.0 - f < config.infidelity_threshold {
                 break;
@@ -237,30 +319,40 @@ pub fn grape(
     epoc_rt::telemetry::counter_add("grape.iterations", total_iterations as u64);
     epoc_rt::telemetry::counter_add("grape.restarts", restarts_run as u64);
     epoc_rt::telemetry::histogram_record("grape.iters_per_run", total_iterations as u64);
-    let (controls, fidelity, iterations) = best.expect("at least one restart ran");
-    let unitary = propagate(device, &controls);
-    GrapeResult {
+    let (controls, fidelity, iterations) = match best {
+        Some(b) => b,
+        // `restarts.max(1)` guarantees at least one restart ran and set
+        // `best`; reaching here means the loop body was skipped entirely.
+        None => return Err(GrapeError::Numerical("no restart produced a result".into())),
+    };
+    let unitary = propagate(device, &controls)?;
+    Ok(GrapeResult {
         controls,
         fidelity,
         duration: n_slots as f64 * dt,
         iterations,
         total_iterations,
         unitary,
-    }
+    })
 }
 
 /// Total propagator for the given piecewise-constant controls.
-pub fn propagate(device: &DeviceModel, controls: &[Vec<f64>]) -> Matrix {
+///
+/// # Errors
+///
+/// Returns [`GrapeError::Numerical`] if a slot propagator exponential
+/// fails.
+pub fn propagate(device: &DeviceModel, controls: &[Vec<f64>]) -> Result<Matrix, GrapeError> {
     let n_slots = controls.first().map_or(0, Vec::len);
     let mut u = Matrix::identity(device.dim());
     for s in 0..n_slots {
         let amps: Vec<f64> = controls.iter().map(|c| c[s]).collect();
         let h = device.hamiltonian(&amps);
         let (us, _) = epoc_linalg::expm_hermitian_propagator(&h, device.dt())
-            .expect("device Hamiltonians are Hermitian");
+            .map_err(|e| GrapeError::Numerical(format!("slot {s} propagator: {e}")))?;
         u = us.matmul(&u);
     }
-    u
+    Ok(u)
 }
 
 /// Phase-invariant fidelity `|Tr(A†U)|/d`, with the gradient w.r.t. every
@@ -279,7 +371,7 @@ fn fidelity_and_gradient(
     controls: &[Vec<f64>],
     config: &GrapeConfig,
     ws: &mut GrapeWorkspace,
-) -> f64 {
+) -> Result<f64, GrapeError> {
     let n_slots = controls[0].len();
     let dt = device.dt();
     let dim = device.dim();
@@ -292,7 +384,18 @@ fn fidelity_and_gradient(
             *a = c[s];
         }
         device.hamiltonian_into(&slot.amps, &mut slot.h);
-        slot.eig = eigh(&slot.h).expect("Hermitian");
+        match eigh(&slot.h) {
+            Ok(eig) => {
+                slot.eig = eig;
+                slot.failed = false;
+            }
+            Err(_) => {
+                // The worker closure cannot propagate an error; flag the
+                // slot and bail out after the parallel phase.
+                slot.failed = true;
+                return;
+            }
+        }
         slot.eig.vectors.dagger_into(&mut slot.vdag);
         slot.phases.clear();
         slot.phases
@@ -306,6 +409,11 @@ fn fidelity_and_gradient(
         }
         slot.t1.matmul_into(&slot.vdag, &mut slot.prop);
     });
+    if let Some(s) = ws.slots.iter().position(|slot| slot.failed) {
+        return Err(GrapeError::Numerical(format!(
+            "eigendecomposition failed on slot {s}"
+        )));
+    }
 
     // Serial chain sweeps: prefix[s] = U_{s-1}···U_0, suffix[s] = U_last···U_s.
     for s in 0..n_slots {
@@ -392,7 +500,7 @@ fn fidelity_and_gradient(
             ws.grad[j * n_slots + s] = g;
         }
     }
-    fidelity
+    Ok(fidelity)
 }
 
 #[cfg(test)]
@@ -419,7 +527,8 @@ mod tests {
             gradient: mode,
             ..Default::default()
         };
-        let f = fidelity_and_gradient(device, &target.dagger(), controls, &config, &mut ws);
+        let f = fidelity_and_gradient(device, &target.dagger(), controls, &config, &mut ws)
+            .expect("gradient evaluation");
         let grad = (0..controls.len())
             .map(|j| ws.grad[j * n_slots..(j + 1) * n_slots].to_vec())
             .collect();
@@ -429,7 +538,7 @@ mod tests {
     #[test]
     fn propagate_zero_controls_single_qubit() {
         let d = device1();
-        let u = propagate(&d, &vec![vec![0.0; 5]; 2]);
+        let u = propagate(&d, &vec![vec![0.0; 5]; 2]).unwrap();
         // Qubit 0 has no detuning: free evolution is identity.
         assert!(u.approx_eq(&Matrix::identity(2), 1e-9));
     }
@@ -462,7 +571,7 @@ mod tests {
         let d = device1();
         let target = Gate::X.unitary_matrix();
         // π rotation at max amp 0.1257 rad/ns on X/2 → ≥ 50ns; 30 slots × 2ns = 60ns.
-        let r = grape(&d, &target, 30, &GrapeConfig::default());
+        let r = grape(&d, &target, 30, &GrapeConfig::default()).unwrap();
         assert!(r.fidelity > 0.999, "fidelity {}", r.fidelity);
         assert!(
             phase_invariant_fidelity(&r.unitary, &target) > 0.999,
@@ -479,7 +588,7 @@ mod tests {
     #[test]
     fn grape_reaches_hadamard() {
         let d = device1();
-        let r = grape(&d, &Gate::H.unitary_matrix(), 30, &GrapeConfig::default());
+        let r = grape(&d, &Gate::H.unitary_matrix(), 30, &GrapeConfig::default()).unwrap();
         assert!(r.fidelity > 0.999, "fidelity {}", r.fidelity);
     }
 
@@ -487,7 +596,7 @@ mod tests {
     fn grape_fails_when_too_short() {
         let d = device1();
         // 2 slots × 2ns at amp 0.1257: max angle 0.5 rad — X is unreachable.
-        let r = grape(&d, &Gate::X.unitary_matrix(), 2, &GrapeConfig::default());
+        let r = grape(&d, &Gate::X.unitary_matrix(), 2, &GrapeConfig::default()).unwrap();
         assert!(r.fidelity < 0.9, "unexpectedly high fidelity {}", r.fidelity);
     }
 
@@ -505,7 +614,8 @@ mod tests {
                 learning_rate: 0.01,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         assert!(r.fidelity > 0.999, "fidelity {}", r.fidelity);
     }
 
@@ -520,14 +630,39 @@ mod tests {
                 gradient: GradientMode::FirstOrder,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         assert!(r.fidelity > 0.99, "fidelity {}", r.fidelity);
+    }
+
+    #[test]
+    fn typed_errors_for_bad_inputs() {
+        let d = device1();
+        assert_eq!(
+            grape(&d, &Gate::X.unitary_matrix(), 0, &GrapeConfig::default()).unwrap_err(),
+            GrapeError::NoSlots
+        );
+        assert!(matches!(
+            grape(&d, &Matrix::identity(4), 4, &GrapeConfig::default()).unwrap_err(),
+            GrapeError::DimensionMismatch {
+                target: 4,
+                device: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn fault_fingerprint_distinguishes_targets() {
+        let a = fault_fingerprint(&Gate::X.unitary_matrix());
+        let b = fault_fingerprint(&Gate::H.unitary_matrix());
+        assert_ne!(a, b);
+        assert_eq!(a, fault_fingerprint(&Gate::X.unitary_matrix()));
     }
 
     #[test]
     fn duration_reported() {
         let d = device1();
-        let r = grape(&d, &Matrix::identity(2), 7, &GrapeConfig::default());
+        let r = grape(&d, &Matrix::identity(2), 7, &GrapeConfig::default()).unwrap();
         assert!((r.duration - 14.0).abs() < 1e-12);
     }
 
@@ -576,6 +711,7 @@ mod tests {
                     ..Default::default()
                 },
             )
+            .unwrap()
         };
         let r1 = run(1);
         let r4 = run(4);
@@ -598,7 +734,7 @@ mod tests {
     #[test]
     fn grape_x_gate_trajectory_pinned() {
         let d = device1();
-        let r = grape(&d, &Gate::X.unitary_matrix(), 30, &GrapeConfig::default());
+        let r = grape(&d, &Gate::X.unitary_matrix(), 30, &GrapeConfig::default()).unwrap();
         assert!(r.fidelity > 0.9999, "fidelity {}", r.fidelity);
         assert!(
             r.iterations <= GrapeConfig::default().max_iters,
@@ -606,7 +742,7 @@ mod tests {
             r.iterations
         );
         // Re-running with the same config must reproduce the exact result.
-        let r2 = grape(&d, &Gate::X.unitary_matrix(), 30, &GrapeConfig::default());
+        let r2 = grape(&d, &Gate::X.unitary_matrix(), 30, &GrapeConfig::default()).unwrap();
         assert_eq!(r.fidelity.to_bits(), r2.fidelity.to_bits());
         assert_eq!(r.iterations, r2.iterations);
     }

@@ -22,7 +22,7 @@
 //! use epoc_qoc::{grape, DeviceModel, GrapeConfig};
 //!
 //! let device = DeviceModel::transmon_line(1).unwrap();
-//! let result = grape(&device, &Gate::Sx.unitary_matrix(), 16, &GrapeConfig::default());
+//! let result = grape(&device, &Gate::Sx.unitary_matrix(), 16, &GrapeConfig::default()).unwrap();
 //! assert!(result.fidelity > 0.99);
 //! ```
 
@@ -40,13 +40,15 @@ mod waveform;
 pub use crab::{crab, CrabConfig, CrabResult};
 pub use device::{ControlChannel, DeviceError, DeviceModel, MAX_MODEL_QUBITS};
 pub use duration::{
-    minimize_duration, DurationSearchConfig, PulseSolution, SearchDurationError,
+    minimize_duration, DurationError, DurationSearchConfig, GrapeRecoveryPolicy, PulseSolution,
+    SearchDurationError,
 };
-pub use grape::{grape, propagate, GradientMode, GrapeConfig, GrapeResult};
+pub use grape::{fault_fingerprint, grape, propagate, GradientMode, GrapeConfig, GrapeError, GrapeResult};
 pub use grape::GrapeWorkspace;
 pub use library::{CacheKey, KeyPolicy, PulseEntry, PulseLibrary};
 pub use model::{DurationModel, GateDurationTable};
 pub use synthesizer::{
-    GrapeSynthesizer, HybridSynthesizer, ModeledSynthesizer, PulseRequest, PulseSynthesizer,
+    GrapeSynthesizer, HybridSynthesizer, ModeledSynthesizer, PulseError, PulseRequest,
+    PulseSynthesizer, RecoveredPulse, RUNG_GRAPE_DIGITAL, RUNG_GRAPE_RESTARTS, RUNG_GRAPE_SLOTS,
 };
 pub use waveform::PulseWaveform;

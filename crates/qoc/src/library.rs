@@ -112,18 +112,24 @@ impl PulseLibrary {
     /// recording a hit or miss. Batch schedulers use this to classify
     /// work up front and replay the counter effects serially, so parallel
     /// execution reports byte-identical statistics.
+    ///
+    /// Fail point `pulse_lib.miss` forces a miss (chaos tests use it to
+    /// prove cache loss only costs recomputation, never correctness).
     pub fn peek(&self, unitary: &Matrix) -> Option<PulseEntry> {
+        if epoc_rt::faults::fail_point("pulse_lib.miss") {
+            return None;
+        }
         match self.policy {
             KeyPolicy::PhaseAware => self
                 .phase_aware
                 .read()
-                .unwrap()
+                .unwrap_or_else(|e| e.into_inner())
                 .get(&UnitaryKey::new(unitary))
                 .cloned(),
             KeyPolicy::PhaseSensitive => self
                 .phase_sensitive
                 .read()
-                .unwrap()
+                .unwrap_or_else(|e| e.into_inner())
                 .get(&PhaseSensitiveKey::new(unitary))
                 .cloned(),
         }
@@ -146,19 +152,25 @@ impl PulseLibrary {
     }
 
     /// Inserts (or replaces) the pulse for `unitary`.
+    ///
+    /// Fail point `pulse_lib.insert` silently drops the insert (chaos
+    /// tests use it to prove a lossy cache degrades to recomputation).
     pub fn insert(&self, unitary: &Matrix, entry: PulseEntry) {
+        if epoc_rt::faults::fail_point("pulse_lib.insert") {
+            return;
+        }
         epoc_rt::telemetry::counter_add("pulse_lib.inserts", 1);
         match self.policy {
             KeyPolicy::PhaseAware => {
                 self.phase_aware
                     .write()
-                    .unwrap()
+                    .unwrap_or_else(|e| e.into_inner())
                     .insert(UnitaryKey::new(unitary), entry);
             }
             KeyPolicy::PhaseSensitive => {
                 self.phase_sensitive
                     .write()
-                    .unwrap()
+                    .unwrap_or_else(|e| e.into_inner())
                     .insert(PhaseSensitiveKey::new(unitary), entry);
             }
         }
@@ -167,8 +179,10 @@ impl PulseLibrary {
     /// Number of stored pulses.
     pub fn len(&self) -> usize {
         match self.policy {
-            KeyPolicy::PhaseAware => self.phase_aware.read().unwrap().len(),
-            KeyPolicy::PhaseSensitive => self.phase_sensitive.read().unwrap().len(),
+            KeyPolicy::PhaseAware => self.phase_aware.read().unwrap_or_else(|e| e.into_inner()).len(),
+            KeyPolicy::PhaseSensitive => {
+                self.phase_sensitive.read().unwrap_or_else(|e| e.into_inner()).len()
+            }
         }
     }
 

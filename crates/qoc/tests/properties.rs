@@ -23,7 +23,7 @@ fn propagation_is_always_unitary() {
         let controls: Vec<Vec<f64>> = (0..device.controls().len())
             .map(|_| (0..slots).map(|_| (rng.gen_f64() - 0.5) * 2.0 * a).collect())
             .collect();
-        let u = propagate(&device, &controls);
+        let u = propagate(&device, &controls).unwrap();
         assert!(u.is_unitary(1e-8), "seed={seed} slots={slots}");
     });
 }
@@ -48,8 +48,10 @@ fn propagation_composes() {
                 v
             })
             .collect();
-        let u = propagate(&device, &second).matmul(&propagate(&device, &first));
-        let w = propagate(&device, &combined);
+        let u = propagate(&device, &second)
+            .unwrap()
+            .matmul(&propagate(&device, &first).unwrap());
+        let w = propagate(&device, &combined).unwrap();
         assert!(u.approx_eq(&w, 1e-9), "seed={seed}");
     });
 }
@@ -66,7 +68,8 @@ fn grape_fidelity_in_unit_interval() {
             &target,
             10,
             &GrapeConfig { max_iters: 30, restarts: 1, seed, ..Default::default() },
-        );
+        )
+        .unwrap();
         assert!((0.0..=1.0 + 1e-9).contains(&r.fidelity), "seed={seed}");
         assert!(r.unitary.is_unitary(1e-8), "seed={seed}");
         // Controls respect the amplitude bound.
@@ -128,8 +131,8 @@ fn library_phase_invariance() {
 fn grape_is_deterministic() {
     let device = DeviceModel::transmon_line(1).unwrap();
     let target = Gate::H.unitary_matrix();
-    let a = grape(&device, &target, 20, &GrapeConfig::default());
-    let b = grape(&device, &target, 20, &GrapeConfig::default());
+    let a = grape(&device, &target, 20, &GrapeConfig::default()).unwrap();
+    let b = grape(&device, &target, 20, &GrapeConfig::default()).unwrap();
     assert_eq!(a.controls, b.controls);
     assert_eq!(a.fidelity, b.fidelity);
 }
@@ -140,8 +143,8 @@ fn longer_pulses_never_reduce_best_fidelity_much() {
     // materially when duration grows (optimizer noise aside).
     let device = DeviceModel::transmon_line(1).unwrap();
     let target = Gate::X.unitary_matrix();
-    let short = grape(&device, &target, 14, &GrapeConfig::default());
-    let long = grape(&device, &target, 28, &GrapeConfig::default());
+    let short = grape(&device, &target, 14, &GrapeConfig::default()).unwrap();
+    let long = grape(&device, &target, 28, &GrapeConfig::default()).unwrap();
     assert!(long.fidelity >= short.fidelity - 0.01);
 }
 
@@ -151,6 +154,6 @@ fn identity_block_models_to_zero_but_identity_grape_is_cheap() {
     let c = Circuit::new(2);
     assert_eq!(m.block_duration(&c), 0.0);
     let device = DeviceModel::transmon_line(1).unwrap();
-    let r = grape(&device, &Matrix::identity(2), 1, &GrapeConfig::default());
+    let r = grape(&device, &Matrix::identity(2), 1, &GrapeConfig::default()).unwrap();
     assert!(r.fidelity > 0.9999);
 }

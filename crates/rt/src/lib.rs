@@ -20,6 +20,10 @@
 //! * [`telemetry`] — RAII spans, monotonic counters, and log-2 histograms
 //!   with Chrome trace-event export. Replaces `tracing`/`metrics`; off by
 //!   default with a one-atomic-load fast path.
+//! * [`faults`] — deterministic, seeded fault injection behind string
+//!   labels (always / nth-hit / first-hits / keyed-probability triggers)
+//!   for chaos testing. Replaces `fail`; disarmed fail points cost one
+//!   atomic load.
 //!
 //! Every module is deliberately small: the goal is not to reimplement the
 //! upstream crates, only the narrow slices the workspace consumes, with
@@ -30,6 +34,7 @@
 
 pub mod bench;
 pub mod check;
+pub mod faults;
 pub mod json;
 pub mod pool;
 pub mod rng;

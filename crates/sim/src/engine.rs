@@ -167,6 +167,9 @@ fn add_scaled(out: &mut Matrix, term: &Matrix, scale: f64) {
 /// Returns [`SimError::Eig`] if a step Hamiltonian fails to diagonalize.
 pub fn propagate(timeline: &Timeline, ws: &mut SimWorkspace) -> Result<(Matrix, u64), SimError> {
     let _span = epoc_rt::telemetry::span("sim", "propagate");
+    if epoc_rt::faults::fail_point("sim.propagate") {
+        return Err(SimError::Injected { label: "sim.propagate" });
+    }
     ws.u = Matrix::identity(timeline.dim);
     let mut steps = 0u64;
     let mut next_digital = 0usize;

@@ -50,6 +50,12 @@ pub enum SimError {
     },
     /// The eigendecomposition of a step Hamiltonian failed.
     Eig(EigError),
+    /// A deterministic fault-injection point fired (`epoc_rt::faults`) —
+    /// only possible while a chaos test has the harness armed.
+    Injected {
+        /// The fail-point label that fired.
+        label: &'static str,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -77,6 +83,9 @@ impl std::fmt::Display for SimError {
                 write!(f, "target unitary is {got}-dimensional, schedule needs {expected}")
             }
             SimError::Eig(e) => write!(f, "step Hamiltonian eigendecomposition failed: {e:?}"),
+            SimError::Injected { label } => {
+                write!(f, "injected fault '{label}' (fault-injection harness armed)")
+            }
         }
     }
 }

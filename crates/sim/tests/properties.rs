@@ -91,7 +91,7 @@ fn waveform_replay_matches_grape_propagator() {
             }
             qubits.truncate(k);
 
-            let local = grape_propagate(&device, &controls);
+            let local = grape_propagate(&device, &controls).unwrap();
             let target = local.embed(&qubits, n);
 
             let mut s = PulseSchedule::new(n);
@@ -160,7 +160,7 @@ fn engine_propagator_is_phase_close_to_local_embed() {
     let controls: Vec<Vec<f64>> = (0..4)
         .map(|ch| (0..5).map(|s| 0.01 * ((ch + s) as f64 - 3.0)).collect())
         .collect();
-    let local = grape_propagate(&device, &controls);
+    let local = grape_propagate(&device, &controls).unwrap();
     let w = PulseWaveform::new(device.dt(), controls);
     let mut s = PulseSchedule::new(2);
     s.push(ScheduledPulse {

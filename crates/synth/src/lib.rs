@@ -12,7 +12,7 @@
 //! use epoc_circuit::Gate;
 //! use epoc_synth::{synthesize, SynthConfig};
 //!
-//! let result = synthesize(&Gate::CZ.unitary_matrix(), &SynthConfig::default());
+//! let result = synthesize(&Gate::CZ.unitary_matrix(), &SynthConfig::default()).unwrap();
 //! assert!(result.converged);
 //! assert!(result.cnots <= 2);
 //! ```
@@ -23,7 +23,7 @@ mod search;
 mod template;
 
 pub use search::{
-    lower_to_vug_form, synthesize, synthesize_or_fallback, SynthConfig, SynthResult,
+    lower_to_vug_form, synthesize, synthesize_or_fallback, SynthConfig, SynthError, SynthResult,
 };
 pub use template::{Axis, InstantiateOptions, Segment, Template};
 

@@ -11,10 +11,60 @@
 use crate::template::{InstantiateOptions, Template};
 use epoc_circuit::{Circuit, Gate};
 use epoc_linalg::Matrix;
+use epoc_rt::faults;
 use epoc_rt::rng::StdRng;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::rc::Rc;
+
+/// A synthesis failure. Running out of node budget is *not* an error —
+/// that is a best-effort [`SynthResult`] with `converged: false`; these
+/// are malformed inputs and lowering defects.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SynthError {
+    /// The target matrix is not square.
+    NotSquare,
+    /// The target dimension is not a power of two ≥ 2.
+    BadDimension(usize),
+    /// The target is not unitary (to 1e-7).
+    NotUnitary,
+    /// [`lower_to_vug_form`] met an opaque block wider than one qubit.
+    OpaqueBlock {
+        /// Dimension of the offending opaque block.
+        dim: usize,
+    },
+    /// The analytic lowering failed or produced an unexpected gate.
+    Lowering(String),
+}
+
+impl std::fmt::Display for SynthError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NotSquare => write!(f, "synthesis target must be square"),
+            Self::BadDimension(d) => {
+                write!(f, "synthesis target dimension {d} is not a power of two >= 2")
+            }
+            Self::NotUnitary => write!(f, "synthesis target is not unitary"),
+            Self::OpaqueBlock { dim } => write!(
+                f,
+                "lower_to_vug_form only passes through 1-qubit opaque blocks (got dim {dim})"
+            ),
+            Self::Lowering(msg) => write!(f, "analytic lowering failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SynthError {}
+
+/// Deterministic fingerprint of the target for fault-injection keys.
+fn fault_fingerprint(m: &Matrix) -> u64 {
+    let mut h = faults::mix(0, m.rows() as u64);
+    for z in m.as_slice() {
+        h = faults::mix(h, z.re.to_bits());
+        h = faults::mix(h, z.im.to_bits());
+    }
+    h
+}
 
 /// Synthesis configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -118,10 +168,10 @@ impl Ord for Node {
 /// Returns a best-effort [`SynthResult`] even when the threshold is not
 /// reached within the node budget (check [`SynthResult::converged`]).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `target` is not square with power-of-two dimension ≥ 2, or
-/// is not unitary.
+/// Returns [`SynthError`] if `target` is not square with power-of-two
+/// dimension ≥ 2, or is not unitary.
 ///
 /// # Examples
 ///
@@ -129,19 +179,22 @@ impl Ord for Node {
 /// use epoc_circuit::Gate;
 /// use epoc_synth::{synthesize, SynthConfig};
 ///
-/// let r = synthesize(&Gate::CZ.unitary_matrix(), &SynthConfig::default());
+/// let r = synthesize(&Gate::CZ.unitary_matrix(), &SynthConfig::default()).unwrap();
 /// assert!(r.converged);
 /// assert!(r.distance < 1e-5);
 /// ```
-pub fn synthesize(target: &Matrix, config: &SynthConfig) -> SynthResult {
+pub fn synthesize(target: &Matrix, config: &SynthConfig) -> Result<SynthResult, SynthError> {
     let _span = epoc_rt::telemetry::span("synth", "qsearch");
-    assert!(target.is_square(), "target must be square");
+    if !target.is_square() {
+        return Err(SynthError::NotSquare);
+    }
     let dim = target.rows();
-    assert!(
-        dim >= 2 && dim.is_power_of_two(),
-        "target dimension must be 2^n"
-    );
-    assert!(target.is_unitary(1e-7), "target must be unitary");
+    if dim < 2 || !dim.is_power_of_two() {
+        return Err(SynthError::BadDimension(dim));
+    }
+    if !target.is_unitary(1e-7) {
+        return Err(SynthError::NotUnitary);
+    }
     let n = dim.trailing_zeros() as usize;
     let mut rng = StdRng::seed_from_u64(config.seed);
     // Optimizing below the success threshold is wasted work: stop the
@@ -163,13 +216,13 @@ pub fn synthesize(target: &Matrix, config: &SynthConfig) -> SynthResult {
         let (params, dist) = t.instantiate(target, &mut rng, &config.instantiate);
         let circuit = t.to_circuit(&params);
         record_search_telemetry(1);
-        return SynthResult {
+        return Ok(SynthResult {
             distance: dist,
             cnots: 0,
             nodes_evaluated: 1,
             converged: dist < config.distance_threshold,
             circuit: ensure_nonempty_1q(circuit, target),
-        };
+        });
     }
 
     let pairs: Vec<(usize, usize)> = (0..n)
@@ -195,9 +248,24 @@ pub fn synthesize(target: &Matrix, config: &SynthConfig) -> SynthResult {
     heap.push(root);
     let mut since_improvement = 0usize;
 
+    // Fail point `qsearch.budget`: an injected budget exhaustion before
+    // the A* loop — the root comes back non-converged, exactly like a
+    // genuine `max_nodes` blow-through. Keyed by (target, budget, seed) so
+    // the fate is a pure function of the work item, and fresh for every
+    // budget escalation the recovery ladder tries.
+    if faults::is_armed() {
+        let key = faults::mix(
+            fault_fingerprint(target),
+            faults::mix(config.max_nodes as u64, config.seed),
+        );
+        if faults::fail_point_keyed("qsearch.budget", key) {
+            return Ok(finish(best, nodes_evaluated, false));
+        }
+    }
+
     while let Some(node) = heap.pop() {
         if node.distance < config.distance_threshold {
-            return finish(node, nodes_evaluated, true);
+            return Ok(finish(node, nodes_evaluated, true));
         }
         if nodes_evaluated >= config.max_nodes {
             break;
@@ -217,7 +285,7 @@ pub fn synthesize(target: &Matrix, config: &SynthConfig) -> SynthResult {
                 since_improvement += 1;
             }
             if child.distance < config.distance_threshold {
-                return finish(child, nodes_evaluated, true);
+                return Ok(finish(child, nodes_evaluated, true));
             }
             heap.push(child);
             if nodes_evaluated >= config.max_nodes {
@@ -234,7 +302,7 @@ pub fn synthesize(target: &Matrix, config: &SynthConfig) -> SynthResult {
             since_improvement = 0;
         }
     }
-    finish(best, nodes_evaluated, false)
+    Ok(finish(best, nodes_evaluated, false))
 }
 
 fn finish(node: Node, nodes_evaluated: usize, converged: bool) -> SynthResult {
@@ -272,23 +340,28 @@ fn ensure_nonempty_1q(circuit: Circuit, target: &Matrix) -> Circuit {
 /// Synthesizes a circuit block's unitary, falling back to the block's own
 /// gate list (lowered to VUG/CNOT form) when search does not converge —
 /// synthesis is then guaranteed never to *hurt*.
+///
+/// # Errors
+///
+/// Returns [`SynthError`] on malformed targets or when the analytic
+/// fallback lowering itself fails.
 pub fn synthesize_or_fallback(
     target: &Matrix,
     original: &Circuit,
     config: &SynthConfig,
-) -> SynthResult {
-    let r = synthesize(target, config);
+) -> Result<SynthResult, SynthError> {
+    let r = synthesize(target, config)?;
     if r.converged {
-        return r;
+        return Ok(r);
     }
-    let fallback = lower_to_vug_form(original);
-    SynthResult {
+    let fallback = lower_to_vug_form(original)?;
+    Ok(SynthResult {
         distance: 0.0,
         cnots: fallback.count_gates(|g| matches!(g, Gate::CX)),
         nodes_evaluated: r.nodes_evaluated,
         converged: true,
         circuit: fallback,
-    }
+    })
 }
 
 /// Rewrites a circuit into VUG/CNOT form without numerical search: gates
@@ -296,21 +369,21 @@ pub fn synthesize_or_fallback(
 /// lowerings of `epoc-zx`), `CZ` becomes `H·CX·H` on the target, and runs
 /// of single-qubit gates on a wire collapse into one opaque VUG.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the circuit contains opaque unitary blocks wider than one
-/// qubit (1-qubit VUGs pass through unchanged).
-pub fn lower_to_vug_form(circuit: &Circuit) -> Circuit {
+/// Returns [`SynthError::OpaqueBlock`] if the circuit contains opaque
+/// unitary blocks wider than one qubit (1-qubit VUGs pass through
+/// unchanged), and [`SynthError::Lowering`] if the analytic lowering
+/// fails.
+pub fn lower_to_vug_form(circuit: &Circuit) -> Result<Circuit, SynthError> {
     // Split out existing opaque blocks so `lower_for_zx` never sees them.
     let mut elementary = Circuit::new(circuit.n_qubits());
     for op in circuit.ops() {
         match &op.gate {
             Gate::Unitary { matrix, .. } => {
-                assert_eq!(
-                    matrix.rows(),
-                    2,
-                    "lower_to_vug_form only passes through 1-qubit opaque blocks"
-                );
+                if matrix.rows() != 2 {
+                    return Err(SynthError::OpaqueBlock { dim: matrix.rows() });
+                }
                 // Re-express through its own elementary decomposition so
                 // the merging pass below can fuse it with neighbors.
                 epoc_circuit::append_single_qubit_unitary(
@@ -325,7 +398,7 @@ pub fn lower_to_vug_form(circuit: &Circuit) -> Circuit {
         }
     }
     let lowered = epoc_zx::lower_for_zx(&elementary)
-        .expect("no opaque blocks remain after pre-pass");
+        .map_err(|e| SynthError::Lowering(e.to_string()))?;
     // Accumulate per-wire single-qubit products, flushing as VUGs at
     // two-qubit boundaries.
     let n = lowered.n_qubits();
@@ -360,13 +433,17 @@ pub fn lower_to_vug_form(circuit: &Circuit) -> Circuit {
                 out.push(Gate::CX, &op.qubits);
                 absorb(&mut pending, op.qubits[1], &h);
             }
-            g => unreachable!("lower_for_zx produced unexpected gate {g}"),
+            g => {
+                return Err(SynthError::Lowering(format!(
+                    "lower_for_zx produced unexpected gate {g}"
+                )))
+            }
         }
     }
     for q in 0..n {
         flush(&mut out, &mut pending, q);
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -386,7 +463,7 @@ mod tests {
     fn synthesize_single_qubit() {
         let mut rng = StdRng::seed_from_u64(11);
         let target = random_unitary(2, &mut rng);
-        let r = synthesize(&target, &SynthConfig::default());
+        let r = synthesize(&target, &SynthConfig::default()).unwrap();
         assert!(r.converged);
         assert_eq!(r.cnots, 0);
         verify(&r, &target, 1e-4);
@@ -395,7 +472,7 @@ mod tests {
     #[test]
     fn synthesize_identity_two_qubit() {
         let target = Matrix::identity(4);
-        let r = synthesize(&target, &SynthConfig::default());
+        let r = synthesize(&target, &SynthConfig::default()).unwrap();
         assert!(r.converged);
         assert_eq!(r.cnots, 0);
         assert!(r.circuit.is_empty() || r.distance < 1e-5);
@@ -403,7 +480,7 @@ mod tests {
 
     #[test]
     fn synthesize_cx_needs_one_cnot() {
-        let r = synthesize(&Gate::CX.unitary_matrix(), &SynthConfig::default());
+        let r = synthesize(&Gate::CX.unitary_matrix(), &SynthConfig::default()).unwrap();
         assert!(r.converged, "distance {}", r.distance);
         assert!(r.cnots <= 1, "used {} cnots", r.cnots);
         verify(&r, &Gate::CX.unitary_matrix(), 1e-4);
@@ -411,7 +488,7 @@ mod tests {
 
     #[test]
     fn synthesize_swap_needs_three_cnots() {
-        let r = synthesize(&Gate::Swap.unitary_matrix(), &SynthConfig::default());
+        let r = synthesize(&Gate::Swap.unitary_matrix(), &SynthConfig::default()).unwrap();
         assert!(r.converged, "distance {}", r.distance);
         assert!(r.cnots <= 3, "used {} cnots", r.cnots);
         verify(&r, &Gate::Swap.unitary_matrix(), 1e-4);
@@ -428,7 +505,8 @@ mod tests {
                     seed: 100 + i,
                     ..SynthConfig::default()
                 },
-            );
+            )
+            .unwrap();
             assert!(r.converged, "case {i}: distance {}", r.distance);
             // KAK bound: any 2-qubit unitary needs ≤ 3 CNOTs.
             assert!(r.cnots <= 4, "case {i}: used {} cnots", r.cnots);
@@ -446,7 +524,7 @@ mod tests {
             .push(Gate::CX, &[0, 1])
             .push(Gate::S, &[0]);
         let target = c.unitary();
-        let r = synthesize(&target, &SynthConfig::default());
+        let r = synthesize(&target, &SynthConfig::default()).unwrap();
         assert!(r.converged, "distance {}", r.distance);
         verify(&r, &target, 1e-4);
         assert!(
@@ -465,7 +543,7 @@ mod tests {
             max_cnots: 0,
             ..SynthConfig::default()
         };
-        let r = synthesize_or_fallback(&target, &c, &cfg);
+        let r = synthesize_or_fallback(&target, &c, &cfg).unwrap();
         assert!(r.converged);
         assert!(circuits_equivalent(&c, &r.circuit, 1e-6));
     }
@@ -477,7 +555,7 @@ mod tests {
             .push(Gate::CZ, &[0, 1])
             .push(Gate::RZZ(0.4), &[1, 2])
             .push(Gate::T, &[2]);
-        let lowered = lower_to_vug_form(&c);
+        let lowered = lower_to_vug_form(&c).unwrap();
         assert!(circuits_equivalent(&c, &lowered, 1e-4));
         for op in lowered.ops() {
             assert!(matches!(op.gate, Gate::Unitary { .. } | Gate::CX | Gate::RZ(_)));
@@ -487,8 +565,8 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let target = Gate::CZ.unitary_matrix();
-        let a = synthesize(&target, &SynthConfig::default());
-        let b = synthesize(&target, &SynthConfig::default());
+        let a = synthesize(&target, &SynthConfig::default()).unwrap();
+        let b = synthesize(&target, &SynthConfig::default()).unwrap();
         assert_eq!(a.circuit, b.circuit);
     }
 }

@@ -20,7 +20,7 @@ fn single_qubit_synthesis_always_converges() {
             let seed = g.u64_in(0, 2000);
             let mut rng = StdRng::seed_from_u64(seed);
             let target = random_unitary(2, &mut rng);
-            let r = synthesize(&target, &SynthConfig { seed, ..Default::default() });
+            let r = synthesize(&target, &SynthConfig { seed, ..Default::default() }).unwrap();
             assert!(r.converged, "seed={seed} distance {}", r.distance);
             assert!(phase_invariant_distance(&r.circuit.unitary(), &target) < 1e-4);
         });
@@ -35,7 +35,7 @@ fn lower_to_vug_form_preserves_random_circuits() {
             let gates = g.usize_in(1, 15);
             let seed = g.u64_in(0, 2000);
             let c = generators::random_circuit(n, gates, seed);
-            let lowered = lower_to_vug_form(&c);
+            let lowered = lower_to_vug_form(&c).unwrap();
             assert!(
                 circuits_equivalent(&c, &lowered, 1e-6),
                 "n={n} gates={gates} seed={seed}"
@@ -57,7 +57,7 @@ fn fallback_is_always_sound() {
         let c = generators::random_circuit(2, gates, seed);
         let target = c.unitary();
         let cfg = SynthConfig { max_nodes: 1, max_cnots: 0, seed, ..Default::default() };
-        let r = synthesize_or_fallback(&target, &c, &cfg);
+        let r = synthesize_or_fallback(&target, &c, &cfg).unwrap();
         assert!(r.converged);
         assert!(circuits_equivalent(&c, &r.circuit, 1e-5), "gates={gates} seed={seed}");
     });
@@ -139,7 +139,7 @@ fn synthesis_reduces_cnots_on_compressible_blocks() {
     // CX·CX = I: QSearch should find a 0-CNOT implementation.
     let mut c = epoc_circuit::Circuit::new(2);
     c.push(Gate::CX, &[0, 1]).push(Gate::CX, &[0, 1]);
-    let r = synthesize(&c.unitary(), &SynthConfig::default());
+    let r = synthesize(&c.unitary(), &SynthConfig::default()).unwrap();
     assert!(r.converged);
     assert_eq!(r.cnots, 0, "identity synthesized with {} CNOTs", r.cnots);
 }

@@ -21,7 +21,7 @@ fn main() {
     for b in generators::table1_suite() {
         let g = gate_based(&b.circuit);
         let p = paqoc.compile(&b.circuit);
-        let e = epoc.compile(&b.circuit);
+        let e = epoc.compile(&b.circuit).expect("benchmark circuits compile");
         println!(
             "{:<10} {:>12.1} {:>12.1} {:>12.1} | {:>9.4} {:>9.4}",
             b.name,

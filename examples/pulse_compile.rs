@@ -49,7 +49,8 @@ fn main() {
     let target = block.unitary();
     println!("\nBell block (H·CX) on the 2-qubit device:");
     for slots in [64, 128, 256] {
-        let r = grape(&device2, &target, slots, &GrapeConfig::default());
+        let r = grape(&device2, &target, slots, &GrapeConfig::default())
+            .expect("well-formed GRAPE inputs");
         println!(
             "  {:>3} slots ({:>4.0} ns): fidelity {:.6}",
             slots,

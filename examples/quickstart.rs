@@ -20,7 +20,7 @@ fn main() {
         circuit.depth()
     );
 
-    let epoc = EpocCompiler::new(EpocConfig::default()).compile(&circuit);
+    let epoc = EpocCompiler::new(EpocConfig::default()).compile(&circuit).expect("circuit compiles");
     let paqoc = PaqocCompiler::default().compile(&circuit);
     let gates = gate_based(&circuit);
 

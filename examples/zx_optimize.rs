@@ -54,7 +54,8 @@ fn main() {
             &block.unitary(),
             block.circuit(),
             &SynthConfig::default(),
-        );
+        )
+        .expect("block unitary is well-formed");
         println!(
             "\nsynthesized 2-qubit block: {} gates -> {} VUG/CNOT ops \
              ({} CNOTs, distance {:.2e})",

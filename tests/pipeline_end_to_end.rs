@@ -16,7 +16,7 @@ fn epoc_verifies_on_small_benchmarks() {
         if b.circuit.n_qubits() > 6 {
             continue;
         }
-        let r = compiler.compile(&b.circuit);
+        let r = compiler.compile(&b.circuit).unwrap();
         assert!(
             r.verified || r.verify_skipped,
             "{}: pipeline output not equivalent to input",
@@ -34,7 +34,7 @@ fn latency_ordering_epoc_paqoc_gate_based() {
     let paqoc = PaqocCompiler::default();
     let mut totals = (0.0, 0.0, 0.0);
     for b in generators::table1_suite() {
-        let e = epoc.compile(&b.circuit);
+        let e = epoc.compile(&b.circuit).unwrap();
         let p = paqoc.compile(&b.circuit);
         let g = gate_based(&b.circuit);
         totals.0 += e.latency();
@@ -65,8 +65,8 @@ fn grouping_never_hurts_latency() {
         if b.circuit.n_qubits() > 6 {
             continue;
         }
-        let g = grouped.compile(&b.circuit);
-        let u = ungrouped.compile(&b.circuit);
+        let g = grouped.compile(&b.circuit).unwrap();
+        let u = ungrouped.compile(&b.circuit).unwrap();
         assert!(
             g.latency() <= u.latency() + 1e-9,
             "{}: grouped {} > ungrouped {}",
@@ -88,8 +88,8 @@ fn grouping_improves_esp() {
         if b.circuit.n_qubits() > 6 {
             continue;
         }
-        let g = grouped.compile(&b.circuit);
-        let u = ungrouped.compile(&b.circuit);
+        let g = grouped.compile(&b.circuit).unwrap();
+        let u = ungrouped.compile(&b.circuit).unwrap();
         total += 1;
         if g.esp() >= u.esp() - 1e-12 {
             wins += 1;
@@ -108,7 +108,7 @@ fn figure4_flow_bell_prep() {
     // The worked example of the paper: bell prep gets shallower through
     // ZX, survives partition+synthesis, and the whole flow verifies.
     let circuit = generators::bell_pair_prep();
-    let r = fast_compiler().compile(&circuit);
+    let r = fast_compiler().compile(&circuit).unwrap();
     assert!(r.verified);
     assert!(
         r.stages.zx_depth_after < r.stages.zx_depth_before,
@@ -132,7 +132,7 @@ cx q[1],q[2];
 h q[2];
 "#;
     let circuit = epoc_circuit::parse_qasm(src).expect("valid qasm");
-    let r = fast_compiler().compile(&circuit);
+    let r = fast_compiler().compile(&circuit).unwrap();
     assert!(r.verified);
     assert!(r.latency() > 0.0);
 }
@@ -147,7 +147,7 @@ fn deep_single_qubit_chain_collapses() {
         c.push(Gate::RX(0.2), &[0]);
     }
     c.push(Gate::CX, &[0, 1]);
-    let r = fast_compiler().compile(&c);
+    let r = fast_compiler().compile(&c).unwrap();
     assert!(r.verified);
     assert!(
         r.schedule.len() <= 6,
@@ -160,13 +160,13 @@ fn deep_single_qubit_chain_collapses() {
 fn empty_and_trivial_circuits() {
     let compiler = fast_compiler();
     let empty = Circuit::new(3);
-    let r = compiler.compile(&empty);
+    let r = compiler.compile(&empty).unwrap();
     assert_eq!(r.latency(), 0.0);
     assert_eq!(r.esp(), 1.0);
 
     let mut single = Circuit::new(1);
     single.push(Gate::X, &[0]);
-    let r = compiler.compile(&single);
+    let r = compiler.compile(&single).unwrap();
     assert!(r.verified);
     assert!(r.latency() > 0.0);
 }
@@ -184,8 +184,8 @@ fn zx_pass_helps_redundant_circuits() {
     }
     assert!(circuits_equivalent(&clean, &padded, 1e-9));
     let compiler = fast_compiler();
-    let rc = compiler.compile(&clean);
-    let rp = compiler.compile(&padded);
+    let rc = compiler.compile(&clean).unwrap();
+    let rp = compiler.compile(&padded).unwrap();
     assert!(
         (rc.latency() - rp.latency()).abs() < 1e-6,
         "padding leaked into latency: {} vs {}",
@@ -219,4 +219,44 @@ fn phase_aware_cache_beats_phase_sensitive() {
     assert!(aware.hit_rate() > sensitive.hit_rate());
     assert_eq!(aware.hits(), 3);
     assert_eq!(sensitive.hits(), 0);
+}
+
+#[test]
+fn empty_circuit_compiles_to_empty_verified_schedule() {
+    let r = fast_compiler().compile(&Circuit::new(3)).unwrap();
+    assert!(r.verified, "empty circuit failed verification");
+    assert_eq!(r.schedule.len(), 0);
+    assert_eq!(r.latency(), 0.0);
+    assert_eq!(r.esp(), 1.0);
+    assert!(r.schedule.is_valid());
+    assert!(r.stages.recoveries.is_empty());
+}
+
+#[test]
+fn empty_circuit_simulates_perfectly() {
+    use epoc::sim::SimOptions;
+    let circuit = Circuit::new(3);
+    let r = fast_compiler().compile(&circuit).unwrap();
+    let sim = epoc::simulate_schedule(&circuit, &r.schedule, &SimOptions::default()).unwrap();
+    assert!(
+        (sim.outcome.process_fidelity - 1.0).abs() < 1e-12,
+        "empty schedule does not replay as identity: {}",
+        sim.outcome.process_fidelity
+    );
+}
+
+#[test]
+fn idle_qubits_do_not_break_schedule() {
+    // Gates touch only the first two lines of a 4-qubit register: the
+    // idle tail must not produce pulses or upset verification.
+    let mut c = Circuit::new(4);
+    c.push(Gate::H, &[0]).push(Gate::CX, &[0, 1]);
+    let r = fast_compiler().compile(&c).unwrap();
+    assert!(r.verified);
+    assert!(r.schedule.is_valid());
+    assert!(r
+        .schedule
+        .pulses()
+        .iter()
+        .all(|p| p.qubits.iter().all(|&q| q < 2)));
 }

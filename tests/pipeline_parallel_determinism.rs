@@ -16,7 +16,7 @@ use std::time::Duration;
 fn compile_json(circuit: &epoc_circuit::Circuit, workers: usize) -> String {
     epoc_rt::telemetry::enable();
     let compiler = EpocCompiler::new(EpocConfig::fast().with_workers(workers));
-    let mut report = compiler.compile(circuit);
+    let mut report = compiler.compile(circuit).unwrap();
     assert!(report.verified, "compilation with {workers} workers failed verification");
     report.compile_time = Duration::ZERO;
     report.stages.timings = StageTimings::default();
@@ -61,8 +61,8 @@ fn hybrid_grape_pulse_stage_deterministic() {
                 .without_regrouping()
                 .with_workers(workers),
         );
-        let mut cold = compiler.compile(&circuit);
-        let mut warm = compiler.compile(&circuit);
+        let mut cold = compiler.compile(&circuit).unwrap();
+        let mut warm = compiler.compile(&circuit).unwrap();
         assert!(cold.verified && warm.verified);
         cold.compile_time = Duration::ZERO;
         warm.compile_time = Duration::ZERO;
@@ -89,7 +89,7 @@ fn simulation_shots_deterministic_across_worker_counts() {
     let sim_json = |compile_workers: usize, sim_workers: usize| -> String {
         let compiler =
             EpocCompiler::new(EpocConfig::with_grape(2).with_workers(compile_workers));
-        let mut report = compiler.compile(&circuit);
+        let mut report = compiler.compile(&circuit).unwrap();
         assert!(report.verified);
         let opts = SimOptions {
             shots: 8,
@@ -124,8 +124,8 @@ fn simulation_shots_deterministic_across_worker_counts() {
 #[test]
 fn latency_and_esp_identical_across_worker_counts() {
     let circuit = generators::ghz(4);
-    let r1 = EpocCompiler::new(EpocConfig::fast().with_workers(1)).compile(&circuit);
-    let r4 = EpocCompiler::new(EpocConfig::fast().with_workers(4)).compile(&circuit);
+    let r1 = EpocCompiler::new(EpocConfig::fast().with_workers(1)).compile(&circuit).unwrap();
+    let r4 = EpocCompiler::new(EpocConfig::fast().with_workers(4)).compile(&circuit).unwrap();
     assert_eq!(r1.latency().to_bits(), r4.latency().to_bits());
     assert_eq!(r1.esp().to_bits(), r4.esp().to_bits());
     assert_eq!(r1.stages.synth_converged, r4.stages.synth_converged);

@@ -62,7 +62,7 @@ fn traced_compile() -> (Vec<TraceSpan>, Json) {
     telemetry::enable();
     telemetry::reset();
     let compiler = EpocCompiler::new(traced_config());
-    let report = compiler.compile(&generators::qaoa(3, 1, 2));
+    let report = compiler.compile(&generators::qaoa(3, 1, 2)).unwrap();
     assert!(report.verified);
     let doc = telemetry::chrome_trace();
     // Round-trip through the serializer and the strict parser: the trace
@@ -159,7 +159,7 @@ fn trace_counters_match_report_and_registry() {
     telemetry::enable();
     telemetry::reset();
     let compiler = EpocCompiler::new(traced_config());
-    let report = compiler.compile(&generators::qaoa(3, 1, 2));
+    let report = compiler.compile(&generators::qaoa(3, 1, 2)).unwrap();
     assert!(report.verified);
     assert!(report.stages.grape_iterations > 0, "hybrid compile ran no GRAPE");
     assert!(report.stages.grape_probes > 0);
@@ -189,7 +189,7 @@ fn report_bytes_identical_with_and_without_telemetry() {
     let _guard = lock();
     let compile = || {
         let compiler = EpocCompiler::new(EpocConfig::fast().with_workers(2));
-        let mut r = compiler.compile(&generators::ghz(4));
+        let mut r = compiler.compile(&generators::ghz(4)).unwrap();
         r.compile_time = Duration::ZERO;
         r.stages.timings = StageTimings::default();
         r.to_json()
