@@ -73,6 +73,39 @@ if [ "$quick" -eq 0 ]; then
     run ./target/release/trace_check --require-recovery target/chaos-smoke.json
 fi
 
+# service-smoke: pipe two identical jobs into the epocd compilation
+# service with a persistent library. Both reports must verify; the second
+# must be served entirely from the warm cache (zero misses, zero GRAPE
+# iterations). Then restart the daemon on the persisted library file and
+# demand the warm start survives the process boundary.
+if [ "$quick" -eq 0 ]; then
+    rm -f target/service-smoke-lib.json
+    echo "==> epocd service-smoke (cold run, 2 jobs)" >&2
+    printf '%s\n' \
+        '{"id":1,"bench":"qaoa_n6"}' \
+        '{"id":2,"bench":"qaoa_n6"}' \
+        '{"cmd":"shutdown"}' \
+        | ./target/release/epocd --grape 1 --no-regroup \
+            --library target/service-smoke-lib.json \
+        > target/service-smoke.out
+    [ "$(grep -c '"ok":true' target/service-smoke.out)" -ge 3 ] \
+        || { echo "service-smoke: a job or the shutdown checkpoint failed" >&2; exit 1; }
+    sed -n 2p target/service-smoke.out | grep -q '"cache_misses":0' \
+        || { echo "service-smoke: second job missed the warm cache" >&2; exit 1; }
+    sed -n 2p target/service-smoke.out | grep -q '"grape_iterations":0' \
+        || { echo "service-smoke: second job re-ran GRAPE" >&2; exit 1; }
+    echo "==> epocd service-smoke (restarted daemon, warm library)" >&2
+    printf '%s\n' '{"id":3,"bench":"qaoa_n6"}' \
+        | ./target/release/epocd --grape 1 --no-regroup \
+            --library target/service-smoke-lib.json \
+        > target/service-smoke-warm.out
+    grep -q '"cache_misses":0' target/service-smoke-warm.out \
+        || { echo "service-smoke: restarted daemon compiled cold" >&2; exit 1; }
+    grep -q '"grape_iterations":0' target/service-smoke-warm.out \
+        || { echo "service-smoke: restarted daemon re-ran GRAPE" >&2; exit 1; }
+    echo "==> service-smoke OK (warm cache survived the restart)"
+fi
+
 # sim-smoke: compile a small benchmark with the default hybrid flow, dump
 # the schedule, validate it structurally (payloads included — the epoc
 # flow must emit simulatable schedules), and replay it at pulse level

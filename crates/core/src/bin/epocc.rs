@@ -44,6 +44,8 @@ struct Args {
     strict: bool,
     faults: Option<String>,
     fault_seed: Option<u64>,
+    library: Option<String>,
+    library_budget: Option<u64>,
 }
 
 fn usage() -> ! {
@@ -52,6 +54,7 @@ fn usage() -> ! {
          [--grape N] [--timeline] [--schedule FILE] [--simulate] [--shots N] \
          [--sim-check F] [--json] [--trace FILE] [--metrics] [--strict] \
          [--faults SPEC] [--fault-seed N] \
+         [--library FILE] [--library-budget BYTES] \
          <file.qasm | bench:NAME>\n\
          --grape N      GRAPE width cap for the epoc flow (default {DEFAULT_GRAPE_LIMIT}; 0 = modeled)\n\
          --timeline     print the human-readable pulse timeline\n\
@@ -64,6 +67,8 @@ fn usage() -> ! {
          --strict       fail the compile when the recovery ladder is exhausted\n\
          --faults SPEC  arm fault injection, e.g. 'grape.converge=always,pulse_lib.miss=p0.5'\n\
          --fault-seed N seed for probabilistic fault triggers\n\
+         --library FILE warm-start the pulse library from FILE and save it back after the compile\n\
+         --library-budget BYTES cap the in-memory pulse library (LRU eviction; epoc flow only)\n\
          builtin benchmarks: {}",
         generators::benchmark_suite()
             .iter()
@@ -104,6 +109,8 @@ fn parse_args() -> Args {
         strict: false,
         faults: None,
         fault_seed: None,
+        library: None,
+        library_budget: None,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(a) = iter.next() {
@@ -152,6 +159,17 @@ fn parse_args() -> Args {
                 };
             }
             "--strict" => args.strict = true,
+            "--library" => args.library = Some(flag_value(&mut iter, "--library", "a path")),
+            "--library-budget" => {
+                let v = flag_value(&mut iter, "--library-budget", "a byte count");
+                args.library_budget = match v.parse() {
+                    Ok(n) => Some(n),
+                    Err(_) => {
+                        eprintln!("error: --library-budget expects a byte count, got '{v}'");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--faults" => args.faults = Some(flag_value(&mut iter, "--faults", "a fault spec")),
             "--fault-seed" => {
                 let v = flag_value(&mut iter, "--fault-seed", "a seed");
@@ -245,16 +263,39 @@ fn main() -> ExitCode {
             };
             let mut config = EpocConfig { zx: args.zx, ..base };
             config.recovery.strict = args.strict;
+            if let Some(budget) = args.library_budget {
+                config.store = epoc::StoreConfig { shards: 1, budget_bytes: Some(budget) };
+            }
             if !args.regroup {
                 config = config.without_regrouping();
             }
-            match EpocCompiler::new(config).compile(&circuit) {
+            let compiler = EpocCompiler::new(config);
+            if let Some(path) = &args.library {
+                let path = std::path::Path::new(path);
+                if path.exists() {
+                    // A bad library never fails the compile — report the
+                    // typed error and start cold (recomputing is safe).
+                    match compiler.load_library(path) {
+                        Ok(n) if !args.json => eprintln!("library: warm-started {n} pulses"),
+                        Ok(_) => {}
+                        Err(e) => eprintln!("warning: {e}; starting with a cold cache"),
+                    }
+                }
+            }
+            let r = match compiler.compile(&circuit) {
                 Ok(r) => r,
                 Err(e) => {
                     eprintln!("error: compilation failed: {e}");
                     return ExitCode::FAILURE;
                 }
+            };
+            if let Some(path) = &args.library {
+                if let Err(e) = compiler.save_library(std::path::Path::new(path)) {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
             }
+            r
         }
         "gate-based" => gate_based(&circuit),
         "paqoc" => PaqocCompiler::default().compile(&circuit),

@@ -1,0 +1,457 @@
+//! `epocd` — the persistent-pulse-library compilation service.
+//!
+//! A long-running server wrapping one [`EpocCompiler`]: compile jobs
+//! arrive as line-delimited JSON (on stdin by default, or over a Unix
+//! socket with `--socket`), and each answer is one compact line carrying
+//! the full `CompilationReport`. The pulse library persists across jobs —
+//! and, via `--library FILE`, across restarts — so recurring blocks cost
+//! a cache lookup instead of a GRAPE run (the amortization EPOC's §3.4
+//! phase-aware library is built for).
+//!
+//! ```sh
+//! printf '%s\n' '{"id":1,"bench":"ghz_n4"}' '{"id":2,"bench":"ghz_n4"}' \
+//!   | epocd --grape 1 --library pulses.json
+//! ```
+//!
+//! ## Protocol
+//!
+//! Requests, one JSON object per line:
+//!
+//! * `{"id":1,"qasm":"OPENQASM 2.0; ..."}` — compile a QASM program
+//!   (newlines escaped as `\n`);
+//! * `{"id":2,"bench":"ghz_n4"}` — compile a builtin benchmark;
+//! * `{"cmd":"checkpoint"}` — persist the library now;
+//! * `{"cmd":"stats"}` — report service counters;
+//! * `{"cmd":"shutdown"}` — checkpoint and exit.
+//!
+//! Responses, one compact JSON line each:
+//!
+//! * `{"id":1,"ok":true,"report":{...}}` on success;
+//! * `{"id":1,"ok":false,"error":"..."}` on failure (the service keeps
+//!   running — one bad job never takes the library down);
+//! * `{"ok":true,"stats":{...}}` / `{"ok":true,"checkpoint":{...}}` for
+//!   commands.
+//!
+//! ## Queueing and determinism
+//!
+//! A reader thread queues incoming lines on a channel; the compile loop
+//! drains them in arrival batches. Jobs *compile* strictly in arrival
+//! order — each compile fans its blocks out across the `epoc_rt` worker
+//! pool internally, and the pipeline's peek/claim/compute/replay scheme
+//! already guarantees byte-identical reports at any worker count — so a
+//! fixed job sequence produces a byte-identical response stream (modulo
+//! wall-clock timings) whatever `--workers` says. Checkpoints are
+//! amortized per batch, not per job.
+
+use epoc::{CompilationReport, EpocCompiler, EpocConfig, StoreConfig};
+use epoc_circuit::{generators, parse_qasm, Circuit};
+use epoc_rt::json::Json;
+use std::io::{BufRead, Write};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::mpsc;
+
+/// Default GRAPE width cap (same as `epocc`).
+const DEFAULT_GRAPE_LIMIT: usize = 2;
+/// Default shard count for the service's pulse library: enough to keep
+/// callers off one lock without fragmenting a byte budget.
+const DEFAULT_SHARDS: usize = 8;
+
+struct Args {
+    library: Option<PathBuf>,
+    library_budget: Option<u64>,
+    shards: usize,
+    grape_limit: usize,
+    workers: Option<usize>,
+    regroup: bool,
+    checkpoint_every: usize,
+    socket: Option<PathBuf>,
+    faults: Option<String>,
+    fault_seed: Option<u64>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: epocd [--library FILE] [--library-budget BYTES] [--shards N] \
+         [--grape N] [--workers N] [--no-regroup] [--checkpoint-every N] \
+         [--socket PATH] [--faults SPEC] [--fault-seed N]\n\
+         --library FILE     load the pulse library from FILE on start, save on checkpoint/shutdown\n\
+         --library-budget BYTES cap the in-memory library (LRU eviction)\n\
+         --shards N         library shard count (default {DEFAULT_SHARDS})\n\
+         --grape N          GRAPE width cap (default {DEFAULT_GRAPE_LIMIT}; 0 = modeled backend)\n\
+         --workers N        worker-pool size for each compile\n\
+         --no-regroup       disable regrouping (per-gate pulses)\n\
+         --checkpoint-every N also persist the library every N completed jobs\n\
+         --socket PATH      serve a Unix socket instead of stdin/stdout\n\
+         --faults SPEC      arm fault injection (e.g. 'pulse_lib.persist=always')\n\
+         --fault-seed N     seed for probabilistic fault triggers"
+    );
+    std::process::exit(2);
+}
+
+fn flag_value(iter: &mut impl Iterator<Item = String>, flag: &str, what: &str) -> String {
+    match iter.next() {
+        Some(v) if !v.starts_with('-') => v,
+        _ => {
+            eprintln!("error: {flag} requires {what}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, v: &str) -> T {
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("error: {flag} expects a non-negative integer, got '{v}'");
+        std::process::exit(2);
+    })
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        library: None,
+        library_budget: None,
+        shards: DEFAULT_SHARDS,
+        grape_limit: DEFAULT_GRAPE_LIMIT,
+        workers: None,
+        regroup: true,
+        checkpoint_every: 0,
+        socket: None,
+        faults: None,
+        fault_seed: None,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--library" => {
+                args.library = Some(flag_value(&mut iter, "--library", "a path").into())
+            }
+            "--library-budget" => {
+                let v = flag_value(&mut iter, "--library-budget", "a byte count");
+                args.library_budget = Some(parse_num("--library-budget", &v));
+            }
+            "--shards" => {
+                let v = flag_value(&mut iter, "--shards", "a shard count");
+                args.shards = parse_num("--shards", &v);
+            }
+            "--grape" => {
+                let v = flag_value(&mut iter, "--grape", "a qubit count");
+                args.grape_limit = parse_num("--grape", &v);
+            }
+            "--workers" => {
+                let v = flag_value(&mut iter, "--workers", "a worker count");
+                args.workers = Some(parse_num("--workers", &v));
+            }
+            "--no-regroup" => args.regroup = false,
+            "--checkpoint-every" => {
+                let v = flag_value(&mut iter, "--checkpoint-every", "a job count");
+                args.checkpoint_every = parse_num("--checkpoint-every", &v);
+            }
+            "--socket" => {
+                args.socket = Some(flag_value(&mut iter, "--socket", "a path").into())
+            }
+            "--faults" => args.faults = Some(flag_value(&mut iter, "--faults", "a fault spec")),
+            "--fault-seed" => {
+                let v = flag_value(&mut iter, "--fault-seed", "a seed");
+                args.fault_seed = Some(parse_num("--fault-seed", &v));
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+/// The service state: the (cache-bearing) compiler plus checkpoint
+/// bookkeeping.
+struct Service {
+    compiler: EpocCompiler,
+    library: Option<PathBuf>,
+    checkpoint_every: usize,
+    jobs_done: usize,
+    jobs_failed: usize,
+    batches: usize,
+    jobs_since_checkpoint: usize,
+}
+
+impl Service {
+    fn new(args: &Args) -> Self {
+        let base = if args.grape_limit == 0 {
+            EpocConfig::default()
+        } else {
+            EpocConfig::with_grape(args.grape_limit)
+        };
+        let mut config = base.with_store(StoreConfig {
+            shards: args.shards,
+            budget_bytes: args.library_budget,
+        });
+        if let Some(w) = args.workers {
+            config = config.with_workers(w);
+        }
+        if !args.regroup {
+            config = config.without_regrouping();
+        }
+        let compiler = EpocCompiler::new(config);
+        if let Some(path) = &args.library {
+            if path.exists() {
+                match compiler.load_library(path) {
+                    Ok(n) => eprintln!("epocd: warm-started {n} pulses from {}", path.display()),
+                    // A torn or corrupt library is recoverable: report the
+                    // typed error, compile cold, and overwrite it at the
+                    // next checkpoint.
+                    Err(e) => eprintln!("epocd: warning: {e}; starting with a cold cache"),
+                }
+            }
+        }
+        Self {
+            compiler,
+            library: args.library.clone(),
+            checkpoint_every: args.checkpoint_every,
+            jobs_done: 0,
+            jobs_failed: 0,
+            batches: 0,
+            jobs_since_checkpoint: 0,
+        }
+    }
+
+    fn load_circuit(&self, req: &Json) -> Result<Circuit, String> {
+        if let Some(name) = req.get("bench").and_then(Json::as_str) {
+            return generators::benchmark_suite()
+                .into_iter()
+                .find(|b| b.name == name)
+                .map(|b| b.circuit)
+                .ok_or_else(|| format!("unknown builtin benchmark '{name}'"));
+        }
+        if let Some(src) = req.get("qasm").and_then(Json::as_str) {
+            return parse_qasm(src).map_err(|e| e.to_string());
+        }
+        Err("job needs a 'qasm' or 'bench' field".into())
+    }
+
+    fn compile(&mut self, req: &Json) -> Result<CompilationReport, String> {
+        let circuit = self.load_circuit(req)?;
+        self.compiler.compile(&circuit).map_err(|e| e.to_string())
+    }
+
+    /// Persists the library (when one is configured), returning the
+    /// response line.
+    fn checkpoint(&mut self) -> Json {
+        let Some(path) = &self.library else {
+            return Json::obj()
+                .push("ok", false)
+                .push("error", "no --library configured");
+        };
+        match self.compiler.save_library(path) {
+            Ok(()) => {
+                self.jobs_since_checkpoint = 0;
+                Json::obj().push("ok", true).push(
+                    "checkpoint",
+                    Json::obj()
+                        .push("path", path.display().to_string())
+                        .push("entries", self.compiler.library_len()),
+                )
+            }
+            Err(e) => Json::obj().push("ok", false).push("error", e.to_string()),
+        }
+    }
+
+    fn stats(&self) -> Json {
+        Json::obj().push("ok", true).push(
+            "stats",
+            Json::obj()
+                .push("jobs", self.jobs_done)
+                .push("failed", self.jobs_failed)
+                .push("batches", self.batches)
+                .push("cache_hits", self.compiler.cache_hits())
+                .push("cache_misses", self.compiler.cache_misses())
+                .push("library_entries", self.compiler.library_len())
+                .push("library_evictions", self.compiler.library_evictions()),
+        )
+    }
+
+    /// Handles one request line, returning `(response, shutdown)`.
+    fn handle(&mut self, line: &str) -> (Json, bool) {
+        let req = match Json::parse(line) {
+            Ok(r) => r,
+            Err(e) => {
+                return (
+                    Json::obj()
+                        .push("ok", false)
+                        .push("error", format!("unparseable request: {e}")),
+                    false,
+                )
+            }
+        };
+        if let Some(cmd) = req.get("cmd").and_then(Json::as_str) {
+            return match cmd {
+                "checkpoint" => (self.checkpoint(), false),
+                "stats" => (self.stats(), false),
+                "shutdown" => {
+                    let resp = if self.library.is_some() {
+                        self.checkpoint()
+                    } else {
+                        Json::obj().push("ok", true)
+                    };
+                    (resp, true)
+                }
+                other => (
+                    Json::obj()
+                        .push("ok", false)
+                        .push("error", format!("unknown command '{other}'")),
+                    false,
+                ),
+            };
+        }
+        let mut resp = Json::obj();
+        if let Some(id) = req.get("id") {
+            resp = resp.push("id", id.clone());
+        }
+        match self.compile(&req) {
+            Ok(report) => {
+                self.jobs_done += 1;
+                self.jobs_since_checkpoint += 1;
+                (
+                    resp.push("ok", report.verified || report.verify_skipped)
+                        .push("report", report.to_json_value()),
+                    false,
+                )
+            }
+            Err(e) => {
+                self.jobs_failed += 1;
+                (resp.push("ok", false).push("error", e), false)
+            }
+        }
+    }
+
+    /// End-of-batch hook: persist when the per-batch job quota is met.
+    fn maybe_checkpoint(&mut self) {
+        if self.library.is_some()
+            && self.checkpoint_every > 0
+            && self.jobs_since_checkpoint >= self.checkpoint_every
+        {
+            self.checkpoint();
+        }
+    }
+
+    /// Final checkpoint on EOF/shutdown.
+    fn finish(&mut self) {
+        if self.library.is_some() && self.jobs_since_checkpoint > 0 {
+            self.checkpoint();
+        }
+    }
+}
+
+/// Serves line-delimited requests from stdin, answering on stdout.
+fn serve_stdin(mut service: Service) -> ExitCode {
+    // The reader thread queues lines as they arrive; the compile loop
+    // drains whatever is pending into one batch, so checkpointing (and
+    // any other per-batch cost) amortizes over bursts.
+    let (tx, rx) = mpsc::channel::<String>();
+    std::thread::spawn(move || {
+        for line in std::io::stdin().lock().lines() {
+            let Ok(line) = line else { break };
+            if tx.send(line).is_err() {
+                break;
+            }
+        }
+    });
+    let stdout = std::io::stdout();
+    'outer: while let Ok(first) = rx.recv() {
+        let mut batch = vec![first];
+        while let Ok(next) = rx.try_recv() {
+            batch.push(next);
+        }
+        service.batches += 1;
+        for line in &batch {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let (resp, shutdown) = service.handle(line);
+            let mut out = stdout.lock();
+            let _ = writeln!(out, "{}", resp.to_string_compact());
+            let _ = out.flush();
+            if shutdown {
+                break 'outer;
+            }
+        }
+        service.maybe_checkpoint();
+    }
+    service.finish();
+    ExitCode::SUCCESS
+}
+
+/// Serves line-delimited requests over a Unix socket, one connection at a
+/// time (responses go back on the same connection).
+#[cfg(unix)]
+fn serve_socket(mut service: Service, path: &std::path::Path) -> ExitCode {
+    use std::os::unix::net::UnixListener;
+    let _ = std::fs::remove_file(path);
+    let listener = match UnixListener::bind(path) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("error: cannot bind {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("epocd: listening on {}", path.display());
+    for stream in listener.incoming() {
+        let Ok(stream) = stream else { continue };
+        let mut writer = match stream.try_clone() {
+            Ok(w) => w,
+            Err(_) => continue,
+        };
+        let reader = std::io::BufReader::new(stream);
+        let mut shutdown = false;
+        let mut jobs_in_connection = 0usize;
+        for line in reader.lines() {
+            let Ok(line) = line else { break };
+            if line.trim().is_empty() {
+                continue;
+            }
+            let (resp, stop) = service.handle(&line);
+            jobs_in_connection += 1;
+            if writeln!(writer, "{}", resp.to_string_compact()).is_err() {
+                break;
+            }
+            let _ = writer.flush();
+            if stop {
+                shutdown = true;
+                break;
+            }
+        }
+        // A connection is a natural batch boundary.
+        if jobs_in_connection > 0 {
+            service.batches += 1;
+            service.maybe_checkpoint();
+        }
+        if shutdown {
+            break;
+        }
+    }
+    service.finish();
+    let _ = std::fs::remove_file(path);
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    if let Some(spec) = &args.faults {
+        if let Some(seed) = args.fault_seed {
+            epoc_rt::faults::set_seed(seed);
+        }
+        if let Err(e) = epoc_rt::faults::arm_from_spec(spec) {
+            eprintln!("error: bad --faults spec: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    let service = Service::new(&args);
+    match &args.socket {
+        #[cfg(unix)]
+        Some(path) => serve_socket(service, path),
+        #[cfg(not(unix))]
+        Some(_) => {
+            eprintln!("error: --socket is only supported on Unix platforms");
+            ExitCode::from(2)
+        }
+        None => serve_stdin(service),
+    }
+}

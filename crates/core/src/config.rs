@@ -1,7 +1,7 @@
 //! EPOC pipeline configuration.
 
 use epoc_partition::{PartitionConfig, RegroupConfig};
-use epoc_qoc::{DurationModel, KeyPolicy};
+use epoc_qoc::{DurationModel, KeyPolicy, StoreConfig};
 use epoc_synth::SynthConfig;
 
 /// Which pulse backend the pipeline uses.
@@ -88,6 +88,11 @@ pub struct EpocConfig {
     pub workers: Option<usize>,
     /// Per-block recovery ladder for soft stage failures.
     pub recovery: RecoveryPolicy,
+    /// Pulse-library storage tier (shard count and optional byte budget).
+    /// The default single-lock unbounded map suits one-shot `epocc` runs;
+    /// `epocd` shards and budgets the library for long-running service
+    /// use.
+    pub store: StoreConfig,
 }
 
 impl Default for EpocConfig {
@@ -115,6 +120,7 @@ impl Default for EpocConfig {
             verify: true,
             workers: None,
             recovery: RecoveryPolicy::default(),
+            store: StoreConfig::default(),
         }
     }
 }
@@ -158,6 +164,12 @@ impl EpocConfig {
     /// fallback.
     pub fn strict(mut self) -> Self {
         self.recovery.strict = true;
+        self
+    }
+
+    /// Selects the pulse-library storage tier (see [`StoreConfig`]).
+    pub fn with_store(mut self, store: StoreConfig) -> Self {
+        self.store = store;
         self
     }
 }

@@ -12,7 +12,7 @@
 //! [`crate::StageStats::recoveries`]. Only strict mode promotes an
 //! exhausted ladder to an error.
 
-use epoc_qoc::{GrapeError, PulseError};
+use epoc_qoc::{GrapeError, LibraryError, PulseError};
 use epoc_synth::SynthError;
 
 /// A pulse-generation failure during schedule assembly, tagged with the
@@ -44,6 +44,11 @@ pub enum EpocError {
     /// Pulse scheduling failed on a specific block (device build,
     /// missing unitary, or a strict-mode fidelity miss).
     Schedule(ScheduleError),
+    /// Persisting or restoring the pulse library failed (I/O, a torn or
+    /// corrupted file, or a key-policy mismatch). Load failures are
+    /// recoverable: the caller reports the error and compiles with a cold
+    /// cache.
+    Library(LibraryError),
 }
 
 impl EpocError {
@@ -63,6 +68,7 @@ impl std::fmt::Display for EpocError {
             Self::Synth(e) => write!(f, "synthesis: {e}"),
             Self::Grape(e) => write!(f, "grape: {e}"),
             Self::Schedule(e) => write!(f, "schedule: {e}"),
+            Self::Library(e) => write!(f, "library: {e}"),
         }
     }
 }
@@ -78,6 +84,12 @@ impl From<SynthError> for EpocError {
 impl From<GrapeError> for EpocError {
     fn from(e: GrapeError) -> Self {
         Self::Grape(e)
+    }
+}
+
+impl From<LibraryError> for EpocError {
+    fn from(e: LibraryError) -> Self {
+        Self::Library(e)
     }
 }
 

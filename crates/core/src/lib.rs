@@ -40,6 +40,10 @@ pub use report::{
 };
 pub use simulate::{simulate_schedule, SimulationStats};
 
+// Pulse-library storage/persistence types, re-exported so service code
+// can configure the tiers without importing `epoc_qoc` directly.
+pub use epoc_qoc::{LibraryError, StoreConfig, StoreTier};
+
 pub use epoc_circuit as circuit;
 pub use epoc_linalg as linalg;
 pub use epoc_partition as partition;

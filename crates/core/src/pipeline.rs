@@ -55,17 +55,32 @@ impl BackendImpl {
                     slot_escalations: config.recovery.grape_slot_escalations,
                     strict: config.recovery.strict,
                 };
-                BackendImpl::Hybrid(Box::new(HybridSynthesizer::with_search(
+                BackendImpl::Hybrid(Box::new(HybridSynthesizer::with_search_store(
                     config.key_policy,
                     search,
                     grape_limit,
                     config.duration_model,
+                    &config.store,
                 )))
             }
-            Backend::Modeled => BackendImpl::Modeled(Box::new(ModeledSynthesizer::new(
-                config.duration_model,
-                config.key_policy,
-            ))),
+            Backend::Modeled => {
+                BackendImpl::Modeled(Box::new(ModeledSynthesizer::with_store_config(
+                    config.duration_model,
+                    config.key_policy,
+                    &config.store,
+                )))
+            }
+        }
+    }
+
+    /// The backend's pulse libraries as named persistence sections
+    /// (hybrid backends have two caches, modeled backends one).
+    pub(crate) fn library_sections(&self) -> Vec<(&'static str, &epoc_qoc::PulseLibrary)> {
+        match self {
+            BackendImpl::Hybrid(h) => {
+                vec![("grape", h.grape().library()), ("model", h.modeled().library())]
+            }
+            BackendImpl::Modeled(m) => vec![("model", m.library())],
         }
     }
 
@@ -502,6 +517,51 @@ impl EpocCompiler {
     /// Combined pulse-cache miss count since construction.
     pub fn cache_misses(&self) -> usize {
         self.backend.cache_counts().1
+    }
+
+    /// Total entries across the backend's pulse libraries.
+    pub fn library_len(&self) -> usize {
+        self.backend
+            .library_sections()
+            .iter()
+            .map(|(_, lib)| lib.len())
+            .sum()
+    }
+
+    /// Entries evicted by the pulse libraries' storage tier so far (0
+    /// unless a byte budget is configured).
+    pub fn library_evictions(&self) -> u64 {
+        self.backend
+            .library_sections()
+            .iter()
+            .map(|(_, lib)| lib.evictions())
+            .sum()
+    }
+
+    /// Persists the pulse libraries to `path` (checksummed JSON, written
+    /// atomically via temp-file + rename). The file is byte-deterministic
+    /// for a given library content.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EpocError::Library`] when the file cannot be written.
+    pub fn save_library(&self, path: &std::path::Path) -> Result<(), EpocError> {
+        epoc_qoc::save_library_file(path, &self.backend.library_sections())?;
+        Ok(())
+    }
+
+    /// Warm-starts the pulse libraries from a file written by
+    /// [`EpocCompiler::save_library`], returning the number of entries
+    /// restored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EpocError::Library`] when the file is unreadable, torn,
+    /// corrupt, or keyed under a different policy. The error is
+    /// recoverable: the caller reports it and compiles with a cold cache
+    /// (recomputing is always safe).
+    pub fn load_library(&self, path: &std::path::Path) -> Result<usize, EpocError> {
+        Ok(epoc_qoc::load_library_file(path, &self.backend.library_sections())?)
     }
 }
 

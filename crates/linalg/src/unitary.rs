@@ -95,7 +95,7 @@ pub fn relative_phase(a: &Matrix, b: &Matrix) -> f64 {
 /// let gx = x.scale(Complex64::cis(1.234)); // same gate, different phase
 /// assert_eq!(UnitaryKey::new(&x), UnitaryKey::new(&gx));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct UnitaryKey {
     dim: u32,
     cells: Vec<(i32, i32)>,
@@ -104,6 +104,18 @@ pub struct UnitaryKey {
 impl UnitaryKey {
     /// Quantization grid width for key construction.
     pub const QUANTUM: f64 = 1e-6;
+
+    /// Rebuilds a key from its raw parts, the inverse of
+    /// [`UnitaryKey::cells`]. Used by the pulse-library persistence layer
+    /// to restore keys from disk without re-deriving them from a matrix.
+    pub fn from_parts(dim: usize, cells: Vec<(i32, i32)>) -> Self {
+        Self { dim: dim as u32, cells }
+    }
+
+    /// The quantized cells of the fingerprint, row-major `(re, im)` pairs.
+    pub fn cells(&self) -> &[(i32, i32)] {
+        &self.cells
+    }
 
     /// Builds the phase-invariant key of a unitary.
     pub fn new(u: &Matrix) -> Self {
@@ -136,7 +148,7 @@ impl UnitaryKey {
 /// Identical construction to [`UnitaryKey`] but without phase
 /// canonicalization — provided so the cache-hit-rate ablation can compare
 /// the two policies.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PhaseSensitiveKey {
     dim: u32,
     cells: Vec<(i32, i32)>,
@@ -155,6 +167,21 @@ impl PhaseSensitiveKey {
             dim: u.rows() as u32,
             cells,
         }
+    }
+
+    /// Rebuilds a key from its raw parts (see [`UnitaryKey::from_parts`]).
+    pub fn from_parts(dim: usize, cells: Vec<(i32, i32)>) -> Self {
+        Self { dim: dim as u32, cells }
+    }
+
+    /// The quantized cells of the fingerprint, row-major `(re, im)` pairs.
+    pub fn cells(&self) -> &[(i32, i32)] {
+        &self.cells
+    }
+
+    /// Dimension of the keyed unitary.
+    pub fn dim(&self) -> usize {
+        self.dim as usize
     }
 }
 

@@ -34,6 +34,7 @@ mod duration;
 mod grape;
 mod library;
 mod model;
+mod store;
 mod synthesizer;
 mod waveform;
 
@@ -45,8 +46,14 @@ pub use duration::{
 };
 pub use grape::{fault_fingerprint, grape, propagate, GradientMode, GrapeConfig, GrapeError, GrapeResult};
 pub use grape::GrapeWorkspace;
-pub use library::{CacheKey, KeyPolicy, PulseEntry, PulseLibrary};
+pub use library::{
+    load_library_file, save_library_file, CacheKey, KeyPolicy, PulseEntry, PulseLibrary,
+};
 pub use model::{DurationModel, GateDurationTable};
+pub use store::{
+    entry_bytes, BudgetedStore, LibraryError, MemoryStore, PulseStore, ShardedStore, StoreConfig,
+    StoreTier,
+};
 pub use synthesizer::{
     GrapeSynthesizer, HybridSynthesizer, ModeledSynthesizer, PulseError, PulseRequest,
     PulseSynthesizer, RecoveredPulse, RUNG_GRAPE_DIGITAL, RUNG_GRAPE_RESTARTS, RUNG_GRAPE_SLOTS,

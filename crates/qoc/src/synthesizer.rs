@@ -14,6 +14,7 @@ use crate::duration::{minimize_duration, DurationError, DurationSearchConfig};
 use crate::grape::GrapeError;
 use crate::library::{KeyPolicy, PulseEntry, PulseLibrary};
 use crate::model::DurationModel;
+use crate::store::StoreConfig;
 use crate::waveform::PulseWaveform;
 use epoc_circuit::Circuit;
 use epoc_linalg::Matrix;
@@ -139,8 +140,19 @@ pub struct GrapeSynthesizer {
 impl GrapeSynthesizer {
     /// Creates a GRAPE backend with the given cache policy.
     pub fn new(policy: KeyPolicy, search: DurationSearchConfig, max_qubits: usize) -> Self {
+        Self::with_store_config(policy, search, max_qubits, &StoreConfig::default())
+    }
+
+    /// Like [`GrapeSynthesizer::new`] with an explicit library storage
+    /// tier (sharded and/or byte-budgeted — see [`StoreConfig`]).
+    pub fn with_store_config(
+        policy: KeyPolicy,
+        search: DurationSearchConfig,
+        max_qubits: usize,
+        store: &StoreConfig,
+    ) -> Self {
         Self {
-            library: PulseLibrary::new(policy),
+            library: PulseLibrary::from_config(policy, store),
             devices: Mutex::new(HashMap::new()),
             search,
             max_qubits: max_qubits.clamp(1, 6),
@@ -315,9 +327,19 @@ pub struct ModeledSynthesizer {
 impl ModeledSynthesizer {
     /// Creates a model backend.
     pub fn new(model: DurationModel, policy: KeyPolicy) -> Self {
+        Self::with_store_config(model, policy, &StoreConfig::default())
+    }
+
+    /// Like [`ModeledSynthesizer::new`] with an explicit library storage
+    /// tier.
+    pub fn with_store_config(
+        model: DurationModel,
+        policy: KeyPolicy,
+        store: &StoreConfig,
+    ) -> Self {
         Self {
             model,
-            library: PulseLibrary::new(policy),
+            library: PulseLibrary::from_config(policy, store),
         }
     }
 
@@ -386,9 +408,22 @@ impl HybridSynthesizer {
         grape_limit: usize,
         model: DurationModel,
     ) -> Self {
+        Self::with_search_store(policy, search, grape_limit, model, &StoreConfig::default())
+    }
+
+    /// Like [`HybridSynthesizer::with_search`] with an explicit library
+    /// storage tier shared (by configuration, not by instance) between the
+    /// two sub-backends' caches.
+    pub fn with_search_store(
+        policy: KeyPolicy,
+        search: DurationSearchConfig,
+        grape_limit: usize,
+        model: DurationModel,
+        store: &StoreConfig,
+    ) -> Self {
         Self {
-            grape: GrapeSynthesizer::new(policy, search, grape_limit),
-            model: ModeledSynthesizer::new(model, policy),
+            grape: GrapeSynthesizer::with_store_config(policy, search, grape_limit, store),
+            model: ModeledSynthesizer::with_store_config(model, policy, store),
         }
     }
 

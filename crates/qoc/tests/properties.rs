@@ -6,11 +6,12 @@
 use epoc_circuit::{Circuit, Gate};
 use epoc_linalg::{random_unitary, Matrix};
 use epoc_qoc::{
-    grape, propagate, DeviceModel, DurationModel, GrapeConfig, KeyPolicy, PulseEntry,
-    PulseLibrary,
+    grape, load_library_file, propagate, save_library_file, DeviceModel, DurationModel,
+    GrapeConfig, KeyPolicy, PulseEntry, PulseLibrary, PulseWaveform, StoreConfig,
 };
 use epoc_rt::check::property;
 use epoc_rt::rng::{Rng, StdRng};
+use std::sync::Arc;
 
 #[test]
 fn propagation_is_always_unitary() {
@@ -125,6 +126,85 @@ fn library_phase_invariance() {
         let rotated = u.scale(epoc_linalg::Complex64::cis(phi));
         assert!(lib.lookup(&rotated).is_some(), "seed={seed} phi={phi}");
     });
+}
+
+/// A random pulse entry: random duration/fidelity/slot-count, and with
+/// probability ~1/3 no waveform at all (modeled pulses and digital
+/// fallbacks store `None`).
+fn random_entry(rng: &mut StdRng) -> PulseEntry {
+    let n_slots = 1 + (rng.next_u64_below(24)) as usize;
+    let waveform = if rng.next_u64_below(3) == 0 {
+        None
+    } else {
+        let channels = 1 + (rng.next_u64_below(4)) as usize;
+        let controls: Vec<Vec<f64>> = (0..channels)
+            .map(|_| (0..n_slots).map(|_| (rng.gen_f64() - 0.5) * 0.3).collect())
+            .collect();
+        Some(Arc::new(PulseWaveform::new(
+            0.5 + rng.gen_f64() * 4.0,
+            controls,
+        )))
+    };
+    PulseEntry {
+        duration: rng.gen_f64() * 500.0,
+        fidelity: rng.gen_f64(),
+        n_slots,
+        waveform,
+    }
+}
+
+#[test]
+fn entry_json_round_trip_is_lossless() {
+    property("entry_json_round_trip_is_lossless").cases(24).run(|g| {
+        let seed = g.u64_in(0, 10_000);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let entry = random_entry(&mut rng);
+        let restored = PulseEntry::from_json_value(&entry.to_json_value())
+            .unwrap_or_else(|e| panic!("seed={seed}: {e}"));
+        // Exact equality: floats print in shortest round-trip form, so
+        // every bit (duration, fidelity, dt, each amplitude) survives.
+        assert_eq!(entry, restored, "seed={seed}");
+    });
+}
+
+#[test]
+fn library_file_round_trip_is_lossless_under_both_policies() {
+    property("library_file_round_trip_is_lossless_under_both_policies")
+        .cases(24)
+        .run(|g| {
+            let seed = g.u64_in(0, 10_000);
+            let n = g.usize_in(1, 6);
+            let policy = if seed % 2 == 0 {
+                KeyPolicy::PhaseAware
+            } else {
+                KeyPolicy::PhaseSensitive
+            };
+            let mut rng = StdRng::seed_from_u64(seed);
+            // Random storage tier: persistence must be tier-agnostic.
+            let store = StoreConfig {
+                shards: 1 + (rng.next_u64_below(4)) as usize,
+                budget_bytes: None,
+            };
+            let lib = PulseLibrary::from_config(policy, &store);
+            let mut unitaries = Vec::new();
+            for _ in 0..n {
+                let u = random_unitary(2, &mut rng);
+                lib.insert(&u, random_entry(&mut rng));
+                unitaries.push(u);
+            }
+            let path = std::env::temp_dir().join(format!(
+                "epoc-prop-roundtrip-{}-{seed}.json",
+                std::process::id()
+            ));
+            save_library_file(&path, &[("lib", &lib)]).unwrap();
+            let restored = PulseLibrary::from_config(policy, &StoreConfig::default());
+            let loaded = load_library_file(&path, &[("lib", &restored)]).unwrap();
+            std::fs::remove_file(&path).ok();
+            assert_eq!(loaded, lib.len(), "seed={seed}");
+            for u in &unitaries {
+                assert_eq!(restored.peek(u), lib.peek(u), "seed={seed}");
+            }
+        });
 }
 
 #[test]

@@ -212,6 +212,95 @@ fn sim_propagate_injection_is_typed() {
     assert!(simulate_schedule(&circuit, &r.schedule, &SimOptions::default()).is_ok());
 }
 
+/// A torn checkpoint: `pulse_lib.persist` truncates the library file
+/// mid-write (and reports success, as a crashed process would). The
+/// damage must be *detected on load* as a typed `EpocError::Library`,
+/// and the compiler must degrade to a cold cache — recompute, verify,
+/// and produce the exact cold-run report. Never a panic.
+#[test]
+fn torn_library_checkpoint_degrades_to_cold_cache() {
+    let _g = FaultGuard::acquire();
+    let circuit = generators::qaoa(3, 1, 2);
+    let config =
+        || EpocConfig::with_grape(1).without_regrouping().with_workers(1);
+    let path = std::env::temp_dir().join(format!("epoc-chaos-torn-{}.json", std::process::id()));
+    let cold_compiler = EpocCompiler::new(config());
+    let cold = cold_compiler.compile(&circuit).unwrap();
+
+    // Checkpoint under an armed persist fault: half the bytes land.
+    faults::arm("pulse_lib.persist", Trigger::Always);
+    cold_compiler.save_library(&path).unwrap();
+    faults::disarm("pulse_lib.persist");
+
+    // The restarted service detects the tear as a typed error…
+    let restarted = EpocCompiler::new(config());
+    let err = restarted.load_library(&path).unwrap_err();
+    assert!(
+        matches!(&err, EpocError::Library(epoc::LibraryError::Corrupt { .. })),
+        "torn file not detected as corrupt: {err:?}"
+    );
+    assert!(err.to_string().contains("library"), "untyped message: {err}");
+
+    // …and compiles cold: full misses, GRAPE re-run, same verified report.
+    let warm_attempt = restarted.compile(&circuit).unwrap();
+    assert!(warm_attempt.verified);
+    assert!(warm_attempt.stages.cache_misses > 0, "cold cache somehow hit");
+    assert!(warm_attempt.stages.grape_iterations > 0);
+    assert_eq!(
+        normalized_json(cold),
+        normalized_json(warm_attempt),
+        "cold-degraded report differs from a genuine cold run"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+/// A persist fault on one checkpoint must not poison the service: the
+/// next (unfaulted) checkpoint overwrites the torn file with a good one,
+/// and a restart warm-starts from it as if nothing happened.
+#[test]
+fn next_checkpoint_repairs_torn_library() {
+    let _g = FaultGuard::acquire();
+    let circuit = generators::qaoa(3, 1, 2);
+    let config =
+        || EpocConfig::with_grape(1).without_regrouping().with_workers(1);
+    let path = std::env::temp_dir().join(format!("epoc-chaos-repair-{}.json", std::process::id()));
+    let compiler = EpocCompiler::new(config());
+    compiler.compile(&circuit).unwrap();
+    faults::arm("pulse_lib.persist", Trigger::FirstHits(1));
+    compiler.save_library(&path).unwrap(); // torn
+    compiler.save_library(&path).unwrap(); // repaired
+    let restarted = EpocCompiler::new(config());
+    assert!(restarted.load_library(&path).unwrap() > 0);
+    let warm = restarted.compile(&circuit).unwrap();
+    assert_eq!(warm.stages.cache_misses, 0);
+    assert_eq!(warm.stages.grape_iterations, 0);
+    std::fs::remove_file(&path).ok();
+}
+
+/// `pulse_lib.insert` armed while *loading* models a partially lost
+/// library: every restore is dropped, the load still reports success
+/// (zero entries), and the compile runs cold — typed degradation at the
+/// entry level, matching the live-insert semantics.
+#[test]
+fn insert_fault_during_load_degrades_to_cold_cache() {
+    let _g = FaultGuard::acquire();
+    let circuit = generators::qaoa(3, 1, 2);
+    let config =
+        || EpocConfig::with_grape(1).without_regrouping().with_workers(1);
+    let path = std::env::temp_dir().join(format!("epoc-chaos-load-{}.json", std::process::id()));
+    let compiler = EpocCompiler::new(config());
+    compiler.compile(&circuit).unwrap();
+    compiler.save_library(&path).unwrap();
+    faults::arm("pulse_lib.insert", Trigger::Always);
+    let restarted = EpocCompiler::new(config());
+    assert_eq!(restarted.load_library(&path).unwrap(), 0, "dropped inserts were counted");
+    faults::disarm("pulse_lib.insert");
+    let r = restarted.compile(&circuit).unwrap();
+    assert!(r.verified);
+    assert!(r.stages.cache_misses > 0, "empty library somehow hit");
+    std::fs::remove_file(&path).ok();
+}
+
 fn write_temp(name: &str, contents: &[u8]) -> std::path::PathBuf {
     let path = std::env::temp_dir().join(format!("epoc-chaos-{}-{name}", std::process::id()));
     std::fs::write(&path, contents).unwrap();
