@@ -45,6 +45,14 @@ else
     echo "==> cargo clippy not installed; skipping lint step" >&2
 fi
 
+# simd-matrix: the linalg kernels must agree bit-for-bit between the
+# vector and scalar dispatch paths, so run the linalg tests with each
+# path force-selected via EPOC_SIMD (the normal test run above covers
+# auto-detection; EPOC_SIMD=1 is "auto", which on AVX2 hardware is the
+# vector path, and EPOC_SIMD=0 forces the portable fallback).
+run env EPOC_SIMD=1 cargo test -q -p epoc-linalg
+run env EPOC_SIMD=0 cargo test -q -p epoc-linalg
+
 # bench-check: a quick bench run (3 samples per stage) writes
 # target/BENCH_stages.json and fails if any stage's median regressed more
 # than 2x against the committed BENCH_baseline.json. The bench binary

@@ -8,6 +8,7 @@
 
 use crate::complex::{c64, Complex64};
 use crate::matrix::Matrix;
+use std::cell::RefCell;
 
 /// Eigendecomposition `H = V · diag(λ) · V†` of a Hermitian matrix.
 ///
@@ -91,77 +92,153 @@ const MAX_SWEEPS: usize = 100;
 /// # Ok::<(), epoc_linalg::EigError>(())
 /// ```
 pub fn eigh(h: &Matrix) -> Result<HermitianEig, EigError> {
+    let mut out = HermitianEig {
+        values: Vec::new(),
+        vectors: Matrix::zeros(0, 0),
+    };
+    eigh_into(h, &mut out)?;
+    Ok(out)
+}
+
+thread_local! {
+    /// Working matrix, eigenvector accumulator, and sort scratch for
+    /// [`eigh_into`]. Thread-local so repeated decompositions (one per
+    /// GRAPE slot per iteration) are allocation-free after warm-up.
+    static EIG_SCRATCH: RefCell<EigScratch> = RefCell::new(EigScratch::default());
+}
+
+#[derive(Default)]
+struct EigScratch {
+    a: Vec<Complex64>,
+    v: Vec<Complex64>,
+    pairs: Vec<(f64, usize)>,
+}
+
+/// Computes the eigendecomposition of a complex Hermitian matrix into an
+/// existing [`HermitianEig`], reusing its allocations.
+///
+/// This is the hot-loop form of [`eigh`]: the working matrix and rotation
+/// accumulator live in thread-local scratch, so a decomposition per GRAPE
+/// time slot costs no allocations after warm-up. The result is fully
+/// deterministic for a given input.
+///
+/// # Errors
+///
+/// Same contract as [`eigh`]. On error, `out` is left in an unspecified
+/// (but valid) state.
+pub fn eigh_into(h: &Matrix, out: &mut HermitianEig) -> Result<(), EigError> {
     if !h.is_square() {
         return Err(EigError::NotSquare);
     }
-    let scale = h.max_norm().max(1.0);
-    if !h.is_hermitian(HERMITIAN_TOL * scale) {
-        return Err(EigError::NotHermitian);
-    }
     let n = h.rows();
-    let mut a = h.clone();
-    // Force exact Hermitian symmetry so rounding never accumulates skew.
+    let hd = h.as_slice();
+    // max |entry| via norm_sqr: one sqrt total instead of n² hypots.
+    let scale = hd
+        .iter()
+        .map(|z| z.norm_sqr())
+        .fold(0.0, f64::max)
+        .sqrt()
+        .max(1.0);
+    let htol = HERMITIAN_TOL * scale;
+    let htol2 = htol * htol;
     for i in 0..n {
-        for j in 0..i {
-            let avg = (a[(i, j)] + a[(j, i)].conj()).scale(0.5);
-            a[(i, j)] = avg;
-            a[(j, i)] = avg.conj();
+        for j in 0..=i {
+            if (hd[i * n + j] - hd[j * n + i].conj()).norm_sqr() > htol2 {
+                return Err(EigError::NotHermitian);
+            }
         }
-        a[(i, i)] = c64(a[(i, i)].re, 0.0);
     }
-    let mut v = Matrix::identity(n);
-
-    for _sweep in 0..MAX_SWEEPS {
-        let off: f64 = off_diag_norm(&a);
-        if off <= CONVERGE_TOL * scale {
-            break;
+    EIG_SCRATCH.with(|cell| {
+        let scratch = &mut *cell.borrow_mut();
+        let a = &mut scratch.a;
+        a.clear();
+        a.extend_from_slice(hd);
+        // Force exact Hermitian symmetry so rounding never accumulates skew.
+        for i in 0..n {
+            for j in 0..i {
+                let avg = (a[i * n + j] + a[j * n + i].conj()).scale(0.5);
+                a[i * n + j] = avg;
+                a[j * n + i] = avg.conj();
+            }
+            a[i * n + i] = c64(a[i * n + i].re, 0.0);
         }
-        for p in 0..n {
-            for q in (p + 1)..n {
-                let apq = a[(p, q)];
-                if apq.abs() <= CONVERGE_TOL * scale * 1e-3 {
-                    continue;
+        let v = &mut scratch.v;
+        v.clear();
+        v.resize(n * n, Complex64::ZERO);
+        for i in 0..n {
+            v[i * n + i] = Complex64::ONE;
+        }
+
+        // All thresholds compare squared magnitudes — same decisions as the
+        // historical |·| comparisons, without per-entry square roots.
+        let conv2 = (CONVERGE_TOL * scale) * (CONVERGE_TOL * scale);
+        // Per-entry rotation skip: if every off-diagonal entry is below
+        // conv2 / (n·(n−1)), the total off-norm is already below conv2, so
+        // rotating such entries cannot be needed for convergence. (The
+        // sweep loop still only exits on the full-norm check.)
+        let skip2 = conv2 / ((n * n.saturating_sub(1)).max(1) as f64);
+        for _sweep in 0..MAX_SWEEPS {
+            if off_diag_sqr(a, n) <= conv2 {
+                break;
+            }
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    if a[p * n + q].norm_sqr() <= skip2 {
+                        continue;
+                    }
+                    jacobi_rotate(a, v, n, p, q);
                 }
-                jacobi_rotate(&mut a, &mut v, p, q);
             }
         }
-    }
-    if off_diag_norm(&a) > 1e-8 * scale.max(1.0) {
-        return Err(EigError::NoConvergence);
-    }
+        if off_diag_sqr(a, n) > (1e-8 * scale) * (1e-8 * scale) {
+            return Err(EigError::NoConvergence);
+        }
 
-    let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (a[(i, i)].re, i)).collect();
-    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite eigenvalues"));
-    let values: Vec<f64> = pairs.iter().map(|&(l, _)| l).collect();
-    let vectors = Matrix::from_fn(n, n, |i, k| v[(i, pairs[k].1)]);
-    Ok(HermitianEig { values, vectors })
+        let pairs = &mut scratch.pairs;
+        pairs.clear();
+        pairs.extend((0..n).map(|i| (a[i * n + i].re, i)));
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite eigenvalues"));
+        out.values.clear();
+        out.values.extend(pairs.iter().map(|&(l, _)| l));
+        if out.vectors.rows() != n || out.vectors.cols() != n {
+            out.vectors = Matrix::zeros(n, n);
+        }
+        let od = out.vectors.as_mut_slice();
+        for i in 0..n {
+            let vrow = &v[i * n..(i + 1) * n];
+            for (dst, &(_, src)) in od[i * n..(i + 1) * n].iter_mut().zip(pairs.iter()) {
+                *dst = vrow[src];
+            }
+        }
+        Ok(())
+    })
 }
 
-fn off_diag_norm(a: &Matrix) -> f64 {
-    let n = a.rows();
+fn off_diag_sqr(a: &[Complex64], n: usize) -> f64 {
     let mut s = 0.0;
-    for i in 0..n {
-        for j in 0..n {
+    for (i, row) in a.chunks_exact(n).enumerate() {
+        for (j, z) in row.iter().enumerate() {
             if i != j {
-                s += a[(i, j)].norm_sqr();
+                s += z.norm_sqr();
             }
         }
     }
-    s.sqrt()
+    s
 }
 
-/// One complex Jacobi rotation zeroing `a[(p, q)]`, accumulating into `v`.
-fn jacobi_rotate(a: &mut Matrix, v: &mut Matrix, p: usize, q: usize) {
-    let n = a.rows();
-    let app = a[(p, p)].re;
-    let aqq = a[(q, q)].re;
-    let apq = a[(p, q)];
-    let abs_apq = apq.abs();
-    if abs_apq == 0.0 {
+/// One complex Jacobi rotation zeroing `a[p·n+q]`, accumulating into `v`.
+/// Operates on flat row-major slices; requires `p < q`.
+fn jacobi_rotate(a: &mut [Complex64], v: &mut [Complex64], n: usize, p: usize, q: usize) {
+    let app = a[p * n + p].re;
+    let aqq = a[q * n + q].re;
+    let apq = a[p * n + q];
+    let abs2 = apq.norm_sqr();
+    if abs2 == 0.0 {
         return;
     }
+    let abs_apq = abs2.sqrt();
     // Phase that makes the off-diagonal real: apq = |apq|·e^{iφ}.
-    let phase = apq / c64(abs_apq, 0.0);
+    let phase = c64(apq.re / abs_apq, apq.im / abs_apq);
     // Real Jacobi angle for the symmetrized 2×2 block.
     let tau = (aqq - app) / (2.0 * abs_apq);
     let t = if tau >= 0.0 {
@@ -173,29 +250,36 @@ fn jacobi_rotate(a: &mut Matrix, v: &mut Matrix, p: usize, q: usize) {
     let s = t * c;
     // Complex rotation: column p gets c, column q gets s·phase factors.
     let s_ph = phase.scale(s);
+    let s_ph_c = s_ph.conj();
     // Update A = G† A G where G affects columns/rows p and q.
-    for i in 0..n {
-        let aip = a[(i, p)];
-        let aiq = a[(i, q)];
-        a[(i, p)] = aip.scale(c) - aiq * s_ph.conj();
-        a[(i, q)] = aip * s_ph + aiq.scale(c);
+    for row in a.chunks_exact_mut(n) {
+        let aip = row[p];
+        let aiq = row[q];
+        row[p] = aip.scale(c) - aiq * s_ph_c;
+        row[q] = aip * s_ph + aiq.scale(c);
     }
-    for j in 0..n {
-        let apj = a[(p, j)];
-        let aqj = a[(q, j)];
-        a[(p, j)] = apj.scale(c) - aqj * s_ph;
-        a[(q, j)] = apj * s_ph.conj() + aqj.scale(c);
+    {
+        // Rows p and q are contiguous; p < q lets split_at_mut alias-free.
+        let (lo, hi) = a.split_at_mut(q * n);
+        let rp = &mut lo[p * n..p * n + n];
+        let rq = &mut hi[..n];
+        for (x, y) in rp.iter_mut().zip(rq.iter_mut()) {
+            let apj = *x;
+            let aqj = *y;
+            *x = apj.scale(c) - aqj * s_ph;
+            *y = apj * s_ph_c + aqj.scale(c);
+        }
     }
     // Clean the rotated entries.
-    a[(p, q)] = Complex64::ZERO;
-    a[(q, p)] = Complex64::ZERO;
-    a[(p, p)] = c64(a[(p, p)].re, 0.0);
-    a[(q, q)] = c64(a[(q, q)].re, 0.0);
-    for i in 0..n {
-        let vip = v[(i, p)];
-        let viq = v[(i, q)];
-        v[(i, p)] = vip.scale(c) - viq * s_ph.conj();
-        v[(i, q)] = vip * s_ph + viq.scale(c);
+    a[p * n + q] = Complex64::ZERO;
+    a[q * n + p] = Complex64::ZERO;
+    a[p * n + p] = c64(a[p * n + p].re, 0.0);
+    a[q * n + q] = c64(a[q * n + q].re, 0.0);
+    for row in v.chunks_exact_mut(n) {
+        let vip = row[p];
+        let viq = row[q];
+        row[p] = vip.scale(c) - viq * s_ph_c;
+        row[q] = vip * s_ph + viq.scale(c);
     }
 }
 
@@ -295,6 +379,30 @@ mod tests {
         let mut m = Matrix::identity(2);
         m[(0, 1)] = c64(5.0, 0.0);
         assert_eq!(eigh(&m).unwrap_err(), EigError::NotHermitian);
+    }
+
+    #[test]
+    fn eigh_into_reuses_and_matches_eigh() {
+        let mut out = HermitianEig {
+            values: Vec::new(),
+            vectors: Matrix::zeros(0, 0),
+        };
+        for n in [2usize, 3, 4, 6] {
+            let h = random_hermitian(n, n as u64 * 17 + 1);
+            eigh_into(&h, &mut out).unwrap();
+            let fresh = eigh(&h).unwrap();
+            // Same deterministic algorithm, so bit-identical results
+            // regardless of what the scratch held before.
+            assert_eq!(out.values, fresh.values, "values differ at n={n}");
+            assert_eq!(out.vectors, fresh.vectors, "vectors differ at n={n}");
+        }
+        // Repeat run on the same input is bit-stable.
+        let h = random_hermitian(4, 99);
+        eigh_into(&h, &mut out).unwrap();
+        let first = (out.values.clone(), out.vectors.clone());
+        eigh_into(&h, &mut out).unwrap();
+        assert_eq!(first.0, out.values);
+        assert_eq!(first.1, out.vectors);
     }
 
     #[test]

@@ -32,10 +32,12 @@ mod eig;
 mod expm;
 mod matrix;
 mod random;
+mod simd;
 mod unitary;
 
 pub use complex::{c64, Complex64};
-pub use eig::{eigh, EigError, HermitianEig};
+pub use eig::{eigh, eigh_into, EigError, HermitianEig};
+pub use simd::{force_simd, mix_adjacent, mix_pair, mixed_pair_trace, simd_active};
 pub use expm::{expm, expm_hermitian_propagator, expm_ih, inverse, solve};
 pub use matrix::Matrix;
 pub use random::{random_gaussian_matrix, random_hermitian, random_unitary};

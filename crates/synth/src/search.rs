@@ -84,6 +84,21 @@ pub struct SynthConfig {
     pub instantiate: InstantiateOptions,
     /// RNG seed (synthesis is deterministic given the seed).
     pub seed: u64,
+    /// Worker threads instantiating frontier candidates. Each candidate's
+    /// optimization is seeded purely by `(seed, candidate sequence
+    /// number)` and replayed into the search state in claim order, so
+    /// node counts, structures, and distances are **byte-identical at any
+    /// worker count**. `1` (the default) runs on the calling thread.
+    pub workers: usize,
+    /// How many A* nodes each round claims off the frontier for batch
+    /// expansion. The claim width — not the worker count — determines the
+    /// search trajectory; it is a fixed property of the configuration, so
+    /// changing `workers` only changes who computes what. The default of
+    /// `1` is plain best-first search (each round still evaluates all of
+    /// the claimed node's children in parallel); widths above 1 expose
+    /// more parallelism per round at the cost of expanding nodes a strict
+    /// best-first order might never reach.
+    pub frontier_width: usize,
 }
 
 impl Default for SynthConfig {
@@ -96,6 +111,8 @@ impl Default for SynthConfig {
             leap_patience: 12,
             instantiate: InstantiateOptions::default(),
             seed: 0xEC0C,
+            workers: 1,
+            frontier_width: 1,
         }
     }
 }
@@ -127,6 +144,11 @@ struct Node {
     params: Rc<Vec<f64>>,
     distance: f64,
     score: f64,
+    /// Creation sequence number — the deterministic tie-break: equal
+    /// scores pop in creation order, making the heap's pop sequence a
+    /// total order independent of insertion history (and therefore of any
+    /// batching the parallel frontier does).
+    seq: u64,
 }
 
 impl Node {
@@ -137,13 +159,14 @@ impl Node {
             params: Rc::clone(&self.params),
             distance: self.distance,
             score: self.score,
+            seq: self.seq,
         }
     }
 }
 
 impl PartialEq for Node {
     fn eq(&self, other: &Self) -> bool {
-        self.score == other.score
+        self.score == other.score && self.seq == other.seq
     }
 }
 impl Eq for Node {}
@@ -154,12 +177,29 @@ impl PartialOrd for Node {
 }
 impl Ord for Node {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Min-heap on score.
+        // Min-heap on (score, creation sequence).
         other
             .score
             .partial_cmp(&self.score)
             .unwrap_or(Ordering::Equal)
+            .then_with(|| other.seq.cmp(&self.seq))
     }
+}
+
+/// A frontier candidate shipped to the evaluation crew: the structure to
+/// instantiate plus its sequence number, which seeds the optimization.
+struct EvalJob {
+    template: Template,
+    seq: u64,
+}
+
+/// What the crew hands back: the instantiated candidate, ready to become
+/// a [`Node`] during the serial replay phase.
+struct EvalOut {
+    template: Template,
+    seq: u64,
+    params: Vec<f64>,
+    distance: f64,
 }
 
 /// Synthesizes a circuit implementing `target` (up to global phase) from
@@ -196,7 +236,6 @@ pub fn synthesize(target: &Matrix, config: &SynthConfig) -> Result<SynthResult, 
         return Err(SynthError::NotUnitary);
     }
     let n = dim.trailing_zeros() as usize;
-    let mut rng = StdRng::seed_from_u64(config.seed);
     // Optimizing below the success threshold is wasted work: stop the
     // numerical instantiation once cost = distance² is good enough.
     let config = &SynthConfig {
@@ -212,6 +251,7 @@ pub fn synthesize(target: &Matrix, config: &SynthConfig) -> Result<SynthResult, 
 
     // Single-qubit targets: one VUG, no search.
     if n == 1 {
+        let mut rng = StdRng::seed_from_u64(config.seed);
         let t = Template::initial(1);
         let (params, dist) = t.instantiate(target, &mut rng, &config.instantiate);
         let circuit = t.to_circuit(&params);
@@ -229,80 +269,134 @@ pub fn synthesize(target: &Matrix, config: &SynthConfig) -> Result<SynthResult, 
         .flat_map(|a| (0..n).filter(move |&b| b != a).map(move |b| (a, b)))
         .collect();
 
-    let mut nodes_evaluated = 0usize;
-    let evaluate = |template: Template, rng: &mut StdRng| -> Node {
-        let (params, distance) = template.instantiate(target, rng, &config.instantiate);
-        let score = distance + config.cnot_weight * template.cnot_count() as f64;
-        Node {
-            template: Rc::new(template),
-            params: Rc::new(params),
+    // Candidate instantiation, run by the evaluation crew. The optimizer
+    // RNG is seeded purely by `(config.seed, seq)`, so each result is a
+    // function of the job alone — independent of which worker computes it
+    // and of how jobs are batched into rounds.
+    let job = |_idx: usize, j: &EvalJob| -> EvalOut {
+        let mut rng = StdRng::seed_from_u64(faults::mix(config.seed, j.seq));
+        let (params, distance) = j.template.instantiate(target, &mut rng, &config.instantiate);
+        EvalOut {
+            template: j.template.clone(),
+            seq: j.seq,
+            params,
             distance,
-            score,
         }
     };
 
-    let root = evaluate(Template::initial(n), &mut rng);
-    nodes_evaluated += 1;
-    let mut best = root.share();
-    let mut heap = BinaryHeap::new();
-    heap.push(root);
-    let mut since_improvement = 0usize;
-
-    // Fail point `qsearch.budget`: an injected budget exhaustion before
-    // the A* loop — the root comes back non-converged, exactly like a
-    // genuine `max_nodes` blow-through. Keyed by (target, budget, seed) so
-    // the fate is a pure function of the work item, and fresh for every
-    // budget escalation the recovery ladder tries.
-    if faults::is_armed() {
-        let key = faults::mix(
-            fault_fingerprint(target),
-            faults::mix(config.max_nodes as u64, config.seed),
-        );
-        if faults::fail_point_keyed("qsearch.budget", key) {
-            return Ok(finish(best, nodes_evaluated, false));
-        }
-    }
-
-    while let Some(node) = heap.pop() {
-        if node.distance < config.distance_threshold {
-            return Ok(finish(node, nodes_evaluated, true));
-        }
-        if nodes_evaluated >= config.max_nodes {
-            break;
-        }
-        if node.template.cnot_count() >= config.max_cnots {
-            continue;
-        }
-        for &(c, t) in &pairs {
-            let mut templ = (*node.template).clone();
-            templ.push_cell(c, t);
-            let child = evaluate(templ, &mut rng);
-            nodes_evaluated += 1;
-            if child.distance < best.distance - 1e-12 {
-                best = child.share();
-                since_improvement = 0;
-            } else {
-                since_improvement += 1;
+    // The A* loop runs in four repeating stages — claim (pop a frontier
+    // batch), compute (instantiate all children on the crew), replay
+    // (merge results serially in claim order), leap (restart bookkeeping).
+    // Everything order-sensitive happens in the serial stages, so the
+    // trajectory is byte-identical at any `config.workers`.
+    epoc_rt::pool::with_crew(config.workers, job, |crew| {
+        let mut next_seq = 0u64;
+        let make_node = |out: EvalOut| -> Node {
+            let score = out.distance + config.cnot_weight * out.template.cnot_count() as f64;
+            Node {
+                template: Rc::new(out.template),
+                params: Rc::new(out.params),
+                distance: out.distance,
+                score,
+                seq: out.seq,
             }
-            if child.distance < config.distance_threshold {
-                return Ok(finish(child, nodes_evaluated, true));
+        };
+        let mut nodes_evaluated = 0usize;
+        let root_template = Template::initial(n);
+        let mut root_out = crew.dispatch(vec![EvalJob {
+            template: root_template,
+            seq: next_seq,
+        }]);
+        next_seq += 1;
+        let root = make_node(root_out.pop().expect("root evaluation"));
+        nodes_evaluated += 1;
+        let mut best = root.share();
+        let mut heap = BinaryHeap::new();
+        heap.push(root);
+        let mut since_improvement = 0usize;
+
+        // Fail point `qsearch.budget`: an injected budget exhaustion before
+        // the A* loop — the root comes back non-converged, exactly like a
+        // genuine `max_nodes` blow-through. Keyed by (target, budget, seed)
+        // so the fate is a pure function of the work item, and fresh for
+        // every budget escalation the recovery ladder tries.
+        if faults::is_armed() {
+            let key = faults::mix(
+                fault_fingerprint(target),
+                faults::mix(config.max_nodes as u64, config.seed),
+            );
+            if faults::fail_point_keyed("qsearch.budget", key) {
+                return Ok(finish(best, nodes_evaluated, false));
             }
-            heap.push(child);
-            if nodes_evaluated >= config.max_nodes {
+        }
+
+        let width = config.frontier_width.max(1);
+        'outer: loop {
+            // Claim: pop up to `width` expandable nodes. The heap's total
+            // order (score, then creation sequence) makes this batch a
+            // pure function of the search history.
+            let mut claimed: Vec<Node> = Vec::new();
+            while claimed.len() < width {
+                match heap.pop() {
+                    Some(node) if node.distance < config.distance_threshold => {
+                        return Ok(finish(node, nodes_evaluated, true));
+                    }
+                    Some(node) if node.template.cnot_count() >= config.max_cnots => continue,
+                    Some(node) => claimed.push(node),
+                    None => break,
+                }
+            }
+            if claimed.is_empty() || nodes_evaluated >= config.max_nodes {
                 break;
             }
+            // Compute: every child of every claimed node, as one batch on
+            // the crew.
+            let mut jobs = Vec::with_capacity(claimed.len() * pairs.len());
+            for node in &claimed {
+                for &(c, t) in &pairs {
+                    let mut templ = (*node.template).clone();
+                    templ.push_cell(c, t);
+                    jobs.push(EvalJob {
+                        template: templ,
+                        seq: next_seq,
+                    });
+                    next_seq += 1;
+                }
+            }
+            let outs = crew.dispatch(jobs);
+            // Replay: merge results serially, in claim order — the search
+            // state evolves exactly as if everything ran on one thread.
+            for out in outs {
+                let child = make_node(out);
+                nodes_evaluated += 1;
+                if child.distance < best.distance - 1e-12 {
+                    best = child.share();
+                    since_improvement = 0;
+                } else {
+                    since_improvement += 1;
+                }
+                if child.distance < config.distance_threshold {
+                    return Ok(finish(child, nodes_evaluated, true));
+                }
+                heap.push(child);
+                if nodes_evaluated >= config.max_nodes {
+                    break 'outer;
+                }
+            }
+            // LEAP: commit the best prefix when stuck.
+            if config.leap_patience > 0 && since_improvement >= config.leap_patience {
+                epoc_rt::telemetry::counter_add("qsearch.leap_restarts", 1);
+                heap.clear();
+                let mut restart = best.share();
+                restart.score = best.distance; // reset score so it expands first
+                restart.seq = next_seq;
+                next_seq += 1;
+                heap.push(restart);
+                since_improvement = 0;
+            }
         }
-        // LEAP: commit the best prefix when stuck.
-        if config.leap_patience > 0 && since_improvement >= config.leap_patience {
-            epoc_rt::telemetry::counter_add("qsearch.leap_restarts", 1);
-            heap.clear();
-            let mut restart = best.share();
-            restart.score = best.distance; // reset score so it expands first
-            heap.push(restart);
-            since_improvement = 0;
-        }
-    }
-    Ok(finish(best, nodes_evaluated, false))
+        Ok(finish(best, nodes_evaluated, false))
+    })
 }
 
 fn finish(node: Node, nodes_evaluated: usize, converged: bool) -> SynthResult {
@@ -568,5 +662,37 @@ mod tests {
         let a = synthesize(&target, &SynthConfig::default()).unwrap();
         let b = synthesize(&target, &SynthConfig::default()).unwrap();
         assert_eq!(a.circuit, b.circuit);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_search() {
+        // The claim/compute/replay scheme makes the whole trajectory a
+        // function of the configuration alone: node counts, structures,
+        // and distances must be identical at any worker count.
+        let mut rng = StdRng::seed_from_u64(77);
+        let target = random_unitary(4, &mut rng);
+        let run = |workers: usize| {
+            synthesize(
+                &target,
+                &SynthConfig {
+                    workers,
+                    ..SynthConfig::default()
+                },
+            )
+            .unwrap()
+        };
+        let base = run(1);
+        for workers in [2, 4] {
+            let r = run(workers);
+            assert_eq!(r.circuit, base.circuit, "workers = {workers}");
+            assert_eq!(
+                r.distance.to_bits(),
+                base.distance.to_bits(),
+                "workers = {workers}"
+            );
+            assert_eq!(r.nodes_evaluated, base.nodes_evaluated, "workers = {workers}");
+            assert_eq!(r.cnots, base.cnots, "workers = {workers}");
+            assert_eq!(r.converged, base.converged, "workers = {workers}");
+        }
     }
 }

@@ -59,14 +59,16 @@ pub struct Template {
 
 /// One compiled elementary op. Qubit positions are pre-resolved to basis
 /// index bit masks (`embed` is big-endian: qubit `q` owns bit `n-1-q`).
+///
+/// A whole VUG compiles to a **single** op: its `RZ(a)·RY(b)·RZ(c)` product
+/// is fused into one 2×2 at evaluation time, so the `d×d` sweeps touch each
+/// VUG once instead of three times, and all three angle gradients read off
+/// the same prefix/suffix pair through different 2×2 generator products.
 #[derive(Debug, Clone, Copy)]
 enum PlanOp {
-    /// An embedded 1-qubit rotation: mixes index pairs differing in `mask`.
-    Rot {
-        axis: Axis,
-        mask: usize,
-        param: usize,
-    },
+    /// An embedded VUG: mixes index pairs differing in `mask` with the
+    /// fused `RZ·RY·RZ` product; consumes 3 parameters starting at `param`.
+    Vug { mask: usize, param: usize },
     /// An embedded CNOT: a permutation (swap `tmask` pairs where `cmask`
     /// is set).
     Cnot { cmask: usize, tmask: usize },
@@ -88,8 +90,29 @@ struct EvalScratch {
     /// `as_chain[i] = target† · G_{k-1}···G_i` (suffix products folded
     /// into the target from the left; `as_chain[k] = target†`).
     as_chain: Vec<Matrix>,
-    /// Running prefix `G_{i-1}···G_0` during the gradient sweep.
-    prefix: Matrix,
+    /// Running prefix `G_{i-1}···G_0` during the gradient sweep, stored
+    /// **transposed** so the trace contraction reads it row-contiguously.
+    prefix_t: Matrix,
+    /// Per-op fused VUG matrices at the current parameters, computed once
+    /// per evaluation (the backward sweep, gradient read-off, and forward
+    /// sweep all reuse them — three `sin_cos` per VUG total).
+    vmats: Vec<VugMats>,
+}
+
+/// The 2×2 products one VUG contributes to an evaluation: the fused gate
+/// `u = RZ(a)·RY(b)·RZ(c)` and the three generator insertions whose traces
+/// give the angle gradients (`∂U/∂θ = (−i/2)·embed(q_θ)` against the same
+/// prefix/suffix pair).
+#[derive(Clone, Copy, Default)]
+struct VugMats {
+    /// `RZ(a)·RY(b)·RZ(c)`.
+    u: [Complex64; 4],
+    /// `P_z·u` (gradient of `a`).
+    qa: [Complex64; 4],
+    /// `RZ(a)·P_y·RY(b)·RZ(c)` (gradient of `b`).
+    qb: [Complex64; 4],
+    /// `RZ(a)·RY(b)·P_z·RZ(c)` (gradient of `c`).
+    qc: [Complex64; 4],
 }
 
 impl EvalScratch {
@@ -97,30 +120,52 @@ impl EvalScratch {
         Self {
             adag: target.dagger(),
             as_chain: vec![Matrix::zeros(plan.dim, plan.dim); plan.ops.len() + 1],
-            prefix: Matrix::zeros(plan.dim, plan.dim),
+            prefix_t: Matrix::zeros(plan.dim, plan.dim),
+            vmats: vec![VugMats::default(); plan.ops.len()],
         }
     }
 }
 
-/// `R(θ)` as a row-major 2×2.
+/// `R(θ)` as a row-major 2×2 (one `sin_cos` per call).
 fn rot2(axis: Axis, theta: f64) -> [Complex64; 4] {
+    let (s, c) = (theta / 2.0).sin_cos();
     match axis {
-        Axis::Z => [
-            Complex64::cis(-theta / 2.0),
-            Complex64::ZERO,
-            Complex64::ZERO,
-            Complex64::cis(theta / 2.0),
-        ],
-        Axis::Y => {
-            let (s, c) = (theta / 2.0).sin_cos();
-            [c64(c, 0.0), c64(-s, 0.0), c64(s, 0.0), c64(c, 0.0)]
-        }
+        Axis::Z => [c64(c, -s), Complex64::ZERO, Complex64::ZERO, c64(c, s)],
+        Axis::Y => [c64(c, 0.0), c64(-s, 0.0), c64(s, 0.0), c64(c, 0.0)],
     }
 }
 
-/// `P·R(θ)` for the axis generator `P` (so `∂R/∂θ = (−i/2)·P·R`).
-fn gen_rot2(axis: Axis, theta: f64) -> [Complex64; 4] {
-    let r = rot2(axis, theta);
+/// Row-major 2×2 complex product `a·b`.
+fn mm2(a: &[Complex64; 4], b: &[Complex64; 4]) -> [Complex64; 4] {
+    [
+        a[0] * b[0] + a[1] * b[2],
+        a[0] * b[1] + a[1] * b[3],
+        a[2] * b[0] + a[3] * b[2],
+        a[2] * b[1] + a[3] * b[3],
+    ]
+}
+
+/// Builds one VUG's fused matrices at angles `(a, b, c)`:
+/// `u = RZ(a)·RY(b)·RZ(c)` plus the three generator insertions. Inserting
+/// the axis generator at each rotation's own position keeps every angle
+/// gradient exact while the `d×d` sweeps only ever see `u`.
+fn vug_mats(a: f64, b: f64, c: f64) -> VugMats {
+    let rz_a = rot2(Axis::Z, a);
+    let ry_b = rot2(Axis::Y, b);
+    let rz_c = rot2(Axis::Z, c);
+    let w = mm2(&ry_b, &rz_c);
+    let u = mm2(&rz_a, &w);
+    VugMats {
+        u,
+        qa: gen_rot2(Axis::Z, &u),
+        qb: mm2(&rz_a, &gen_rot2(Axis::Y, &w)),
+        qc: mm2(&rz_a, &mm2(&ry_b, &gen_rot2(Axis::Z, &rz_c))),
+    }
+}
+
+/// `P·M` for the axis generator `P` (so `∂R/∂θ = (−i/2)·P·R` when `M`
+/// starts with the rotation `R(θ)` of that axis).
+fn gen_rot2(axis: Axis, r: &[Complex64; 4]) -> [Complex64; 4] {
     match axis {
         // diag(1,−1)·R
         Axis::Z => [r[0], r[1], -r[2], -r[3]],
@@ -135,39 +180,72 @@ fn gen_rot2(axis: Axis, theta: f64) -> [Complex64; 4] {
 }
 
 /// `m ← embed(g)·m`: for every row pair `(r, r|mask)` replace the rows by
-/// their `g`-mix. Row pairs are disjoint, so the update is in place.
+/// their `g`-mix. Row pairs are disjoint, so the update is in place; the
+/// whole-row mix runs on the dispatched [`epoc_linalg::mix_pair`] kernel.
 fn mix_rows(m: &mut Matrix, mask: usize, g: &[Complex64; 4]) {
     let rows = m.rows();
     let cols = m.cols();
     let data = m.as_mut_slice();
-    for r0 in 0..rows {
-        if r0 & mask != 0 {
-            continue;
-        }
-        let r1 = r0 | mask;
-        let (lo, hi) = data.split_at_mut(r1 * cols);
-        let row0 = &mut lo[r0 * cols..r0 * cols + cols];
-        let row1 = &mut hi[..cols];
-        for (x, y) in row0.iter_mut().zip(row1.iter_mut()) {
-            let (a, b) = (*x, *y);
-            *x = g[0] * a + g[1] * b;
-            *y = g[2] * a + g[3] * b;
-        }
+    // Rows with `r & mask == 0` form runs of `mask` consecutive rows paired
+    // with the following `mask` rows, so each run mixes in a single kernel
+    // call over `mask·cols` contiguous elements (the mix is elementwise, so
+    // batching calls cannot change any output bit).
+    let run = mask * cols;
+    let mut base = 0;
+    while base < rows * cols {
+        let (lo, hi) = data[base..base + 2 * run].split_at_mut(run);
+        epoc_linalg::mix_pair(lo, hi, g[0], g[1], g[2], g[3]);
+        base += 2 * run;
     }
 }
 
 /// `m ← m·embed(g)`: the column-pair analog of [`mix_rows`].
+///
+/// `mask` is a single bit, so within each row the column pairs form
+/// contiguous runs: `[base..base+mask]` pairs with `[base+mask..base+2·mask]`
+/// for `base` stepping by `2·mask`. That turns the strided pair walk into
+/// slice-level kernel calls ([`epoc_linalg::mix_adjacent`] when the pairs
+/// are neighbors, [`epoc_linalg::mix_pair`] on the run halves otherwise).
 fn mix_cols(m: &mut Matrix, mask: usize, g: &[Complex64; 4]) {
+    let cols = m.cols();
+    if mask == 1 {
+        // Adjacent pairs repeat identically in every row, so the whole
+        // flattened matrix is one kernel call.
+        epoc_linalg::mix_adjacent(m.as_mut_slice(), g[0], g[2], g[1], g[3]);
+        return;
+    }
+    for row in m.as_mut_slice().chunks_exact_mut(cols) {
+        let mut base = 0;
+        while base < cols {
+            let (a, b) = row[base..base + 2 * mask].split_at_mut(mask);
+            epoc_linalg::mix_pair(a, b, g[0], g[2], g[1], g[3]);
+            base += 2 * mask;
+        }
+    }
+}
+
+/// `m ← CNOT·m` (row permutation).
+fn cnot_left(m: &mut Matrix, cmask: usize, tmask: usize) {
+    let rows = m.rows();
+    let cols = m.cols();
+    let data = m.as_mut_slice();
+    for r0 in 0..rows {
+        if r0 & cmask != 0 && r0 & tmask == 0 {
+            let r1 = r0 | tmask;
+            let (lo, hi) = data.split_at_mut(r1 * cols);
+            lo[r0 * cols..r0 * cols + cols].swap_with_slice(&mut hi[..cols]);
+        }
+    }
+}
+
+/// `m ← m·CNOT` (column permutation).
+fn cnot_right(m: &mut Matrix, cmask: usize, tmask: usize) {
     let cols = m.cols();
     for row in m.as_mut_slice().chunks_exact_mut(cols) {
         for c0 in 0..cols {
-            if c0 & mask != 0 {
-                continue;
+            if c0 & cmask != 0 && c0 & tmask == 0 {
+                row.swap(c0, c0 | tmask);
             }
-            let c1 = c0 | mask;
-            let (a, b) = (row[c0], row[c1]);
-            row[c0] = a * g[0] + b * g[2];
-            row[c1] = a * g[1] + b * g[3];
         }
     }
 }
@@ -175,58 +253,24 @@ fn mix_cols(m: &mut Matrix, mask: usize, g: &[Complex64; 4]) {
 /// `m ← op·m`.
 fn apply_left(m: &mut Matrix, op: &PlanOp, params: &[f64]) {
     match *op {
-        PlanOp::Rot { axis, mask, param } => mix_rows(m, mask, &rot2(axis, params[param])),
-        PlanOp::Cnot { cmask, tmask } => {
-            let rows = m.rows();
-            let cols = m.cols();
-            let data = m.as_mut_slice();
-            for r0 in 0..rows {
-                if r0 & cmask != 0 && r0 & tmask == 0 {
-                    let r1 = r0 | tmask;
-                    let (lo, hi) = data.split_at_mut(r1 * cols);
-                    lo[r0 * cols..r0 * cols + cols].swap_with_slice(&mut hi[..cols]);
-                }
-            }
-        }
-    }
-}
-
-/// `m ← m·op`.
-fn apply_right(m: &mut Matrix, op: &PlanOp, params: &[f64]) {
-    match *op {
-        PlanOp::Rot { axis, mask, param } => mix_cols(m, mask, &rot2(axis, params[param])),
-        PlanOp::Cnot { cmask, tmask } => {
-            let cols = m.cols();
-            for row in m.as_mut_slice().chunks_exact_mut(cols) {
-                for c0 in 0..cols {
-                    if c0 & cmask != 0 && c0 & tmask == 0 {
-                        row.swap(c0, c0 | tmask);
-                    }
-                }
-            }
-        }
+        PlanOp::Vug { mask, param } => mix_rows(
+            m,
+            mask,
+            &vug_mats(params[param], params[param + 1], params[param + 2]).u,
+        ),
+        PlanOp::Cnot { cmask, tmask } => cnot_left(m, cmask, tmask),
     }
 }
 
 /// `Tr(prefix · as_next · embed(q))` without forming any product matrix:
 /// the right factor only mixes column pairs of `as_next`, so the trace is
-/// a direct `O(d²)` contraction.
-fn mixed_trace(prefix: &Matrix, as_next: &Matrix, mask: usize, q: &[Complex64; 4]) -> Complex64 {
+/// a direct `O(d²)` contraction. Takes the prefix **transposed** so both
+/// operands stream row-contiguously (`prefixᵀ[b,a] = prefix[a,b]`); the
+/// contraction itself runs on the dispatched
+/// [`epoc_linalg::mixed_pair_trace`] kernel.
+fn mixed_trace(prefix_t: &Matrix, as_next: &Matrix, mask: usize, q: &[Complex64; 4]) -> Complex64 {
     let dim = as_next.rows();
-    let p = prefix.as_slice();
-    let mut acc = Complex64::ZERO;
-    for (b, row) in as_next.as_slice().chunks_exact(dim).enumerate() {
-        for a0 in 0..dim {
-            if a0 & mask != 0 {
-                continue;
-            }
-            let a1 = a0 | mask;
-            let y0 = row[a0] * q[0] + row[a1] * q[2];
-            let y1 = row[a0] * q[1] + row[a1] * q[3];
-            acc += p[a0 * dim + b] * y0 + p[a1 * dim + b] * y1;
-        }
-    }
-    acc
+    epoc_linalg::mixed_pair_trace(prefix_t.as_slice(), as_next.as_slice(), dim, mask, q)
 }
 
 fn set_identity(m: &mut Matrix) {
@@ -249,11 +293,21 @@ impl EvalPlan {
     fn cost_and_grad(&self, params: &[f64], scratch: &mut EvalScratch, grad: &mut [f64]) -> f64 {
         let k = self.ops.len();
         let dim = self.dim as f64;
+        // Fused VUG matrices once per evaluation; both sweeps reuse them.
+        scratch.vmats.resize(k, VugMats::default());
+        for (vm, op) in scratch.vmats.iter_mut().zip(&self.ops) {
+            if let PlanOp::Vug { param, .. } = *op {
+                *vm = vug_mats(params[param], params[param + 1], params[param + 2]);
+            }
+        }
         scratch.as_chain[k].copy_from(&scratch.adag);
         for i in (0..k).rev() {
             let (lo, hi) = scratch.as_chain.split_at_mut(i + 1);
             lo[i].copy_from(&hi[0]);
-            apply_right(&mut lo[i], &self.ops[i], params);
+            match self.ops[i] {
+                PlanOp::Vug { mask, .. } => mix_cols(&mut lo[i], mask, &scratch.vmats[i].u),
+                PlanOp::Cnot { cmask, tmask } => cnot_right(&mut lo[i], cmask, tmask),
+            }
         }
         // f = Tr(A·U) = Tr(AS_0)
         let f = scratch.as_chain[0].trace();
@@ -261,17 +315,27 @@ impl EvalPlan {
         let cost = 1.0 - fabs / dim;
 
         grad.fill(0.0);
-        set_identity(&mut scratch.prefix);
+        set_identity(&mut scratch.prefix_t);
         for (i, op) in self.ops.iter().enumerate() {
-            if let PlanOp::Rot { axis, mask, param } = *op {
-                let q = gen_rot2(axis, params[param]);
-                let df =
-                    mixed_trace(&scratch.prefix, &scratch.as_chain[i + 1], mask, &q)
-                        * c64(0.0, -0.5);
-                // d|f|/dθ = Re(conj(f)·df)/|f|
-                grad[param] -= (f.conj() * df).re / fabs / dim;
+            match *op {
+                PlanOp::Vug { mask, param } => {
+                    // All three angle gradients contract the same
+                    // prefix/suffix pair against different 2×2 inserts.
+                    let vm = scratch.vmats[i];
+                    for (off, q) in [(0usize, &vm.qa), (1, &vm.qb), (2, &vm.qc)] {
+                        let df =
+                            mixed_trace(&scratch.prefix_t, &scratch.as_chain[i + 1], mask, q)
+                                * c64(0.0, -0.5);
+                        // d|f|/dθ = Re(conj(f)·df)/|f|
+                        grad[param + off] -= (f.conj() * df).re / fabs / dim;
+                    }
+                    // prefix ← u·prefix  ⇔  prefixᵀ ← prefixᵀ·uᵀ
+                    let u = &vm.u;
+                    mix_cols(&mut scratch.prefix_t, mask, &[u[0], u[2], u[1], u[3]]);
+                }
+                // CNOT is a symmetric permutation, so CNOTᵀ = CNOT.
+                PlanOp::Cnot { cmask, tmask } => cnot_right(&mut scratch.prefix_t, cmask, tmask),
             }
-            apply_left(&mut scratch.prefix, op, params);
         }
         cost
     }
@@ -338,25 +402,12 @@ impl Template {
     fn plan(&self) -> EvalPlan {
         let n = self.n_qubits;
         let bit = |q: usize| 1usize << (n - 1 - q);
-        let mut ops = Vec::with_capacity(self.segments.len() * 3);
+        let mut ops = Vec::with_capacity(self.segments.len());
         for seg in &self.segments {
             match *seg {
                 Segment::Vug { qubit, param } => {
-                    // U = RZ(a)·RY(b)·RZ(c): RZ(c) acts first.
-                    let mask = bit(qubit);
-                    ops.push(PlanOp::Rot {
-                        axis: Axis::Z,
-                        mask,
-                        param: param + 2,
-                    });
-                    ops.push(PlanOp::Rot {
-                        axis: Axis::Y,
-                        mask,
-                        param: param + 1,
-                    });
-                    ops.push(PlanOp::Rot {
-                        axis: Axis::Z,
-                        mask,
+                    ops.push(PlanOp::Vug {
+                        mask: bit(qubit),
                         param,
                     });
                 }
@@ -429,7 +480,7 @@ impl Template {
                 .collect();
             let mut m = vec![0.0f64; self.n_params];
             let mut v = vec![0.0f64; self.n_params];
-            let (b1, b2, eps) = (0.9, 0.999, 1e-8);
+            let (b1, b2, eps): (f64, f64, f64) = (0.9, 0.999, 1e-8);
             let mut cost = f64::INFINITY;
             for step in 1..=opts.max_iters {
                 let c = plan.cost_and_grad(&params, &mut scratch, &mut g);
@@ -438,11 +489,15 @@ impl Template {
                     break;
                 }
                 let lr = opts.learning_rate / (1.0 + 0.002 * step as f64);
+                // Bias corrections depend only on the step, not the
+                // parameter — hoist them out of the update loop.
+                let bc1 = 1.0 - b1.powi(step as i32);
+                let bc2 = 1.0 - b2.powi(step as i32);
                 for j in 0..self.n_params {
                     m[j] = b1 * m[j] + (1.0 - b1) * g[j];
                     v[j] = b2 * v[j] + (1.0 - b2) * g[j] * g[j];
-                    let mh = m[j] / (1.0 - b1.powi(step as i32));
-                    let vh = v[j] / (1.0 - b2.powi(step as i32));
+                    let mh = m[j] / bc1;
+                    let vh = v[j] / bc2;
                     params[j] -= lr * mh / (vh.sqrt() + eps);
                 }
             }
