@@ -114,6 +114,32 @@ if [ "$quick" -eq 0 ]; then
     echo "==> service-smoke OK (warm cache survived the restart)"
 fi
 
+# obs-smoke: run the epocd service over two jobs with a structured JSONL
+# log, fetch the live Prometheus exposition over the line protocol, and
+# validate the whole observability surface: the log must attribute
+# lifecycle events to per-service job ids and the exposition must carry
+# job="N" labels plus latency summary quantiles (trace_check
+# --require-jobs), or job-scoped telemetry regressed. The one-shot
+# epocc --metrics-file exposition must validate as well.
+if [ "$quick" -eq 0 ]; then
+    echo "==> epocd obs-smoke (2 jobs, metrics command, JSONL log)" >&2
+    rm -f target/obs-smoke.log target/obs-smoke-metrics.json
+    printf '%s\n' \
+        '{"id":1,"bench":"qaoa_n6"}' \
+        '{"id":2,"bench":"qaoa_n6"}' \
+        '{"cmd":"metrics"}' \
+        '{"cmd":"shutdown"}' \
+        | ./target/release/epocd --grape 1 --no-regroup \
+            --log target/obs-smoke.log \
+        > target/obs-smoke.out
+    grep '"metrics"' target/obs-smoke.out > target/obs-smoke-metrics.json \
+        || { echo "obs-smoke: no metrics response line" >&2; exit 1; }
+    run ./target/release/trace_check --require-jobs \
+        --log target/obs-smoke.log --metrics target/obs-smoke-metrics.json
+    run ./target/release/epocc --metrics-file target/obs-smoke-epocc.prom bench:ghz_n8
+    run ./target/release/trace_check --metrics target/obs-smoke-epocc.prom
+fi
+
 # sim-smoke: compile a small benchmark with the default hybrid flow, dump
 # the schedule, validate it structurally (payloads included — the epoc
 # flow must emit simulatable schedules), and replay it at pulse level

@@ -15,6 +15,7 @@
 //! epocc --grape 0 circuit.qasm      # modeled backend (no GRAPE)
 //! epocc --trace t.json bench:ghz_n8 # Chrome trace of the compile
 //! epocc --metrics bench:ghz_n8      # counter/histogram dump + stage times
+//! epocc --metrics-file m.prom bench:ghz_n8  # Prometheus text exposition
 //! ```
 
 use epoc::baselines::{gate_based, PaqocCompiler};
@@ -40,6 +41,7 @@ struct Args {
     json: bool,
     trace: Option<String>,
     metrics: bool,
+    metrics_file: Option<String>,
     grape_limit: usize,
     strict: bool,
     faults: Option<String>,
@@ -52,7 +54,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: epocc [--flow epoc|gate-based|paqoc] [--no-zx] [--no-regroup] \
          [--grape N] [--timeline] [--schedule FILE] [--simulate] [--shots N] \
-         [--sim-check F] [--json] [--trace FILE] [--metrics] [--strict] \
+         [--sim-check F] [--json] [--trace FILE] [--metrics] [--metrics-file FILE] [--strict] \
          [--faults SPEC] [--fault-seed N] \
          [--library FILE] [--library-budget BYTES] \
          <file.qasm | bench:NAME>\n\
@@ -64,6 +66,7 @@ fn usage() -> ! {
          --sim-check F  fail unless simulated process fidelity >= F (implies --simulate)\n\
          --trace FILE   write a Chrome trace-event JSON of the compile to FILE\n\
          --metrics      print telemetry counters, histograms, and stage times\n\
+         --metrics-file FILE write the Prometheus text exposition to FILE\n\
          --strict       fail the compile when the recovery ladder is exhausted\n\
          --faults SPEC  arm fault injection, e.g. 'grape.converge=always,pulse_lib.miss=p0.5'\n\
          --fault-seed N seed for probabilistic fault triggers\n\
@@ -105,6 +108,7 @@ fn parse_args() -> Args {
         json: false,
         trace: None,
         metrics: false,
+        metrics_file: None,
         grape_limit: DEFAULT_GRAPE_LIMIT,
         strict: false,
         faults: None,
@@ -148,6 +152,9 @@ fn parse_args() -> Args {
             "--json" => args.json = true,
             "--trace" => args.trace = Some(flag_value(&mut iter, "--trace", "a path")),
             "--metrics" => args.metrics = true,
+            "--metrics-file" => {
+                args.metrics_file = Some(flag_value(&mut iter, "--metrics-file", "a path"))
+            }
             "--grape" => {
                 let v = flag_value(&mut iter, "--grape", "a qubit count");
                 args.grape_limit = match v.parse() {
@@ -242,7 +249,7 @@ fn main() -> ExitCode {
             circuit.depth()
         );
     }
-    if args.trace.is_some() || args.metrics {
+    if args.trace.is_some() || args.metrics || args.metrics_file.is_some() {
         epoc_rt::telemetry::enable();
     }
     if let Some(spec) = &args.faults {
@@ -356,6 +363,16 @@ fn main() -> ExitCode {
     if args.metrics {
         eprintln!("{}", epoc_rt::telemetry::metrics_text());
         eprintln!("{}", report.stages.to_text());
+    }
+    if let Some(path) = &args.metrics_file {
+        let text = epoc_rt::telemetry::prometheus_text();
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("error: cannot write metrics to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        if !args.json {
+            println!("metrics written to {path}");
+        }
     }
     if args.json {
         println!("{}", report.to_json());

@@ -21,7 +21,10 @@
 //!   (newlines escaped as `\n`);
 //! * `{"id":2,"bench":"ghz_n4"}` — compile a builtin benchmark;
 //! * `{"cmd":"checkpoint"}` — persist the library now;
-//! * `{"cmd":"stats"}` — report service counters;
+//! * `{"cmd":"stats"}` — report service counters, gauges, latency
+//!   percentiles, and per-job counter summaries;
+//! * `{"cmd":"metrics"}` — return the full Prometheus text exposition
+//!   (as one JSON string field, since the protocol is line-delimited);
 //! * `{"cmd":"shutdown"}` — checkpoint and exit.
 //!
 //! Responses, one compact JSON line each:
@@ -29,8 +32,22 @@
 //! * `{"id":1,"ok":true,"report":{...}}` on success;
 //! * `{"id":1,"ok":false,"error":"..."}` on failure (the service keeps
 //!   running — one bad job never takes the library down);
-//! * `{"ok":true,"stats":{...}}` / `{"ok":true,"checkpoint":{...}}` for
-//!   commands.
+//! * `{"ok":true,"stats":{...}}` / `{"ok":true,"checkpoint":{...}}` /
+//!   `{"ok":true,"metrics":"..."}` for commands.
+//!
+//! ## Observability
+//!
+//! The daemon runs with telemetry *enabled* but span capture *off*:
+//! counters, gauges, and histograms are cheap and bounded, while the
+//! per-span event list would grow without limit in a long-lived process.
+//! Each accepted compile job gets a monotone job id (1, 2, …) carried by
+//! a [`epoc_rt::telemetry::TelemetryScope`] through the worker pool, so
+//! per-job counters and the structured log stay attributable. `--log
+//! FILE` appends JSONL events (job admission/completion, batch
+//! boundaries, recovery-rung climbs, evictions, checkpoint outcomes) —
+//! one JSON object per line with `ts_ns`, `level`, `event`, and `job`
+//! fields. None of this touches the report path: reports stay
+//! byte-identical with telemetry on or off, at any worker count.
 //!
 //! ## Queueing and determinism
 //!
@@ -46,6 +63,7 @@
 use epoc::{CompilationReport, EpocCompiler, EpocConfig, StoreConfig};
 use epoc_circuit::{generators, parse_qasm, Circuit};
 use epoc_rt::json::Json;
+use epoc_rt::telemetry::{self, LogLevel, TelemetryScope};
 use std::io::{BufRead, Write};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -66,6 +84,7 @@ struct Args {
     regroup: bool,
     checkpoint_every: usize,
     socket: Option<PathBuf>,
+    log: Option<PathBuf>,
     faults: Option<String>,
     fault_seed: Option<u64>,
 }
@@ -74,7 +93,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: epocd [--library FILE] [--library-budget BYTES] [--shards N] \
          [--grape N] [--workers N] [--no-regroup] [--checkpoint-every N] \
-         [--socket PATH] [--faults SPEC] [--fault-seed N]\n\
+         [--socket PATH] [--log FILE] [--faults SPEC] [--fault-seed N]\n\
          --library FILE     load the pulse library from FILE on start, save on checkpoint/shutdown\n\
          --library-budget BYTES cap the in-memory library (LRU eviction)\n\
          --shards N         library shard count (default {DEFAULT_SHARDS})\n\
@@ -83,6 +102,7 @@ fn usage() -> ! {
          --no-regroup       disable regrouping (per-gate pulses)\n\
          --checkpoint-every N also persist the library every N completed jobs\n\
          --socket PATH      serve a Unix socket instead of stdin/stdout\n\
+         --log FILE         write a structured JSONL event log to FILE\n\
          --faults SPEC      arm fault injection (e.g. 'pulse_lib.persist=always')\n\
          --fault-seed N     seed for probabilistic fault triggers"
     );
@@ -116,6 +136,7 @@ fn parse_args() -> Args {
         regroup: true,
         checkpoint_every: 0,
         socket: None,
+        log: None,
         faults: None,
         fault_seed: None,
     };
@@ -149,6 +170,7 @@ fn parse_args() -> Args {
             "--socket" => {
                 args.socket = Some(flag_value(&mut iter, "--socket", "a path").into())
             }
+            "--log" => args.log = Some(flag_value(&mut iter, "--log", "a path").into()),
             "--faults" => args.faults = Some(flag_value(&mut iter, "--faults", "a fault spec")),
             "--fault-seed" => {
                 let v = flag_value(&mut iter, "--fault-seed", "a seed");
@@ -171,6 +193,11 @@ struct Service {
     jobs_failed: usize,
     batches: usize,
     jobs_since_checkpoint: usize,
+    /// Monotone correlation id handed to each accepted compile job (1,
+    /// 2, …) — deterministic for a fixed request sequence, unlike the
+    /// caller-chosen `id` field (which is echoed in responses and logged
+    /// as `request_id`).
+    job_seq: u64,
 }
 
 impl Service {
@@ -210,6 +237,7 @@ impl Service {
             jobs_failed: 0,
             batches: 0,
             jobs_since_checkpoint: 0,
+            job_seq: 0,
         }
     }
 
@@ -243,6 +271,14 @@ impl Service {
         match self.compiler.save_library(path) {
             Ok(()) => {
                 self.jobs_since_checkpoint = 0;
+                telemetry::counter_add("epocd.checkpoints", 1);
+                telemetry::log_event(
+                    LogLevel::Info,
+                    "checkpoint.saved",
+                    Json::obj()
+                        .push("path", path.display().to_string())
+                        .push("entries", self.compiler.library_len()),
+                );
                 Json::obj().push("ok", true).push(
                     "checkpoint",
                     Json::obj()
@@ -250,11 +286,45 @@ impl Service {
                         .push("entries", self.compiler.library_len()),
                 )
             }
-            Err(e) => Json::obj().push("ok", false).push("error", e.to_string()),
+            Err(e) => {
+                telemetry::log_event(
+                    LogLevel::Error,
+                    "checkpoint.failed",
+                    Json::obj().push("error", e.to_string()),
+                );
+                Json::obj().push("ok", false).push("error", e.to_string())
+            }
         }
     }
 
     fn stats(&self) -> Json {
+        let mut gauges = Json::obj();
+        for (name, value) in telemetry::gauges_snapshot() {
+            gauges = gauges.push(&name, value);
+        }
+        let mut percentiles = Json::obj();
+        for (name, h) in telemetry::histograms_snapshot() {
+            percentiles = percentiles.push(
+                &name,
+                Json::obj()
+                    .push("p50", h.percentile(0.50))
+                    .push("p95", h.percentile(0.95))
+                    .push("p99", h.percentile(0.99))
+                    .push("count", h.count),
+            );
+        }
+        // Per-job counter summaries: the snapshot is sorted by (job,
+        // name), so one forward pass groups it.
+        let mut jobs_by_id = Json::obj();
+        let mut it = telemetry::job_counters_snapshot().into_iter().peekable();
+        while let Some((job, name, value)) = it.next() {
+            let mut obj = Json::obj().push(&name, value);
+            while it.peek().is_some_and(|(j, _, _)| *j == job) {
+                let (_, n, v) = it.next().expect("peeked");
+                obj = obj.push(&n, v);
+            }
+            jobs_by_id = jobs_by_id.push(&job.to_string(), obj);
+        }
         Json::obj().push("ok", true).push(
             "stats",
             Json::obj()
@@ -264,7 +334,11 @@ impl Service {
                 .push("cache_hits", self.compiler.cache_hits())
                 .push("cache_misses", self.compiler.cache_misses())
                 .push("library_entries", self.compiler.library_len())
-                .push("library_evictions", self.compiler.library_evictions()),
+                .push("library_evictions", self.compiler.library_evictions())
+                .push("library_bytes", self.compiler.library_bytes())
+                .push("gauges", gauges)
+                .push("percentiles", percentiles)
+                .push("jobs_by_id", jobs_by_id),
         )
     }
 
@@ -285,6 +359,12 @@ impl Service {
             return match cmd {
                 "checkpoint" => (self.checkpoint(), false),
                 "stats" => (self.stats(), false),
+                "metrics" => (
+                    Json::obj()
+                        .push("ok", true)
+                        .push("metrics", telemetry::prometheus_text()),
+                    false,
+                ),
                 "shutdown" => {
                     let resp = if self.library.is_some() {
                         self.checkpoint()
@@ -305,8 +385,54 @@ impl Service {
         if let Some(id) = req.get("id") {
             resp = resp.push("id", id.clone());
         }
-        match self.compile(&req) {
+        // Every compile job gets a fresh monotone correlation id; the
+        // scope carries it into counters, spans, log lines, and (via the
+        // worker pool) every thread the compile fans out to.
+        self.job_seq += 1;
+        let job = self.job_seq;
+        let _scope = TelemetryScope::enter(job);
+        let source = if req.get("bench").is_some() {
+            "bench"
+        } else if req.get("qasm").is_some() {
+            "qasm"
+        } else {
+            "invalid"
+        };
+        let mut admitted = Json::obj().push("source", source);
+        if let Some(id) = req.get("id") {
+            admitted = admitted.push("request_id", id.clone());
+        }
+        telemetry::log_event(LogLevel::Info, "job.admitted", admitted);
+        telemetry::gauge_add("epocd.inflight_jobs", 1);
+        let evictions_before = self.compiler.library_evictions();
+        let started = std::time::Instant::now();
+        let outcome = self.compile(&req);
+        let elapsed_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        telemetry::gauge_add("epocd.inflight_jobs", -1);
+        telemetry::counter_add("epocd.jobs", 1);
+        telemetry::counter_add("epocd.job_ns", elapsed_ns);
+        telemetry::histogram_record("epocd.job_latency_ns", elapsed_ns);
+        let evicted = self
+            .compiler
+            .library_evictions()
+            .saturating_sub(evictions_before);
+        if evicted > 0 {
+            telemetry::log_event(
+                LogLevel::Warn,
+                "library.evicted",
+                Json::obj().push("entries", evicted),
+            );
+        }
+        match outcome {
             Ok(report) => {
+                for rec in &report.stages.recoveries {
+                    telemetry::log_event(LogLevel::Warn, "recovery.rung", rec.to_json_value());
+                }
+                telemetry::log_event(
+                    LogLevel::Info,
+                    "job.done",
+                    report.log_summary().push("elapsed_ns", elapsed_ns),
+                );
                 self.jobs_done += 1;
                 self.jobs_since_checkpoint += 1;
                 (
@@ -316,6 +442,12 @@ impl Service {
                 )
             }
             Err(e) => {
+                telemetry::counter_add("epocd.jobs_failed", 1);
+                telemetry::log_event(
+                    LogLevel::Error,
+                    "job.failed",
+                    Json::obj().push("error", e.as_str()),
+                );
                 self.jobs_failed += 1;
                 (resp.push("ok", false).push("error", e), false)
             }
@@ -361,7 +493,15 @@ fn serve_stdin(mut service: Service) -> ExitCode {
             batch.push(next);
         }
         service.batches += 1;
-        for line in &batch {
+        telemetry::counter_add("epocd.batches", 1);
+        telemetry::log_event(
+            LogLevel::Info,
+            "batch.begin",
+            Json::obj().push("size", batch.len()),
+        );
+        for (i, line) in batch.iter().enumerate() {
+            // Requests already queued behind this one.
+            telemetry::gauge_set("epocd.queue_depth", (batch.len() - i - 1) as i64);
             if line.trim().is_empty() {
                 continue;
             }
@@ -373,6 +513,11 @@ fn serve_stdin(mut service: Service) -> ExitCode {
                 break 'outer;
             }
         }
+        telemetry::log_event(
+            LogLevel::Info,
+            "batch.end",
+            Json::obj().push("size", batch.len()),
+        );
         service.maybe_checkpoint();
     }
     service.finish();
@@ -402,6 +547,7 @@ fn serve_socket(mut service: Service, path: &std::path::Path) -> ExitCode {
         let reader = std::io::BufReader::new(stream);
         let mut shutdown = false;
         let mut jobs_in_connection = 0usize;
+        telemetry::log_event(LogLevel::Info, "connection.accepted", Json::obj());
         for line in reader.lines() {
             let Ok(line) = line else { break };
             if line.trim().is_empty() {
@@ -421,6 +567,12 @@ fn serve_socket(mut service: Service, path: &std::path::Path) -> ExitCode {
         // A connection is a natural batch boundary.
         if jobs_in_connection > 0 {
             service.batches += 1;
+            telemetry::counter_add("epocd.batches", 1);
+            telemetry::log_event(
+                LogLevel::Info,
+                "batch.end",
+                Json::obj().push("size", jobs_in_connection),
+            );
             service.maybe_checkpoint();
         }
         if shutdown {
@@ -443,8 +595,18 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     }
+    // Metrics stay live for the whole daemon lifetime, but span events
+    // are a bounded-run tool: capture is off so memory stays flat.
+    telemetry::enable();
+    telemetry::set_span_capture(false);
+    if let Some(path) = &args.log {
+        if let Err(e) = telemetry::log_open(path) {
+            eprintln!("error: cannot open --log {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
     let service = Service::new(&args);
-    match &args.socket {
+    let code = match &args.socket {
         #[cfg(unix)]
         Some(path) => serve_socket(service, path),
         #[cfg(not(unix))]
@@ -453,5 +615,7 @@ fn main() -> ExitCode {
             ExitCode::from(2)
         }
         None => serve_stdin(service),
-    }
+    };
+    telemetry::log_close();
+    code
 }

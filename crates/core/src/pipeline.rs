@@ -538,6 +538,17 @@ impl EpocCompiler {
             .sum()
     }
 
+    /// Estimated resident bytes across the backend's pulse libraries —
+    /// the same estimate the budgeted tier evicts against, exposed so
+    /// services can report live memory pressure.
+    pub fn library_bytes(&self) -> u64 {
+        self.backend
+            .library_sections()
+            .iter()
+            .map(|(_, lib)| lib.store().approx_bytes())
+            .sum()
+    }
+
     /// Persists the pulse libraries to `path` (checksummed JSON, written
     /// atomically via temp-file + rename). The file is byte-deterministic
     /// for a given library content.

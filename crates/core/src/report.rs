@@ -240,6 +240,24 @@ impl CompilationReport {
         self.to_json_value().to_string_pretty()
     }
 
+    /// Compact JSON fields for the structured observability log: the
+    /// counters an operator correlates per job (cache traffic, GRAPE
+    /// spend, recovery count) without the full schedule payload. This is
+    /// a *log* shape, free to evolve — the report JSON contract lives in
+    /// [`CompilationReport::to_json_value`].
+    pub fn log_summary(&self) -> Json {
+        Json::obj()
+            .push("flow", self.flow.as_str())
+            .push("n_qubits", self.n_qubits)
+            .push("gates_in", self.gates_in)
+            .push("pulses", self.stages.pulses)
+            .push("cache_hits", self.stages.cache_hits)
+            .push("cache_misses", self.stages.cache_misses)
+            .push("grape_iterations", self.stages.grape_iterations)
+            .push("recoveries", self.stages.recoveries.len())
+            .push("verified", self.verified)
+    }
+
     /// One-line human-readable summary.
     pub fn summary(&self) -> String {
         format!(

@@ -101,6 +101,17 @@ pub trait PulseStore: Send + Sync + std::fmt::Debug {
     fn tier(&self) -> StoreTier;
 }
 
+/// Applies resident-size deltas to the process-global library gauges.
+/// Every tier funnels its put/evict/clear accounting through here, so
+/// `pulse_lib.resident_bytes` / `pulse_lib.entries` stay correct even
+/// when several libraries (the GRAPE and model sections of one compiler,
+/// or several compilers) share the one telemetry registry — deltas are
+/// commutative where absolute sets would clobber each other.
+fn gauge_resident(bytes_delta: i64, entries_delta: i64) {
+    epoc_rt::telemetry::gauge_add("pulse_lib.resident_bytes", bytes_delta);
+    epoc_rt::telemetry::gauge_add("pulse_lib.entries", entries_delta);
+}
+
 /// Estimated resident size of one cache entry: the waveform payload
 /// (which dominates), the quantized key cells, and a fixed allowance for
 /// map/Arc overhead. An estimate is enough — the budget is a resource
@@ -215,12 +226,17 @@ impl PulseStore for MemoryStore {
 
     fn put(&self, key: CacheKey, entry: PulseEntry) {
         let added = entry_bytes(&key, &entry);
+        let mut delta = added as i64;
+        let mut new_entries = 1i64;
         let mut map = self.map.write().unwrap_or_else(|e| e.into_inner());
         if let Some(old) = map.insert(key.clone(), entry) {
             let removed = entry_bytes(&key, &old);
             self.bytes.fetch_sub(removed, Ordering::Relaxed);
+            delta -= removed as i64;
+            new_entries = 0;
         }
         self.bytes.fetch_add(added, Ordering::Relaxed);
+        gauge_resident(delta, new_entries);
     }
 
     fn len(&self) -> usize {
@@ -239,8 +255,11 @@ impl PulseStore for MemoryStore {
     }
 
     fn clear(&self) {
-        self.map.write().unwrap_or_else(|e| e.into_inner()).clear();
-        self.bytes.store(0, Ordering::Relaxed);
+        let mut map = self.map.write().unwrap_or_else(|e| e.into_inner());
+        let dropped = map.len() as i64;
+        map.clear();
+        let bytes = self.bytes.swap(0, Ordering::Relaxed);
+        gauge_resident(-(bytes as i64), -dropped);
     }
 
     fn tier(&self) -> StoreTier {
@@ -291,12 +310,18 @@ impl PulseStore for ShardedStore {
 
     fn put(&self, key: CacheKey, entry: PulseEntry) {
         let added = entry_bytes(&key, &entry);
+        let mut delta = added as i64;
+        let mut new_entries = 1i64;
         let shard = self.shard(&key);
         let mut map = shard.write().unwrap_or_else(|e| e.into_inner());
         if let Some(old) = map.insert(key.clone(), entry) {
-            self.bytes.fetch_sub(entry_bytes(&key, &old), Ordering::Relaxed);
+            let removed = entry_bytes(&key, &old);
+            self.bytes.fetch_sub(removed, Ordering::Relaxed);
+            delta -= removed as i64;
+            new_entries = 0;
         }
         self.bytes.fetch_add(added, Ordering::Relaxed);
+        gauge_resident(delta, new_entries);
     }
 
     fn len(&self) -> usize {
@@ -321,10 +346,14 @@ impl PulseStore for ShardedStore {
     }
 
     fn clear(&self) {
+        let mut dropped = 0i64;
         for s in &self.shards {
-            s.write().unwrap_or_else(|e| e.into_inner()).clear();
+            let mut map = s.write().unwrap_or_else(|e| e.into_inner());
+            dropped += map.len() as i64;
+            map.clear();
         }
-        self.bytes.store(0, Ordering::Relaxed);
+        let bytes = self.bytes.swap(0, Ordering::Relaxed);
+        gauge_resident(-(bytes as i64), -dropped);
     }
 
     fn tier(&self) -> StoreTier {
@@ -403,9 +432,11 @@ impl BudgetedStore {
                 .map(|(k, _)| k.clone())
                 .expect("non-empty shard has a minimum");
             if let Some(slot) = shard.map.remove(&victim) {
-                shard.bytes -= entry_bytes(&victim, &slot.entry);
+                let removed = entry_bytes(&victim, &slot.entry);
+                shard.bytes -= removed;
                 self.evictions.fetch_add(1, Ordering::Relaxed);
                 epoc_rt::telemetry::counter_add("pulse_lib.evictions", 1);
+                gauge_resident(-(removed as i64), -1);
             }
         }
     }
@@ -426,14 +457,20 @@ impl PulseStore for BudgetedStore {
 
     fn put(&self, key: CacheKey, entry: PulseEntry) {
         let added = entry_bytes(&key, &entry);
+        let mut delta = added as i64;
+        let mut new_entries = 1i64;
         let lock = self.shard(&key);
         let mut shard = lock.write().unwrap_or_else(|e| e.into_inner());
         shard.clock += 1;
         let stamp = shard.clock;
         if let Some(old) = shard.map.insert(key.clone(), Slot { entry, stamp }) {
-            shard.bytes -= entry_bytes(&key, &old.entry);
+            let removed = entry_bytes(&key, &old.entry);
+            shard.bytes -= removed;
+            delta -= removed as i64;
+            new_entries = 0;
         }
         shard.bytes += added;
+        gauge_resident(delta, new_entries);
         self.enforce_budget(&mut shard);
     }
 
@@ -466,11 +503,16 @@ impl PulseStore for BudgetedStore {
     }
 
     fn clear(&self) {
+        let mut dropped = 0i64;
+        let mut bytes = 0i64;
         for s in &self.shards {
             let mut shard = s.write().unwrap_or_else(|e| e.into_inner());
+            dropped += shard.map.len() as i64;
+            bytes += shard.bytes as i64;
             shard.map.clear();
             shard.bytes = 0;
         }
+        gauge_resident(-bytes, -dropped);
     }
 
     fn tier(&self) -> StoreTier {

@@ -12,6 +12,12 @@
 //! alive across many small dispatch rounds — the shape of an A* search
 //! loop that evaluates a handful of candidates per expansion — paying the
 //! spawn cost once per search instead of once per round.
+//!
+//! Every fan-out replicates the caller's telemetry job id (see
+//! [`crate::telemetry::TelemetryScope`]) into the worker threads, so
+//! spans and counters recorded inside a parallel stage stay attributed
+//! to the compile job that dispatched it. The id travels with the work
+//! (captured at dispatch time for crew rounds), never with the thread.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -44,16 +50,20 @@ where
 
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let job = crate::telemetry::current_job();
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
+            scope.spawn(|| {
+                let _scope = crate::telemetry::TelemetryScope::enter(job);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let result = f(i, &items[i]);
+                    *slots[i].lock().unwrap() = Some(result);
                 }
-                let result = f(i, &items[i]);
-                *slots[i].lock().unwrap() = Some(result);
             });
         }
     });
@@ -91,10 +101,12 @@ where
         return;
     }
     let chunk = len.div_ceil(workers);
+    let job = crate::telemetry::current_job();
     std::thread::scope(|scope| {
         for (c, chunk_items) in items.chunks_mut(chunk).enumerate() {
             let f = &f;
             scope.spawn(move || {
+                let _scope = crate::telemetry::TelemetryScope::enter(job);
                 for (off, t) in chunk_items.iter_mut().enumerate() {
                     f(c * chunk + off, t);
                 }
@@ -110,6 +122,9 @@ struct Round<T, R> {
     results: Arc<Vec<Mutex<Option<R>>>>,
     next: Arc<AtomicUsize>,
     done: Arc<AtomicUsize>,
+    /// Telemetry job id of the dispatching thread, replicated into each
+    /// worker for the duration of the round.
+    job: u64,
 }
 
 // Manual impl: `derive(Clone)` would demand `T: Clone` / `R: Clone`,
@@ -121,6 +136,7 @@ impl<T, R> Clone for Round<T, R> {
             results: Arc::clone(&self.results),
             next: Arc::clone(&self.next),
             done: Arc::clone(&self.done),
+            job: self.job,
         }
     }
 }
@@ -188,6 +204,7 @@ where
                 st = shared.work_cv.wait(st).unwrap();
             }
         };
+        let _scope = crate::telemetry::TelemetryScope::enter(round.job);
         run_round(&round, job, shared);
     }
 }
@@ -236,6 +253,7 @@ where
             results: Arc::new((0..n).map(|_| Mutex::new(None)).collect()),
             next: Arc::new(AtomicUsize::new(0)),
             done: Arc::new(AtomicUsize::new(0)),
+            job: crate::telemetry::current_job(),
         };
         {
             let mut st = shared.state.lock().unwrap();
@@ -433,6 +451,32 @@ mod tests {
             |crew| crew.dispatch(vec![(), (), ()]),
         );
         assert_eq!(out, vec![true, true, true]);
+    }
+
+    #[test]
+    fn workers_inherit_dispatchers_job_scope() {
+        use crate::telemetry::{current_job, TelemetryScope};
+        let _scope = TelemetryScope::enter(42);
+        let items: Vec<u8> = vec![0; 32];
+        let seen = parallel_map(&items, 4, |_, _| current_job());
+        assert!(seen.iter().all(|&j| j == 42), "parallel_map lost the job id");
+        let mut slots = vec![0u64; 32];
+        parallel_for_mut(&mut slots, 4, |_, s| *s = current_job());
+        assert!(slots.iter().all(|&j| j == 42), "parallel_for_mut lost the job id");
+        let crew_seen = with_crew(
+            4,
+            |_: usize, _: &u8| current_job(),
+            |crew| {
+                // The round carries the id live at dispatch time, not the
+                // id live when the crew was spawned.
+                let _inner = TelemetryScope::enter(77);
+                crew.dispatch(vec![0u8; 32])
+            },
+        );
+        assert!(
+            crew_seen.iter().all(|&j| j == 77),
+            "crew round lost the dispatch-time job id: {crew_seen:?}"
+        );
     }
 
     #[test]

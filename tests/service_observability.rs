@@ -1,0 +1,292 @@
+//! Observability suite for the `epocd` service: job-scoped attribution,
+//! gauges, percentiles, the structured JSONL log, and the live metrics
+//! exposition — driven through the real binaries, the same way an
+//! operator would see them.
+//!
+//! The invariant underneath all of it: telemetry is strictly off the
+//! report path. These tests read *only* the observability artifacts;
+//! report byte-determinism has its own suites
+//! (`pipeline_parallel_determinism`, `telemetry_trace`).
+
+use epoc_rt::json::Json;
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("epoc-obs-{}-{name}", std::process::id()))
+}
+
+/// Runs `epocd` with `extra_args`, feeding `input` on stdin; returns
+/// (stdout, stderr).
+fn run_epocd(extra_args: &[&str], input: &str) -> (String, String) {
+    let exe = env!("CARGO_BIN_EXE_epocd");
+    let mut child = Command::new(exe)
+        .args(["--grape", "1", "--no-regroup", "--workers", "2"])
+        .args(extra_args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child.stdin.take().unwrap().write_all(input.as_bytes()).unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "epocd exited nonzero: {out:?}");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+/// Extracts `stats` from a `{"ok":true,"stats":{...}}` response line.
+fn parse_stats(line: &str) -> Json {
+    let doc = Json::parse(line).unwrap_or_else(|e| panic!("bad stats line {line}: {e}"));
+    doc.get("stats").cloned().unwrap_or_else(|| panic!("no stats object in {line}"))
+}
+
+fn as_u64(j: Option<&Json>) -> u64 {
+    j.and_then(Json::as_f64).map(|f| f as u64).unwrap_or(0)
+}
+
+/// Two identical jobs through one daemon: `stats` must expose gauges,
+/// latency percentiles, and per-job counter summaries that tell the two
+/// jobs apart — job 1 paid the misses and the GRAPE time, job 2 rode the
+/// cache — and the `metrics` command must expose the same story as
+/// Prometheus text with `job="N"` labels and summary quantiles.
+#[test]
+fn epocd_stats_and_metrics_attribute_jobs() {
+    let (stdout, _) = run_epocd(
+        &[],
+        concat!(
+            r#"{"id":1,"bench":"qaoa_n6"}"#, "\n",
+            r#"{"id":2,"bench":"qaoa_n6"}"#, "\n",
+            r#"{"cmd":"stats"}"#, "\n",
+            r#"{"cmd":"metrics"}"#, "\n",
+            r#"{"cmd":"shutdown"}"#, "\n",
+        ),
+    );
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 5, "expected 5 response lines: {stdout}");
+
+    let stats = parse_stats(lines[2]);
+    let gauges = stats.get("gauges").expect("stats.gauges missing");
+    assert_eq!(as_u64(gauges.get("epocd.inflight_jobs")), 0, "inflight after both jobs done");
+    assert!(as_u64(gauges.get("pulse_lib.entries")) > 0, "no library entries gauge");
+    assert!(as_u64(gauges.get("pulse_lib.resident_bytes")) > 0, "no resident bytes gauge");
+    assert_eq!(
+        as_u64(gauges.get("pulse_lib.entries")),
+        as_u64(stats.get("library_entries")),
+        "entries gauge disagrees with the store's own count"
+    );
+    assert_eq!(
+        as_u64(gauges.get("pulse_lib.resident_bytes")),
+        as_u64(stats.get("library_bytes")),
+        "resident-bytes gauge disagrees with the store's own accounting"
+    );
+
+    let lat = stats
+        .get("percentiles")
+        .and_then(|p| p.get("epocd.job_latency_ns"))
+        .expect("no job-latency percentiles");
+    assert_eq!(as_u64(lat.get("count")), 2);
+    let (p50, p95, p99) = (as_u64(lat.get("p50")), as_u64(lat.get("p95")), as_u64(lat.get("p99")));
+    assert!(p50 > 0 && p50 <= p95 && p95 <= p99, "bad quantile order: {p50} {p95} {p99}");
+
+    let jobs = stats.get("jobs_by_id").expect("stats.jobs_by_id missing");
+    let job1 = jobs.get("1").expect("job 1 summary missing");
+    let job2 = jobs.get("2").expect("job 2 summary missing");
+    assert!(as_u64(job1.get("pulse_lib.misses")) > 0, "job 1 (cold) shows no misses: {job1:?}");
+    assert!(as_u64(job1.get("grape.iterations")) > 0, "job 1 (cold) shows no GRAPE work");
+    assert_eq!(as_u64(job2.get("pulse_lib.misses")), 0, "job 2 (warm) shows misses: {job2:?}");
+    assert_eq!(as_u64(job2.get("grape.iterations")), 0, "job 2 (warm) shows GRAPE work");
+    assert!(as_u64(job2.get("pulse_lib.hits")) > 0, "job 2 (warm) shows no hits");
+
+    let metrics = Json::parse(lines[3])
+        .expect("metrics response is not JSON")
+        .get("metrics")
+        .and_then(Json::as_str)
+        .expect("metrics response lacks the text field")
+        .to_string();
+    assert!(metrics.contains("# TYPE epoc_epocd_jobs counter"), "{metrics}");
+    assert!(metrics.contains("epoc_epocd_jobs 2"), "{metrics}");
+    assert!(metrics.contains("epoc_epocd_jobs{job=\"1\"} 1"), "{metrics}");
+    assert!(metrics.contains("epoc_epocd_jobs{job=\"2\"} 1"), "{metrics}");
+    assert!(metrics.contains("# TYPE epoc_pulse_lib_resident_bytes gauge"), "{metrics}");
+    assert!(
+        metrics.contains("epoc_epocd_job_latency_ns{quantile=\"0.99\"}"),
+        "no p99 summary sample: {metrics}"
+    );
+    // Job 2 never missed: the per-job miss series must not name it.
+    assert!(metrics.contains("epoc_pulse_lib_misses{job=\"1\"}"), "{metrics}");
+    assert!(!metrics.contains("epoc_pulse_lib_misses{job=\"2\"}"), "{metrics}");
+}
+
+/// Cold→warm restart, watched through the observability surface: the
+/// cold daemon's stats show misses and a populated library; the warm
+/// daemon starts with the entries/resident-bytes gauges already loaded
+/// and serves its job hit-only. Job ids restart with the process — both
+/// logs attribute their lines to job 1.
+#[test]
+fn gauges_move_across_cold_warm_restart_and_jobs_hit_the_log() {
+    let lib = temp_path("restart-lib.json");
+    let cold_log = temp_path("cold.jsonl");
+    let warm_log = temp_path("warm.jsonl");
+    std::fs::remove_file(&lib).ok();
+
+    let lib_s = lib.to_str().unwrap().to_string();
+    let (cold_out, _) = run_epocd(
+        &["--library", &lib_s, "--log", cold_log.to_str().unwrap()],
+        concat!(
+            r#"{"id":7,"bench":"qaoa_n6"}"#, "\n",
+            r#"{"cmd":"stats"}"#, "\n",
+            r#"{"cmd":"shutdown"}"#, "\n",
+        ),
+    );
+    let cold_stats = parse_stats(cold_out.lines().nth(1).unwrap());
+    let cold_entries = as_u64(cold_stats.get("library_entries"));
+    assert!(cold_entries > 0);
+    assert!(as_u64(cold_stats.get("cache_misses")) > 0, "cold run never missed");
+
+    let (warm_out, stderr) = run_epocd(
+        &["--library", &lib_s, "--log", warm_log.to_str().unwrap()],
+        concat!(
+            r#"{"cmd":"stats"}"#, "\n",
+            r#"{"id":8,"bench":"qaoa_n6"}"#, "\n",
+            r#"{"cmd":"stats"}"#, "\n",
+            r#"{"cmd":"shutdown"}"#, "\n",
+        ),
+    );
+    assert!(stderr.contains("warm-started"), "no warm start: {stderr}");
+    let warm_lines: Vec<&str> = warm_out.lines().collect();
+    // Before any job: the load already drove the resident gauges up.
+    let preload = parse_stats(warm_lines[0]);
+    let pre_gauges = preload.get("gauges").expect("gauges missing");
+    assert_eq!(
+        as_u64(pre_gauges.get("pulse_lib.entries")),
+        cold_entries,
+        "warm start did not restore the entries gauge"
+    );
+    assert!(as_u64(pre_gauges.get("pulse_lib.resident_bytes")) > 0);
+    assert_eq!(as_u64(preload.get("cache_misses")), 0);
+    // After the job: hits moved, misses did not.
+    let after = parse_stats(warm_lines[2]);
+    assert_eq!(as_u64(after.get("cache_misses")), 0, "warm daemon missed");
+    assert!(as_u64(after.get("cache_hits")) > 0, "warm daemon never hit");
+
+    // Both logs carry job-scoped lifecycle events for *their* job 1.
+    for (path, req_id) in [(&cold_log, 7.0), (&warm_log, 8.0)] {
+        let text = std::fs::read_to_string(path).unwrap();
+        let entries: Vec<Json> = text.lines().map(|l| Json::parse(l).unwrap()).collect();
+        let admitted = entries
+            .iter()
+            .find(|e| e.get("event").and_then(Json::as_str) == Some("job.admitted"))
+            .unwrap_or_else(|| panic!("{}: no job.admitted", path.display()));
+        assert_eq!(admitted.get("job").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(admitted.get("request_id").and_then(Json::as_f64), Some(req_id));
+        let done = entries
+            .iter()
+            .find(|e| e.get("event").and_then(Json::as_str) == Some("job.done"))
+            .unwrap_or_else(|| panic!("{}: no job.done", path.display()));
+        assert_eq!(done.get("job").and_then(Json::as_f64), Some(1.0));
+        assert!(
+            entries.iter().any(|e| {
+                e.get("event").and_then(Json::as_str) == Some("checkpoint.saved")
+            }),
+            "{}: checkpoint outcome never logged",
+            path.display()
+        );
+    }
+    // The cold log recorded misses for job 1; the warm log recorded none.
+    let cold_done = std::fs::read_to_string(&cold_log).unwrap();
+    assert!(cold_done.contains(r#""event":"job.done""#));
+    let warm_done_line = std::fs::read_to_string(&warm_log)
+        .unwrap()
+        .lines()
+        .find(|l| l.contains(r#""event":"job.done""#))
+        .map(str::to_string)
+        .unwrap();
+    assert!(warm_done_line.contains(r#""cache_misses":0"#), "{warm_done_line}");
+
+    std::fs::remove_file(&lib).ok();
+    std::fs::remove_file(&cold_log).ok();
+    std::fs::remove_file(&warm_log).ok();
+}
+
+/// `trace_check` accepts the real artifacts and rejects doctored ones —
+/// the validator the CI `obs-smoke` step leans on must itself be tested.
+#[test]
+fn trace_check_validates_logs_and_metrics() {
+    let check = env!("CARGO_BIN_EXE_trace_check");
+    let log = temp_path("check.jsonl");
+    let metrics_line = temp_path("check-metrics.json");
+
+    let (stdout, _) = run_epocd(
+        &["--log", log.to_str().unwrap()],
+        concat!(
+            r#"{"id":1,"bench":"ghz_n4"}"#, "\n",
+            r#"{"cmd":"metrics"}"#, "\n",
+            r#"{"cmd":"shutdown"}"#, "\n",
+        ),
+    );
+    std::fs::write(&metrics_line, stdout.lines().nth(1).unwrap()).unwrap();
+
+    let ok = Command::new(check)
+        .args(["--require-jobs", "--log"])
+        .arg(&log)
+        .arg("--metrics")
+        .arg(&metrics_line)
+        .output()
+        .unwrap();
+    assert!(
+        ok.status.success(),
+        "trace_check rejected valid artifacts: {}",
+        String::from_utf8_lossy(&ok.stderr)
+    );
+
+    // A log whose lines never carry a job id must fail --require-jobs.
+    let jobless = temp_path("jobless.jsonl");
+    std::fs::write(
+        &jobless,
+        "{\"ts_ns\":1,\"level\":\"info\",\"event\":\"batch.begin\",\"size\":1}\n",
+    )
+    .unwrap();
+    let bad = Command::new(check).args(["--require-jobs", "--log"]).arg(&jobless).output().unwrap();
+    assert!(!bad.status.success(), "trace_check accepted a job-free log");
+
+    // Truncated exposition (no samples) must fail.
+    let empty = temp_path("empty.prom");
+    std::fs::write(&empty, "# TYPE epoc_x counter\n").unwrap();
+    let bad = Command::new(check).arg("--metrics").arg(&empty).output().unwrap();
+    assert!(!bad.status.success(), "trace_check accepted a sample-free exposition");
+
+    std::fs::remove_file(&log).ok();
+    std::fs::remove_file(&metrics_line).ok();
+    std::fs::remove_file(&jobless).ok();
+    std::fs::remove_file(&empty).ok();
+}
+
+/// `epocc --metrics-file` writes a standalone Prometheus exposition that
+/// `trace_check --metrics` accepts (one-shot compiles carry no job ids,
+/// so no `--require-jobs` here — that's the daemon's dimension).
+#[test]
+fn epocc_metrics_file_is_valid_exposition() {
+    let epocc = env!("CARGO_BIN_EXE_epocc");
+    let check = env!("CARGO_BIN_EXE_trace_check");
+    let path = temp_path("epocc.prom");
+    let out = Command::new(epocc)
+        .args(["--grape", "0", "--metrics-file"])
+        .arg(&path)
+        .arg("bench:ghz_n4")
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "epocc failed: {out:?}");
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(text.contains("# TYPE epoc_pulse_lib_misses counter"), "{text}");
+    assert!(text.contains("quantile=\"0.5\""), "no summary quantiles: {text}");
+    let ok = Command::new(check).arg("--metrics").arg(&path).output().unwrap();
+    assert!(
+        ok.status.success(),
+        "trace_check rejected epocc metrics: {}",
+        String::from_utf8_lossy(&ok.stderr)
+    );
+    std::fs::remove_file(&path).ok();
+}

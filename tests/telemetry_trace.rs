@@ -184,6 +184,89 @@ fn trace_counters_match_report_and_registry() {
     );
 }
 
+/// A compile under a `TelemetryScope` attributes *everything* to the
+/// scoped job — every span event (including those recorded on worker
+/// threads the pipeline fanned out to) and every counter delta — and the
+/// attribution survives the Chrome-trace round trip as `args.job`.
+#[test]
+fn scoped_compile_attributes_spans_and_counters_to_the_job() {
+    let _guard = lock();
+    telemetry::enable();
+    telemetry::reset();
+    let compiler = EpocCompiler::new(traced_config());
+    let report = {
+        let _scope = telemetry::TelemetryScope::enter(42);
+        compiler.compile(&generators::qaoa(3, 1, 2)).unwrap()
+    };
+    assert!(report.verified);
+
+    let events = telemetry::events_snapshot();
+    assert!(!events.is_empty());
+    assert!(
+        events.iter().all(|e| e.job == 42),
+        "a span escaped the job scope: {:?}",
+        events.iter().find(|e| e.job != 42)
+    );
+    let worker_tids: Vec<u64> =
+        events.iter().filter(|e| e.tid != 0).map(|e| e.tid).collect();
+    assert!(
+        !worker_tids.is_empty(),
+        "2-worker compile recorded no worker-thread spans — pool propagation untested"
+    );
+
+    // Counters recorded under the scope appear in the per-job table, and
+    // the job view agrees with the global one (this was the only job).
+    let jobs = telemetry::job_counters_snapshot();
+    let job_grape: u64 = jobs
+        .iter()
+        .filter(|(j, n, _)| *j == 42 && n == "grape.iterations")
+        .map(|(_, _, v)| *v)
+        .sum();
+    assert_eq!(job_grape as usize, report.stages.grape_iterations);
+    assert_eq!(job_grape, telemetry::counter_value("grape.iterations"));
+
+    // The exported trace carries the id on every event.
+    let doc = telemetry::chrome_trace();
+    let Some(Json::Arr(raw)) = doc.get("traceEvents") else {
+        panic!("traceEvents missing");
+    };
+    for e in raw {
+        let job = e
+            .get("args")
+            .and_then(|a| a.get("job"))
+            .and_then(Json::as_f64);
+        assert_eq!(job, Some(42.0), "event without args.job: {e:?}");
+    }
+    telemetry::disable();
+    telemetry::reset();
+}
+
+/// The resident-size gauges track the pulse libraries through a real
+/// compile: after a cold compile they equal the compiler's own
+/// accounting, and clearing via a fresh registry reset starts from zero.
+#[test]
+fn library_gauges_track_the_compiler() {
+    let _guard = lock();
+    telemetry::enable();
+    telemetry::reset();
+    assert_eq!(telemetry::gauge_value("pulse_lib.resident_bytes"), 0);
+    let compiler = EpocCompiler::new(traced_config());
+    compiler.compile(&generators::qaoa(3, 1, 2)).unwrap();
+    assert!(compiler.library_bytes() > 0);
+    assert_eq!(
+        telemetry::gauge_value("pulse_lib.resident_bytes"),
+        compiler.library_bytes() as i64,
+        "gauge drifted from the store's byte accounting"
+    );
+    assert_eq!(
+        telemetry::gauge_value("pulse_lib.entries"),
+        compiler.library_len() as i64,
+        "gauge drifted from the store's entry count"
+    );
+    telemetry::disable();
+    telemetry::reset();
+}
+
 #[test]
 fn report_bytes_identical_with_and_without_telemetry() {
     let _guard = lock();
