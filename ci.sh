@@ -154,4 +154,16 @@ if [ "$quick" -eq 0 ]; then
         target/sim-smoke-schedule.json
 fi
 
+# hw-smoke: compile under the transmon_awg_8bit control-electronics model
+# (8-bit DAC, Gaussian line filter, neighbour crosstalk, slew limit) and
+# replay the *conditioned* schedule at pulse level. Constrained GRAPE must
+# recover >= 0.95 simulated process fidelity — post-hoc conditioning of
+# ideal-electronics pulses lands well below that on the same benchmark
+# (see EXPERIMENTS.md), so this gate fails if constraint-aware
+# optimization regresses.
+if [ "$quick" -eq 0 ]; then
+    run ./target/release/epocc --hw transmon_awg_8bit \
+        --simulate --sim-check 0.95 bench:wstate_n3
+fi
+
 echo "CI OK"

@@ -214,6 +214,34 @@ fn bench_sim(stats: &mut Vec<Stats>) {
     }));
 }
 
+fn bench_hw(stats: &mut Vec<Stats>) {
+    // Conditioning a 1000-slot 4-channel staircase under the full AWG
+    // profile (slew-clip -> 8-bit quantize -> Gaussian filter ->
+    // crosstalk mix) -- the per-pulse cost constrained GRAPE pays every
+    // iteration and schedule emission pays once per waveform.
+    let profile = epoc_hw::HardwareProfile::transmon_awg_8bit();
+    let device = DeviceModel::transmon_line(2).unwrap();
+    let a_max = device.max_amplitude();
+    let dt = device.dt();
+    let n_slots = 1000;
+    let raw: Vec<Vec<f64>> = (0..4)
+        .map(|ch| {
+            (0..n_slots)
+                .map(|s| a_max * 0.6 * (0.37 * s as f64 + ch as f64).sin())
+                .collect()
+        })
+        .collect();
+    let mut ws = epoc_hw::ConditionWorkspace::new();
+    let mut controls = raw.clone();
+    stats.push(stage("hw/condition_1k_slots").run(|| {
+        for (dst, src) in controls.iter_mut().zip(&raw) {
+            dst.copy_from_slice(src);
+        }
+        profile.condition_controls(dt, a_max, &mut controls, &mut ws);
+        controls[0][0]
+    }));
+}
+
 fn bench_pipeline(stats: &mut Vec<Stats>) {
     // Fresh compiler per iteration: the pulse library cache persists
     // across compiles, so a reused compiler would measure cache hits.
@@ -347,6 +375,7 @@ fn main() {
     bench_synthesis(&mut stats);
     bench_grape(&mut stats);
     bench_sim(&mut stats);
+    bench_hw(&mut stats);
     bench_pipeline(&mut stats);
     let path = write_report(&stats);
     eprintln!("wrote {}", path.display());

@@ -46,6 +46,7 @@ pub fn gate_based_with(circuit: &Circuit, tables: &GatePulseTables) -> Compilati
         stages,
         verified: true, // identity transformation: trivially faithful
         verify_skipped: false,
+        hardware: None,
         simulation: None,
     }
 }
@@ -86,7 +87,7 @@ impl PaqocCompiler {
         let partition = paqoc_partition(circuit, self.partition);
         // The comparator stays single-threaded: its pulse cost is the
         // baseline number the paper's speedups are quoted against.
-        let schedule = schedule_partition(&partition, &self.backend, 1, &mut Vec::new())
+        let schedule = schedule_partition(&partition, &self.backend, 1, None, &mut Vec::new())
             .expect("modeled comparator backend cannot fail");
         let (hits1, misses1) = self.backend.cache_counts();
         let stages = StageStats {
@@ -108,6 +109,7 @@ impl PaqocCompiler {
             stages,
             verified: true, // partition flattening is gate-identical
             verify_skipped: false,
+            hardware: None,
             simulation: None,
         }
     }

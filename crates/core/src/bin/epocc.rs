@@ -48,6 +48,7 @@ struct Args {
     fault_seed: Option<u64>,
     library: Option<String>,
     library_budget: Option<u64>,
+    hw: Option<String>,
 }
 
 fn usage() -> ! {
@@ -56,7 +57,7 @@ fn usage() -> ! {
          [--grape N] [--timeline] [--schedule FILE] [--simulate] [--shots N] \
          [--sim-check F] [--json] [--trace FILE] [--metrics] [--metrics-file FILE] [--strict] \
          [--faults SPEC] [--fault-seed N] \
-         [--library FILE] [--library-budget BYTES] \
+         [--library FILE] [--library-budget BYTES] [--hw PROFILE] \
          <file.qasm | bench:NAME>\n\
          --grape N      GRAPE width cap for the epoc flow (default {DEFAULT_GRAPE_LIMIT}; 0 = modeled)\n\
          --timeline     print the human-readable pulse timeline\n\
@@ -72,7 +73,10 @@ fn usage() -> ! {
          --fault-seed N seed for probabilistic fault triggers\n\
          --library FILE warm-start the pulse library from FILE and save it back after the compile\n\
          --library-budget BYTES cap the in-memory pulse library (LRU eviction; epoc flow only)\n\
+         --hw PROFILE   compile under a control-electronics model (epoc flow only);\n\
+         \x20              profiles: {}\n\
          builtin benchmarks: {}",
+        epoc::hw::PROFILE_NAMES.join(", "),
         generators::benchmark_suite()
             .iter()
             .map(|b| b.name)
@@ -115,6 +119,7 @@ fn parse_args() -> Args {
         fault_seed: None,
         library: None,
         library_budget: None,
+        hw: None,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(a) = iter.next() {
@@ -177,6 +182,7 @@ fn parse_args() -> Args {
                     }
                 };
             }
+            "--hw" => args.hw = Some(flag_value(&mut iter, "--hw", "a profile name")),
             "--faults" => args.faults = Some(flag_value(&mut iter, "--faults", "a fault spec")),
             "--fault-seed" => {
                 let v = flag_value(&mut iter, "--fault-seed", "a seed");
@@ -275,6 +281,18 @@ fn main() -> ExitCode {
             }
             if !args.regroup {
                 config = config.without_regrouping();
+            }
+            if let Some(name) = &args.hw {
+                match epoc::hw::HardwareProfile::by_name(name) {
+                    Some(profile) => config = config.with_hw(profile),
+                    None => {
+                        eprintln!(
+                            "error: unknown hardware profile '{name}' (profiles: {})",
+                            epoc::hw::PROFILE_NAMES.join(", ")
+                        );
+                        return ExitCode::from(2);
+                    }
+                }
             }
             let compiler = EpocCompiler::new(config);
             if let Some(path) = &args.library {
@@ -383,6 +401,15 @@ fn main() -> ExitCode {
         };
     }
     println!("{}", report.summary());
+    if let Some(hw) = &report.hardware {
+        println!(
+            "hardware: {} ({} conditioned pulse{}{})",
+            hw.profile,
+            hw.conditioned_pulses,
+            if hw.conditioned_pulses == 1 { "" } else { "s" },
+            if hw.sfq { ", sfq bitstream drive" } else { "" },
+        );
+    }
     if let Some(sim) = &report.simulation {
         println!("{}", sim.summary());
     }

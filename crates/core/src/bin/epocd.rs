@@ -87,13 +87,14 @@ struct Args {
     log: Option<PathBuf>,
     faults: Option<String>,
     fault_seed: Option<u64>,
+    hw: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: epocd [--library FILE] [--library-budget BYTES] [--shards N] \
          [--grape N] [--workers N] [--no-regroup] [--checkpoint-every N] \
-         [--socket PATH] [--log FILE] [--faults SPEC] [--fault-seed N]\n\
+         [--socket PATH] [--log FILE] [--faults SPEC] [--fault-seed N] [--hw PROFILE]\n\
          --library FILE     load the pulse library from FILE on start, save on checkpoint/shutdown\n\
          --library-budget BYTES cap the in-memory library (LRU eviction)\n\
          --shards N         library shard count (default {DEFAULT_SHARDS})\n\
@@ -104,7 +105,11 @@ fn usage() -> ! {
          --socket PATH      serve a Unix socket instead of stdin/stdout\n\
          --log FILE         write a structured JSONL event log to FILE\n\
          --faults SPEC      arm fault injection (e.g. 'pulse_lib.persist=always')\n\
-         --fault-seed N     seed for probabilistic fault triggers"
+         --fault-seed N     seed for probabilistic fault triggers\n\
+         --hw PROFILE       compile every job under a control-electronics model\n\
+         \x20                  (profiles: {}); jobs may pin the same profile with an\n\
+         \x20                  'hw' field — a mismatch fails that job, not the daemon",
+        epoc::hw::PROFILE_NAMES.join(", ")
     );
     std::process::exit(2);
 }
@@ -139,6 +144,7 @@ fn parse_args() -> Args {
         log: None,
         faults: None,
         fault_seed: None,
+        hw: None,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(a) = iter.next() {
@@ -171,6 +177,7 @@ fn parse_args() -> Args {
                 args.socket = Some(flag_value(&mut iter, "--socket", "a path").into())
             }
             "--log" => args.log = Some(flag_value(&mut iter, "--log", "a path").into()),
+            "--hw" => args.hw = Some(flag_value(&mut iter, "--hw", "a profile name")),
             "--faults" => args.faults = Some(flag_value(&mut iter, "--faults", "a fault spec")),
             "--fault-seed" => {
                 let v = flag_value(&mut iter, "--fault-seed", "a seed");
@@ -217,6 +224,18 @@ impl Service {
         if !args.regroup {
             config = config.without_regrouping();
         }
+        if let Some(name) = &args.hw {
+            match epoc::hw::HardwareProfile::by_name(name) {
+                Some(profile) => config = config.with_hw(profile),
+                None => {
+                    eprintln!(
+                        "error: unknown hardware profile '{name}' (profiles: {})",
+                        epoc::hw::PROFILE_NAMES.join(", ")
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
         let compiler = EpocCompiler::new(config);
         if let Some(path) = &args.library {
             if path.exists() {
@@ -256,6 +275,18 @@ impl Service {
     }
 
     fn compile(&mut self, req: &Json) -> Result<CompilationReport, String> {
+        // A job may pin the hardware profile it expects. The daemon runs
+        // one compiler with one profile-scoped library, so a mismatch
+        // fails that job (the client should target a matching daemon)
+        // rather than silently compiling under different electronics.
+        if let Some(want) = req.get("hw").and_then(Json::as_str) {
+            let have = self.compiler.config().hw.as_ref().map_or("ideal", |p| p.name.as_str());
+            if want != have {
+                return Err(format!(
+                    "job pins hardware profile '{want}' but this daemon compiles under '{have}'"
+                ));
+            }
+        }
         let circuit = self.load_circuit(req)?;
         self.compiler.compile(&circuit).map_err(|e| e.to_string())
     }

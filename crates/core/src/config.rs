@@ -93,6 +93,13 @@ pub struct EpocConfig {
     /// `epocd` shards and budgets the library for long-running service
     /// use.
     pub store: StoreConfig,
+    /// Control-electronics model (`None` = ideal electronics). When set,
+    /// GRAPE optimizes *under* the profile's constraints, emitted
+    /// waveforms are conditioned (slew-clip → quantize → filter →
+    /// crosstalk) at schedule emission, the simulator replays the
+    /// conditioned pulse, and the pulse-library cache keys are scoped to
+    /// the profile.
+    pub hw: Option<epoc_hw::HardwareProfile>,
 }
 
 impl Default for EpocConfig {
@@ -121,6 +128,7 @@ impl Default for EpocConfig {
             workers: None,
             recovery: RecoveryPolicy::default(),
             store: StoreConfig::default(),
+            hw: None,
         }
     }
 }
@@ -170,6 +178,13 @@ impl EpocConfig {
     /// Selects the pulse-library storage tier (see [`StoreConfig`]).
     pub fn with_store(mut self, store: StoreConfig) -> Self {
         self.store = store;
+        self
+    }
+
+    /// Compiles under a control-electronics model (see
+    /// [`epoc_hw::HardwareProfile`]).
+    pub fn with_hw(mut self, profile: epoc_hw::HardwareProfile) -> Self {
+        self.hw = Some(profile);
         self
     }
 }

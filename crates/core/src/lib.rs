@@ -35,8 +35,8 @@ pub use config::{Backend, EpocConfig, RecoveryPolicy};
 pub use error::{EpocError, ScheduleError};
 pub use pipeline::{compile_default, is_compilable, EpocCompiler};
 pub use report::{
-    CompilationReport, RecoveryRecord, StageStats, StageTimings, RUNG_SCHEDULE_RECOMPUTE,
-    RUNG_SYNTH_BUDGET, RUNG_SYNTH_FALLBACK,
+    CompilationReport, HardwareStats, RecoveryRecord, StageStats, StageTimings, RUNG_HW_DIGITAL,
+    RUNG_SCHEDULE_RECOMPUTE, RUNG_SYNTH_BUDGET, RUNG_SYNTH_FALLBACK,
 };
 pub use simulate::{simulate_schedule, SimulationStats};
 
@@ -45,6 +45,7 @@ pub use simulate::{simulate_schedule, SimulationStats};
 pub use epoc_qoc::{LibraryError, StoreConfig, StoreTier};
 
 pub use epoc_circuit as circuit;
+pub use epoc_hw as hw;
 pub use epoc_linalg as linalg;
 pub use epoc_partition as partition;
 pub use epoc_pulse as pulse;

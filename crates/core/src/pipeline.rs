@@ -11,8 +11,8 @@
 use crate::config::{Backend, EpocConfig};
 use crate::error::EpocError;
 use crate::report::{
-    CompilationReport, RecoveryRecord, StageStats, RUNG_SCHEDULE_RECOMPUTE, RUNG_SYNTH_BUDGET,
-    RUNG_SYNTH_FALLBACK,
+    CompilationReport, HardwareStats, RecoveryRecord, StageStats, RUNG_HW_DIGITAL,
+    RUNG_SCHEDULE_RECOMPUTE, RUNG_SYNTH_BUDGET, RUNG_SYNTH_FALLBACK,
 };
 use epoc_circuit::{circuits_equivalent, Circuit, Gate};
 use epoc_linalg::Matrix;
@@ -50,6 +50,10 @@ impl BackendImpl {
                 search.grape.workers = config
                     .workers
                     .unwrap_or_else(epoc_rt::pool::default_workers);
+                // Constrained compilation: GRAPE optimizes *under* the
+                // control-electronics model so the kept fidelity is the
+                // conditioned one (see `epoc_qoc::GrapeConfig::hw`).
+                search.grape.hw = config.hw.clone();
                 search.recovery = epoc_qoc::GrapeRecoveryPolicy {
                     restart_escalations: config.recovery.grape_restart_escalations,
                     slot_escalations: config.recovery.grape_slot_escalations,
@@ -140,9 +144,18 @@ pub(crate) fn schedule_partition(
     partition: &Partition,
     backend: &BackendImpl,
     workers: usize,
+    hw: Option<&epoc_hw::HardwareProfile>,
     recoveries: &mut Vec<RecoveryRecord>,
 ) -> Result<PulseSchedule, EpocError> {
     let blocks = partition.blocks();
+    // Conditioning state for stage 4 (serial, so a single reusable
+    // workspace and a fixed fault-counter draw order keep the schedule
+    // byte-identical at any worker count). The amplitude bound matches
+    // the GRAPE device model the waveforms were optimized against.
+    let a_max = epoc_qoc::DeviceModel::transmon_line(1)
+        .expect("single-qubit transmon line is always well-formed")
+        .max_amplitude();
+    let mut hw_ws = epoc_hw::ConditionWorkspace::new();
 
     // Stage 1: dense unitaries (pure function of each block).
     let unitaries: Vec<Option<Matrix>> =
@@ -252,9 +265,35 @@ pub(crate) fn schedule_partition(
             line_free[q] = start + entry.duration;
         }
         // Replay information for epoc-sim: the GRAPE waveform when one was
-        // synthesized, else the dense block unitary as an exact step.
+        // synthesized, else the dense block unitary as an exact step. Under
+        // a hardware profile the *conditioned* waveform is emitted — the
+        // library keeps raw controls (conditioning is not idempotent), so
+        // the distortion is applied exactly once, here.
         let payload = match (&entry.waveform, unitaries[i].as_ref()) {
-            (Some(w), _) => PulsePayload::Waveform(Arc::clone(w)),
+            (Some(w), u) => match hw {
+                Some(profile) => {
+                    if epoc_rt::faults::fail_point("hw.condition") {
+                        recoveries.push(RecoveryRecord {
+                            stage: "hw",
+                            subject: format!("blk{i}"),
+                            rung: RUNG_HW_DIGITAL,
+                        });
+                        epoc_rt::telemetry::counter_add(RUNG_HW_DIGITAL, 1);
+                        match u {
+                            Some(u) => PulsePayload::Unitary(Arc::new(u.clone())),
+                            None => PulsePayload::Opaque,
+                        }
+                    } else {
+                        let mut controls = w.controls().to_vec();
+                        profile.condition_controls(w.dt(), a_max, &mut controls, &mut hw_ws);
+                        PulsePayload::Waveform(Arc::new(epoc_qoc::PulseWaveform::new(
+                            w.dt(),
+                            controls,
+                        )))
+                    }
+                }
+                None => PulsePayload::Waveform(Arc::clone(w)),
+            },
             (None, Some(u)) => PulsePayload::Unitary(Arc::new(u.clone())),
             (None, None) => PulsePayload::Opaque,
         };
@@ -474,8 +513,16 @@ impl EpocCompiler {
         let stage_span = epoc_rt::telemetry::span("stage", "pulse");
         let stage_t = Instant::now();
         let mut pulse_recoveries = Vec::new();
-        let schedule =
-            schedule_partition(&final_partition, &self.backend, n_workers, &mut pulse_recoveries)?;
+        // The identity (`ideal`) profile conditions nothing and hashes to
+        // 0, so compiling under it is byte-identical to no profile at all.
+        let hw_active = self.config.hw.as_ref().filter(|p| !p.is_identity());
+        let schedule = schedule_partition(
+            &final_partition,
+            &self.backend,
+            n_workers,
+            hw_active,
+            &mut pulse_recoveries,
+        )?;
         stages.recoveries.append(&mut pulse_recoveries);
         stages.pulses = schedule.len();
         let (hits1, misses1) = self.backend.cache_counts();
@@ -496,6 +543,16 @@ impl EpocCompiler {
             (false, true)
         };
 
+        // Control-electronics summary: the conditioned-pulse count reads
+        // the schedule (fault-degraded blocks carry no waveform, so they
+        // are not counted), and the hash is the cache-key scope.
+        let hardware = self.config.hw.as_ref().map(|p| HardwareStats {
+            profile: p.name.clone(),
+            profile_hash: epoc_hw::profile_hash(Some(p)),
+            conditioned_pulses: if p.is_identity() { 0 } else { schedule.waveform_count() },
+            sfq: p.sfq.is_some(),
+        });
+
         Ok(CompilationReport {
             flow: "epoc".into(),
             n_qubits: circuit.n_qubits(),
@@ -505,6 +562,7 @@ impl EpocCompiler {
             stages,
             verified,
             verify_skipped,
+            hardware,
             simulation: None,
         })
     }

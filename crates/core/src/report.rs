@@ -45,6 +45,10 @@ pub const RUNG_SYNTH_FALLBACK: &str = "recovery.synth.fallback";
 /// schedule replay (lost cache insert or forced miss) and the block was
 /// recomputed in place.
 pub const RUNG_SCHEDULE_RECOMPUTE: &str = "recovery.schedule.recompute";
+/// Recovery-ladder rung label: waveform conditioning failed at schedule
+/// emission (injected `hw.condition` fault) and the block degraded to the
+/// digital (exact-unitary) payload instead of failing the compile.
+pub const RUNG_HW_DIGITAL: &str = "recovery.hw.digital";
 
 /// One climbed rung of the per-block recovery ladder. The `rung` label
 /// doubles as the `recovery.*` telemetry counter the pipeline bumps when
@@ -173,6 +177,34 @@ impl StageStats {
     }
 }
 
+/// Control-electronics summary of one compilation under a hardware
+/// profile (see [`epoc_hw::HardwareProfile`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HardwareStats {
+    /// Profile name (`"transmon_awg_8bit"`, …).
+    pub profile: String,
+    /// Stable profile hash — the same value scoping the pulse-library
+    /// cache keys (0 for the identity/`ideal` profile).
+    pub profile_hash: u64,
+    /// Waveform pulses conditioned (slew-clip → quantize → filter →
+    /// crosstalk) at schedule emission.
+    pub conditioned_pulses: usize,
+    /// `true` when the profile lowers drives to SFQ bitstreams.
+    pub sfq: bool,
+}
+
+impl HardwareStats {
+    /// The stats as a JSON value. The hash serializes as a 16-hex-digit
+    /// string (a raw u64 does not survive a JSON f64 round-trip).
+    pub fn to_json_value(&self) -> Json {
+        Json::obj()
+            .push("profile", self.profile.as_str())
+            .push("profile_hash", format!("{:016x}", self.profile_hash).as_str())
+            .push("conditioned_pulses", self.conditioned_pulses)
+            .push("sfq", self.sfq)
+    }
+}
+
 /// The result of compiling one circuit down to pulses.
 #[derive(Debug, Clone)]
 pub struct CompilationReport {
@@ -193,6 +225,10 @@ pub struct CompilationReport {
     pub verified: bool,
     /// `true` when verification was skipped (register too wide).
     pub verify_skipped: bool,
+    /// Control-electronics summary (`None` when compiling with ideal
+    /// electronics). Like `simulation`, the key is omitted from the JSON
+    /// entirely when absent, so existing report consumers are unaffected.
+    pub hardware: Option<HardwareStats>,
     /// Pulse-level simulation outcome (`None` unless `--simulate` /
     /// [`crate::simulate_schedule`] ran). The key is omitted from the
     /// JSON entirely when absent, so existing report consumers are
@@ -229,6 +265,9 @@ impl CompilationReport {
             .push("stages", self.stages.to_json_value())
             .push("verified", self.verified)
             .push("verify_skipped", self.verify_skipped);
+        if let Some(hw) = &self.hardware {
+            obj = obj.push("hardware", hw.to_json_value());
+        }
         if let Some(sim) = &self.simulation {
             obj = obj.push("simulation", sim.to_json_value());
         }
@@ -286,6 +325,7 @@ mod tests {
             stages: StageStats::default(),
             verified: true,
             verify_skipped: false,
+            hardware: None,
             simulation: None,
         };
         let s = r.summary();
@@ -341,6 +381,7 @@ mod tests {
             },
             verified: true,
             verify_skipped: false,
+            hardware: None,
             simulation: None,
         };
         let expected = concat!(

@@ -36,6 +36,11 @@ impl PulsePayload {
             PulsePayload::Unitary(_) => "unitary",
         }
     }
+
+    /// `true` when the payload carries a control waveform.
+    pub fn is_waveform(&self) -> bool {
+        matches!(self, PulsePayload::Waveform(_))
+    }
 }
 
 /// One pulse placed in the schedule.
@@ -152,6 +157,12 @@ impl PulseSchedule {
     /// `true` when no pulses are scheduled.
     pub fn is_empty(&self) -> bool {
         self.pulses.is_empty()
+    }
+
+    /// Number of pulses carrying a control waveform payload (the ones a
+    /// hardware profile conditions at emission).
+    pub fn waveform_count(&self) -> usize {
+        self.pulses.iter().filter(|p| p.payload.is_waveform()).count()
     }
 
     /// Appends a pulse (caller is responsible for overlap discipline —

@@ -98,6 +98,17 @@ pub struct GrapeConfig {
     /// the cache on or off. Default `true`; set `false` to force the
     /// always-recompute path.
     pub eig_cache: bool,
+    /// Control-electronics model to optimize *under* (default `None` =
+    /// ideal electronics). When set (and not an identity profile), each
+    /// iteration evaluates the fidelity on the **conditioned** controls
+    /// `C(u)` (slew-clip → quantize → filter → crosstalk, see `epoc-hw`)
+    /// and pulls the gradient back through the straight-through
+    /// estimator: the linear stages are transposed exactly, the
+    /// quantizer and slew clip pass the gradient through unchanged. The
+    /// returned [`GrapeResult::controls`] stay **raw** (conditioning is
+    /// applied exactly once, at schedule emission); the returned
+    /// fidelity and unitary are those of the conditioned pulse.
+    pub hw: Option<epoc_hw::HardwareProfile>,
 }
 
 impl Default for GrapeConfig {
@@ -111,6 +122,7 @@ impl Default for GrapeConfig {
             restarts: 2,
             workers: 1,
             eig_cache: true,
+            hw: None,
         }
     }
 }
@@ -318,6 +330,17 @@ pub fn grape(
     let mut restarts_run = 0usize;
     // One workspace serves every iteration of every restart.
     let mut ws = GrapeWorkspace::new(device, n_slots);
+    // Control-electronics model: when active, fidelity is evaluated on
+    // the conditioned controls `C(u)` and the gradient is pulled back
+    // through the straight-through estimator. Conditioning runs on the
+    // calling thread (plain sequential f64 arithmetic), so the
+    // worker-count bit-determinism guarantee is untouched.
+    let hw_active = config.hw.as_ref().filter(|p| !p.is_identity());
+    let mut hw_ws = epoc_hw::ConditionWorkspace::new();
+    let mut uc: Vec<Vec<f64>> = match hw_active {
+        Some(_) => vec![vec![0.0; n_slots]; n_ctrl],
+        None => Vec::new(),
+    };
     // Hoist the drift-Hamiltonian eigendecomposition out of the iteration
     // loop: it is computed once here, and every slot whose controls are
     // all exactly zero adopts the bundle instead of rediagonalizing.
@@ -351,7 +374,20 @@ pub fn grape(
         let mut iters_used = 0;
         for step in 1..=config.max_iters {
             iters_used = step;
-            let f = fidelity_and_gradient(device, &adag, &u, config, &mut ws)?;
+            let f = match hw_active {
+                Some(profile) => {
+                    for (dst, src) in uc.iter_mut().zip(&u) {
+                        dst.copy_from_slice(src);
+                    }
+                    profile.condition_controls(dt, a_max, &mut uc, &mut hw_ws);
+                    let f = fidelity_and_gradient(device, &adag, &uc, config, &mut ws)?;
+                    // ∂F/∂(conditioned u) → ∂F/∂(raw u): transpose the
+                    // linear stages, straight-through the rest.
+                    profile.adjoint_grad(n_ctrl, n_slots, &mut ws.grad, &mut hw_ws);
+                    f
+                }
+                None => fidelity_and_gradient(device, &adag, &u, config, &mut ws)?,
+            };
             fidelity = f;
             if 1.0 - f < config.infidelity_threshold {
                 break;
@@ -390,7 +426,17 @@ pub fn grape(
         // `best`; reaching here means the loop body was skipped entirely.
         None => return Err(GrapeError::Numerical("no restart produced a result".into())),
     };
-    let unitary = propagate(device, &controls)?;
+    // The realized propagator is that of the pulse the electronics will
+    // actually play; the returned controls stay raw so conditioning is
+    // applied exactly once (the filter is not idempotent).
+    let unitary = match hw_active {
+        Some(profile) => {
+            let mut cond = controls.clone();
+            profile.condition_controls(dt, a_max, &mut cond, &mut hw_ws);
+            propagate(device, &cond)?
+        }
+        None => propagate(device, &controls)?,
+    };
     Ok(GrapeResult {
         controls,
         fidelity,
@@ -846,6 +892,113 @@ mod tests {
         for (x, y) in r1.unitary.as_slice().iter().zip(r4.unitary.as_slice()) {
             assert_eq!(x.re.to_bits(), y.re.to_bits());
             assert_eq!(x.im.to_bits(), y.im.to_bits());
+        }
+    }
+
+    /// Constrained GRAPE (straight-through estimator through the AWG
+    /// model) must still hit high conditioned fidelity on a 1-qubit gate
+    /// given slot headroom, and must beat post-hoc conditioning of the
+    /// unconstrained pulse.
+    #[test]
+    fn constrained_grape_beats_post_hoc_conditioning() {
+        let d = device1();
+        let target = Gate::X.unitary_matrix();
+        let profile = epoc_hw::HardwareProfile::transmon_awg_8bit();
+        let slots = 40;
+        // Unconstrained pulse, then distort it post hoc.
+        let free = grape(&d, &target, slots, &GrapeConfig::default()).unwrap();
+        let mut distorted = free.controls.clone();
+        let mut ws = epoc_hw::ConditionWorkspace::new();
+        profile.condition_controls(d.dt(), d.max_amplitude(), &mut distorted, &mut ws);
+        let post_hoc = phase_invariant_fidelity(&propagate(&d, &distorted).unwrap(), &target);
+        // Constrained run: fidelity is evaluated on the conditioned pulse.
+        let constrained = grape(
+            &d,
+            &target,
+            slots,
+            &GrapeConfig {
+                hw: Some(profile.clone()),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            constrained.fidelity > 0.999,
+            "constrained fidelity {}",
+            constrained.fidelity
+        );
+        assert!(
+            constrained.fidelity > post_hoc,
+            "constrained {} should beat post-hoc {post_hoc}",
+            constrained.fidelity
+        );
+        // The reported unitary is the conditioned propagator: replaying
+        // the conditioned controls must reproduce the claimed fidelity.
+        let mut cond = constrained.controls.clone();
+        profile.condition_controls(d.dt(), d.max_amplitude(), &mut cond, &mut ws);
+        let replay = propagate(&d, &cond).unwrap();
+        assert!(replay.approx_eq(&constrained.unitary, 1e-12));
+        // Raw controls respect the amplitude bound.
+        for ch in &constrained.controls {
+            for &a in ch {
+                assert!(a.abs() <= d.max_amplitude() + 1e-12);
+            }
+        }
+    }
+
+    /// The constrained trajectory must stay bit-identical at any worker
+    /// count — conditioning runs on the calling thread.
+    #[test]
+    fn constrained_worker_count_does_not_change_trajectory() {
+        let d = DeviceModel::transmon_line(2).unwrap();
+        let target = Matrix::identity(4);
+        let run = |workers: usize| {
+            grape(
+                &d,
+                &target,
+                24,
+                &GrapeConfig {
+                    max_iters: 30,
+                    restarts: 1,
+                    workers,
+                    hw: Some(epoc_hw::HardwareProfile::transmon_awg_8bit()),
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        };
+        let r1 = run(1);
+        let r4 = run(4);
+        assert_eq!(r1.fidelity.to_bits(), r4.fidelity.to_bits());
+        for (a, b) in r1.controls.iter().zip(&r4.controls) {
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    /// An identity (or absent) profile must not perturb the trajectory at
+    /// all: `hw: Some(ideal)` and `hw: None` are the same optimizer.
+    #[test]
+    fn ideal_profile_matches_unconstrained_bitwise() {
+        let d = device1();
+        let target = Gate::H.unitary_matrix();
+        let plain = grape(&d, &target, 20, &GrapeConfig::default()).unwrap();
+        let ideal = grape(
+            &d,
+            &target,
+            20,
+            &GrapeConfig {
+                hw: Some(epoc_hw::HardwareProfile::ideal()),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(plain.fidelity.to_bits(), ideal.fidelity.to_bits());
+        for (a, b) in plain.controls.iter().zip(&ideal.controls) {
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
         }
     }
 

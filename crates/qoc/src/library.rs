@@ -150,8 +150,20 @@ impl PulseEntry {
 /// A policy-resolved cache key: what [`PulseLibrary::lookup`] hashes
 /// internally, exposed so batch schedulers can deduplicate pending
 /// misses without touching the hit/miss counters.
+///
+/// Besides the unitary fingerprint, the key carries the stable hash of
+/// the [hardware profile](`epoc_hw::HardwareProfile`) the entry was
+/// optimized under (0 = ideal electronics): a pulse constrained for one
+/// control stack is *wrong* for another even though it implements the
+/// same unitary, so the profile is part of entry identity.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub enum CacheKey {
+pub struct CacheKey {
+    fingerprint: Fingerprint,
+    hw: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum Fingerprint {
     /// Phase-invariant fingerprint.
     PhaseAware(UnitaryKey),
     /// Exact-matrix fingerprint.
@@ -159,19 +171,34 @@ pub enum CacheKey {
 }
 
 impl CacheKey {
+    /// A phase-aware key scoped to the hardware profile hash `hw`.
+    pub fn phase_aware(key: UnitaryKey, hw: u64) -> Self {
+        Self { fingerprint: Fingerprint::PhaseAware(key), hw }
+    }
+
+    /// A phase-sensitive key scoped to the hardware profile hash `hw`.
+    pub fn phase_sensitive(key: PhaseSensitiveKey, hw: u64) -> Self {
+        Self { fingerprint: Fingerprint::PhaseSensitive(key), hw }
+    }
+
     /// The policy this key was resolved under.
     pub fn policy(&self) -> KeyPolicy {
-        match self {
-            CacheKey::PhaseAware(_) => KeyPolicy::PhaseAware,
-            CacheKey::PhaseSensitive(_) => KeyPolicy::PhaseSensitive,
+        match &self.fingerprint {
+            Fingerprint::PhaseAware(_) => KeyPolicy::PhaseAware,
+            Fingerprint::PhaseSensitive(_) => KeyPolicy::PhaseSensitive,
         }
+    }
+
+    /// The hardware-profile hash this key is scoped to (0 = ideal).
+    pub fn hw(&self) -> u64 {
+        self.hw
     }
 
     /// Number of quantized cells in the fingerprint.
     pub fn cell_count(&self) -> usize {
-        match self {
-            CacheKey::PhaseAware(k) => k.cells().len(),
-            CacheKey::PhaseSensitive(k) => k.cells().len(),
+        match &self.fingerprint {
+            Fingerprint::PhaseAware(k) => k.cells().len(),
+            Fingerprint::PhaseSensitive(k) => k.cells().len(),
         }
     }
 
@@ -181,9 +208,9 @@ impl CacheKey {
     pub fn stable_hash(&self) -> u64 {
         const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
         const PRIME: u64 = 0x0000_0100_0000_01b3;
-        let (tag, dim, cells) = match self {
-            CacheKey::PhaseAware(k) => (0u8, k.dim() as u32, k.cells()),
-            CacheKey::PhaseSensitive(k) => (1u8, k.dim() as u32, k.cells()),
+        let (tag, dim, cells) = match &self.fingerprint {
+            Fingerprint::PhaseAware(k) => (0u8, k.dim() as u32, k.cells()),
+            Fingerprint::PhaseSensitive(k) => (1u8, k.dim() as u32, k.cells()),
         };
         let mut h = OFFSET;
         let mut eat = |b: u8| {
@@ -202,16 +229,19 @@ impl CacheKey {
                 eat(b);
             }
         }
+        for b in self.hw.to_le_bytes() {
+            eat(b);
+        }
         h
     }
 
     /// Serializes the key for the persistent library: its policy kind,
-    /// dimension, and quantized cells as a flat `[re, im, re, im, …]`
-    /// integer array.
+    /// dimension, quantized cells as a flat `[re, im, re, im, …]`
+    /// integer array, and the hardware-profile hash as 16 hex digits.
     pub fn to_json_value(&self) -> Json {
-        let (dim, cells) = match self {
-            CacheKey::PhaseAware(k) => (k.dim(), k.cells()),
-            CacheKey::PhaseSensitive(k) => (k.dim(), k.cells()),
+        let (dim, cells) = match &self.fingerprint {
+            Fingerprint::PhaseAware(k) => (k.dim(), k.cells()),
+            Fingerprint::PhaseSensitive(k) => (k.dim(), k.cells()),
         };
         let mut flat = Vec::with_capacity(cells.len() * 2);
         for &(re, im) in cells {
@@ -222,6 +252,7 @@ impl CacheKey {
             .push("kind", self.policy().as_str())
             .push("dim", dim)
             .push("cells", Json::Arr(flat))
+            .push("hw", format!("{:016x}", self.hw))
     }
 
     /// Deserializes a key written by [`CacheKey::to_json_value`].
@@ -251,10 +282,19 @@ impl CacheKey {
             };
             cells.push((cell(&pair[0])?, cell(&pair[1])?));
         }
+        let hw = match v.get("hw") {
+            None => 0,
+            Some(h) => {
+                let s = h.as_str().ok_or("key 'hw' is not a string")?;
+                u64::from_str_radix(s, 16).map_err(|_| "key 'hw' is not a hex hash".to_string())?
+            }
+        };
         Ok(match policy {
-            KeyPolicy::PhaseAware => CacheKey::PhaseAware(UnitaryKey::from_parts(dim, cells)),
+            KeyPolicy::PhaseAware => {
+                CacheKey::phase_aware(UnitaryKey::from_parts(dim, cells), hw)
+            }
             KeyPolicy::PhaseSensitive => {
-                CacheKey::PhaseSensitive(PhaseSensitiveKey::from_parts(dim, cells))
+                CacheKey::phase_sensitive(PhaseSensitiveKey::from_parts(dim, cells), hw)
             }
         })
     }
@@ -281,6 +321,11 @@ impl CacheKey {
 #[derive(Debug)]
 pub struct PulseLibrary {
     policy: KeyPolicy,
+    /// Stable hash of the hardware profile the stored pulses were
+    /// optimized under (0 = ideal electronics). Scopes every cache key
+    /// and the persisted section header, so a library built for one
+    /// control stack can never silently serve another.
+    profile_hash: u64,
     store: Box<dyn PulseStore>,
     hits: AtomicUsize,
     misses: AtomicUsize,
@@ -297,6 +342,7 @@ impl PulseLibrary {
     pub fn with_store(policy: KeyPolicy, store: Box<dyn PulseStore>) -> Self {
         Self {
             policy,
+            profile_hash: 0,
             store,
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
@@ -308,9 +354,21 @@ impl PulseLibrary {
         Self::with_store(policy, config.build())
     }
 
+    /// Scopes the library to a hardware-profile hash (see
+    /// [`epoc_hw::profile_hash`]); 0 means ideal electronics.
+    pub fn with_profile_hash(mut self, hash: u64) -> Self {
+        self.profile_hash = hash;
+        self
+    }
+
     /// The key policy.
     pub fn policy(&self) -> KeyPolicy {
         self.policy
+    }
+
+    /// The hardware-profile hash this library is scoped to (0 = ideal).
+    pub fn profile_hash(&self) -> u64 {
+        self.profile_hash
     }
 
     /// The storage tier backing this library.
@@ -327,9 +385,11 @@ impl PulseLibrary {
     /// The key `unitary` resolves to under this library's policy.
     pub fn cache_key(&self, unitary: &Matrix) -> CacheKey {
         match self.policy {
-            KeyPolicy::PhaseAware => CacheKey::PhaseAware(UnitaryKey::new(unitary)),
+            KeyPolicy::PhaseAware => {
+                CacheKey::phase_aware(UnitaryKey::new(unitary), self.profile_hash)
+            }
             KeyPolicy::PhaseSensitive => {
-                CacheKey::PhaseSensitive(PhaseSensitiveKey::new(unitary))
+                CacheKey::phase_sensitive(PhaseSensitiveKey::new(unitary), self.profile_hash)
             }
         }
     }
@@ -444,6 +504,7 @@ impl PulseLibrary {
             .collect();
         Json::obj()
             .push("policy", self.policy.as_str())
+            .push("hw", format!("{:016x}", self.profile_hash))
             .push("entries", Json::Arr(entries))
     }
 
@@ -470,6 +531,22 @@ impl PulseLibrary {
                 self.policy.as_str()
             ));
         }
+        // Fail closed on a hardware-profile mismatch: a library of pulses
+        // optimized for one control stack must never warm-start a compile
+        // targeting another — the waveforms would be mis-conditioned.
+        let section_hw = match v.get("hw") {
+            None => 0,
+            Some(h) => h
+                .as_str()
+                .and_then(|s| u64::from_str_radix(s, 16).ok())
+                .ok_or("library section 'hw' is not a hex hash")?,
+        };
+        if section_hw != self.profile_hash {
+            return Err(format!(
+                "hw profile mismatch: library expects {:016x}, file holds {section_hw:016x}",
+                self.profile_hash
+            ));
+        }
         let Some(Json::Arr(entries)) = v.get("entries") else {
             return Err("library section is missing 'entries'".into());
         };
@@ -482,6 +559,13 @@ impl PulseLibrary {
                 .map_err(String::from)?;
             if key.policy() != self.policy {
                 return Err("entry key policy differs from section policy".into());
+            }
+            if key.hw() != self.profile_hash {
+                return Err(format!(
+                    "hw profile mismatch: entry key carries {:016x}, library expects {:016x}",
+                    key.hw(),
+                    self.profile_hash
+                ));
             }
             let entry = item
                 .get("entry")
@@ -498,8 +582,11 @@ impl PulseLibrary {
     }
 }
 
-/// On-disk library format version.
-const LIBRARY_FORMAT_VERSION: u64 = 1;
+/// On-disk library format version. Version 2 added the hardware-profile
+/// hash to section headers and cache keys; version-1 files fail closed
+/// as unsupported (recompute is always safe, serving a pulse conditioned
+/// for unknown electronics is not).
+const LIBRARY_FORMAT_VERSION: u64 = 2;
 
 /// FNV-1a over the serialized payload, rendered as 16 hex digits — the
 /// torn-write detector for library files.
@@ -571,6 +658,10 @@ pub fn save_library_file(
 ///   version, or a malformed entry.
 /// * [`LibraryError::PolicyMismatch`] — a section keyed under a different
 ///   policy than its target library.
+/// * [`LibraryError::HwProfileMismatch`] — a section whose pulses were
+///   optimized under a different hardware profile than its target
+///   library's; serving them would silently play mis-conditioned
+///   waveforms, so the load fails closed.
 ///
 /// Callers treat any error as "start cold": the typed error is reported,
 /// the library keeps whatever was loaded before the failure, and
@@ -618,6 +709,15 @@ pub fn load_library_file(
                             .and_then(Json::as_str)
                             .unwrap_or("?")
                             .to_string(),
+                    }
+                } else if reason.starts_with("hw profile mismatch") {
+                    LibraryError::HwProfileMismatch {
+                        expected: lib.profile_hash(),
+                        found: section
+                            .get("hw")
+                            .and_then(Json::as_str)
+                            .and_then(|s| u64::from_str_radix(s, 16).ok())
+                            .unwrap_or(0),
                     }
                 } else {
                     corrupt(format!("section '{name}': {reason}"))
@@ -717,12 +817,50 @@ mod tests {
     fn stable_hash_differs_by_policy_and_gate() {
         let h = Gate::H.unitary_matrix();
         let x = Gate::X.unitary_matrix();
-        let pa = |u: &Matrix| CacheKey::PhaseAware(UnitaryKey::new(u)).stable_hash();
-        let ps = |u: &Matrix| CacheKey::PhaseSensitive(PhaseSensitiveKey::new(u)).stable_hash();
+        let pa = |u: &Matrix| CacheKey::phase_aware(UnitaryKey::new(u), 0).stable_hash();
+        let ps = |u: &Matrix| CacheKey::phase_sensitive(PhaseSensitiveKey::new(u), 0).stable_hash();
         assert_ne!(pa(&h), pa(&x));
         assert_ne!(pa(&h), ps(&h));
         // Stable across calls (and, by construction, across runs).
         assert_eq!(pa(&h), pa(&h));
+    }
+
+    #[test]
+    fn keys_are_scoped_to_the_hardware_profile() {
+        let h = Gate::H.unitary_matrix();
+        let ideal = CacheKey::phase_aware(UnitaryKey::new(&h), 0);
+        let awg = CacheKey::phase_aware(UnitaryKey::new(&h), 0xABCD);
+        assert_ne!(ideal, awg);
+        assert_ne!(ideal.stable_hash(), awg.stable_hash());
+        // Two libraries over the same unitaries but different profiles
+        // never serve each other's pulses.
+        let lib_a = PulseLibrary::new(KeyPolicy::PhaseAware).with_profile_hash(0xABCD);
+        lib_a.insert(&h, entry(26.0));
+        let lib_b = PulseLibrary::new(KeyPolicy::PhaseAware);
+        assert_ne!(lib_a.cache_key(&h), lib_b.cache_key(&h));
+    }
+
+    #[test]
+    fn hw_profile_mismatch_fails_closed_with_typed_error() {
+        let awg = PulseLibrary::new(KeyPolicy::PhaseAware).with_profile_hash(0x1234);
+        awg.insert(&Gate::H.unitary_matrix(), entry(26.0));
+        let path = temp_path("hwmismatch.json");
+        save_library_file(&path, &[("grape", &awg)]).unwrap();
+        // Loading into an ideal-electronics library must fail closed.
+        let ideal = PulseLibrary::new(KeyPolicy::PhaseAware);
+        let err = load_library_file(&path, &[("grape", &ideal)]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                LibraryError::HwProfileMismatch { expected: 0, found: 0x1234 }
+            ),
+            "{err:?}"
+        );
+        assert!(ideal.is_empty());
+        // The matching profile loads fine.
+        let same = PulseLibrary::new(KeyPolicy::PhaseAware).with_profile_hash(0x1234);
+        assert_eq!(load_library_file(&path, &[("grape", &same)]).unwrap(), 1);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -182,6 +182,16 @@ pub enum LibraryError {
         /// The policy named in the file.
         found: String,
     },
+    /// The file stores pulses optimized under a different hardware
+    /// profile than the library it was loaded into: serving them would
+    /// silently play mis-conditioned waveforms, so the load fails closed
+    /// and the caller compiles cold.
+    HwProfileMismatch {
+        /// The loading library's profile hash (0 = ideal electronics).
+        expected: u64,
+        /// The profile hash recorded in the file.
+        found: u64,
+    },
 }
 
 impl std::fmt::Display for LibraryError {
@@ -194,6 +204,11 @@ impl std::fmt::Display for LibraryError {
             Self::PolicyMismatch { expected, found } => write!(
                 f,
                 "library key-policy mismatch: store uses {expected:?}, file holds '{found}'"
+            ),
+            Self::HwProfileMismatch { expected, found } => write!(
+                f,
+                "library hardware-profile mismatch: store expects {expected:016x}, \
+                 file holds {found:016x}"
             ),
         }
     }
@@ -530,7 +545,7 @@ mod tests {
     /// distinct cells.
     fn key(i: usize) -> CacheKey {
         let u = epoc_circuit::Gate::RZ(0.1 + i as f64 * 0.17).unitary_matrix();
-        CacheKey::PhaseAware(epoc_linalg::UnitaryKey::new(&u))
+        CacheKey::phase_aware(epoc_linalg::UnitaryKey::new(&u), 0)
     }
 
     /// An entry whose waveform is `slots` slots on one channel, so

@@ -151,8 +151,13 @@ impl GrapeSynthesizer {
         max_qubits: usize,
         store: &StoreConfig,
     ) -> Self {
+        // Scope the cache to the hardware profile GRAPE optimizes under:
+        // constrained pulses are only correct for their control stack, so
+        // the profile hash is part of every cache key (and the persisted
+        // section header).
+        let profile_hash = epoc_hw::profile_hash(search.grape.hw.as_ref());
         Self {
-            library: PulseLibrary::from_config(policy, store),
+            library: PulseLibrary::from_config(policy, store).with_profile_hash(profile_hash),
             devices: Mutex::new(HashMap::new()),
             search,
             max_qubits: max_qubits.clamp(1, 6),

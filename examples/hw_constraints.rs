@@ -1,0 +1,132 @@
+//! Control-electronics ablation: simulated process fidelity per
+//! constraint level, constrained GRAPE vs post-hoc conditioning
+//! (the EXPERIMENTS.md "hardware" table).
+//!
+//! ```sh
+//! cargo run -p epoc --example hw_constraints --release
+//! ```
+//!
+//! For each profile rung (ideal → 8-bit DAC → +filter → +crosstalk →
+//! SFQ) the same benchmark is compiled twice:
+//!
+//! * **post-hoc** — GRAPE optimizes against ideal electronics, then the
+//!   emitted waveforms are distorted through the profile afterwards (what
+//!   naively driving real electronics with ideal pulses would do);
+//! * **constrained** — GRAPE optimizes *under* the profile
+//!   (`EpocConfig::with_hw`), so each iteration scores the conditioned
+//!   waveform and the optimizer pre-compensates the distortion.
+//!
+//! Both schedules are replayed by `epoc-sim` against the source circuit's
+//! unitary; the gap between the two columns is the fidelity constrained
+//! compilation recovers.
+
+use epoc::hw::{ConditionWorkspace, HardwareProfile};
+use epoc::qoc::{DeviceModel, PulseWaveform};
+use epoc::sim::SimOptions;
+use epoc::{simulate_schedule, EpocCompiler, EpocConfig};
+use epoc_circuit::generators;
+use epoc_pulse::{PulsePayload, PulseSchedule, ScheduledPulse};
+use std::sync::Arc;
+
+/// The constraint ladder: each rung adds one distortion on top of the
+/// previous (the intermediate rungs are the `transmon_awg_8bit` preset
+/// with later stages disabled).
+fn profile_ladder() -> Vec<HardwareProfile> {
+    let full = HardwareProfile::transmon_awg_8bit();
+    vec![
+        HardwareProfile::ideal(),
+        HardwareProfile {
+            name: "awg_8bit_dac".into(),
+            filter_sigma: 0.0,
+            filter_chop: 0.0,
+            crosstalk: 0.0,
+            ..full.clone()
+        },
+        HardwareProfile {
+            name: "awg_8bit_filter".into(),
+            crosstalk: 0.0,
+            ..full.clone()
+        },
+        full,
+        HardwareProfile::sfq_bitstream(),
+    ]
+}
+
+/// Distorts every waveform payload of an ideal-electronics schedule
+/// through `profile` — the "what if we just played these pulses" arm.
+fn condition_post_hoc(profile: &HardwareProfile, schedule: &PulseSchedule) -> PulseSchedule {
+    let a_max = DeviceModel::transmon_line(1)
+        .expect("single-qubit transmon line is always well-formed")
+        .max_amplitude();
+    let mut ws = ConditionWorkspace::new();
+    let mut out = PulseSchedule::new(schedule.n_qubits());
+    for f in schedule.frames() {
+        out.push_frame(f.clone());
+    }
+    for p in schedule.pulses() {
+        let payload = match &p.payload {
+            PulsePayload::Waveform(w) => {
+                let mut controls = w.controls().to_vec();
+                profile.condition_controls(w.dt(), a_max, &mut controls, &mut ws);
+                PulsePayload::Waveform(Arc::new(PulseWaveform::new(w.dt(), controls)))
+            }
+            other => other.clone(),
+        };
+        out.push(ScheduledPulse {
+            payload,
+            ..p.clone()
+        });
+    }
+    out
+}
+
+fn main() {
+    let circuit = generators::ghz(3);
+    let opts = SimOptions::default();
+
+    // One ideal compile feeds every post-hoc arm.
+    let ideal_report = EpocCompiler::new(EpocConfig::with_grape(2))
+        .compile(&circuit)
+        .expect("benchmark circuits compile");
+    assert!(ideal_report.verified);
+
+    println!("ghz_n3, simulated process fidelity per constraint level:\n");
+    println!(
+        "{:<20} {:>8} {:>10} {:>12} {:>13}",
+        "profile", "esp", "post-hoc", "constrained", "recovered"
+    );
+    for profile in profile_ladder() {
+        let post_hoc = simulate_schedule(
+            &circuit,
+            &condition_post_hoc(&profile, &ideal_report.schedule),
+            &opts,
+        )
+        .expect("post-hoc schedule simulates")
+        .outcome
+        .process_fidelity;
+
+        let constrained_report =
+            EpocCompiler::new(EpocConfig::with_grape(2).with_hw(profile.clone()))
+                .compile(&circuit)
+                .expect("constrained compile succeeds");
+        assert!(constrained_report.verified);
+        let constrained =
+            simulate_schedule(&circuit, &constrained_report.schedule, &opts)
+                .expect("constrained schedule simulates")
+                .outcome
+                .process_fidelity;
+
+        println!(
+            "{:<20} {:>8.4} {:>10.6} {:>12.6} {:>+13.6}",
+            profile.name,
+            constrained_report.esp(),
+            post_hoc,
+            constrained,
+            constrained - post_hoc,
+        );
+    }
+    println!(
+        "\npost-hoc = ideal-electronics GRAPE pulses distorted by the profile afterwards;\n\
+         constrained = GRAPE optimized under the profile (EpocConfig::with_hw)."
+    );
+}

@@ -15,7 +15,8 @@ use epoc::qoc::{RUNG_GRAPE_DIGITAL, RUNG_GRAPE_RESTARTS, RUNG_GRAPE_SLOTS};
 use epoc::sim::{SimError, SimOptions};
 use epoc::{
     simulate_schedule, CompilationReport, EpocCompiler, EpocConfig, EpocError, RecoveryRecord,
-    StageTimings, RUNG_SCHEDULE_RECOMPUTE, RUNG_SYNTH_BUDGET, RUNG_SYNTH_FALLBACK,
+    StageTimings, RUNG_HW_DIGITAL, RUNG_SCHEDULE_RECOMPUTE, RUNG_SYNTH_BUDGET,
+    RUNG_SYNTH_FALLBACK,
 };
 use epoc_circuit::generators;
 use epoc_rt::faults::{self, Trigger};
@@ -299,6 +300,61 @@ fn insert_fault_during_load_degrades_to_cold_cache() {
     assert!(r.verified);
     assert!(r.stages.cache_misses > 0, "empty library somehow hit");
     std::fs::remove_file(&path).ok();
+}
+
+/// An injected `hw.condition` failure at schedule emission degrades the
+/// affected block to the digital (exact-unitary) payload: the compile
+/// still verifies, the `recovery.hw.digital` rung is recorded, the
+/// hardware block counts fewer conditioned pulses than an unfaulted run,
+/// and — the conditioning fate being drawn serially in block order — the
+/// degraded report is byte-identical at any worker count.
+#[test]
+fn hw_condition_fault_falls_back_to_digital_payload() {
+    let _g = FaultGuard::acquire();
+    let circuit = generators::bell_pair_prep();
+    let config = || {
+        EpocConfig::with_grape(1)
+            .without_regrouping()
+            .with_hw(epoc::hw::HardwareProfile::transmon_awg_8bit())
+    };
+    let clean = EpocCompiler::new(config().with_workers(1)).compile(&circuit).unwrap();
+    assert!(clean.verified);
+    let clean_hw = clean.hardware.as_ref().expect("profile configured");
+    assert!(clean_hw.conditioned_pulses > 0, "nothing was conditioned");
+
+    let compile = |workers: usize| {
+        faults::disarm_all();
+        faults::arm("hw.condition", Trigger::NthHit(1));
+        let r = EpocCompiler::new(config().with_workers(workers)).compile(&circuit).unwrap();
+        assert!(r.verified, "hw-faulted compile at {workers} workers failed verification");
+        r
+    };
+    let r1 = compile(1);
+    let hw = r1.hardware.as_ref().expect("profile configured");
+    assert_eq!(
+        hw.conditioned_pulses,
+        clean_hw.conditioned_pulses - 1,
+        "degraded block still counted as conditioned"
+    );
+    let hw_rungs: Vec<&RecoveryRecord> = r1
+        .stages
+        .recoveries
+        .iter()
+        .filter(|rec| rec.stage == "hw" && rec.rung == RUNG_HW_DIGITAL)
+        .collect();
+    assert_eq!(hw_rungs.len(), 1, "expected one hw rung: {:?}", r1.stages.recoveries);
+    // The degraded block replays as an exact unitary, so the schedule
+    // still simulates (and trivially hits the digital payload's fidelity).
+    assert!(
+        simulate_schedule(&circuit, &r1.schedule, &SimOptions::default()).is_ok(),
+        "degraded schedule no longer simulates"
+    );
+    let r4 = compile(4);
+    assert_eq!(
+        normalized_json(r1),
+        normalized_json(r4),
+        "hw-faulted report differs between workers=1 and workers=4"
+    );
 }
 
 fn write_temp(name: &str, contents: &[u8]) -> std::path::PathBuf {

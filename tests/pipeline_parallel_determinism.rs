@@ -131,3 +131,58 @@ fn latency_and_esp_identical_across_worker_counts() {
     assert_eq!(r1.stages.synth_converged, r4.stages.synth_converged);
     assert_eq!(r1.stages.pulses, r4.stages.pulses);
 }
+
+/// Compiling under a hardware profile keeps the byte-determinism
+/// contract: the report — conditioned waveforms, the `hardware` block,
+/// and the constrained-GRAPE fidelities — is identical at 1, 2, and 4
+/// workers, and the `ideal` profile reproduces the no-profile report
+/// byte for byte (identity conditioning, cache-key scope 0).
+#[test]
+fn hardware_profile_deterministic_across_worker_counts() {
+    let circuit = generators::qaoa(3, 1, 2);
+    epoc_rt::telemetry::enable();
+    let compile = |hw: Option<epoc::hw::HardwareProfile>, workers: usize| -> String {
+        let mut config =
+            EpocConfig::with_grape(1).without_regrouping().with_workers(workers);
+        config.hw = hw;
+        let mut report = EpocCompiler::new(config).compile(&circuit).unwrap();
+        assert!(report.verified, "compile with {workers} workers failed verification");
+        report.compile_time = Duration::ZERO;
+        report.stages.timings = StageTimings::default();
+        report.to_json()
+    };
+
+    let profile = epoc::hw::HardwareProfile::transmon_awg_8bit;
+    let constrained = compile(Some(profile()), 1);
+    assert!(
+        constrained.contains("\"hardware\""),
+        "report is missing the hardware block"
+    );
+    for workers in [2, 4] {
+        assert_eq!(
+            constrained,
+            compile(Some(profile()), workers),
+            "constrained report differs between workers=1 and workers={workers}"
+        );
+    }
+
+    // The ideal profile differs from no profile only by its (reportable)
+    // hardware block: stripping it recovers the no-profile bytes.
+    let bare = compile(None, 1);
+    let ideal = compile(Some(epoc::hw::HardwareProfile::ideal()), 4);
+    let ideal_block = concat!(
+        ",\n",
+        "  \"hardware\": {\n",
+        "    \"profile\": \"ideal\",\n",
+        "    \"profile_hash\": \"0000000000000000\",\n",
+        "    \"conditioned_pulses\": 0,\n",
+        "    \"sfq\": false\n",
+        "  }"
+    );
+    assert!(ideal.contains(ideal_block), "unexpected ideal hardware block:\n{ideal}");
+    assert_eq!(
+        bare,
+        ideal.replace(ideal_block, ""),
+        "ideal profile perturbed the report beyond its hardware block"
+    );
+}
