@@ -140,6 +140,79 @@ if [ "$quick" -eq 0 ]; then
     run ./target/release/trace_check --metrics target/obs-smoke-epocc.prom
 fi
 
+# resilience-smoke: exercise the service's failure-handling surface end
+# to end. (1) Flood a --queue-limit 1 daemon and demand typed queue_full
+# rejections alongside at least one completed job, with the job.rejected
+# event in the structured log (trace_check --require-event). (2) A job
+# with an impossible deadline must fail typed while the next job on the
+# same connection succeeds. (3) kill -9 the daemon mid-batch (library
+# checkpoint never ran, journal has the inserts) and demand the restarted
+# daemon replays the journal into a fully warm cache — zero misses, zero
+# GRAPE iterations — proving no completed insert was lost.
+if [ "$quick" -eq 0 ]; then
+    echo "==> epocd resilience-smoke (queue flood, --queue-limit 1)" >&2
+    rm -f target/resilience-flood.log
+    printf '%s\n' \
+        '{"id":1,"bench":"qaoa_n6"}' \
+        '{"id":2,"bench":"qaoa_n6"}' \
+        '{"id":3,"bench":"qaoa_n6"}' \
+        '{"id":4,"bench":"qaoa_n6"}' \
+        | ./target/release/epocd --grape 1 --no-regroup --queue-limit 1 \
+            --log target/resilience-flood.log \
+        > target/resilience-flood.out
+    grep -q '"rejected":"queue_full"' target/resilience-flood.out \
+        || { echo "resilience-smoke: flood produced no queue_full rejection" >&2; exit 1; }
+    grep -q '"ok":true' target/resilience-flood.out \
+        || { echo "resilience-smoke: no job completed under the flood" >&2; exit 1; }
+    run ./target/release/trace_check --require-event job.rejected \
+        --log target/resilience-flood.log
+    echo "==> epocd resilience-smoke (deadline job fails typed, daemon survives)" >&2
+    printf '%s\n' \
+        '{"id":5,"bench":"qaoa_n6","deadline_ms":0}' \
+        '{"id":6,"bench":"ghz_n4"}' \
+        '{"cmd":"shutdown"}' \
+        | ./target/release/epocd --grape 0 \
+        > target/resilience-deadline.out
+    sed -n 1p target/resilience-deadline.out | grep -q 'deadline' \
+        || { echo "resilience-smoke: deadline job did not fail typed" >&2; exit 1; }
+    sed -n 2p target/resilience-deadline.out | grep -q '"ok":true' \
+        || { echo "resilience-smoke: daemon did not survive the deadline job" >&2; exit 1; }
+    echo "==> epocd resilience-smoke (kill -9 mid-batch, journal replay)" >&2
+    rm -f target/resilience-lib.json target/resilience-journal.jsonl
+    mkfifo target/resilience-stdin.fifo
+    ./target/release/epocd --grape 1 --no-regroup \
+        --library target/resilience-lib.json \
+        --journal target/resilience-journal.jsonl \
+        < target/resilience-stdin.fifo > target/resilience-cold.out &
+    epocd_pid=$!
+    exec 9> target/resilience-stdin.fifo
+    printf '%s\n' '{"id":7,"bench":"qaoa_n6"}' >&9
+    for _ in $(seq 1 100); do
+        grep -q '"id":7' target/resilience-cold.out 2>/dev/null && break
+        sleep 0.2
+    done
+    grep -q '"id":7.*"ok":true' target/resilience-cold.out \
+        || { echo "resilience-smoke: cold journal job failed" >&2; exit 1; }
+    kill -9 "$epocd_pid"
+    wait "$epocd_pid" 2>/dev/null || true
+    exec 9>&-
+    rm -f target/resilience-stdin.fifo
+    [ ! -e target/resilience-lib.json ] \
+        || { echo "resilience-smoke: checkpoint ran before kill -9 (test is vacuous)" >&2; exit 1; }
+    [ -s target/resilience-journal.jsonl ] \
+        || { echo "resilience-smoke: journal is empty after kill -9" >&2; exit 1; }
+    printf '%s\n' '{"id":8,"bench":"qaoa_n6"}' '{"cmd":"shutdown"}' \
+        | ./target/release/epocd --grape 1 --no-regroup \
+            --library target/resilience-lib.json \
+            --journal target/resilience-journal.jsonl \
+        > target/resilience-warm.out
+    grep -q '"id":8.*"cache_misses":0' target/resilience-warm.out \
+        || { echo "resilience-smoke: journal replay lost inserts (cache misses on warm restart)" >&2; exit 1; }
+    grep -q '"id":8.*"grape_iterations":0' target/resilience-warm.out \
+        || { echo "resilience-smoke: warm restart re-ran GRAPE" >&2; exit 1; }
+    echo "==> resilience-smoke OK (typed shedding, typed deadlines, lossless kill -9 restart)"
+fi
+
 # sim-smoke: compile a small benchmark with the default hybrid flow, dump
 # the schedule, validate it structurally (payloads included — the epoc
 # flow must emit simulatable schedules), and replay it at pulse level

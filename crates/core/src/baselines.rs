@@ -87,8 +87,15 @@ impl PaqocCompiler {
         let partition = paqoc_partition(circuit, self.partition);
         // The comparator stays single-threaded: its pulse cost is the
         // baseline number the paper's speedups are quoted against.
-        let schedule = schedule_partition(&partition, &self.backend, 1, None, &mut Vec::new())
-            .expect("modeled comparator backend cannot fail");
+        let schedule = schedule_partition(
+            &partition,
+            &self.backend,
+            1,
+            None,
+            &mut Vec::new(),
+            &epoc_rt::cancel::CancelToken::default(),
+        )
+        .expect("modeled comparator backend cannot fail");
         let (hits1, misses1) = self.backend.cache_counts();
         let stages = StageStats {
             zx_depth_before: circuit.depth(),

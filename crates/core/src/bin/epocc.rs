@@ -44,6 +44,8 @@ struct Args {
     metrics_file: Option<String>,
     grape_limit: usize,
     strict: bool,
+    deadline_ms: Option<u64>,
+    budget: Option<String>,
     faults: Option<String>,
     fault_seed: Option<u64>,
     library: Option<String>,
@@ -56,7 +58,7 @@ fn usage() -> ! {
         "usage: epocc [--flow epoc|gate-based|paqoc] [--no-zx] [--no-regroup] \
          [--grape N] [--timeline] [--schedule FILE] [--simulate] [--shots N] \
          [--sim-check F] [--json] [--trace FILE] [--metrics] [--metrics-file FILE] [--strict] \
-         [--faults SPEC] [--fault-seed N] \
+         [--deadline-ms N] [--budget SPEC] [--faults SPEC] [--fault-seed N] \
          [--library FILE] [--library-budget BYTES] [--hw PROFILE] \
          <file.qasm | bench:NAME>\n\
          --grape N      GRAPE width cap for the epoc flow (default {DEFAULT_GRAPE_LIMIT}; 0 = modeled)\n\
@@ -69,6 +71,9 @@ fn usage() -> ! {
          --metrics      print telemetry counters, histograms, and stage times\n\
          --metrics-file FILE write the Prometheus text exposition to FILE\n\
          --strict       fail the compile when the recovery ladder is exhausted\n\
+         --deadline-ms N fail typed unless the compile finishes within N ms (epoc flow only)\n\
+         --budget SPEC  deterministic per-block work caps, e.g. 'grape_iters=100,qsearch_nodes=500';\n\
+         \x20              exhaustion degrades via the recovery ladder, byte-identically at any worker count\n\
          --faults SPEC  arm fault injection, e.g. 'grape.converge=always,pulse_lib.miss=p0.5'\n\
          --fault-seed N seed for probabilistic fault triggers\n\
          --library FILE warm-start the pulse library from FILE and save it back after the compile\n\
@@ -115,6 +120,8 @@ fn parse_args() -> Args {
         metrics_file: None,
         grape_limit: DEFAULT_GRAPE_LIMIT,
         strict: false,
+        deadline_ms: None,
+        budget: None,
         faults: None,
         fault_seed: None,
         library: None,
@@ -171,6 +178,17 @@ fn parse_args() -> Args {
                 };
             }
             "--strict" => args.strict = true,
+            "--deadline-ms" => {
+                let v = flag_value(&mut iter, "--deadline-ms", "a millisecond count");
+                args.deadline_ms = match v.parse() {
+                    Ok(n) => Some(n),
+                    Err(_) => {
+                        eprintln!("error: --deadline-ms expects a non-negative integer, got '{v}'");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--budget" => args.budget = Some(flag_value(&mut iter, "--budget", "a budget spec")),
             "--library" => args.library = Some(flag_value(&mut iter, "--library", "a path")),
             "--library-budget" => {
                 let v = flag_value(&mut iter, "--library-budget", "a byte count");
@@ -307,7 +325,23 @@ fn main() -> ExitCode {
                     }
                 }
             }
-            let r = match compiler.compile(&circuit) {
+            // Deadline and work budgets ride one cancellation token:
+            // a blown deadline fails typed below; budget exhaustion
+            // degrades deterministically via the recovery ladder.
+            let mut cancel = epoc_rt::cancel::CancelToken::default();
+            if let Some(spec) = &args.budget {
+                match epoc_rt::cancel::Budget::parse_spec(spec) {
+                    Ok(b) => cancel = cancel.with_budget(b),
+                    Err(e) => {
+                        eprintln!("error: bad --budget spec: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            if let Some(ms) = args.deadline_ms {
+                cancel = cancel.with_deadline_ms(ms);
+            }
+            let r = match compiler.compile_with_cancel(&circuit, &cancel) {
                 Ok(r) => r,
                 Err(e) => {
                     eprintln!("error: compilation failed: {e}");

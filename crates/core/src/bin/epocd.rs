@@ -20,6 +20,11 @@
 //! * `{"id":1,"qasm":"OPENQASM 2.0; ..."}` — compile a QASM program
 //!   (newlines escaped as `\n`);
 //! * `{"id":2,"bench":"ghz_n4"}` — compile a builtin benchmark;
+//! * either job form may add `"deadline_ms":N` (wall-clock deadline —
+//!   a blown deadline fails that job typed, never a degraded schedule)
+//!   and/or `"budget":"grape_iters=N,qsearch_nodes=M"` (deterministic
+//!   per-block work caps — exhaustion degrades via the recovery ladder,
+//!   byte-identically at any worker count);
 //! * `{"cmd":"checkpoint"}` — persist the library now;
 //! * `{"cmd":"stats"}` — report service counters, gauges, latency
 //!   percentiles, and per-job counter summaries;
@@ -32,8 +37,27 @@
 //! * `{"id":1,"ok":true,"report":{...}}` on success;
 //! * `{"id":1,"ok":false,"error":"..."}` on failure (the service keeps
 //!   running — one bad job never takes the library down);
+//! * `{"id":1,"ok":false,"rejected":"queue_full"|"oversized"|"shutting_down",
+//!   "error":"..."}` when a job is shed before compilation: the queue is
+//!   at `--queue-limit`, the request line exceeds `--line-limit` bytes,
+//!   or the line was queued behind a `shutdown`;
 //! * `{"ok":true,"stats":{...}}` / `{"ok":true,"checkpoint":{...}}` /
 //!   `{"ok":true,"metrics":"..."}` for commands.
+//!
+//! ## Resilience
+//!
+//! Commands are exempt from load-shedding (`stats` must answer precisely
+//! when the service is saturated). Each compile runs under a panic guard:
+//! a panicking job answers `ok:false` and the daemon keeps serving. A
+//! `shutdown` drains gracefully — in-flight work finishes, queued lines
+//! get typed `shutting_down` rejections, the library checkpoints, and
+//! the process exits.
+//!
+//! With `--journal FILE`, every live library insert is appended to a
+//! checksummed write-ahead journal between checkpoints (fsync'd per
+//! batch) and the journal is compacted on every successful checkpoint.
+//! On start the journal replays after the library load, tolerating a
+//! torn final record — `kill -9` mid-batch loses no completed insert.
 //!
 //! ## Observability
 //!
@@ -43,7 +67,7 @@
 //! Each accepted compile job gets a monotone job id (1, 2, …) carried by
 //! a [`epoc_rt::telemetry::TelemetryScope`] through the worker pool, so
 //! per-job counters and the structured log stay attributable. `--log
-//! FILE` appends JSONL events (job admission/completion, batch
+//! FILE` appends JSONL events (job admission/rejection/completion, batch
 //! boundaries, recovery-rung climbs, evictions, checkpoint outcomes) —
 //! one JSON object per line with `ts_ns`, `level`, `event`, and `job`
 //! fields. None of this touches the report path: reports stay
@@ -62,18 +86,25 @@
 
 use epoc::{CompilationReport, EpocCompiler, EpocConfig, StoreConfig};
 use epoc_circuit::{generators, parse_qasm, Circuit};
+use epoc_qoc::{replay_journal, JournalWriter};
+use epoc_rt::cancel::{Budget, CancelToken};
 use epoc_rt::json::Json;
 use epoc_rt::telemetry::{self, LogLevel, TelemetryScope};
+use std::collections::VecDeque;
 use std::io::{BufRead, Write};
 use std::path::PathBuf;
 use std::process::ExitCode;
-use std::sync::mpsc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
 
 /// Default GRAPE width cap (same as `epocc`).
 const DEFAULT_GRAPE_LIMIT: usize = 2;
 /// Default shard count for the service's pulse library: enough to keep
 /// callers off one lock without fragmenting a byte budget.
 const DEFAULT_SHARDS: usize = 8;
+/// Default request-line bound: far above any realistic QASM job, far
+/// below what could wedge the reader's memory.
+const DEFAULT_LINE_LIMIT: usize = 1 << 20;
 
 struct Args {
     library: Option<PathBuf>,
@@ -83,6 +114,9 @@ struct Args {
     workers: Option<usize>,
     regroup: bool,
     checkpoint_every: usize,
+    queue_limit: usize,
+    line_limit: usize,
+    journal: Option<PathBuf>,
     socket: Option<PathBuf>,
     log: Option<PathBuf>,
     faults: Option<String>,
@@ -94,6 +128,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: epocd [--library FILE] [--library-budget BYTES] [--shards N] \
          [--grape N] [--workers N] [--no-regroup] [--checkpoint-every N] \
+         [--queue-limit N] [--line-limit BYTES] [--journal FILE] \
          [--socket PATH] [--log FILE] [--faults SPEC] [--fault-seed N] [--hw PROFILE]\n\
          --library FILE     load the pulse library from FILE on start, save on checkpoint/shutdown\n\
          --library-budget BYTES cap the in-memory library (LRU eviction)\n\
@@ -102,6 +137,9 @@ fn usage() -> ! {
          --workers N        worker-pool size for each compile\n\
          --no-regroup       disable regrouping (per-gate pulses)\n\
          --checkpoint-every N also persist the library every N completed jobs\n\
+         --queue-limit N    shed jobs (typed 'queue_full' rejection) past N queued; 0 = unlimited\n\
+         --line-limit BYTES reject request lines longer than BYTES (default {DEFAULT_LINE_LIMIT})\n\
+         --journal FILE     write-ahead journal for library inserts between checkpoints\n\
          --socket PATH      serve a Unix socket instead of stdin/stdout\n\
          --log FILE         write a structured JSONL event log to FILE\n\
          --faults SPEC      arm fault injection (e.g. 'pulse_lib.persist=always')\n\
@@ -140,6 +178,9 @@ fn parse_args() -> Args {
         workers: None,
         regroup: true,
         checkpoint_every: 0,
+        queue_limit: 0,
+        line_limit: DEFAULT_LINE_LIMIT,
+        journal: None,
         socket: None,
         log: None,
         faults: None,
@@ -173,6 +214,17 @@ fn parse_args() -> Args {
                 let v = flag_value(&mut iter, "--checkpoint-every", "a job count");
                 args.checkpoint_every = parse_num("--checkpoint-every", &v);
             }
+            "--queue-limit" => {
+                let v = flag_value(&mut iter, "--queue-limit", "a job count");
+                args.queue_limit = parse_num("--queue-limit", &v);
+            }
+            "--line-limit" => {
+                let v = flag_value(&mut iter, "--line-limit", "a byte count");
+                args.line_limit = parse_num("--line-limit", &v);
+            }
+            "--journal" => {
+                args.journal = Some(flag_value(&mut iter, "--journal", "a path").into())
+            }
             "--socket" => {
                 args.socket = Some(flag_value(&mut iter, "--socket", "a path").into())
             }
@@ -190,14 +242,87 @@ fn parse_args() -> Args {
     args
 }
 
+/// One bounded read from the request stream.
+enum ReadLine {
+    /// A complete line within the byte limit (newline stripped).
+    Line(String),
+    /// A line that exceeded the limit; its bytes were discarded up to
+    /// (and including) the next newline. Carries the observed length.
+    Oversized(usize),
+    /// Clean end of stream.
+    Eof,
+}
+
+/// Reads one `\n`-terminated line without ever buffering more than
+/// `limit` bytes of it: past the limit the rest of the line is consumed
+/// and discarded, so a hostile or corrupt client cannot wedge the
+/// reader's memory. A final unterminated line is returned as a line
+/// (matching `BufRead::lines`).
+fn next_line(reader: &mut impl BufRead, limit: usize) -> std::io::Result<ReadLine> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut seen = 0usize;
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            return Ok(if seen > limit {
+                ReadLine::Oversized(seen)
+            } else if buf.is_empty() && seen == 0 {
+                ReadLine::Eof
+            } else {
+                ReadLine::Line(String::from_utf8_lossy(&buf).into_owned())
+            });
+        }
+        let nl = chunk.iter().position(|&b| b == b'\n');
+        let take = nl.unwrap_or(chunk.len());
+        seen += take;
+        if seen > limit {
+            buf.clear();
+        } else {
+            buf.extend_from_slice(&chunk[..take]);
+        }
+        let consumed = nl.map_or(chunk.len(), |i| i + 1);
+        reader.consume(consumed);
+        if nl.is_some() {
+            return Ok(if seen > limit {
+                ReadLine::Oversized(seen)
+            } else {
+                ReadLine::Line(String::from_utf8_lossy(&buf).into_owned())
+            });
+        }
+    }
+}
+
+/// `true` when the line is a service command — commands bypass admission
+/// control (`stats` must answer precisely when the queue is full). The
+/// reader and the drain loop must agree on this classification, so it is
+/// a pure function of the line text.
+fn is_command(line: &str) -> bool {
+    Json::parse(line).is_ok_and(|req| req.get("cmd").is_some())
+}
+
+/// What the reader thread queues for the serving loop.
+enum Incoming {
+    /// An admitted request line (job or command).
+    Request(String),
+    /// A request shed at admission; the serving loop emits the typed
+    /// rejection in arrival order.
+    Reject {
+        id: Option<Json>,
+        reason: &'static str,
+        error: String,
+    },
+}
+
 /// The service state: the (cache-bearing) compiler plus checkpoint
 /// bookkeeping.
 struct Service {
     compiler: EpocCompiler,
     library: Option<PathBuf>,
+    journal: Option<Arc<JournalWriter>>,
     checkpoint_every: usize,
     jobs_done: usize,
     jobs_failed: usize,
+    jobs_rejected: usize,
     batches: usize,
     jobs_since_checkpoint: usize,
     /// Monotone correlation id handed to each accepted compile job (1,
@@ -248,12 +373,60 @@ impl Service {
                 }
             }
         }
+        let journal = args.journal.as_ref().and_then(|jpath| {
+            // Replay before attaching observers: replayed inserts go
+            // straight to the store and must not re-journal themselves.
+            match replay_journal(jpath, &compiler.library_sections()) {
+                Ok(0) => {}
+                Ok(n) => {
+                    eprintln!("epocd: replayed {n} journaled pulses from {}", jpath.display())
+                }
+                Err(e) => {
+                    // A corrupt journal fails closed (nothing applied).
+                    // Move it aside — recomputing lost pulses is always
+                    // safe; trusting a lying journal is not.
+                    let aside = jpath.with_extension("journal.corrupt");
+                    let moved = std::fs::rename(jpath, &aside).is_ok();
+                    eprintln!(
+                        "epocd: warning: {e}; {}",
+                        if moved {
+                            format!("moved the journal aside to {}", aside.display())
+                        } else {
+                            "and the journal could not be moved aside".to_string()
+                        }
+                    );
+                }
+            }
+            match JournalWriter::open_append(jpath) {
+                Ok(writer) => {
+                    let writer = Arc::new(writer);
+                    for (section, lib) in compiler.library_sections() {
+                        let sink = Arc::clone(&writer);
+                        lib.set_insert_observer(Some(Arc::new(move |key, entry| {
+                            // Journal loss must not fail the insert: the
+                            // entry is still correct in memory and the
+                            // next checkpoint persists it anyway.
+                            if sink.append(section, key, entry).is_err() {
+                                telemetry::counter_add("epocd.journal_errors", 1);
+                            }
+                        })));
+                    }
+                    Some(writer)
+                }
+                Err(e) => {
+                    eprintln!("epocd: warning: cannot open --journal: {e}; journaling disabled");
+                    None
+                }
+            }
+        });
         Self {
             compiler,
             library: args.library.clone(),
+            journal,
             checkpoint_every: args.checkpoint_every,
             jobs_done: 0,
             jobs_failed: 0,
+            jobs_rejected: 0,
             batches: 0,
             jobs_since_checkpoint: 0,
             job_seq: 0,
@@ -274,7 +447,27 @@ impl Service {
         Err("job needs a 'qasm' or 'bench' field".into())
     }
 
-    fn compile(&mut self, req: &Json) -> Result<CompilationReport, String> {
+    /// Builds the job's cancellation token from its optional
+    /// `deadline_ms` / `budget` fields.
+    fn cancel_token(req: &Json) -> Result<CancelToken, String> {
+        let mut token = CancelToken::default();
+        if let Some(v) = req.get("budget") {
+            let spec = v
+                .as_str()
+                .ok_or("'budget' must be a spec string like 'grape_iters=100'")?;
+            token = token.with_budget(Budget::parse_spec(spec)?);
+        }
+        if let Some(v) = req.get("deadline_ms") {
+            let ms = v
+                .as_f64()
+                .filter(|m| m.is_finite() && *m >= 0.0)
+                .ok_or("'deadline_ms' must be a non-negative number")?;
+            token = token.with_deadline_ms(ms as u64);
+        }
+        Ok(token)
+    }
+
+    fn compile(&self, req: &Json) -> Result<CompilationReport, String> {
         // A job may pin the hardware profile it expects. The daemon runs
         // one compiler with one profile-scoped library, so a mismatch
         // fails that job (the client should target a matching daemon)
@@ -287,12 +480,16 @@ impl Service {
                 ));
             }
         }
+        let cancel = Self::cancel_token(req)?;
         let circuit = self.load_circuit(req)?;
-        self.compiler.compile(&circuit).map_err(|e| e.to_string())
+        self.compiler
+            .compile_with_cancel(&circuit, &cancel)
+            .map_err(|e| e.to_string())
     }
 
     /// Persists the library (when one is configured), returning the
-    /// response line.
+    /// response line. A successful checkpoint compacts the journal: the
+    /// just-renamed library file now covers every journaled insert.
     fn checkpoint(&mut self) -> Json {
         let Some(path) = &self.library else {
             return Json::obj()
@@ -310,6 +507,17 @@ impl Service {
                         .push("path", path.display().to_string())
                         .push("entries", self.compiler.library_len()),
                 );
+                if let Some(journal) = &self.journal {
+                    // Compaction failure is benign: replaying records the
+                    // checkpoint already covers is idempotent.
+                    if let Err(e) = journal.compact() {
+                        telemetry::log_event(
+                            LogLevel::Warn,
+                            "journal.compact_failed",
+                            Json::obj().push("error", e.to_string()),
+                        );
+                    }
+                }
                 Json::obj().push("ok", true).push(
                     "checkpoint",
                     Json::obj()
@@ -361,6 +569,7 @@ impl Service {
             Json::obj()
                 .push("jobs", self.jobs_done)
                 .push("failed", self.jobs_failed)
+                .push("rejected", self.jobs_rejected)
                 .push("batches", self.batches)
                 .push("cache_hits", self.compiler.cache_hits())
                 .push("cache_misses", self.compiler.cache_misses())
@@ -371,6 +580,30 @@ impl Service {
                 .push("percentiles", percentiles)
                 .push("jobs_by_id", jobs_by_id),
         )
+    }
+
+    /// Records a shed job and builds its typed rejection line.
+    fn reject(&mut self, id: Option<Json>, reason: &str, error: String) -> Json {
+        self.jobs_rejected += 1;
+        telemetry::counter_add("epocd.jobs_rejected", 1);
+        let mut detail = Json::obj().push("reason", reason);
+        if let Some(id) = &id {
+            detail = detail.push("request_id", id.clone());
+        }
+        telemetry::log_event(LogLevel::Warn, "job.rejected", detail);
+        let mut resp = Json::obj();
+        if let Some(id) = id {
+            resp = resp.push("id", id);
+        }
+        resp.push("ok", false)
+            .push("rejected", reason)
+            .push("error", error)
+    }
+
+    /// Sheds a still-queued request line during shutdown drain.
+    fn reject_line(&mut self, line: &str, reason: &'static str, error: &str) -> Json {
+        let id = Json::parse(line).ok().and_then(|req| req.get("id").cloned());
+        self.reject(id, reason, error.to_string())
     }
 
     /// Handles one request line, returning `(response, shutdown)`.
@@ -437,7 +670,24 @@ impl Service {
         telemetry::gauge_add("epocd.inflight_jobs", 1);
         let evictions_before = self.compiler.library_evictions();
         let started = std::time::Instant::now();
-        let outcome = self.compile(&req);
+        // Panic isolation: a panicking compile (a pipeline bug, a poisoned
+        // pool) answers as a typed job failure and the daemon — and its
+        // library — keeps serving.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if epoc_rt::faults::fail_point("epocd.panic") {
+                panic!("injected fault: epocd.panic");
+            }
+            self.compile(&req)
+        }))
+        .unwrap_or_else(|payload| {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".to_string());
+            telemetry::counter_add("epocd.jobs_panicked", 1);
+            Err(format!("job panicked: {msg}"))
+        });
         let elapsed_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
         telemetry::gauge_add("epocd.inflight_jobs", -1);
         telemetry::counter_add("epocd.jobs", 1);
@@ -485,8 +735,18 @@ impl Service {
         }
     }
 
-    /// End-of-batch hook: persist when the per-batch job quota is met.
-    fn maybe_checkpoint(&mut self) {
+    /// End-of-batch hook: make journaled inserts durable, then persist
+    /// when the per-batch job quota is met.
+    fn end_batch(&mut self) {
+        if let Some(journal) = &self.journal {
+            if let Err(e) = journal.sync() {
+                telemetry::log_event(
+                    LogLevel::Warn,
+                    "journal.sync_failed",
+                    Json::obj().push("error", e.to_string()),
+                );
+            }
+        }
         if self.library.is_some()
             && self.checkpoint_every > 0
             && self.jobs_since_checkpoint >= self.checkpoint_every
@@ -500,65 +760,155 @@ impl Service {
         if self.library.is_some() && self.jobs_since_checkpoint > 0 {
             self.checkpoint();
         }
+        if let Some(journal) = &self.journal {
+            let _ = journal.sync();
+        }
     }
 }
 
 /// Serves line-delimited requests from stdin, answering on stdout.
-fn serve_stdin(mut service: Service) -> ExitCode {
+fn serve_stdin(mut service: Service, queue_limit: usize, line_limit: usize) -> ExitCode {
     // The reader thread queues lines as they arrive; the compile loop
     // drains whatever is pending into one batch, so checkpointing (and
-    // any other per-batch cost) amortizes over bursts.
-    let (tx, rx) = mpsc::channel::<String>();
+    // any other per-batch cost) amortizes over bursts. Admission control
+    // lives in the reader — the side that sees the queue growing — and
+    // rejections flow through the same channel so responses keep arrival
+    // order.
+    let (tx, rx) = mpsc::channel::<Incoming>();
+    let depth = Arc::new(AtomicUsize::new(0));
+    let reader_depth = Arc::clone(&depth);
     std::thread::spawn(move || {
-        for line in std::io::stdin().lock().lines() {
-            let Ok(line) = line else { break };
-            if tx.send(line).is_err() {
-                break;
+        let mut stdin = std::io::stdin().lock();
+        loop {
+            match next_line(&mut stdin, line_limit) {
+                Err(_) | Ok(ReadLine::Eof) => break,
+                Ok(ReadLine::Oversized(n)) => {
+                    let rejected = Incoming::Reject {
+                        id: None,
+                        reason: "oversized",
+                        error: format!(
+                            "request line of {n} bytes exceeds the {line_limit}-byte limit"
+                        ),
+                    };
+                    if tx.send(rejected).is_err() {
+                        break;
+                    }
+                }
+                Ok(ReadLine::Line(line)) => {
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    let job = !is_command(&line);
+                    if job
+                        && queue_limit > 0
+                        && reader_depth.load(Ordering::Acquire) >= queue_limit
+                    {
+                        let id = Json::parse(&line).ok().and_then(|r| r.get("id").cloned());
+                        let rejected = Incoming::Reject {
+                            id,
+                            reason: "queue_full",
+                            error: format!("service queue is at its limit of {queue_limit} jobs"),
+                        };
+                        if tx.send(rejected).is_err() {
+                            break;
+                        }
+                        continue;
+                    }
+                    if job {
+                        reader_depth.fetch_add(1, Ordering::AcqRel);
+                    }
+                    if tx.send(Incoming::Request(line)).is_err() {
+                        break;
+                    }
+                }
             }
         }
     });
     let stdout = std::io::stdout();
-    'outer: while let Ok(first) = rx.recv() {
-        let mut batch = vec![first];
+    let mut shutdown = false;
+    while let Ok(first) = rx.recv() {
+        let mut queue: VecDeque<Incoming> = VecDeque::new();
+        queue.push_back(first);
         while let Ok(next) = rx.try_recv() {
-            batch.push(next);
+            queue.push_back(next);
         }
         service.batches += 1;
         telemetry::counter_add("epocd.batches", 1);
         telemetry::log_event(
             LogLevel::Info,
             "batch.begin",
-            Json::obj().push("size", batch.len()),
+            Json::obj().push("size", queue.len()),
         );
-        for (i, line) in batch.iter().enumerate() {
+        let batch_size = queue.len();
+        while let Some(item) = queue.pop_front() {
             // Requests already queued behind this one.
-            telemetry::gauge_set("epocd.queue_depth", (batch.len() - i - 1) as i64);
-            if line.trim().is_empty() {
-                continue;
-            }
-            let (resp, shutdown) = service.handle(line);
+            telemetry::gauge_set("epocd.queue_depth", queue.len() as i64);
+            let resp = match item {
+                Incoming::Reject { id, reason, error } => service.reject(id, reason, error),
+                Incoming::Request(line) => {
+                    let job = !is_command(&line);
+                    let (resp, stop) = service.handle(&line);
+                    if job {
+                        depth.fetch_sub(1, Ordering::AcqRel);
+                    }
+                    if stop {
+                        shutdown = true;
+                    }
+                    resp
+                }
+            };
             let mut out = stdout.lock();
             let _ = writeln!(out, "{}", resp.to_string_compact());
             let _ = out.flush();
             if shutdown {
-                break 'outer;
+                // Graceful drain: everything still queued — in this
+                // batch or on the channel — is shed with a typed
+                // rejection, then the final checkpoint runs.
+                while let Ok(next) = rx.try_recv() {
+                    queue.push_back(next);
+                }
+                for left in queue.drain(..) {
+                    let resp = match left {
+                        Incoming::Reject { id, reason, error } => {
+                            service.reject(id, reason, error)
+                        }
+                        Incoming::Request(line) => {
+                            if !is_command(&line) {
+                                depth.fetch_sub(1, Ordering::AcqRel);
+                            }
+                            service.reject_line(
+                                &line,
+                                "shutting_down",
+                                "service is shutting down",
+                            )
+                        }
+                    };
+                    let _ = writeln!(out, "{}", resp.to_string_compact());
+                }
+                let _ = out.flush();
+                break;
             }
         }
         telemetry::log_event(
             LogLevel::Info,
             "batch.end",
-            Json::obj().push("size", batch.len()),
+            Json::obj().push("size", batch_size),
         );
-        service.maybe_checkpoint();
+        service.end_batch();
+        if shutdown {
+            break;
+        }
     }
     service.finish();
     ExitCode::SUCCESS
 }
 
 /// Serves line-delimited requests over a Unix socket, one connection at a
-/// time (responses go back on the same connection).
+/// time (responses go back on the same connection). The socket loop is
+/// synchronous — each job is answered before the next line is read — so
+/// queue-based shedding never applies; the line bound still does.
 #[cfg(unix)]
-fn serve_socket(mut service: Service, path: &std::path::Path) -> ExitCode {
+fn serve_socket(mut service: Service, path: &std::path::Path, line_limit: usize) -> ExitCode {
     use std::os::unix::net::UnixListener;
     let _ = std::fs::remove_file(path);
     let listener = match UnixListener::bind(path) {
@@ -575,23 +925,33 @@ fn serve_socket(mut service: Service, path: &std::path::Path) -> ExitCode {
             Ok(w) => w,
             Err(_) => continue,
         };
-        let reader = std::io::BufReader::new(stream);
+        let mut reader = std::io::BufReader::new(stream);
         let mut shutdown = false;
         let mut jobs_in_connection = 0usize;
         telemetry::log_event(LogLevel::Info, "connection.accepted", Json::obj());
-        for line in reader.lines() {
-            let Ok(line) = line else { break };
-            if line.trim().is_empty() {
-                continue;
-            }
-            let (resp, stop) = service.handle(&line);
-            jobs_in_connection += 1;
+        loop {
+            let resp = match next_line(&mut reader, line_limit) {
+                Err(_) | Ok(ReadLine::Eof) => break,
+                Ok(ReadLine::Oversized(n)) => service.reject(
+                    None,
+                    "oversized",
+                    format!("request line of {n} bytes exceeds the {line_limit}-byte limit"),
+                ),
+                Ok(ReadLine::Line(line)) => {
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    let (resp, stop) = service.handle(&line);
+                    jobs_in_connection += 1;
+                    shutdown = stop;
+                    resp
+                }
+            };
             if writeln!(writer, "{}", resp.to_string_compact()).is_err() {
                 break;
             }
             let _ = writer.flush();
-            if stop {
-                shutdown = true;
+            if shutdown {
                 break;
             }
         }
@@ -604,7 +964,7 @@ fn serve_socket(mut service: Service, path: &std::path::Path) -> ExitCode {
                 "batch.end",
                 Json::obj().push("size", jobs_in_connection),
             );
-            service.maybe_checkpoint();
+            service.end_batch();
         }
         if shutdown {
             break;
@@ -639,13 +999,13 @@ fn main() -> ExitCode {
     let service = Service::new(&args);
     let code = match &args.socket {
         #[cfg(unix)]
-        Some(path) => serve_socket(service, path),
+        Some(path) => serve_socket(service, path, args.line_limit),
         #[cfg(not(unix))]
         Some(_) => {
             eprintln!("error: --socket is only supported on Unix platforms");
             ExitCode::from(2)
         }
-        None => serve_stdin(service),
+        None => serve_stdin(service, args.queue_limit, args.line_limit),
     };
     telemetry::log_close();
     code

@@ -18,6 +18,7 @@
 //! trace_check --log epocd.jsonl         # JSONL log schema
 //! trace_check --metrics m.prom          # Prometheus exposition grammar
 //! trace_check --require-jobs --log epocd.jsonl --metrics m.prom
+//! trace_check --require-event job.rejected --log epocd.jsonl
 //! ```
 //!
 //! `--require-recovery` backs the CI `chaos-smoke` step: a compile with
@@ -27,6 +28,9 @@
 //! events to per-service job ids (admission and completion for at least
 //! one job >= 1), and the exposition must carry `job="N"` labels and
 //! summary quantiles — the whole point of job-scoped telemetry.
+//! `--require-event NAME` (repeatable) backs the `resilience-smoke`
+//! step: the log must contain at least one line whose `event` is NAME —
+//! e.g. a flood test asserting `job.rejected` actually got logged.
 
 use epoc_rt::json::Json;
 use std::process::ExitCode;
@@ -42,7 +46,7 @@ fn fail(msg: &str) -> ExitCode {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: trace_check [--require-qoc] [--require-recovery] [--require-jobs] \
-         [--log FILE] [--metrics FILE] [<trace.json>]"
+         [--require-event NAME]... [--log FILE] [--metrics FILE] [<trace.json>]"
     );
     ExitCode::from(2)
 }
@@ -128,13 +132,18 @@ fn check_trace(
 }
 
 /// Validates a structured JSONL event log; returns a summary on success.
-fn check_log(path: &str, require_jobs: bool) -> Result<String, String> {
+fn check_log(
+    path: &str,
+    require_jobs: bool,
+    require_events: &[String],
+) -> Result<String, String> {
     let source =
         std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let mut lines = 0usize;
     let mut attributed = 0usize;
     let mut admitted = false;
     let mut done = false;
+    let mut missing: Vec<&str> = require_events.iter().map(String::as_str).collect();
     for (i, line) in source.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
@@ -154,6 +163,7 @@ fn check_log(path: &str, require_jobs: bool) -> Result<String, String> {
         let Some(event) = entry.get("event").and_then(Json::as_str) else {
             return Err(format!("{path}:{}: missing \"event\"", i + 1));
         };
+        missing.retain(|name| *name != event);
         let job = entry.get("job").and_then(Json::as_f64).unwrap_or(0.0);
         if job >= 1.0 {
             attributed += 1;
@@ -179,12 +189,23 @@ fn check_log(path: &str, require_jobs: bool) -> Result<String, String> {
             ));
         }
     }
+    if !missing.is_empty() {
+        return Err(format!(
+            "{path}: required event(s) never logged: {}",
+            missing.join(", ")
+        ));
+    }
     Ok(format!(
-        "{path}: {lines} log lines valid{}",
+        "{path}: {lines} log lines valid{}{}",
         if require_jobs {
             format!(", {attributed} attributed to jobs")
         } else {
             String::new()
+        },
+        if require_events.is_empty() {
+            String::new()
+        } else {
+            format!(", {} required event(s) present", require_events.len())
         }
     ))
 }
@@ -273,6 +294,7 @@ fn main() -> ExitCode {
     let mut require_qoc = false;
     let mut require_recovery = false;
     let mut require_jobs = false;
+    let mut require_events: Vec<String> = Vec::new();
     let mut log_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
     let mut path = String::new();
@@ -282,6 +304,10 @@ fn main() -> ExitCode {
             "--require-qoc" => require_qoc = true,
             "--require-recovery" => require_recovery = true,
             "--require-jobs" => require_jobs = true,
+            "--require-event" => match args.next() {
+                Some(name) => require_events.push(name),
+                None => return usage(),
+            },
             "--log" => match args.next() {
                 Some(p) => log_path = Some(p),
                 None => return usage(),
@@ -305,8 +331,12 @@ fn main() -> ExitCode {
             Err(e) => return fail(&e),
         }
     }
+    if !require_events.is_empty() && log_path.is_none() {
+        eprintln!("trace_check: --require-event needs --log FILE");
+        return usage();
+    }
     if let Some(p) = &log_path {
-        match check_log(p, require_jobs) {
+        match check_log(p, require_jobs, &require_events) {
             Ok(s) => summaries.push(s),
             Err(e) => return fail(&e),
         }

@@ -13,6 +13,7 @@
 //! exhausted ladder to an error.
 
 use epoc_qoc::{GrapeError, LibraryError, PulseError};
+use epoc_rt::cancel::CancelReason;
 use epoc_synth::SynthError;
 
 /// A pulse-generation failure during schedule assembly, tagged with the
@@ -49,15 +50,31 @@ pub enum EpocError {
     /// recoverable: the caller reports the error and compiles with a cold
     /// cache.
     Library(LibraryError),
+    /// The job was cancelled (an explicit cancel, e.g. a service drain).
+    /// Hard: the partial result is discarded, never scheduled.
+    Canceled,
+    /// The job's wall-clock deadline passed. Hard and typed rather than
+    /// degraded: a deadline check is time-dependent, so letting it bend
+    /// the output would break byte-determinism across machines.
+    DeadlineExceeded,
 }
 
 impl EpocError {
     /// Wraps a pulse failure from scheduling `block`, routing GRAPE
-    /// failures to [`EpocError::Grape`].
+    /// failures to [`EpocError::Grape`] and hard cancellations to the
+    /// top-level [`EpocError::Canceled`]/[`EpocError::DeadlineExceeded`].
     pub(crate) fn from_pulse(block: usize, source: PulseError) -> Self {
         match source {
-            PulseError::Grape(g) => Self::Grape(g),
+            PulseError::Grape(g) => Self::from(g),
             source => Self::Schedule(ScheduleError { block, source }),
+        }
+    }
+
+    /// The top-level variant for a hard cancellation reason.
+    pub fn from_cancel(reason: CancelReason) -> Self {
+        match reason {
+            CancelReason::Canceled => Self::Canceled,
+            CancelReason::DeadlineExceeded => Self::DeadlineExceeded,
         }
     }
 }
@@ -69,6 +86,8 @@ impl std::fmt::Display for EpocError {
             Self::Grape(e) => write!(f, "grape: {e}"),
             Self::Schedule(e) => write!(f, "schedule: {e}"),
             Self::Library(e) => write!(f, "library: {e}"),
+            Self::Canceled => write!(f, "job canceled"),
+            Self::DeadlineExceeded => write!(f, "job deadline exceeded"),
         }
     }
 }
@@ -77,13 +96,19 @@ impl std::error::Error for EpocError {}
 
 impl From<SynthError> for EpocError {
     fn from(e: SynthError) -> Self {
-        Self::Synth(e)
+        match e {
+            SynthError::Canceled(reason) => Self::from_cancel(reason),
+            e => Self::Synth(e),
+        }
     }
 }
 
 impl From<GrapeError> for EpocError {
     fn from(e: GrapeError) -> Self {
-        Self::Grape(e)
+        match e {
+            GrapeError::Canceled(reason) => Self::from_cancel(reason),
+            e => Self::Grape(e),
+        }
     }
 }
 
@@ -110,5 +135,19 @@ mod tests {
         let g = GrapeError::NoSlots;
         let e = EpocError::from_pulse(0, PulseError::Grape(g.clone()));
         assert_eq!(e, EpocError::Grape(g));
+    }
+
+    #[test]
+    fn hard_cancellations_surface_as_top_level_variants() {
+        let e = EpocError::from(SynthError::Canceled(CancelReason::DeadlineExceeded));
+        assert_eq!(e, EpocError::DeadlineExceeded);
+        let e = EpocError::from(GrapeError::Canceled(CancelReason::Canceled));
+        assert_eq!(e, EpocError::Canceled);
+        let e = EpocError::from_pulse(
+            2,
+            PulseError::Grape(GrapeError::Canceled(CancelReason::DeadlineExceeded)),
+        );
+        assert_eq!(e, EpocError::DeadlineExceeded);
+        assert!(e.to_string().contains("deadline"));
     }
 }

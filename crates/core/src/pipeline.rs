@@ -23,7 +23,8 @@ use epoc_qoc::{
     GrapeSynthesizer, HybridSynthesizer, ModeledSynthesizer, PulseError, PulseRequest,
     PulseSynthesizer, RecoveredPulse,
 };
-use epoc_synth::{lower_to_vug_form, synthesize, SynthError};
+use epoc_rt::cancel::CancelToken;
+use epoc_synth::{lower_to_vug_form, synthesize_with_cancel, SynthError};
 use epoc_zx::zx_optimize;
 use std::collections::HashMap;
 use std::sync::Mutex;
@@ -146,6 +147,7 @@ pub(crate) fn schedule_partition(
     workers: usize,
     hw: Option<&epoc_hw::HardwareProfile>,
     recoveries: &mut Vec<RecoveryRecord>,
+    cancel: &CancelToken,
 ) -> Result<PulseSchedule, EpocError> {
     let blocks = partition.blocks();
     // Conditioning state for stage 4 (serial, so a single reusable
@@ -188,8 +190,12 @@ pub(crate) fn schedule_partition(
     // route was established during classification; a `None` here would
     // mean the invariant broke, and stage 4's recompute path absorbs it
     // instead of panicking.
+    // Each block charges a fresh per-block scope, so budget accounting is
+    // independent of how jobs are distributed across workers.
     let computed = epoc_rt::pool::parallel_map(&jobs, workers, |_, &i| {
-        grape_route(i).map(|(grape, u)| grape.compute_uncached(blocks[i].n_qubits(), u))
+        grape_route(i).map(|(grape, u)| {
+            grape.compute_uncached_with_cancel(blocks[i].n_qubits(), u, &cancel.scope())
+        })
     });
     let mut precomputed: HashMap<usize, Result<RecoveredPulse, PulseError>> = jobs
         .into_iter()
@@ -221,7 +227,11 @@ pub(crate) fn schedule_partition(
                                 rung: RUNG_SCHEDULE_RECOMPUTE,
                             });
                             epoc_rt::telemetry::counter_add(RUNG_SCHEDULE_RECOMPUTE, 1);
-                            grape.compute_uncached(block.n_qubits(), u)
+                            grape.compute_uncached_with_cancel(
+                                block.n_qubits(),
+                                u,
+                                &cancel.scope(),
+                            )
                         }
                     }
                     .map_err(|e| EpocError::from_pulse(i, e))?;
@@ -233,7 +243,15 @@ pub(crate) fn schedule_partition(
                         });
                         epoc_rt::telemetry::counter_add(rung, 1);
                     }
-                    grape.library().insert(u, recovered.entry.clone());
+                    // A digital fallback produced under an active work
+                    // budget may exist only because the budget ran out —
+                    // keep it out of the (persistent) library so a later
+                    // unbudgeted job is not poisoned by it. Deterministic:
+                    // the condition depends only on the entry and the
+                    // job's token, never on timing or worker count.
+                    if recovered.entry.waveform.is_some() || !cancel.has_budget() {
+                        grape.library().insert(u, recovered.entry.clone());
+                    }
                     recovered.entry
                 }
             },
@@ -356,10 +374,43 @@ impl EpocCompiler {
     ///
     /// Returns [`EpocError`] naming the failing stage and block.
     pub fn compile(&self, circuit: &Circuit) -> Result<CompilationReport, EpocError> {
+        self.compile_with_cancel(circuit, &CancelToken::default())
+    }
+
+    /// [`EpocCompiler::compile`] under a cooperative-cancellation token.
+    ///
+    /// The token's hard conditions (cancel flag, wall-clock deadline) are
+    /// polled at stage boundaries and inside the optimizer hot loops; a
+    /// trip surfaces as [`EpocError::Canceled`] /
+    /// [`EpocError::DeadlineExceeded`] and discards the partial compile.
+    /// The token's work budgets are charged *per block* through fresh
+    /// [`epoc_rt::cancel::CancelScope`]s: exhaustion degrades a block
+    /// through the normal recovery ladder (QSearch falls back to the
+    /// block's own gates, GRAPE to the digital model), so a budgeted
+    /// compile either fails typed or produces a report that is
+    /// byte-identical at any worker count.
+    ///
+    /// # Errors
+    ///
+    /// All of [`EpocCompiler::compile`]'s errors, plus the two
+    /// cancellation variants.
+    pub fn compile_with_cancel(
+        &self,
+        circuit: &Circuit,
+        cancel: &CancelToken,
+    ) -> Result<CompilationReport, EpocError> {
         let t0 = Instant::now();
         let mut stages = StageStats::default();
         let (hits0, misses0) = self.backend.cache_counts();
         let (grape_iters0, grape_probes0) = self.backend.grape_stats();
+        // Stage-boundary poll: cheap serial stages (zx, partition,
+        // regroup) are not internally cancellable, so the hard conditions
+        // are re-checked between stages.
+        let checkpoint = || match cancel.hard_reason() {
+            Some(reason) => Err(EpocError::from_cancel(reason)),
+            None => Ok(()),
+        };
+        checkpoint()?;
 
         // Transpile to the hardware basis first — every flow prices the
         // same physical gate stream (see `epoc_circuit::lower_to_basis`).
@@ -391,6 +442,7 @@ impl EpocCompiler {
         drop(stage_span);
 
         // §3.3 — VUG-based synthesis across the worker pool.
+        checkpoint()?;
         let stage_span = epoc_rt::telemetry::span("stage", "synth");
         let stage_t = Instant::now();
         let synth_cfg = &self.config.synth;
@@ -424,10 +476,14 @@ impl EpocCompiler {
                 // budget before settling for the structural fallback. The
                 // raw `synthesize` (not `synthesize_or_fallback`, which
                 // reports its own fallback as converged) keeps the true
-                // convergence state visible to the ladder.
+                // convergence state visible to the ladder. One cancel
+                // scope spans every attempt for the block: once its node
+                // budget is spent, each escalation returns immediately
+                // and the ladder falls through to the fallback.
+                let scope = cancel.scope();
                 let mut cfg = synth_cfg.clone();
                 let mut rungs: Vec<&'static str> = Vec::new();
-                let mut r = synthesize(&unitary, &cfg)?;
+                let mut r = synthesize_with_cancel(&unitary, &cfg, &scope)?;
                 let mut nodes = r.nodes_evaluated;
                 for _ in 0..recovery.synth_budget_escalations {
                     if r.converged {
@@ -435,7 +491,7 @@ impl EpocCompiler {
                     }
                     cfg.max_nodes = cfg.max_nodes.saturating_mul(recovery.synth_budget_factor);
                     rungs.push(RUNG_SYNTH_BUDGET);
-                    r = synthesize(&unitary, &cfg)?;
+                    r = synthesize_with_cancel(&unitary, &cfg, &scope)?;
                     nodes += r.nodes_evaluated;
                 }
                 // Synthesis is only worth keeping when its VUG/CNOT structure
@@ -510,6 +566,7 @@ impl EpocCompiler {
 
         // §3.4 — pulse generation through the backend + cache, fanned out
         // over the same worker crew as synthesis.
+        checkpoint()?;
         let stage_span = epoc_rt::telemetry::span("stage", "pulse");
         let stage_t = Instant::now();
         let mut pulse_recoveries = Vec::new();
@@ -522,6 +579,7 @@ impl EpocCompiler {
             n_workers,
             hw_active,
             &mut pulse_recoveries,
+            cancel,
         )?;
         stages.recoveries.append(&mut pulse_recoveries);
         stages.pulses = schedule.len();
@@ -565,6 +623,15 @@ impl EpocCompiler {
             hardware,
             simulation: None,
         })
+    }
+
+    /// The backend's pulse libraries as named persistence sections — the
+    /// same names [`EpocCompiler::save_library`] writes ("grape" and
+    /// "model" for hybrid backends, "model" alone for modeled ones).
+    /// Services use this to wire write-ahead journaling and replay
+    /// around the checkpoint cycle.
+    pub fn library_sections(&self) -> Vec<(&'static str, &epoc_qoc::PulseLibrary)> {
+        self.backend.library_sections()
     }
 
     /// Combined pulse-cache hit count since construction.

@@ -5,8 +5,9 @@
 //! until GRAPE succeeds, then binary-search the success boundary.
 
 use crate::device::DeviceModel;
-use crate::grape::{grape, GrapeConfig, GrapeError, GrapeResult};
+use crate::grape::{grape_with_cancel, GrapeConfig, GrapeError, GrapeResult};
 use epoc_linalg::Matrix;
+use epoc_rt::cancel::CancelScope;
 
 /// How the GRAPE backend escalates when a duration search comes back
 /// below the fidelity threshold. Each escalation is one recovery-ladder
@@ -140,6 +141,24 @@ pub fn minimize_duration(
     target: &Matrix,
     config: &DurationSearchConfig,
 ) -> Result<PulseSolution, DurationError> {
+    minimize_duration_with_cancel(device, target, config, &CancelScope::none())
+}
+
+/// [`minimize_duration`] with a cooperative-cancellation scope threaded
+/// into every GRAPE probe. The scope's budget spans the *whole* search
+/// (all probes share one counter), so a budgeted search degrades exactly
+/// once per block regardless of worker count or probe order.
+///
+/// # Errors
+///
+/// All of [`minimize_duration`]'s errors; a hard cancel surfaces as
+/// [`DurationError::Grape`] wrapping [`GrapeError::Canceled`].
+pub fn minimize_duration_with_cancel(
+    device: &DeviceModel,
+    target: &Matrix,
+    config: &DurationSearchConfig,
+    cancel: &CancelScope,
+) -> Result<PulseSolution, DurationError> {
     let _span = epoc_rt::telemetry::span("qoc", "duration_search");
     let mut probes = 0usize;
     let mut total_iterations = 0usize;
@@ -147,7 +166,7 @@ pub fn minimize_duration(
         |slots: usize, probes: &mut usize, iters: &mut usize| -> Result<GrapeResult, GrapeError> {
             *probes += 1;
             epoc_rt::telemetry::counter_add("grape.probes", 1);
-            let r = grape(device, target, slots, &config.grape)?;
+            let r = grape_with_cancel(device, target, slots, &config.grape, cancel)?;
             *iters += r.total_iterations;
             Ok(r)
         };

@@ -31,6 +31,10 @@ pub enum GrapeError {
     /// A numerical routine (eigendecomposition / propagator exponential)
     /// failed on a slot Hamiltonian.
     Numerical(String),
+    /// The run was cancelled hard (explicit cancel or a wall-clock
+    /// deadline). Unlike non-convergence this aborts the job: the
+    /// recovery ladder must not retry past a deadline.
+    Canceled(epoc_rt::cancel::CancelReason),
 }
 
 impl std::fmt::Display for GrapeError {
@@ -42,6 +46,7 @@ impl std::fmt::Display for GrapeError {
                 "target dimension {target} does not match device dimension {device}"
             ),
             Self::Numerical(msg) => write!(f, "GRAPE numerical failure: {msg}"),
+            Self::Canceled(reason) => write!(f, "GRAPE run {reason}"),
         }
     }
 }
@@ -288,6 +293,29 @@ pub fn grape(
     n_slots: usize,
     config: &GrapeConfig,
 ) -> Result<GrapeResult, GrapeError> {
+    grape_with_cancel(device, target, n_slots, config, &epoc_rt::cancel::CancelScope::none())
+}
+
+/// [`grape`] with a cooperative-cancellation scope: each Adam iteration
+/// charges one unit against the scope's GRAPE budget and polls the hard
+/// conditions (cancel flag, wall-clock deadline).
+///
+/// Budget exhaustion is *soft*: the loop stops with whatever fidelity it
+/// has and the caller's recovery ladder degrades the block. Because the
+/// budget is charged in iterations (work units), budgeted outcomes are
+/// bit-identical at any worker count.
+///
+/// # Errors
+///
+/// All of [`grape`]'s errors, plus [`GrapeError::Canceled`] when the
+/// scope's token is cancelled or past its deadline.
+pub fn grape_with_cancel(
+    device: &DeviceModel,
+    target: &Matrix,
+    n_slots: usize,
+    config: &GrapeConfig,
+    cancel: &epoc_rt::cancel::CancelScope,
+) -> Result<GrapeResult, GrapeError> {
     let _span = epoc_rt::telemetry::span("qoc", "grape");
     if n_slots == 0 {
         return Err(GrapeError::NoSlots);
@@ -373,6 +401,12 @@ pub fn grape(
         let mut fidelity = 0.0;
         let mut iters_used = 0;
         for step in 1..=config.max_iters {
+            // Cooperative cancellation: one budget unit per Adam step.
+            // Exhaustion breaks softly (the ladder upstream degrades the
+            // block); a raised flag or blown deadline aborts typed.
+            if !cancel.spend_grape_iter().map_err(GrapeError::Canceled)? {
+                break;
+            }
             iters_used = step;
             let f = match hw_active {
                 Some(profile) => {

@@ -32,6 +32,7 @@ mod crab;
 mod device;
 mod duration;
 mod grape;
+mod journal;
 mod library;
 mod model;
 mod store;
@@ -41,13 +42,18 @@ mod waveform;
 pub use crab::{crab, CrabConfig, CrabResult};
 pub use device::{ControlChannel, DeviceError, DeviceModel, MAX_MODEL_QUBITS};
 pub use duration::{
-    minimize_duration, DurationError, DurationSearchConfig, GrapeRecoveryPolicy, PulseSolution,
-    SearchDurationError,
+    minimize_duration, minimize_duration_with_cancel, DurationError, DurationSearchConfig,
+    GrapeRecoveryPolicy, PulseSolution, SearchDurationError,
 };
-pub use grape::{fault_fingerprint, grape, propagate, GradientMode, GrapeConfig, GrapeError, GrapeResult};
+pub use grape::{
+    fault_fingerprint, grape, grape_with_cancel, propagate, GradientMode, GrapeConfig, GrapeError,
+    GrapeResult,
+};
 pub use grape::GrapeWorkspace;
+pub use journal::{replay_journal, JournalWriter};
 pub use library::{
-    load_library_file, save_library_file, CacheKey, KeyPolicy, PulseEntry, PulseLibrary,
+    load_library_file, save_library_file, CacheKey, InsertObserver, KeyPolicy, PulseEntry,
+    PulseLibrary,
 };
 pub use model::{DurationModel, GateDurationTable};
 pub use store::{

@@ -329,6 +329,28 @@ pub struct PulseLibrary {
     store: Box<dyn PulseStore>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    observer: ObserverCell,
+}
+
+/// Callback invoked on every live insert, *before* the store mutation —
+/// services use it to write-ahead-journal inserts (see
+/// [`crate::journal`]).
+pub type InsertObserver = Arc<dyn Fn(&CacheKey, &PulseEntry) + Send + Sync>;
+
+/// Interior cell for the optional insert observer; manual `Debug` since
+/// closures have none.
+#[derive(Default)]
+struct ObserverCell(std::sync::Mutex<Option<InsertObserver>>);
+
+impl std::fmt::Debug for ObserverCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let set = self
+            .0
+            .lock()
+            .map(|g| g.is_some())
+            .unwrap_or_else(|e| e.into_inner().is_some());
+        write!(f, "InsertObserver({})", if set { "set" } else { "unset" })
+    }
 }
 
 impl PulseLibrary {
@@ -346,6 +368,7 @@ impl PulseLibrary {
             store,
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
+            observer: ObserverCell::default(),
         }
     }
 
@@ -435,6 +458,15 @@ impl PulseLibrary {
         }
     }
 
+    /// Registers (or clears) the insert observer: a callback invoked on
+    /// every *live* insert, before the store mutation — the write-ahead
+    /// hook for [`crate::journal`]. Bulk restores
+    /// ([`PulseLibrary::load_json_value`] and journal replay) bypass it,
+    /// so loaded entries are never re-journaled.
+    pub fn set_insert_observer(&self, observer: Option<InsertObserver>) {
+        *self.observer.0.lock().unwrap_or_else(|e| e.into_inner()) = observer;
+    }
+
     /// Inserts (or replaces) the pulse for `unitary`.
     ///
     /// Fail point `pulse_lib.insert` silently drops the insert (chaos
@@ -444,7 +476,20 @@ impl PulseLibrary {
             return;
         }
         epoc_rt::telemetry::counter_add("pulse_lib.inserts", 1);
-        self.store.put(self.cache_key(unitary), entry);
+        let key = self.cache_key(unitary);
+        // Write-ahead: the observer (journal append) runs before the
+        // in-memory insert, so a crash can lose an uncached pulse but
+        // never journal an insert that did not happen.
+        let observer = self
+            .observer
+            .0
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        if let Some(observe) = observer {
+            observe(&key, &entry);
+        }
+        self.store.put(key, entry);
     }
 
     /// Number of stored pulses.
@@ -589,8 +634,9 @@ impl PulseLibrary {
 const LIBRARY_FORMAT_VERSION: u64 = 2;
 
 /// FNV-1a over the serialized payload, rendered as 16 hex digits — the
-/// torn-write detector for library files.
-fn payload_checksum(payload: &str) -> String {
+/// torn-write detector for library files (and, per record, for the
+/// write-ahead journal in [`crate::journal`]).
+pub(crate) fn payload_checksum(payload: &str) -> String {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in payload.as_bytes() {
         h ^= b as u64;

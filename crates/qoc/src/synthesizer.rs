@@ -10,7 +10,7 @@
 //!   (the default for the benchmark harness).
 
 use crate::device::{DeviceError, DeviceModel};
-use crate::duration::{minimize_duration, DurationError, DurationSearchConfig};
+use crate::duration::{minimize_duration_with_cancel, DurationError, DurationSearchConfig};
 use crate::grape::GrapeError;
 use crate::library::{KeyPolicy, PulseEntry, PulseLibrary};
 use crate::model::DurationModel;
@@ -216,6 +216,27 @@ impl GrapeSynthesizer {
         n_qubits: usize,
         unitary: &Matrix,
     ) -> Result<RecoveredPulse, PulseError> {
+        self.compute_uncached_with_cancel(n_qubits, unitary, &epoc_rt::cancel::CancelScope::none())
+    }
+
+    /// [`GrapeSynthesizer::compute_uncached`] with a cooperative-
+    /// cancellation scope. The scope's GRAPE-iteration budget spans every
+    /// rung of the recovery ladder: once exhausted, each remaining
+    /// attempt's Adam loops break immediately, so the ladder falls
+    /// through deterministically to the digital fallback (or a strict
+    /// error) regardless of worker count.
+    ///
+    /// # Errors
+    ///
+    /// All of [`GrapeSynthesizer::compute_uncached`]'s errors; a hard
+    /// cancel (flag or deadline) surfaces as [`PulseError::Grape`]
+    /// wrapping [`GrapeError::Canceled`] and aborts the ladder.
+    pub fn compute_uncached_with_cancel(
+        &self,
+        n_qubits: usize,
+        unitary: &Matrix,
+        cancel: &epoc_rt::cancel::CancelScope,
+    ) -> Result<RecoveredPulse, PulseError> {
         if n_qubits > self.max_qubits {
             return Err(PulseError::TooWide {
                 n_qubits,
@@ -246,7 +267,7 @@ impl GrapeSynthesizer {
                     rungs.push(RUNG_GRAPE_SLOTS);
                 }
             }
-            match minimize_duration(&device, unitary, &search) {
+            match minimize_duration_with_cancel(&device, unitary, &search, cancel) {
                 Ok(sol) => {
                     self.iterations.fetch_add(sol.total_iterations, Ordering::Relaxed);
                     self.probes.fetch_add(sol.probes, Ordering::Relaxed);

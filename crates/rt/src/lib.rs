@@ -24,6 +24,11 @@
 //!   labels (always / nth-hit / first-hits / keyed-probability triggers)
 //!   for chaos testing. Replaces `fail`; disarmed fail points cost one
 //!   atomic load.
+//! * [`cancel`] — cooperative cancellation tokens carrying wall-clock
+//!   deadlines and deterministic work budgets, polled at fixed points in
+//!   the optimizer hot loops. Replaces `tokio_util::sync::CancellationToken`
+//!   with a poll-based design that keeps budgeted outcomes byte-identical
+//!   at any worker count.
 //!
 //! Every module is deliberately small: the goal is not to reimplement the
 //! upstream crates, only the narrow slices the workspace consumes, with
@@ -33,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod cancel;
 pub mod check;
 pub mod faults;
 pub mod json;

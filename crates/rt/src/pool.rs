@@ -20,7 +20,17 @@
 //! (captured at dispatch time for crew rounds), never with the thread.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Locks `m`, recovering the guard from a poisoned lock. Poisoning here
+/// means a sibling worker panicked mid-round; the protected data (result
+/// slots, round state) is still structurally valid, and the panic itself
+/// propagates when the thread scope joins — recovering keeps the
+/// teardown orderly instead of cascading (an `unwrap` inside a `Drop`
+/// during that unwind would abort the process).
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// The worker count to use when the caller has no preference: the
 /// machine's available parallelism, falling back to 4 if that cannot be
@@ -62,7 +72,7 @@ where
                         break;
                     }
                     let result = f(i, &items[i]);
-                    *slots[i].lock().unwrap() = Some(result);
+                    *lock_recover(&slots[i]) = Some(result);
                 }
             });
         }
@@ -72,7 +82,7 @@ where
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .unwrap()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .expect("worker crew left a slot unfilled")
         })
         .collect()
@@ -171,11 +181,11 @@ where
             return;
         }
         let result = job(i, &round.items[i]);
-        *round.results[i].lock().unwrap() = Some(result);
+        *lock_recover(&round.results[i]) = Some(result);
         if round.done.fetch_add(1, Ordering::AcqRel) + 1 == n {
             // Takes the state lock before notifying so the wakeup cannot
             // slip between the dispatcher's counter check and its wait.
-            let _st = shared.state.lock().unwrap();
+            let _st = lock_recover(&shared.state);
             shared.done_cv.notify_all();
         }
     }
@@ -188,7 +198,7 @@ where
     let mut seen = 0u64;
     loop {
         let round = {
-            let mut st = shared.state.lock().unwrap();
+            let mut st = lock_recover(&shared.state);
             loop {
                 if st.shutdown {
                     return;
@@ -201,7 +211,10 @@ where
                         break r;
                     }
                 }
-                st = shared.work_cv.wait(st).unwrap();
+                st = shared
+                    .work_cv
+                    .wait(st)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
         };
         let _scope = crate::telemetry::TelemetryScope::enter(round.job);
@@ -215,7 +228,10 @@ struct ShutdownGuard<'a, T, R>(&'a CrewShared<T, R>);
 
 impl<T, R> Drop for ShutdownGuard<'_, T, R> {
     fn drop(&mut self) {
-        self.0.state.lock().unwrap().shutdown = true;
+        // This drop runs while a panic may be unwinding (that is its
+        // whole purpose); the poison-recovering lock keeps it from
+        // double-panicking into a process abort.
+        lock_recover(&self.0.state).shutdown = true;
         self.0.work_cv.notify_all();
     }
 }
@@ -256,7 +272,7 @@ where
             job: crate::telemetry::current_job(),
         };
         {
-            let mut st = shared.state.lock().unwrap();
+            let mut st = lock_recover(&shared.state);
             st.generation = st.generation.wrapping_add(1);
             st.round = Some(round.clone());
             shared.work_cv.notify_all();
@@ -264,9 +280,12 @@ where
         // Help with the round, then wait out any straggler workers.
         run_round(&round, self.job, shared);
         {
-            let mut st = shared.state.lock().unwrap();
+            let mut st = lock_recover(&shared.state);
             while round.done.load(Ordering::Acquire) < n {
-                st = shared.done_cv.wait(st).unwrap();
+                st = shared
+                    .done_cv
+                    .wait(st)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
             st.round = None;
         }
@@ -274,8 +293,7 @@ where
             .results
             .iter()
             .map(|slot| {
-                slot.lock()
-                    .unwrap()
+                lock_recover(slot)
                     .take()
                     .expect("worker crew left a slot unfilled")
             })

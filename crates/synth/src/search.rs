@@ -35,6 +35,10 @@ pub enum SynthError {
     },
     /// The analytic lowering failed or produced an unexpected gate.
     Lowering(String),
+    /// The search was cancelled hard (explicit cancel or a wall-clock
+    /// deadline). Unlike budget exhaustion — which returns a best-effort
+    /// non-converged result — this aborts the job.
+    Canceled(epoc_rt::cancel::CancelReason),
 }
 
 impl std::fmt::Display for SynthError {
@@ -50,6 +54,7 @@ impl std::fmt::Display for SynthError {
                 "lower_to_vug_form only passes through 1-qubit opaque blocks (got dim {dim})"
             ),
             Self::Lowering(msg) => write!(f, "analytic lowering failed: {msg}"),
+            Self::Canceled(reason) => write!(f, "synthesis {reason}"),
         }
     }
 }
@@ -224,7 +229,27 @@ struct EvalOut {
 /// assert!(r.distance < 1e-5);
 /// ```
 pub fn synthesize(target: &Matrix, config: &SynthConfig) -> Result<SynthResult, SynthError> {
+    synthesize_with_cancel(target, config, &epoc_rt::cancel::CancelScope::none())
+}
+
+/// [`synthesize`] with a cooperative-cancellation scope polled at the A*
+/// claim loop. Each expansion batch charges its node count against the
+/// scope's QSearch budget *before* being computed; exhaustion ends the
+/// search exactly like a `max_nodes` blow-through (a best-effort,
+/// non-converged result), so budgeted outcomes are byte-identical at any
+/// worker count.
+///
+/// # Errors
+///
+/// All of [`synthesize`]'s errors, plus [`SynthError::Canceled`] when
+/// the scope's token is cancelled or past its deadline.
+pub fn synthesize_with_cancel(
+    target: &Matrix,
+    config: &SynthConfig,
+    cancel: &epoc_rt::cancel::CancelScope,
+) -> Result<SynthResult, SynthError> {
     let _span = epoc_rt::telemetry::span("synth", "qsearch");
+    cancel.poll().map_err(SynthError::Canceled)?;
     if !target.is_square() {
         return Err(SynthError::NotSquare);
     }
@@ -362,6 +387,16 @@ pub fn synthesize(target: &Matrix, config: &SynthConfig) -> Result<SynthResult, 
                     });
                     next_seq += 1;
                 }
+            }
+            // Cooperative cancellation: charge the whole batch (a pure
+            // function of the claim, so identical at any worker count)
+            // before computing it. Budget exhaustion ends the search like
+            // a max_nodes blow-through; a raised flag or blown deadline
+            // aborts typed.
+            match cancel.spend_qsearch_nodes(jobs.len() as u64) {
+                Ok(true) => {}
+                Ok(false) => break,
+                Err(reason) => return Err(SynthError::Canceled(reason)),
             }
             let outs = crew.dispatch(jobs);
             // Replay: merge results serially, in claim order — the search

@@ -1,0 +1,329 @@
+//! Service-resilience suite: the write-ahead journal (property-tested
+//! replay, torn-tail recovery at every truncation offset, kill -9
+//! losslessness) and epocd's admission control, panic isolation, and
+//! graceful shutdown drain.
+
+use epoc_circuit::Gate;
+use epoc_qoc::{
+    replay_journal, save_library_file, JournalWriter, KeyPolicy, PulseEntry, PulseLibrary,
+};
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, Command, Stdio};
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("epoc-resilience-{}-{name}", std::process::id()))
+}
+
+fn entry(duration: f64, fidelity: f64, n_slots: usize) -> PulseEntry {
+    PulseEntry { duration, fidelity, n_slots, waveform: None }
+}
+
+/// Replaying a journal reproduces the library that wrote it, for random
+/// insert sequences (repeated keys overwrite, in both worlds). The
+/// comparison is the canonical persisted file — byte equality, not just
+/// entry counts.
+#[test]
+fn replayed_journal_reproduces_the_library() {
+    epoc_rt::check::property("journal replay == direct inserts")
+        .cases(24)
+        .run(|g| {
+            let lib = PulseLibrary::new(KeyPolicy::PhaseAware);
+            let path = temp_path("prop.jsonl");
+            std::fs::remove_file(&path).ok();
+            let journal = std::sync::Arc::new(JournalWriter::open_append(&path).unwrap());
+            let sink = std::sync::Arc::clone(&journal);
+            lib.set_insert_observer(Some(std::sync::Arc::new(move |key, e| {
+                sink.append("grape", key, e).unwrap();
+            })));
+            let n = g.usize_in(1, 12);
+            for _ in 0..n {
+                // A small pool of distinct unitaries so overwrites occur.
+                let u = match g.usize_in(0, 4) {
+                    0 => Gate::H.unitary_matrix(),
+                    1 => Gate::X.unitary_matrix(),
+                    2 => Gate::Sx.unitary_matrix(),
+                    3 => Gate::RZ(0.375).unitary_matrix(),
+                    _ => Gate::RZ(1.5).unitary_matrix(),
+                };
+                let dur = g.f64_in(10.0, 500.0).round();
+                lib.insert(&u, entry(dur, 0.999, dur as usize));
+            }
+            journal.sync().unwrap();
+
+            let restored = PulseLibrary::new(KeyPolicy::PhaseAware);
+            let applied = replay_journal(&path, &[("grape", &restored)]).unwrap();
+            assert_eq!(applied, n, "every journaled insert must apply");
+            assert_eq!(restored.len(), lib.len());
+
+            let file_a = temp_path("prop-a.json");
+            let file_b = temp_path("prop-b.json");
+            save_library_file(&file_a, &[("grape", &lib)]).unwrap();
+            save_library_file(&file_b, &[("grape", &restored)]).unwrap();
+            assert_eq!(
+                std::fs::read_to_string(&file_a).unwrap(),
+                std::fs::read_to_string(&file_b).unwrap(),
+                "replayed library differs from the original"
+            );
+            for p in [&path, &file_a, &file_b] {
+                std::fs::remove_file(p).ok();
+            }
+        });
+}
+
+/// Truncating the journal at EVERY byte offset — simulating a crash at
+/// any point of an append — always recovers the longest prefix of fully
+/// written records, and never errors: a torn tail is expected damage,
+/// not corruption.
+#[test]
+fn truncation_at_every_offset_recovers_the_prefix() {
+    let lib = PulseLibrary::new(KeyPolicy::PhaseAware);
+    let path = temp_path("trunc-src.jsonl");
+    std::fs::remove_file(&path).ok();
+    let journal = JournalWriter::open_append(&path).unwrap();
+    let unitaries = [
+        Gate::H.unitary_matrix(),
+        Gate::X.unitary_matrix(),
+        Gate::Sx.unitary_matrix(),
+    ];
+    for (i, u) in unitaries.iter().enumerate() {
+        journal.append("grape", &lib.cache_key(u), &entry(20.0 + i as f64, 0.999, 16)).unwrap();
+    }
+    journal.sync().unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    // Record boundaries: byte offsets just past each newline.
+    let boundaries: Vec<usize> = bytes
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &b)| (b == b'\n').then_some(i + 1))
+        .collect();
+    assert_eq!(boundaries.len(), 3);
+
+    let cut_path = temp_path("trunc-cut.jsonl");
+    for cut in 0..=bytes.len() {
+        std::fs::write(&cut_path, &bytes[..cut]).unwrap();
+        let restored = PulseLibrary::new(KeyPolicy::PhaseAware);
+        let applied = replay_journal(&cut_path, &[("grape", &restored)])
+            .unwrap_or_else(|e| panic!("cut at {cut}: replay errored: {e}"));
+        // Complete records in the prefix: every boundary <= cut, plus a
+        // tail that is a whole record merely missing its newline (cut
+        // exactly one byte short of a boundary).
+        let whole = boundaries.iter().filter(|&&b| b <= cut).count();
+        let tail_is_whole_record = boundaries.contains(&(cut + 1));
+        let expected = whole + usize::from(tail_is_whole_record);
+        assert_eq!(applied, expected, "cut at {cut} applied the wrong record count");
+        assert_eq!(restored.len(), expected, "cut at {cut}: wrong library size");
+        // Replay is idempotent after its own truncation repair.
+        let again = PulseLibrary::new(KeyPolicy::PhaseAware);
+        assert_eq!(replay_journal(&cut_path, &[("grape", &again)]).unwrap(), expected);
+    }
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&cut_path).ok();
+}
+
+/// Spawns epocd reading from a pipe, returning the child plus its stdin
+/// and a buffered reader over its stdout.
+fn spawn_epocd(args: &[&str]) -> (Child, std::process::ChildStdin, BufReader<std::process::ChildStdout>) {
+    let exe = env!("CARGO_BIN_EXE_epocd");
+    let mut child = Command::new(exe)
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    let stdin = child.stdin.take().unwrap();
+    let stdout = BufReader::new(child.stdout.take().unwrap());
+    (child, stdin, stdout)
+}
+
+/// `kill -9` mid-batch loses zero completed inserts: the journaled
+/// library fully reconstructs on restart — the warm job misses nothing
+/// and runs zero GRAPE iterations, with no checkpoint ever written.
+#[test]
+fn kill_nine_mid_batch_loses_no_completed_inserts() {
+    let lib = temp_path("kill9-lib.json");
+    let journal = temp_path("kill9-journal.jsonl");
+    std::fs::remove_file(&lib).ok();
+    std::fs::remove_file(&journal).ok();
+    let lib_s = lib.to_str().unwrap();
+    let journal_s = journal.to_str().unwrap();
+
+    let (mut child, mut stdin, mut stdout) = spawn_epocd(&[
+        "--grape", "1", "--no-regroup", "--library", lib_s, "--journal", journal_s,
+    ]);
+    writeln!(stdin, r#"{{"id":1,"bench":"qaoa_n6"}}"#).unwrap();
+    stdin.flush().unwrap();
+    let mut line = String::new();
+    stdout.read_line(&mut line).unwrap();
+    assert!(line.contains(r#""ok":true"#), "cold job failed: {line}");
+    // The job answered; its inserts are in the journal. Kill the daemon
+    // before any checkpoint (stdin stays open, so no EOF checkpoint).
+    child.kill().unwrap();
+    child.wait().unwrap();
+    assert!(!lib.exists(), "a checkpoint ran — the test would prove nothing");
+    assert!(journal.exists() && journal.metadata().unwrap().len() > 0, "journal is empty");
+
+    let (child, mut stdin, mut stdout) = spawn_epocd(&[
+        "--grape", "1", "--no-regroup", "--library", lib_s, "--journal", journal_s,
+    ]);
+    writeln!(stdin, r#"{{"id":2,"bench":"qaoa_n6"}}"#).unwrap();
+    writeln!(stdin, r#"{{"cmd":"shutdown"}}"#).unwrap();
+    drop(stdin);
+    let mut warm = String::new();
+    stdout.read_line(&mut warm).unwrap();
+    assert!(warm.contains(r#""ok":true"#), "warm job failed: {warm}");
+    assert!(
+        warm.contains(r#""cache_misses":0"#),
+        "journal replay lost completed inserts: {warm}"
+    );
+    assert!(
+        warm.contains(r#""grape_iterations":0"#),
+        "warm restart re-ran GRAPE: {warm}"
+    );
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("replayed"), "no journal replay reported: {stderr}");
+    // Shutdown checkpointed, which compacts the journal.
+    assert!(lib.exists());
+    assert_eq!(journal.metadata().unwrap().len(), 0, "checkpoint did not compact");
+    std::fs::remove_file(&lib).ok();
+    std::fs::remove_file(&journal).ok();
+}
+
+/// `--queue-limit 1` under a burst: the in-flight job completes, the
+/// burst behind it gets typed `queue_full` rejections, commands stay
+/// exempt, and the stats line accounts for every rejection.
+#[test]
+fn queue_limit_sheds_typed_rejections() {
+    let exe = env!("CARGO_BIN_EXE_epocd");
+    let mut child = Command::new(exe)
+        .args(["--grape", "1", "--queue-limit", "1"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let mut stdin = child.stdin.take().unwrap();
+    for i in 1..=4 {
+        writeln!(stdin, r#"{{"id":{i},"bench":"qaoa_n6"}}"#).unwrap();
+    }
+    writeln!(stdin, r#"{{"cmd":"stats"}}"#).unwrap();
+    drop(stdin);
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 5, "expected 5 response lines: {stdout}");
+    let ok = lines.iter().filter(|l| l.contains(r#""ok":true,"report""#)).count();
+    let shed = lines.iter().filter(|l| l.contains(r#""rejected":"queue_full""#)).count();
+    assert!(ok >= 1, "no job completed under the flood: {stdout}");
+    assert!(shed >= 1, "queue limit 1 never shed under a 4-job burst: {stdout}");
+    assert_eq!(ok + shed, 4, "jobs neither completed nor typed-rejected: {stdout}");
+    let stats = lines.last().unwrap();
+    assert!(
+        stats.contains(&format!(r#""rejected":{shed}"#)),
+        "stats disagree with shed count {shed}: {stats}"
+    );
+}
+
+/// An oversized request line is shed with a typed rejection and the
+/// daemon keeps serving the next (well-sized) job.
+#[test]
+fn oversized_line_is_rejected_not_fatal() {
+    let exe = env!("CARGO_BIN_EXE_epocd");
+    let mut child = Command::new(exe)
+        .args(["--grape", "0", "--line-limit", "256"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let mut stdin = child.stdin.take().unwrap();
+    let big = format!(r#"{{"id":1,"qasm":"{}"}}"#, "x".repeat(1000));
+    writeln!(stdin, "{big}").unwrap();
+    writeln!(stdin, r#"{{"id":2,"bench":"ghz_n4"}}"#).unwrap();
+    drop(stdin);
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 2, "expected 2 response lines: {stdout}");
+    assert!(
+        lines[0].contains(r#""rejected":"oversized""#),
+        "no typed oversized rejection: {}",
+        lines[0]
+    );
+    assert!(
+        lines[1].contains(r#""id":2"#) && lines[1].contains(r#""ok":true"#),
+        "daemon did not survive the oversized line: {}",
+        lines[1]
+    );
+}
+
+/// A panicking job (injected via the `epocd.panic` fault point) answers
+/// as a typed failure and the daemon keeps serving.
+#[test]
+fn panicking_job_fails_typed_daemon_survives() {
+    let exe = env!("CARGO_BIN_EXE_epocd");
+    let mut child = Command::new(exe)
+        .args(["--grape", "0", "--faults", "epocd.panic=n1"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let mut stdin = child.stdin.take().unwrap();
+    writeln!(stdin, r#"{{"id":1,"bench":"ghz_n4"}}"#).unwrap();
+    writeln!(stdin, r#"{{"id":2,"bench":"ghz_n4"}}"#).unwrap();
+    drop(stdin);
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "daemon died with the panicking job");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 2, "expected 2 response lines: {stdout}");
+    assert!(
+        lines[0].contains(r#""ok":false"#) && lines[0].contains("panicked"),
+        "panic not surfaced as a typed failure: {}",
+        lines[0]
+    );
+    assert!(
+        lines[1].contains(r#""id":2"#) && lines[1].contains(r#""ok":true"#),
+        "daemon did not keep serving after the panic: {}",
+        lines[1]
+    );
+}
+
+/// Jobs queued behind a `shutdown` are shed with typed `shutting_down`
+/// rejections — never silently dropped.
+#[test]
+fn shutdown_drains_queued_jobs_with_typed_rejections() {
+    let exe = env!("CARGO_BIN_EXE_epocd");
+    let mut child = Command::new(exe)
+        .args(["--grape", "1"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let mut stdin = child.stdin.take().unwrap();
+    // Job 1 is slow enough that shutdown and job 2 queue up behind it.
+    writeln!(stdin, r#"{{"id":1,"bench":"qaoa_n6"}}"#).unwrap();
+    writeln!(stdin, r#"{{"cmd":"shutdown"}}"#).unwrap();
+    writeln!(stdin, r#"{{"id":2,"bench":"qaoa_n6"}}"#).unwrap();
+    // Keep stdin open: the drain must come from shutdown, not EOF.
+    let out_handle = std::thread::spawn(move || child.wait_with_output().unwrap());
+    let out = out_handle.join().unwrap();
+    drop(stdin);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 3, "expected 3 response lines: {stdout}");
+    assert!(lines[0].contains(r#""id":1"#) && lines[0].contains(r#""ok":true"#));
+    assert!(lines[1].contains(r#""ok":true"#), "shutdown ack missing: {}", lines[1]);
+    assert!(
+        lines[2].contains(r#""id":2"#) && lines[2].contains(r#""rejected":"shutting_down""#),
+        "queued job was not typed-rejected on drain: {}",
+        lines[2]
+    );
+}
